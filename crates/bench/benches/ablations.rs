@@ -1,0 +1,17 @@
+//! Criterion wrapper for the DESIGN.md §3 ablations (P5 objective
+//! interpretation, P4 purchase cap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("p4_p5_variants", |b| {
+        b.iter(|| figures::ablations(PAPER_SEED));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

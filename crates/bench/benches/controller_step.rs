@@ -1,0 +1,74 @@
+//! Per-decision latency of the SmartDPSS controller: the closed-form
+//! P5 path vs the LP-backed path, and a full month of control steps
+//! (engine + plant included).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{paper_traces, run_smart, PAPER_SEED};
+use dpss_core::{SmartDpss, SmartDpssConfig};
+use dpss_sim::{Controller, Engine, SimParams, SlotObservation, SystemView};
+use dpss_units::{Energy, Price, SlotClock, SlotId};
+use std::hint::black_box;
+
+fn slot_obs() -> SlotObservation {
+    SlotObservation {
+        slot: SlotId {
+            index: 37,
+            frame: 1,
+            offset: 13,
+        },
+        slot_hours: 1.0,
+        price_rt: Price::from_dollars_per_mwh(48.0),
+        price_lt: Price::from_dollars_per_mwh(36.0),
+        demand_ds: Energy::from_mwh(0.9),
+        demand_dt: Energy::from_mwh(0.4),
+        renewable: Energy::from_mwh(0.6),
+    }
+}
+
+fn view() -> SystemView {
+    SystemView {
+        battery_level: Energy::from_mwh(0.3),
+        battery_headroom: Energy::from_mwh(0.25),
+        battery_available: Energy::from_mwh(0.21),
+        battery_ops_remaining: None,
+        queue_backlog: Energy::from_mwh(1.7),
+        lt_allocation: Energy::from_mwh(0.8),
+        rt_purchase_cap: Energy::from_mwh(1.2),
+    }
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let params = SimParams::icdcs13();
+    let clock = SlotClock::icdcs13_month();
+
+    let mut group = c.benchmark_group("controller_step");
+    group.sample_size(20);
+
+    group.bench_function("p5_closed_form", |b| {
+        let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let obs = slot_obs();
+        let v = view();
+        b.iter(|| black_box(ctl.plan_slot(&obs, &v)));
+    });
+
+    group.bench_function("p5_lp_backed", |b| {
+        let mut ctl = SmartDpss::new(
+            SmartDpssConfig::icdcs13().with_lp_solver(true),
+            params,
+            clock,
+        )
+        .unwrap();
+        let obs = slot_obs();
+        let v = view();
+        b.iter(|| black_box(ctl.plan_slot(&obs, &v)));
+    });
+
+    group.bench_function("full_month_smart_dpss", |b| {
+        let engine = Engine::new(params, paper_traces(PAPER_SEED)).unwrap();
+        b.iter(|| run_smart(&engine, params, SmartDpssConfig::icdcs13()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

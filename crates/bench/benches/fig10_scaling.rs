@@ -1,0 +1,22 @@
+//! Criterion wrapper for the Fig. 10 computation (system expansion).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.bench_function("expansion_2pts", |b| {
+        b.iter(|| {
+            let t = figures::fig10(PAPER_SEED, &[1.0, 5.0]);
+            let c1: f64 = t.rows[0][1].parse().unwrap();
+            let c5: f64 = t.rows[1][1].parse().unwrap();
+            assert!(c5 > c1, "cost must grow with beta");
+            t
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion wrapper for the Fig. 6(c,d) computation: a reduced `T` sweep
+//! without the offline benchmark (full grids live in the binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_t");
+    group.sample_size(10);
+    group.bench_function("sweep_t_3pts_no_offline", |b| {
+        b.iter(|| figures::fig6_t(PAPER_SEED, &[6, 24, 48], 0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion wrapper for the Fig. 6(a,b) computation: measures the cost
+//! of a reduced `V` sweep (full grids live in the `fig6_v_sweep` binary)
+//! and asserts the headline shape every run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_v");
+    group.sample_size(10);
+    group.bench_function("sweep_v_2pts_no_offline", |b| {
+        b.iter(|| {
+            let t = figures::fig6_v(PAPER_SEED, &[0.25, 2.0], false);
+            let low: f64 = t.rows[0][1].parse().unwrap();
+            let high: f64 = t.rows[1][1].parse().unwrap();
+            assert!(high < low, "cost must fall with V");
+            t
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion wrapper for the Fig. 7 computations (ε, market structure,
+//! battery size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("epsilon_2pts", |b| {
+        b.iter(|| figures::fig7_epsilon(PAPER_SEED, &[0.25, 2.0]));
+    });
+    group.bench_function("markets", |b| {
+        b.iter(|| {
+            let t = figures::fig7_markets(PAPER_SEED);
+            let tm: f64 = t.rows[0][1].parse().unwrap();
+            let rtm: f64 = t.rows[1][1].parse().unwrap();
+            assert!(tm < rtm, "two markets must be cheaper");
+            t
+        });
+    });
+    group.bench_function("battery_2pts", |b| {
+        b.iter(|| figures::fig7_battery(PAPER_SEED, &[0.0, 30.0]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

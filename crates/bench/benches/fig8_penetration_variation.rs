@@ -1,0 +1,22 @@
+//! Criterion wrapper for the Fig. 8 computation (penetration/variation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.bench_function("penetration_and_variation_2pts", |b| {
+        b.iter(|| {
+            let (pen, _) = figures::fig8(PAPER_SEED, &[0.0, 1.0], &[1.0]);
+            let none: f64 = pen.rows[0][1].parse().unwrap();
+            let full: f64 = pen.rows[1][1].parse().unwrap();
+            assert!(full < none, "penetration must reduce cost");
+            pen
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

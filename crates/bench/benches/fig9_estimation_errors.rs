@@ -1,0 +1,17 @@
+//! Criterion wrapper for the Fig. 9 computation (robustness to ±50%
+//! observation errors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpss_bench::{figures, PAPER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.bench_function("errors_2pts", |b| {
+        b.iter(|| figures::fig9(PAPER_SEED, 0.5, &[0.5, 2.0]));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

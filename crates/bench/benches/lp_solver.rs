@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the `dpss-lp` simplex substrate: the P4/P5-shaped
+//! tiny LPs solved every slot, and the frame-sized LP solved by the
+//! offline benchmark.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpss_lp::{Problem, Relation, Sense};
+use std::hint::black_box;
+
+/// A P5-shaped LP: two decision variables, one balance row.
+fn p5_shaped() -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let g = p.add_var("g", 0.0, 2.0, 42.0).unwrap();
+    let y = p.add_var("y", 0.0, 1.5, -7.0).unwrap();
+    let w = p.add_var("w", 0.0, f64::INFINITY, 1.0).unwrap();
+    p.add_constraint(&[(g, 1.0), (y, -1.0), (w, -1.0)], Relation::Eq, 0.3)
+        .unwrap();
+    p
+}
+
+/// A frame-shaped LP: `t` slots × 7 variables with balance, battery and
+/// queue recursions (the structure the offline benchmark solves).
+fn frame_shaped(t: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let g = p.add_var("g", 0.0, 2.0, 35.0 * t as f64).unwrap();
+    let mut prev_b = None;
+    let mut prev_q = None;
+    for i in 0..t {
+        let grt = p.add_var(format!("grt{i}"), 0.0, 2.0, 45.0).unwrap();
+        let sdt = p.add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
+        let brc = p.add_var(format!("brc{i}"), 0.0, 0.5, 0.2).unwrap();
+        let bdc = p.add_var(format!("bdc{i}"), 0.0, 0.5, 0.2).unwrap();
+        let w = p.add_var(format!("w{i}"), 0.0, f64::INFINITY, 1.0).unwrap();
+        let b = p.add_var(format!("b{i}"), 0.03, 0.5, 0.0).unwrap();
+        let q = p.add_var(format!("q{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
+        let demand = 0.8 + 0.3 * (i as f64 * 0.7).sin();
+        p.add_constraint(
+            &[
+                (g, 1.0),
+                (grt, 1.0),
+                (bdc, 1.0),
+                (brc, -1.0),
+                (sdt, -1.0),
+                (w, -1.0),
+            ],
+            Relation::Eq,
+            demand,
+        )
+        .unwrap();
+        match prev_b {
+            None => p
+                .add_constraint(&[(b, 1.0), (brc, -0.8), (bdc, 1.25)], Relation::Eq, 0.25)
+                .unwrap(),
+            Some(pb) => p
+                .add_constraint(
+                    &[(b, 1.0), (pb, -1.0), (brc, -0.8), (bdc, 1.25)],
+                    Relation::Eq,
+                    0.0,
+                )
+                .unwrap(),
+        };
+        match prev_q {
+            None => p
+                .add_constraint(&[(q, 1.0), (sdt, 1.0)], Relation::Eq, 0.4)
+                .unwrap(),
+            Some(pq) => p
+                .add_constraint(&[(q, 1.0), (pq, -1.0), (sdt, 1.0)], Relation::Eq, 0.4)
+                .unwrap(),
+        };
+        prev_b = Some(b);
+        prev_q = Some(q);
+    }
+    // Serve everything by the frame end.
+    if let Some(q) = prev_q {
+        p.add_constraint(&[(q, 1.0)], Relation::Le, 0.4).unwrap();
+    }
+    p
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_solver");
+    group.sample_size(20);
+
+    group.bench_function("p5_shaped_3var", |b| {
+        let p = p5_shaped();
+        b.iter(|| black_box(&p).solve().unwrap());
+    });
+
+    for t in [6usize, 24] {
+        group.bench_function(format!("frame_shaped_t{t}"), |b| {
+            let p = frame_shaped(t);
+            b.iter_batched(
+                || p.clone(),
+                |p| p.solve().unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 5: the one-month input traces (demand, solar,
+//! electricity prices), printed as a per-day summary and exported as a
+//! full per-slot CSV under `target/figures/fig5_traces.csv`.
+
+use dpss_bench::{figures, persist, PAPER_SEED};
+
+fn main() {
+    let (table, csv) = figures::fig5(PAPER_SEED);
+    table.print();
+    persist(&table, "fig5");
+    let path = "target/figures/fig5_traces.csv";
+    if std::fs::create_dir_all("target/figures").is_ok() && std::fs::write(path, csv).is_ok() {
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,15 @@
+//! Regenerates Fig. 6(a,b): time-average operation cost and average
+//! service delay vs the control parameter `V`, for SmartDPSS, the offline
+//! benchmark and the Impatient baseline.
+
+use dpss_bench::{figures, persist, PAPER_SEED};
+
+fn main() {
+    let table = figures::fig6_v(PAPER_SEED, &figures::FIG6_V_GRID, true);
+    table.print();
+    persist(&table, "fig6_v");
+    println!(
+        "expected shape: smart cost falls toward offline as O(1/V); smart \
+         delay grows as O(V); impatient is the delay floor and cost ceiling."
+    );
+}

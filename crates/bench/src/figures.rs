@@ -1,0 +1,526 @@
+//! One computation function per paper figure (see `DESIGN.md` §5 for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured notes).
+
+use dpss_core::{MarketMode, SmartDpssConfig};
+use dpss_sim::{Engine, SimParams};
+use dpss_traces::{scaling, UniformError};
+use dpss_units::SlotClock;
+
+use crate::{
+    paper_traces, run_impatient, run_offline, run_smart, traces_on, FigureTable, PAPER_SEED,
+};
+
+/// The `V` grid of Fig. 6(a,b).
+pub const FIG6_V_GRID: [f64; 8] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0];
+/// The `T` grid of Fig. 6(c,d) (the paper sweeps 3 h to 6 days).
+pub const FIG6_T_GRID: [usize; 6] = [3, 6, 12, 24, 48, 144];
+/// The `ε` grid of Fig. 7.
+pub const FIG7_EPS_GRID: [f64; 4] = [0.25, 0.5, 1.0, 2.0];
+/// The battery grid (minutes of peak demand) of Fig. 7.
+pub const FIG7_BMAX_GRID: [f64; 3] = [0.0, 15.0, 30.0];
+/// The renewable-penetration grid of Fig. 8.
+pub const FIG8_PENETRATION_GRID: [f64; 6] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+/// The demand-variation grid of Fig. 8.
+pub const FIG8_VARIATION_GRID: [f64; 5] = [0.0, 0.5, 1.0, 1.5, 2.0];
+/// The expansion grid of Fig. 10.
+pub const FIG10_BETA_GRID: [f64; 4] = [1.0, 2.0, 5.0, 10.0];
+
+fn month_engine(seed: u64, params: SimParams) -> Engine {
+    Engine::new(params, paper_traces(seed)).expect("valid engine")
+}
+
+/// Fig. 5: the one-month input traces, summarized per day (the paper plots
+/// the raw series; the regenerator binary also exports the full CSV).
+#[must_use]
+pub fn fig5(seed: u64) -> (FigureTable, String) {
+    let traces = paper_traces(seed);
+    let mut table = FigureTable::new(
+        "Fig. 5: one-month traces (per-day summary)",
+        &[
+            "day",
+            "demand MWh",
+            "ds MWh",
+            "dt MWh",
+            "solar MWh",
+            "lt $/MWh",
+            "rt mean $/MWh",
+            "rt max $/MWh",
+        ],
+    );
+    let t = traces.clock.slots_per_frame();
+    for day in 0..traces.clock.frames() {
+        let range = day * t..(day + 1) * t;
+        let ds: f64 = traces.demand_ds[range.clone()].iter().map(|e| e.mwh()).sum();
+        let dt: f64 = traces.demand_dt[range.clone()].iter().map(|e| e.mwh()).sum();
+        let solar: f64 = traces.renewable[range.clone()].iter().map(|e| e.mwh()).sum();
+        let rt: Vec<f64> = traces.price_rt[range]
+            .iter()
+            .map(|p| p.dollars_per_mwh())
+            .collect();
+        let rt_mean = rt.iter().sum::<f64>() / rt.len() as f64;
+        let rt_max = rt.iter().fold(0.0f64, |a, &b| a.max(b));
+        table.push_owned(vec![
+            format!("{day}"),
+            format!("{:.2}", ds + dt),
+            format!("{ds:.2}"),
+            format!("{dt:.2}"),
+            format!("{solar:.2}"),
+            format!("{:.2}", traces.price_lt[day].dollars_per_mwh()),
+            format!("{rt_mean:.2}"),
+            format!("{rt_max:.2}"),
+        ]);
+    }
+    (table, traces.to_csv())
+}
+
+/// Fig. 6(a,b): time-average cost and average delay vs `V`, SmartDPSS vs
+/// the offline benchmark vs Impatient (`T = 24`, `ε = 0.5`, 15-min UPS).
+#[must_use]
+pub fn fig6_v(seed: u64, vs: &[f64], include_offline: bool) -> FigureTable {
+    let params = SimParams::icdcs13();
+    let engine = month_engine(seed, params);
+    let mut table = FigureTable::new(
+        "Fig. 6(a,b): cost and delay vs V (SmartDPSS / offline / impatient)",
+        &[
+            "V",
+            "smart $/slot",
+            "smart delay",
+            "offline $/slot",
+            "offline delay",
+            "impatient $/slot",
+            "impatient delay",
+        ],
+    );
+    let off = if include_offline {
+        let r = run_offline(&engine, params);
+        Some((r.time_average_cost().dollars(), r.average_delay_slots))
+    } else {
+        None
+    };
+    let imp = run_impatient(&engine);
+    for &v in vs {
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13().with_v(v));
+        let (oc, od) = off.map_or((f64::NAN, f64::NAN), |x| x);
+        table.push_owned(vec![
+            format!("{v}"),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+            format!("{oc:.3}"),
+            format!("{od:.2}"),
+            format!("{:.3}", imp.time_average_cost().dollars()),
+            format!("{:.2}", imp.average_delay_slots),
+        ]);
+    }
+    table
+}
+
+/// Fig. 6(c,d): cost and delay vs the coarse-frame length `T` (`V = 1`,
+/// `ε = 0.5`). The horizon is held at ~744 hourly slots; frames are
+/// re-chunked and traces regenerated per calendar. The offline benchmark
+/// is included up to `offline_max_t` (its frame LP grows with `T²`).
+#[must_use]
+pub fn fig6_t(seed: u64, ts: &[usize], offline_max_t: usize) -> FigureTable {
+    let params = SimParams::icdcs13();
+    let mut table = FigureTable::new(
+        "Fig. 6(c,d): cost and delay vs T (SmartDPSS; offline where tractable)",
+        &[
+            "T",
+            "frames",
+            "smart $/slot",
+            "smart delay",
+            "offline $/slot",
+            "offline delay",
+        ],
+    );
+    for &t in ts {
+        let frames = (744 / t).max(1);
+        let clock = SlotClock::new(frames, t, 1.0).expect("valid clock");
+        let engine = Engine::new(params, traces_on(&clock, seed)).expect("valid engine");
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        let (oc, od) = if t <= offline_max_t {
+            let o = run_offline(&engine, params);
+            (
+                format!("{:.3}", o.time_average_cost().dollars()),
+                format!("{:.2}", o.average_delay_slots),
+            )
+        } else {
+            ("-".into(), "-".into())
+        };
+        table.push_owned(vec![
+            format!("{t}"),
+            format!("{frames}"),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+            oc,
+            od,
+        ]);
+    }
+    table
+}
+
+/// Fig. 7, part 1: time-average cost vs the delay-control parameter `ε`.
+#[must_use]
+pub fn fig7_epsilon(seed: u64, eps: &[f64]) -> FigureTable {
+    let params = SimParams::icdcs13();
+    let engine = month_engine(seed, params);
+    let mut table = FigureTable::new(
+        "Fig. 7 (ε): cost and delay vs ε (V=1, T=24, Bmax=15 min, two markets)",
+        &["eps", "$/slot", "delay"],
+    );
+    for &e in eps {
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13().with_epsilon(e));
+        table.push_owned(vec![
+            format!("{e}"),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+        ]);
+    }
+    table
+}
+
+/// Fig. 7, part 2: two-timescale markets vs real-time-only.
+#[must_use]
+pub fn fig7_markets(seed: u64) -> FigureTable {
+    let params = SimParams::icdcs13();
+    let engine = month_engine(seed, params);
+    let mut table = FigureTable::new(
+        "Fig. 7 (markets): two markets (TM) vs real-time only (RTM)",
+        &["markets", "$/slot", "lt MWh", "rt MWh"],
+    );
+    for (label, market) in [("TM", MarketMode::TwoMarkets), ("RTM", MarketMode::RealTimeOnly)] {
+        let r = run_smart(
+            &engine,
+            params,
+            SmartDpssConfig::icdcs13().with_market(market),
+        );
+        table.push_owned(vec![
+            label.into(),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.1}", r.energy_lt.mwh()),
+            format!("{:.1}", r.energy_rt.mwh()),
+        ]);
+    }
+    table
+}
+
+/// Fig. 7, part 3: cost vs UPS size (`Bmax` in minutes of peak demand;
+/// `0` is the paper's "no battery" case).
+#[must_use]
+pub fn fig7_battery(seed: u64, minutes: &[f64]) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Fig. 7 (battery): cost vs Bmax (minutes of peak demand)",
+        &["Bmax min", "$/slot", "waste MWh", "battery ops"],
+    );
+    for &m in minutes {
+        let params = SimParams::icdcs13_with_battery(m);
+        let engine = month_engine(seed, params);
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        table.push_owned(vec![
+            format!("{m}"),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.1}", r.energy_wasted.mwh()),
+            format!("{}", r.battery_ops),
+        ]);
+    }
+    table
+}
+
+/// Fig. 8: cost vs renewable penetration and vs demand variation.
+#[must_use]
+pub fn fig8(seed: u64, penetrations: &[f64], variations: &[f64]) -> (FigureTable, FigureTable) {
+    let params = SimParams::icdcs13();
+    let truth = paper_traces(seed);
+
+    let mut pen_table = FigureTable::new(
+        "Fig. 8 (penetration): cost vs renewable penetration",
+        &["penetration", "$/slot", "waste MWh"],
+    );
+    for &p in penetrations {
+        let t = scaling::with_renewable_penetration(&truth, p).expect("valid penetration");
+        let engine = Engine::new(params, t).expect("valid engine");
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        pen_table.push_owned(vec![
+            format!("{:.0}%", p * 100.0),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.1}", r.energy_wasted.mwh()),
+        ]);
+    }
+
+    let mut var_table = FigureTable::new(
+        "Fig. 8 (variation): cost vs demand variation (std-dev stretch)",
+        &["stretch", "demand std MWh", "$/slot"],
+    );
+    for &f in variations {
+        let t = scaling::with_demand_variation(&truth, f).expect("valid variation");
+        let std = t.demand_stats().std;
+        let engine = Engine::new(params, t).expect("valid engine");
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        var_table.push_owned(vec![
+            format!("{f}"),
+            format!("{std:.3}"),
+            format!("{:.3}", r.time_average_cost().dollars()),
+        ]);
+    }
+    (pen_table, var_table)
+}
+
+/// Fig. 9: change in cost *reduction* (vs Impatient) when the controller
+/// observes uniformly perturbed inputs, across `V`.
+#[must_use]
+pub fn fig9(seed: u64, error_fraction: f64, vs: &[f64]) -> FigureTable {
+    let params = SimParams::icdcs13();
+    let truth = paper_traces(seed);
+    let clean_engine = Engine::new(params, truth.clone()).expect("valid engine");
+    let baseline = run_impatient(&clean_engine).total_cost().dollars();
+    let observed = UniformError::new(error_fraction)
+        .expect("valid fraction")
+        .perturb(&truth, seed ^ 0x9E37)
+        .expect("valid observation");
+    let noisy_engine = Engine::new(params, truth)
+        .expect("valid engine")
+        .with_observed(observed)
+        .expect("same calendar");
+
+    let mut table = FigureTable::new(
+        "Fig. 9: cost-reduction delta under observation errors, vs V",
+        &["V", "clean red. %", "noisy red. %", "delta pp"],
+    );
+    for &v in vs {
+        let config = SmartDpssConfig::icdcs13().with_v(v);
+        let clean = run_smart(&clean_engine, params, config).total_cost().dollars();
+        let noisy = run_smart(&noisy_engine, params, config).total_cost().dollars();
+        let red_clean = 100.0 * (baseline - clean) / baseline;
+        let red_noisy = 100.0 * (baseline - noisy) / baseline;
+        table.push_owned(vec![
+            format!("{v}"),
+            format!("{red_clean:.2}"),
+            format!("{red_noisy:.2}"),
+            format!("{:+.2}", red_noisy - red_clean),
+        ]);
+    }
+    table
+}
+
+/// Fig. 10: total cost under system expansion `β` (demand and renewables
+/// scaled, UPS fixed, interconnect scaled with the build-out).
+#[must_use]
+pub fn fig10(seed: u64, betas: &[f64]) -> FigureTable {
+    let truth = paper_traces(seed);
+    let base = SimParams::icdcs13();
+    let mut table = FigureTable::new(
+        "Fig. 10: time-average total cost vs expansion beta (UPS fixed)",
+        &["beta", "$/slot", "per-unit vs beta=1"],
+    );
+    let mut unit_base = None;
+    for &b in betas {
+        let t = scaling::expand(&truth, b).expect("valid beta");
+        let mut params = base;
+        params.grid_cap = base.grid_cap * b;
+        let engine = Engine::new(params, t).expect("valid engine");
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        let cost = r.time_average_cost().dollars();
+        let per_unit = cost / b;
+        let base_unit = *unit_base.get_or_insert(per_unit);
+        table.push_owned(vec![
+            format!("{b}"),
+            format!("{cost:.3}"),
+            format!("{:.3}x", per_unit / base_unit),
+        ]);
+    }
+    table
+}
+
+/// Ablation: the printed P5 objective vs the drift-plus-penalty
+/// derivation, and the paper-literal P4 vs the waste-aware cap
+/// (`DESIGN.md` §3).
+#[must_use]
+pub fn ablations(seed: u64) -> FigureTable {
+    use dpss_core::{P4Variant, P5Objective};
+    let params = SimParams::icdcs13();
+    let engine = month_engine(seed, params);
+    let mut table = FigureTable::new(
+        "Ablations: P5 objective and P4 purchase cap (V=1)",
+        &["variant", "$/slot", "delay", "waste MWh"],
+    );
+    let cases: [(&str, SmartDpssConfig); 4] = [
+        ("derived + waste-aware (default)", SmartDpssConfig::icdcs13()),
+        (
+            "paper-literal P5",
+            SmartDpssConfig::icdcs13().with_p5_objective(P5Objective::PaperLiteral),
+        ),
+        (
+            "paper-literal P4",
+            SmartDpssConfig::icdcs13().with_p4_variant(P4Variant::PaperLiteral),
+        ),
+        (
+            "paper-literal both",
+            SmartDpssConfig::icdcs13()
+                .with_p5_objective(P5Objective::PaperLiteral)
+                .with_p4_variant(P4Variant::PaperLiteral),
+        ),
+    ];
+    for (label, config) in cases {
+        let r = run_smart(&engine, params, config);
+        table.push_owned(vec![
+            label.into(),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+            format!("{:.1}", r.energy_wasted.mwh()),
+        ]);
+    }
+    table
+}
+
+/// Extension ablation: how much is better frame-ahead information worth?
+/// Runs SmartDPSS under the causal previous-frame observation, a perfect
+/// coming-frame oracle, and a noisy oracle at the paper's cited 22.2%
+/// renewable forecast error.
+#[must_use]
+pub fn forecast_ablation(seed: u64) -> FigureTable {
+    use dpss_sim::ForecastPolicy;
+    let params = SimParams::icdcs13();
+    let truth = paper_traces(seed);
+    let mut table = FigureTable::new(
+        "Forecast ablation: value of frame-ahead information (V=1)",
+        &["frame forecast", "$/slot", "delay", "rt MWh"],
+    );
+    let policies: [(&str, ForecastPolicy); 3] = [
+        ("prev-frame average (paper)", ForecastPolicy::PrevFrameAverage),
+        ("perfect oracle", ForecastPolicy::Oracle),
+        (
+            "noisy oracle (22.2% err)",
+            ForecastPolicy::NoisyOracle {
+                rel_std: 0.222,
+                seed: seed ^ 0xF0,
+            },
+        ),
+    ];
+    for (label, policy) in policies {
+        let engine = Engine::new(params, truth.clone())
+            .expect("valid engine")
+            .with_forecast(policy)
+            .expect("valid policy");
+        let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        table.push_owned(vec![
+            label.into(),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+            format!("{:.1}", r.energy_rt.mwh()),
+        ]);
+    }
+    table
+}
+
+/// Extension: the full baseline roster on one trace — SmartDPSS, the
+/// offline benchmark, the receding-horizon MPC (causal and oracle
+/// forecasts), Impatient, and the greedy battery-arbitrage rule.
+#[must_use]
+pub fn baselines(seed: u64) -> FigureTable {
+    use dpss_core::{GreedyBattery, RecedingHorizon};
+    use dpss_sim::ForecastPolicy;
+    use dpss_units::Price;
+    let params = SimParams::icdcs13();
+    let engine = month_engine(seed, params);
+    let mut table = FigureTable::new(
+        "Baseline roster (one-month trace)",
+        &["policy", "$/slot", "delay", "battery ops"],
+    );
+    let push = |table: &mut FigureTable, label: Option<&str>, r: &dpss_sim::RunReport| {
+        table.push_owned(vec![
+            label.map_or_else(|| r.controller.clone(), str::to_owned),
+            format!("{:.3}", r.time_average_cost().dollars()),
+            format!("{:.2}", r.average_delay_slots),
+            format!("{}", r.battery_ops),
+        ]);
+    };
+    push(
+        &mut table,
+        None,
+        &run_smart(&engine, params, SmartDpssConfig::icdcs13()),
+    );
+    push(&mut table, None, &run_offline(&engine, params));
+    let mut mpc = RecedingHorizon::new(params).expect("valid params");
+    push(
+        &mut table,
+        Some("mpc (causal fcst)"),
+        &engine.run(&mut mpc).expect("run succeeds"),
+    );
+    let oracle_engine = engine
+        .clone()
+        .with_forecast(ForecastPolicy::Oracle)
+        .expect("valid policy");
+    let mut mpc = RecedingHorizon::new(params).expect("valid params");
+    push(
+        &mut table,
+        Some("mpc (oracle fcst)"),
+        &oracle_engine.run(&mut mpc).expect("run succeeds"),
+    );
+    push(&mut table, None, &run_impatient(&engine));
+    let mut greedy =
+        GreedyBattery::around(Price::from_dollars_per_mwh(35.0)).expect("valid thresholds");
+    push(
+        &mut table,
+        None,
+        &engine.run(&mut greedy).expect("run succeeds"),
+    );
+    table
+}
+
+/// Default-everything convenience used by tests: computes the Fig. 6(a)
+/// table with the canonical seed and grid.
+#[must_use]
+pub fn fig6_v_default() -> FigureTable {
+    fig6_v(PAPER_SEED, &FIG6_V_GRID, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_covers_every_day() {
+        let (table, csv) = fig5(7);
+        assert_eq!(table.rows.len(), 31);
+        assert_eq!(csv.lines().count(), 745); // header + 744 slots
+    }
+
+    #[test]
+    fn fig6_v_small_grid_is_monotone_in_cost() {
+        let t = fig6_v(PAPER_SEED, &[0.1, 5.0], false);
+        assert_eq!(t.rows.len(), 2);
+        let cost_low: f64 = t.rows[0][1].parse().unwrap();
+        let cost_high: f64 = t.rows[1][1].parse().unwrap();
+        assert!(cost_high < cost_low, "{cost_high} vs {cost_low}");
+        let delay_low: f64 = t.rows[0][2].parse().unwrap();
+        let delay_high: f64 = t.rows[1][2].parse().unwrap();
+        assert!(delay_high > delay_low);
+    }
+
+    #[test]
+    fn fig7_tables_have_expected_shapes() {
+        let eps = fig7_epsilon(PAPER_SEED, &[0.25, 2.0]);
+        let d0: f64 = eps.rows[0][2].parse().unwrap();
+        let d1: f64 = eps.rows[1][2].parse().unwrap();
+        assert!(d1 < d0, "larger ε serves sooner");
+        let markets = fig7_markets(PAPER_SEED);
+        let tm: f64 = markets.rows[0][1].parse().unwrap();
+        let rtm: f64 = markets.rows[1][1].parse().unwrap();
+        assert!(tm < rtm, "two markets cheaper");
+    }
+
+    #[test]
+    fn fig8_penetration_reduces_cost() {
+        let (pen, _) = fig8(PAPER_SEED, &[0.0, 1.0], &[1.0]);
+        let none: f64 = pen.rows[0][1].parse().unwrap();
+        let full: f64 = pen.rows[1][1].parse().unwrap();
+        assert!(full < none);
+    }
+
+    #[test]
+    fn fig10_grows_with_beta() {
+        let t = fig10(PAPER_SEED, &[1.0, 2.0]);
+        let c1: f64 = t.rows[0][1].parse().unwrap();
+        let c2: f64 = t.rows[1][1].parse().unwrap();
+        assert!(c2 > c1);
+    }
+}

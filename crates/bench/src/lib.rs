@@ -1,0 +1,131 @@
+//! Experiment harness for the SmartDPSS evaluation (§VI): one computation
+//! function per paper figure, shared by the `fig*` regenerator binaries,
+//! the Criterion benches and the harness self-tests.
+//!
+//! Every function takes a seed (all built-in artifacts use seed 42) and
+//! returns a [`FigureTable`] whose rows mirror the series the paper plots.
+//! Binaries print the table and also persist it as JSON under
+//! `target/figures/` so downstream tooling can diff runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+mod table;
+
+pub use table::FigureTable;
+
+use dpss_core::{Impatient, OfflineOptimal, SmartDpss, SmartDpssConfig};
+use dpss_sim::{Engine, RunReport, SimParams};
+use dpss_traces::{Scenario, TraceSet};
+use dpss_units::SlotClock;
+
+/// Canonical seed for every artifact in the repository.
+pub const PAPER_SEED: u64 = 42;
+
+/// Generates the paper's one-month trace set for `seed`.
+///
+/// # Panics
+///
+/// Panics on generator misconfiguration (impossible for built-ins).
+#[must_use]
+pub fn paper_traces(seed: u64) -> TraceSet {
+    dpss_traces::paper_month_traces(seed).expect("built-in scenario is valid")
+}
+
+/// Generates a trace set on an arbitrary calendar (the Fig. 6(c,d) `T`
+/// sweep regenerates per calendar).
+///
+/// # Panics
+///
+/// Panics on generator misconfiguration (impossible for built-ins).
+#[must_use]
+pub fn traces_on(clock: &SlotClock, seed: u64) -> TraceSet {
+    Scenario::icdcs13()
+        .generate(clock, seed)
+        .expect("built-in scenario is valid")
+}
+
+/// Runs SmartDPSS with `config` on `engine`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the run fails (the harness
+/// treats those as programming errors, not experiment outcomes).
+#[must_use]
+pub fn run_smart(engine: &Engine, params: SimParams, config: SmartDpssConfig) -> RunReport {
+    let mut ctl =
+        SmartDpss::new(config, params, engine.truth().clock).expect("valid configuration");
+    engine.run(&mut ctl).expect("run succeeds")
+}
+
+/// Runs the offline benchmark on `engine`.
+///
+/// # Panics
+///
+/// Panics if the run fails.
+#[must_use]
+pub fn run_offline(engine: &Engine, params: SimParams) -> RunReport {
+    let mut ctl =
+        OfflineOptimal::new(params, engine.truth().clone()).expect("valid configuration");
+    engine.run(&mut ctl).expect("run succeeds")
+}
+
+/// Runs the Impatient baseline on `engine`.
+///
+/// # Panics
+///
+/// Panics if the run fails.
+#[must_use]
+pub fn run_impatient(engine: &Engine) -> RunReport {
+    engine
+        .run(&mut Impatient::two_markets())
+        .expect("run succeeds")
+}
+
+/// Writes a figure table as JSON under `target/figures/<name>.json`
+/// (best-effort: failures to create the directory are reported, not fatal,
+/// so the binaries still print their tables on read-only filesystems).
+pub fn persist(table: &FigureTable, name: &str) {
+    let dir = std::path::Path::new("target/figures");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("note: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(table) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("note: cannot write {}: {e}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(e) => eprintln!("note: cannot serialize {name}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_traces_are_the_month() {
+        let t = paper_traces(PAPER_SEED);
+        assert_eq!(t.clock.total_slots(), 744);
+    }
+
+    #[test]
+    fn harness_runs_all_policies() {
+        let clock = SlotClock::new(2, 24, 1.0).unwrap();
+        let traces = traces_on(&clock, 1);
+        let params = SimParams::icdcs13();
+        let engine = Engine::new(params, traces).unwrap();
+        let s = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+        let o = run_offline(&engine, params);
+        let i = run_impatient(&engine);
+        assert_eq!(s.controller, "smart-dpss");
+        assert_eq!(o.controller, "offline");
+        assert_eq!(i.controller, "impatient");
+    }
+}

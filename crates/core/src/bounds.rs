@@ -1,0 +1,299 @@
+use dpss_sim::SimParams;
+use dpss_units::SlotClock;
+
+use crate::SmartDpssConfig;
+
+/// The closed-form performance bounds of Theorem 2 (and the constants
+/// `H1`/`H2` of Theorem 1/Corollary 1), evaluated for a concrete
+/// parameterization.
+///
+/// Quantities follow the paper's convention of treating queue lengths
+/// (MWh) and weighted prices as commensurable scalars; all fields are
+/// plain `f64` in MWh-equivalents except [`TheoremBounds::lambda_max_slots`]
+/// (slots) and [`TheoremBounds::v_max`] (dimensionless).
+///
+/// Note: with the paper's own §VI-A battery (15 minutes of peak), the
+/// `Vmax` premise of Theorem 2 is *not* satisfiable (`Bmax < Bdmax·ηd`),
+/// so `v_max` clamps at zero; the theorem-bound integration tests use a
+/// larger battery where `v_max > 0`, and the evaluation figures follow the
+/// paper in running outside the premise.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_core::{SmartDpssConfig, TheoremBounds};
+/// use dpss_sim::SimParams;
+/// use dpss_units::SlotClock;
+///
+/// let b = TheoremBounds::compute(
+///     &SmartDpssConfig::icdcs13(),
+///     &SimParams::icdcs13(),
+///     &SlotClock::icdcs13_month(),
+/// );
+/// // Qmax = V·Pmax/T + Ddtmax = 100/24 + 0.8.
+/// assert!((b.q_max - (100.0 / 24.0 + 0.8)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TheoremBounds {
+    /// Deterministic backlog bound `Qmax = V·Pmax/T + Ddtmax` (Eq. (23)).
+    pub q_max: f64,
+    /// Virtual-queue bound `Ymax = V·Pmax/T + ε` (Eq. (24)).
+    pub y_max: f64,
+    /// Combined bound `Umax = V·Pmax/T + Ddtmax + ε` (Eq. (25)).
+    pub u_max: f64,
+    /// Worst-case delay `λmax = ⌈(2·V·Pmax/T + Ddtmax + ε)/ε⌉` in fine
+    /// slots (Eq. (26)).
+    pub lambda_max_slots: f64,
+    /// Largest `V` for which Theorem 2's premises hold (clamped at 0):
+    /// `Vmax = T·(Bmax − Bmin − Bdmax·ηd − Bcmax·ηc − Ddtmax − ε)/Pmax`.
+    pub v_max: f64,
+    /// Lower bound on the availability queue, `X(t) ≥ −Umax − Bdmax·ηd`
+    /// (Eq. (21)).
+    pub x_lower: f64,
+    /// Upper bound, `X(t) ≤ Bmax − Umax − Bmin − Bdmax·ηd` (Eq. (22)).
+    pub x_upper: f64,
+    /// Drift constant `H1` of Theorem 1 (with `Sdtmax` taken as the
+    /// effective service bound: the configured `Sdtmax` if any, else
+    /// `Qmax`, since service never exceeds the backlog).
+    pub h1: f64,
+    /// Loosened constant `H2 = H1 + T(T−1)(Bcmax²ηc² + ε²)` of Corollary 1.
+    pub h2: f64,
+    /// The cost-gap bound `H2/V` of Theorem 2(5): SmartDPSS's time-average
+    /// cost is within this of the offline optimum (when `V ≤ Vmax`).
+    pub cost_gap: f64,
+}
+
+impl TheoremBounds {
+    /// Evaluates all bounds for a controller configuration, plant
+    /// parameters and calendar.
+    #[must_use]
+    pub fn compute(config: &SmartDpssConfig, params: &SimParams, clock: &SlotClock) -> Self {
+        let v = config.v;
+        let eps = config.epsilon;
+        let t = clock.slots_per_frame() as f64;
+        let pmax = params.price_cap.dollars_per_mwh();
+        let ddt_max = config.ddt_max.mwh();
+        let b = &params.battery;
+        let bc = b.max_charge.mwh();
+        let bd = b.max_discharge.mwh();
+        let eta_c = b.charge_efficiency;
+        let eta_d = b.discharge_efficiency;
+
+        let vp_over_t = v * pmax / t;
+        let q_max = vp_over_t + ddt_max;
+        let y_max = vp_over_t + eps;
+        let u_max = vp_over_t + ddt_max + eps;
+        let lambda_max_slots = ((2.0 * vp_over_t + ddt_max + eps) / eps).ceil();
+        let v_max = (t
+            * (b.capacity.mwh() - b.min_level.mwh() - bd * eta_d - bc * eta_c - ddt_max - eps)
+            / pmax)
+            .max(0.0);
+        let x_lower = -u_max - bd * eta_d;
+        let x_upper = b.capacity.mwh() - u_max - b.min_level.mwh() - bd * eta_d;
+
+        let sdt_max = params.sdt_max.map_or(q_max, |s| s.mwh());
+        let h1 = sdt_max * sdt_max
+            + 0.5
+                * (ddt_max * ddt_max
+                    + bc * bc * eta_c * eta_c
+                    + bd * bd * eta_d * eta_d
+                    + eps * eps);
+        let h2 = h1 + t * (t - 1.0) * (bc * bc * eta_c * eta_c + eps * eps);
+
+        TheoremBounds {
+            q_max,
+            y_max,
+            u_max,
+            lambda_max_slots,
+            v_max,
+            x_lower,
+            x_upper,
+            h1,
+            h2,
+            cost_gap: h2 / v,
+        }
+    }
+
+    /// The `X(t)` value corresponding to a battery level `b` (Eq. (14)):
+    /// `X = b − Umax − Bmin − Bdmax·ηd`.
+    #[must_use]
+    pub fn x_of_level(&self, params: &SimParams, battery_level_mwh: f64) -> f64 {
+        battery_level_mwh
+            - self.u_max
+            - params.battery.min_level.mwh()
+            - params.battery.max_discharge.mwh() * params.battery.discharge_efficiency
+    }
+
+    /// Theorem 3's robustness constant
+    /// `H3 = H2 + T·θmax·(2·Sdtmax + Ddtmax + Bcmax·ηc + Bdmax·ηd + ε)`,
+    /// where `θmax` bounds the error between the approximated and actual
+    /// queue backlogs. The cost bound under bounded approximation error is
+    /// `φopt + H3/V` (Eq. (28)).
+    #[must_use]
+    pub fn h3(
+        &self,
+        config: &SmartDpssConfig,
+        params: &SimParams,
+        clock: &SlotClock,
+        theta_max: f64,
+    ) -> f64 {
+        let t = clock.slots_per_frame() as f64;
+        let b = &params.battery;
+        let sdt_max = params.sdt_max.map_or(self.q_max, |s| s.mwh());
+        self.h2
+            + t * theta_max.max(0.0)
+                * (2.0 * sdt_max
+                    + config.ddt_max.mwh()
+                    + b.max_charge.mwh() * b.charge_efficiency
+                    + b.max_discharge.mwh() * b.discharge_efficiency
+                    + config.epsilon)
+    }
+
+    /// Corollary 2's expansion scaling: under the `β`-fold system
+    /// expansion (`d(β,t) = β·d(t)`, `r(β,t) = β·r(t)`, queue uncertainty
+    /// `β^α·θmax` with `α ∈ [1/2, 1]`), the constants become
+    /// `H1(β) = β·H1`, `H2(β) = β·H2` and
+    /// `H3(β) = β·H2 + T·β^α·θmax·(…)`. Returns `(h1, h2, h3)` at `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `beta < 1` or `alpha ∉ [0.5, 1]`.
+    #[must_use]
+    pub fn scaled_constants(
+        &self,
+        config: &SmartDpssConfig,
+        params: &SimParams,
+        clock: &SlotClock,
+        beta: f64,
+        alpha: f64,
+        theta_max: f64,
+    ) -> (f64, f64, f64) {
+        debug_assert!(beta >= 1.0, "beta must be at least 1");
+        debug_assert!((0.5..=1.0).contains(&alpha), "alpha must be in [1/2, 1]");
+        let h1_b = beta * self.h1;
+        let h2_b = beta * self.h2;
+        let t = clock.slots_per_frame() as f64;
+        let b = &params.battery;
+        let sdt_max = params.sdt_max.map_or(self.q_max, |s| s.mwh());
+        let h3_b = beta * self.h2
+            + t * beta.powf(alpha) * theta_max.max(0.0)
+                * (2.0 * sdt_max
+                    + config.ddt_max.mwh()
+                    + b.max_charge.mwh() * b.charge_efficiency
+                    + b.max_discharge.mwh() * b.discharge_efficiency
+                    + config.epsilon);
+        (h1_b, h2_b, h3_b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpss_sim::BatteryParams;
+    use dpss_units::Energy;
+
+    fn base() -> (SmartDpssConfig, SimParams, SlotClock) {
+        (
+            SmartDpssConfig::icdcs13(),
+            SimParams::icdcs13(),
+            SlotClock::icdcs13_month(),
+        )
+    }
+
+    #[test]
+    fn paper_formulas() {
+        let (c, p, k) = base();
+        let b = TheoremBounds::compute(&c, &p, &k);
+        let vp = 1.0 * 100.0 / 24.0;
+        assert!((b.q_max - (vp + 0.8)).abs() < 1e-9);
+        assert!((b.y_max - (vp + 0.5)).abs() < 1e-9);
+        assert!((b.u_max - (vp + 1.3)).abs() < 1e-9);
+        assert_eq!(b.lambda_max_slots, ((2.0 * vp + 1.3) / 0.5).ceil());
+        // Paper battery: Bmax=0.5 < Bdmax·ηd=0.625 → premise fails, clamp 0.
+        assert_eq!(b.v_max, 0.0);
+        assert!(b.h2 > b.h1);
+        assert!((b.cost_gap - b.h2).abs() < 1e-12, "V = 1 → gap = H2");
+    }
+
+    #[test]
+    fn larger_battery_admits_positive_vmax() {
+        let (c, mut p, k) = base();
+        p.battery = BatteryParams::icdcs13(120.0); // Bmax = 4 MWh
+        let b = TheoremBounds::compute(&c, &p, &k);
+        assert!(b.v_max > 0.0, "v_max {}", b.v_max);
+        // Window is consistent: x_lower < x_upper.
+        assert!(b.x_lower < b.x_upper);
+    }
+
+    #[test]
+    fn bounds_scale_with_v_and_t() {
+        let (c, p, k) = base();
+        let b1 = TheoremBounds::compute(&c, &p, &k);
+        let b5 = TheoremBounds::compute(&c.with_v(5.0), &p, &k);
+        assert!(b5.q_max > b1.q_max, "Qmax grows with V");
+        assert!(b5.lambda_max_slots > b1.lambda_max_slots, "delay O(V)");
+        assert!(b5.cost_gap < b1.cost_gap, "cost gap O(1/V)");
+        let k48 = SlotClock::new(16, 48, 1.0).unwrap();
+        let b48 = TheoremBounds::compute(&c, &p, &k48);
+        assert!(b48.q_max < b1.q_max, "Qmax shrinks with T");
+    }
+
+    #[test]
+    fn epsilon_trades_delay_for_queue_growth() {
+        let (c, p, k) = base();
+        let small = TheoremBounds::compute(&c.with_epsilon(0.25), &p, &k);
+        let large = TheoremBounds::compute(&c.with_epsilon(2.0), &p, &k);
+        assert!(small.lambda_max_slots > large.lambda_max_slots);
+    }
+
+    #[test]
+    fn x_of_level_matches_eq_14() {
+        let (c, p, k) = base();
+        let b = TheoremBounds::compute(&c, &p, &k);
+        let x = b.x_of_level(&p, 0.5);
+        let expect = 0.5 - b.u_max - p.battery.min_level.mwh() - 0.5 * 1.25;
+        assert!((x - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h3_grows_with_approximation_error() {
+        // Theorem 3: perfect information (θmax = 0) reduces H3 to H2;
+        // error widens the cost gap monotonically.
+        let (c, p, k) = base();
+        let b = TheoremBounds::compute(&c, &p, &k);
+        assert!((b.h3(&c, &p, &k, 0.0) - b.h2).abs() < 1e-12);
+        let h3_small = b.h3(&c, &p, &k, 0.5);
+        let h3_large = b.h3(&c, &p, &k, 2.0);
+        assert!(b.h2 < h3_small && h3_small < h3_large);
+        // Negative error bounds are clamped, not amplified.
+        assert!((b.h3(&c, &p, &k, -1.0) - b.h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corollary_2_scaling_is_linear_in_beta() {
+        let (c, p, k) = base();
+        let b = TheoremBounds::compute(&c, &p, &k);
+        let (h1_1, h2_1, h3_1) = b.scaled_constants(&c, &p, &k, 1.0, 1.0, 0.5);
+        let (h1_5, h2_5, h3_5) = b.scaled_constants(&c, &p, &k, 5.0, 1.0, 0.5);
+        assert!((h1_1 - b.h1).abs() < 1e-12);
+        assert!((h2_1 - b.h2).abs() < 1e-12);
+        assert!((h3_1 - b.h3(&c, &p, &k, 0.5)).abs() < 1e-12);
+        assert!((h1_5 - 5.0 * b.h1).abs() < 1e-9);
+        assert!((h2_5 - 5.0 * b.h2).abs() < 1e-9);
+        // With α = 1 the uncertainty term also scales by β.
+        assert!((h3_5 - (5.0 * b.h2 + 5.0 * (h3_1 - b.h2))).abs() < 1e-9);
+        // With α = 1/2 the uncertainty term scales sublinearly.
+        let (_, _, h3_sqrt) = b.scaled_constants(&c, &p, &k, 4.0, 0.5, 0.5);
+        let (_, _, h3_lin) = b.scaled_constants(&c, &p, &k, 4.0, 1.0, 0.5);
+        assert!(h3_sqrt < h3_lin);
+    }
+
+    #[test]
+    fn explicit_sdt_max_feeds_h1() {
+        let (c, mut p, k) = base();
+        let loose = TheoremBounds::compute(&c, &p, &k);
+        p.sdt_max = Some(Energy::from_mwh(0.1));
+        let tight = TheoremBounds::compute(&c, &p, &k);
+        assert!(tight.h1 < loose.h1);
+    }
+}

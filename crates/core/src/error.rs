@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use dpss_lp::LpError;
+use dpss_sim::SimError;
+
+/// Error produced by controller configuration or internal optimization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value violates its documented range.
+    InvalidConfig {
+        /// Which field.
+        what: &'static str,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// An internal linear program failed (offline benchmark or the
+    /// LP-backed P4/P5 path).
+    Lp(LpError),
+    /// An underlying simulator error.
+    Sim(SimError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { what, requirement } => {
+                write!(f, "config field {what} {requirement}")
+            }
+            CoreError::Lp(e) => write!(f, "internal lp failed: {e}"),
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Lp(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LpError> for CoreError {
+    fn from(e: LpError) -> Self {
+        CoreError::Lp(e)
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = CoreError::InvalidConfig {
+            what: "v",
+            requirement: "must be positive",
+        };
+        assert!(e.to_string().contains('v'));
+        let e: CoreError = LpError::Infeasible.into();
+        assert!(Error::source(&e).is_some());
+        assert!(e.to_string().contains("infeasible"));
+        let e: CoreError = SimError::ObservationMismatch.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<CoreError>();
+    }
+}

@@ -1,0 +1,283 @@
+//! The per-coarse-frame planning linear program shared by the
+//! [`OfflineOptimal`](crate::OfflineOptimal) benchmark (which feeds it the
+//! truth) and the [`RecedingHorizon`](crate::RecedingHorizon) MPC
+//! controller (which feeds it forecasts).
+//!
+//! Variables per fine slot `i ∈ [0, T)`: real-time purchase `grt_i`,
+//! backlog service `sdt_i`, battery charge `brc_i` / discharge `bdc_i`,
+//! waste `w_i`, battery level `b_i` and backlog `q_i`; plus one long-term
+//! rate `g_slot` for the whole frame. Constraints: the balance Eq. (4),
+//! the interconnect Eq. (5), the battery recursion Eq. (3), the queue
+//! recursion Eq. (2) with pre-arrival service limits, and an optional
+//! service deadline expressed on cumulative service.
+
+use dpss_lp::{Problem, Relation, Sense, Variable};
+use dpss_sim::SimParams;
+
+use crate::CoreError;
+
+/// Inputs to one frame LP (all energies in MWh, prices in $/MWh).
+#[derive(Debug, Clone)]
+pub(crate) struct FrameLpInputs<'a> {
+    pub params: &'a SimParams,
+    /// Fine slots in the frame.
+    pub t: usize,
+    /// Per-slot grid cap `Pgrid·Δh`.
+    pub slot_cap: f64,
+    /// Long-term price for the frame.
+    pub p_lt: f64,
+    /// Real-time price per slot (`len == t`).
+    pub p_rt: &'a [f64],
+    /// Delay-sensitive demand per slot (`len == t`).
+    pub d_ds: &'a [f64],
+    /// Delay-tolerant arrivals per slot (`len == t`).
+    pub d_dt: &'a [f64],
+    /// Renewable production per slot (`len == t`).
+    pub renewable: &'a [f64],
+    /// Battery level at frame start.
+    pub b0: f64,
+    /// Backlog at frame start.
+    pub q0: f64,
+    /// Service deadline in slots; `None` disables deadline rows.
+    pub deadline: Option<usize>,
+    /// Whether real-time purchasing is permitted.
+    pub allow_rt: bool,
+}
+
+/// The solved plan: long-term per-slot rate, and per-slot real-time
+/// purchases and backlog service.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FramePlan {
+    pub g_slot: f64,
+    pub grt: Vec<f64>,
+    pub sdt: Vec<f64>,
+}
+
+pub(crate) fn solve(inp: &FrameLpInputs<'_>) -> Result<FramePlan, CoreError> {
+    let t = inp.t;
+    debug_assert!(
+        inp.p_rt.len() == t && inp.d_ds.len() == t && inp.d_dt.len() == t
+            && inp.renewable.len() == t,
+        "series length mismatch"
+    );
+    let bat = &inp.params.battery;
+    let w_pen = inp.params.waste_price.dollars_per_mwh();
+    // An LP cannot price the per-operation indicator n(τ)·Cb; linearize
+    // wear as cost-per-MWh at full rate (the realized report still pays
+    // the true indicator cost).
+    let wear_c = if bat.max_charge.mwh() > 0.0 {
+        bat.op_cost.dollars() / bat.max_charge.mwh()
+    } else {
+        0.0
+    };
+    let wear_d = if bat.max_discharge.mwh() > 0.0 {
+        bat.op_cost.dollars() / bat.max_discharge.mwh()
+    } else {
+        0.0
+    };
+
+    let mut p = Problem::new(Sense::Minimize);
+    let g_slot = p.add_var("g_slot", 0.0, inp.slot_cap, inp.p_lt * t as f64)?;
+    let mut grt: Vec<Variable> = Vec::with_capacity(t);
+    let mut sdt: Vec<Variable> = Vec::with_capacity(t);
+    let mut brc: Vec<Variable> = Vec::with_capacity(t);
+    let mut bdc: Vec<Variable> = Vec::with_capacity(t);
+    let mut waste: Vec<Variable> = Vec::with_capacity(t);
+    let mut level: Vec<Variable> = Vec::with_capacity(t);
+    let mut backlog: Vec<Variable> = Vec::with_capacity(t);
+    for i in 0..t {
+        let rt_ub = if inp.allow_rt { inp.slot_cap } else { 0.0 };
+        grt.push(p.add_var(format!("grt{i}"), 0.0, rt_ub, inp.p_rt[i])?);
+        let sdt_ub = inp.params.sdt_max.map_or(f64::INFINITY, |s| s.mwh());
+        sdt.push(p.add_var(format!("sdt{i}"), 0.0, sdt_ub, 0.0)?);
+        brc.push(p.add_var(format!("brc{i}"), 0.0, bat.max_charge.mwh(), wear_c)?);
+        bdc.push(p.add_var(format!("bdc{i}"), 0.0, bat.max_discharge.mwh(), wear_d)?);
+        waste.push(p.add_var(format!("w{i}"), 0.0, f64::INFINITY, w_pen)?);
+        level.push(p.add_var(
+            format!("b{i}"),
+            bat.min_level.mwh(),
+            bat.capacity.mwh(),
+            0.0,
+        )?);
+        backlog.push(p.add_var(format!("q{i}"), 0.0, f64::INFINITY, 0.0)?);
+    }
+
+    let eta_c = bat.charge_efficiency;
+    let eta_d = bat.discharge_efficiency;
+    for i in 0..t {
+        // Balance (Eq. 4): g + grt + r + bdc − brc = dds + sdt + w.
+        p.add_constraint(
+            &[
+                (g_slot, 1.0),
+                (grt[i], 1.0),
+                (bdc[i], 1.0),
+                (brc[i], -1.0),
+                (sdt[i], -1.0),
+                (waste[i], -1.0),
+            ],
+            Relation::Eq,
+            inp.d_ds[i] - inp.renewable[i],
+        )?;
+        // Interconnect (Eq. 5).
+        p.add_constraint(&[(g_slot, 1.0), (grt[i], 1.0)], Relation::Le, inp.slot_cap)?;
+        // Battery recursion (Eq. 3).
+        if i == 0 {
+            p.add_constraint(
+                &[(level[0], 1.0), (brc[0], -eta_c), (bdc[0], eta_d)],
+                Relation::Eq,
+                inp.b0,
+            )?;
+        } else {
+            p.add_constraint(
+                &[
+                    (level[i], 1.0),
+                    (level[i - 1], -1.0),
+                    (brc[i], -eta_c),
+                    (bdc[i], eta_d),
+                ],
+                Relation::Eq,
+                0.0,
+            )?;
+        }
+        // Queue recursion (Eq. 2) with pre-arrival service limit.
+        if i == 0 {
+            p.add_constraint(
+                &[(backlog[0], 1.0), (sdt[0], 1.0)],
+                Relation::Eq,
+                inp.q0 + inp.d_dt[0],
+            )?;
+            p.add_constraint(&[(sdt[0], 1.0)], Relation::Le, inp.q0)?;
+        } else {
+            p.add_constraint(
+                &[(backlog[i], 1.0), (backlog[i - 1], -1.0), (sdt[i], 1.0)],
+                Relation::Eq,
+                inp.d_dt[i],
+            )?;
+            p.add_constraint(&[(sdt[i], 1.0), (backlog[i - 1], -1.0)], Relation::Le, 0.0)?;
+        }
+    }
+
+    // Deadline on cumulative service.
+    if let Some(lambda) = inp.deadline {
+        let lambda = lambda.max(1);
+        for j in 0..t {
+            let mut rhs = 0.0;
+            if j + 1 >= lambda {
+                rhs += inp.q0;
+            }
+            if j >= lambda {
+                for ddt in inp.d_dt.iter().take(j - lambda + 1) {
+                    rhs += ddt;
+                }
+            }
+            if rhs > 0.0 {
+                let terms: Vec<(Variable, f64)> = (0..=j).map(|i| (sdt[i], 1.0)).collect();
+                p.add_constraint(&terms, Relation::Ge, rhs)?;
+            }
+        }
+    }
+
+    let sol = p.solve()?;
+    Ok(FramePlan {
+        g_slot: sol.value(g_slot),
+        grt: grt.iter().map(|&v| sol.value(v)).collect(),
+        sdt: sdt.iter().map(|&v| sol.value(v)).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs<'a>(
+        params: &'a SimParams,
+        p_rt: &'a [f64],
+        d_ds: &'a [f64],
+        d_dt: &'a [f64],
+        renewable: &'a [f64],
+    ) -> FrameLpInputs<'a> {
+        FrameLpInputs {
+            params,
+            t: d_ds.len(),
+            slot_cap: 2.0,
+            p_lt: 35.0,
+            p_rt,
+            d_ds,
+            d_dt,
+            renewable,
+            b0: 0.25,
+            q0: 0.5,
+            deadline: Some(4),
+            allow_rt: true,
+        }
+    }
+
+    #[test]
+    fn serves_demand_within_deadline() {
+        let params = SimParams::icdcs13();
+        let p_rt = [45.0; 4];
+        let d_ds = [0.8, 1.0, 0.9, 0.7];
+        let d_dt = [0.3, 0.2, 0.4, 0.1];
+        let r = [0.0, 0.5, 1.0, 0.2];
+        let plan = solve(&inputs(&params, &p_rt, &d_ds, &d_dt, &r)).unwrap();
+        // Deadline 4 with q0 > 0 forces all initial backlog served.
+        let total_served: f64 = plan.sdt.iter().sum();
+        assert!(total_served >= 0.5 - 1e-7, "served {total_served}");
+        assert!(plan.g_slot >= 0.0 && plan.g_slot <= 2.0);
+        for (g, s) in plan.grt.iter().zip(&plan.sdt) {
+            assert!(*g >= 0.0 && *s >= -1e-9);
+            assert!(plan.g_slot + g <= 2.0 + 1e-7, "interconnect");
+        }
+    }
+
+    #[test]
+    fn cheap_rt_slots_attract_purchases() {
+        let params = SimParams::icdcs13();
+        // Slot 2 is nearly free: the plan should buy there.
+        let p_rt = [60.0, 60.0, 1.0, 60.0];
+        let d_ds = [1.0; 4];
+        let d_dt = [0.4; 4];
+        let r = [0.0; 4];
+        let plan = solve(&inputs(&params, &p_rt, &d_ds, &d_dt, &r)).unwrap();
+        let max_rt = plan
+            .grt
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            (plan.grt[2] - max_rt).abs() < 1e-9,
+            "cheapest slot buys the most: {:?}",
+            plan.grt
+        );
+    }
+
+    #[test]
+    fn no_rt_mode_disables_purchases() {
+        let params = SimParams::icdcs13();
+        let p_rt = [45.0; 3];
+        let d_ds = [0.5; 3];
+        let d_dt = [0.1; 3];
+        let r = [0.1; 3];
+        let mut inp = inputs(&params, &p_rt, &d_ds, &d_dt, &r);
+        inp.allow_rt = false;
+        inp.deadline = Some(3);
+        let plan = solve(&inp).unwrap();
+        assert!(plan.grt.iter().all(|&g| g.abs() < 1e-9));
+        // Long-term covers everything instead.
+        assert!(plan.g_slot > 0.4);
+    }
+
+    #[test]
+    fn infeasible_deadline_is_reported() {
+        let params = SimParams::icdcs13_with_battery(0.0);
+        // Demand beyond the interconnect with an immediate deadline.
+        let p_rt = [45.0; 2];
+        let d_ds = [2.0; 2];
+        let d_dt = [0.8; 2];
+        let r = [0.0; 2];
+        let mut inp = inputs(&params, &p_rt, &d_ds, &d_dt, &r);
+        inp.q0 = 5.0;
+        inp.deadline = Some(1);
+        assert!(solve(&inp).is_err());
+    }
+}

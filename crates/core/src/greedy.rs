@@ -1,0 +1,177 @@
+use dpss_sim::{
+    Controller, FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView,
+};
+use dpss_units::Price;
+
+use crate::CoreError;
+
+/// A price-threshold battery-arbitrage baseline (extension, not in the
+/// paper): serve everything immediately like
+/// [`Impatient`](crate::Impatient), but run the battery on a simple rule —
+/// charge from the grid when the real-time price is below `charge_below`,
+/// let deficits discharge it when the price is above `discharge_above`.
+///
+/// This is the "obvious" storage heuristic practitioners reach for first;
+/// comparing it against SmartDPSS isolates how much of the gain comes from
+/// the Lyapunov coupling of queues, markets and storage rather than from
+/// storage alone.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_core::GreedyBattery;
+/// use dpss_sim::{Engine, SimParams};
+/// use dpss_units::Price;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::new(SimParams::icdcs13(),
+///                          dpss_traces::paper_month_traces(1)?)?;
+/// let mut ctl = GreedyBattery::new(
+///     Price::from_dollars_per_mwh(30.0),
+///     Price::from_dollars_per_mwh(55.0),
+/// )?;
+/// let report = engine.run(&mut ctl)?;
+/// assert_eq!(report.unserved_ds.mwh(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GreedyBattery {
+    charge_below: Price,
+    discharge_above: Price,
+}
+
+impl GreedyBattery {
+    /// Creates the baseline with the two price thresholds.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] unless
+    /// `0 ≤ charge_below ≤ discharge_above` and both are finite.
+    pub fn new(charge_below: Price, discharge_above: Price) -> Result<Self, CoreError> {
+        if !(charge_below.is_finite() && charge_below.dollars_per_mwh() >= 0.0) {
+            return Err(CoreError::InvalidConfig {
+                what: "charge_below",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !discharge_above.is_finite() || discharge_above < charge_below {
+            return Err(CoreError::InvalidConfig {
+                what: "discharge_above",
+                requirement: "must be finite and at least charge_below",
+            });
+        }
+        Ok(GreedyBattery {
+            charge_below,
+            discharge_above,
+        })
+    }
+
+    /// Thresholds centred on a price model's base level: charge below
+    /// `base·0.85`, discharge above `base·1.35`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GreedyBattery::new`] validation.
+    pub fn around(base: Price) -> Result<Self, CoreError> {
+        GreedyBattery::new(base * 0.85, base * 1.35)
+    }
+}
+
+impl Controller for GreedyBattery {
+    fn name(&self) -> &str {
+        "greedy-battery"
+    }
+
+    fn plan_frame(&mut self, obs: &FrameObservation, _view: &SystemView) -> FrameDecision {
+        // Same naive hedge as Impatient: cover the observed net demand.
+        let per_slot = (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
+        FrameDecision {
+            purchase_lt: per_slot * obs.slots_in_frame as f64,
+        }
+    }
+
+    fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+        // Serve everything now.
+        let need = obs.demand_ds + view.queue_backlog;
+        let mut purchase = (need - view.lt_allocation - obs.renewable).positive_part();
+        if obs.price_rt <= self.charge_below {
+            // Cheap power: buy extra to fill the battery too.
+            purchase += view.battery_headroom;
+        } else if obs.price_rt >= self.discharge_above {
+            // Expensive power: let the battery cover what it can instead.
+            purchase = (purchase - view.battery_available).positive_part();
+        }
+        SlotDecision {
+            purchase_rt: purchase.min(view.rt_purchase_cap),
+            serve_fraction: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpss_sim::{Engine, SimParams};
+    use dpss_units::{Energy, SlotClock};
+
+    fn engine(seed: u64) -> Engine {
+        let clock = SlotClock::new(6, 24, 1.0).unwrap();
+        let traces = dpss_traces::Scenario::icdcs13().generate(&clock, seed).unwrap();
+        Engine::new(SimParams::icdcs13(), traces).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GreedyBattery::new(
+            Price::from_dollars_per_mwh(-1.0),
+            Price::from_dollars_per_mwh(50.0)
+        )
+        .is_err());
+        assert!(GreedyBattery::new(
+            Price::from_dollars_per_mwh(60.0),
+            Price::from_dollars_per_mwh(50.0)
+        )
+        .is_err());
+        assert!(GreedyBattery::around(Price::from_dollars_per_mwh(35.0)).is_ok());
+    }
+
+    #[test]
+    fn serves_everything_and_cycles_the_battery() {
+        let e = engine(3);
+        let mut ctl = GreedyBattery::around(Price::from_dollars_per_mwh(35.0)).unwrap();
+        let r = e.run(&mut ctl).unwrap();
+        assert_eq!(r.unserved_ds, Energy::ZERO);
+        assert!(r.average_delay_slots <= 1.0 + 1e-9);
+        assert!(r.battery_ops > 0, "the battery rule must fire");
+    }
+
+    #[test]
+    fn smart_dpss_beats_the_greedy_heuristic() {
+        // The point of the baseline: storage arbitrage alone is not where
+        // the savings come from.
+        let e = engine(4);
+        let params = SimParams::icdcs13();
+        let mut greedy = GreedyBattery::around(Price::from_dollars_per_mwh(35.0)).unwrap();
+        let r_greedy = e.run(&mut greedy).unwrap();
+        let mut smart = crate::SmartDpss::new(
+            crate::SmartDpssConfig::icdcs13(),
+            params,
+            SlotClock::new(6, 24, 1.0).unwrap(),
+        )
+        .unwrap();
+        let r_smart = e.run(&mut smart).unwrap();
+        assert!(
+            r_smart.total_cost() < r_greedy.total_cost(),
+            "smart {} vs greedy {}",
+            r_smart.total_cost(),
+            r_greedy.total_cost()
+        );
+    }
+
+    #[test]
+    fn name_is_stable() {
+        let ctl = GreedyBattery::around(Price::from_dollars_per_mwh(30.0)).unwrap();
+        assert_eq!(ctl.name(), "greedy-battery");
+    }
+}

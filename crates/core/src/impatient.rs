@@ -1,0 +1,147 @@
+use dpss_sim::{
+    Controller, FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView,
+};
+use dpss_units::Energy;
+
+use crate::MarketMode;
+
+/// The paper's §VI-A baseline: "always schedules workloads immediately
+/// regardless of the changes of electricity prices and renewable
+/// production".
+///
+/// Impatient gets the same market access as SmartDPSS but never defers:
+/// every slot it buys whatever is needed to serve the delay-sensitive
+/// demand *and* the entire backlog right now (`γ = 1`), ignoring prices.
+/// In the two-markets mode it also covers its projected baseline from the
+/// long-term market (a naive operator's hedge); in real-time-only mode it
+/// buys everything on the spot market.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_core::Impatient;
+/// use dpss_sim::{Engine, SimParams};
+/// use dpss_traces::paper_month_traces;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = Engine::new(SimParams::icdcs13(), paper_month_traces(1)?)?;
+/// let report = engine.run(&mut Impatient::two_markets())?;
+/// // The backlog never outlives the next slot.
+/// assert!(report.average_delay_slots <= 1.0 + 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Impatient {
+    market: MarketMode,
+}
+
+impl Impatient {
+    /// Impatient with access to both grid markets.
+    #[must_use]
+    pub fn two_markets() -> Self {
+        Impatient {
+            market: MarketMode::TwoMarkets,
+        }
+    }
+
+    /// Impatient restricted to the real-time market.
+    #[must_use]
+    pub fn real_time_only() -> Self {
+        Impatient {
+            market: MarketMode::RealTimeOnly,
+        }
+    }
+
+    /// The market mode in force.
+    #[must_use]
+    pub fn market(&self) -> MarketMode {
+        self.market
+    }
+}
+
+impl Default for Impatient {
+    fn default() -> Self {
+        Impatient::two_markets()
+    }
+}
+
+impl Controller for Impatient {
+    fn name(&self) -> &str {
+        "impatient"
+    }
+
+    fn plan_frame(&mut self, obs: &FrameObservation, _view: &SystemView) -> FrameDecision {
+        match self.market {
+            MarketMode::RealTimeOnly => FrameDecision {
+                purchase_lt: Energy::ZERO,
+            },
+            MarketMode::TwoMarkets => {
+                // Naive hedge: cover the observed per-slot net demand for
+                // the whole frame.
+                let per_slot =
+                    (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
+                FrameDecision {
+                    purchase_lt: per_slot * obs.slots_in_frame as f64,
+                }
+            }
+        }
+    }
+
+    fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+        // Serve everything now: delay-sensitive demand plus the entire
+        // backlog, topping up whatever the allocation and renewables miss.
+        let need = obs.demand_ds + view.queue_backlog;
+        let shortfall = (need - view.lt_allocation - obs.renewable).positive_part();
+        SlotDecision {
+            purchase_rt: shortfall.min(view.rt_purchase_cap),
+            serve_fraction: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpss_sim::{Engine, SimParams};
+    use dpss_traces::Scenario;
+    use dpss_units::SlotClock;
+
+    fn run(mut ctl: Impatient, seed: u64) -> dpss_sim::RunReport {
+        let clock = SlotClock::new(4, 24, 1.0).unwrap();
+        let traces = Scenario::icdcs13().generate(&clock, seed).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        engine.run(&mut ctl).unwrap()
+    }
+
+    #[test]
+    fn serves_everything_immediately() {
+        let r = run(Impatient::two_markets(), 1);
+        assert_eq!(r.unserved_ds, Energy::ZERO);
+        // Delay is exactly one slot (queue semantics serve pre-arrival
+        // backlog), never more.
+        assert!(r.average_delay_slots <= 1.0 + 1e-9);
+        assert!(r.max_delay_slots <= 2, "max delay {}", r.max_delay_slots);
+        assert!(r.final_backlog.mwh() < 1.0);
+    }
+
+    #[test]
+    fn real_time_only_never_buys_ahead() {
+        let r = run(Impatient::real_time_only(), 2);
+        assert_eq!(r.energy_lt, Energy::ZERO);
+        assert!(r.energy_rt.mwh() > 0.0);
+        assert_eq!(Impatient::real_time_only().market(), MarketMode::RealTimeOnly);
+    }
+
+    #[test]
+    fn two_markets_buys_ahead() {
+        let r = run(Impatient::two_markets(), 3);
+        assert!(r.energy_lt.mwh() > 0.0);
+        assert_eq!(Impatient::default().market(), MarketMode::TwoMarkets);
+    }
+
+    #[test]
+    fn name_is_stable() {
+        assert_eq!(Impatient::two_markets().name(), "impatient");
+    }
+}

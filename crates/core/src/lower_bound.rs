@@ -1,0 +1,112 @@
+use dpss_sim::SimParams;
+use dpss_traces::TraceSet;
+use dpss_units::{Energy, Money, Price};
+
+/// A relaxation-based lower bound on the total operating cost of *any*
+/// feasible policy (online or offline) over the horizon.
+///
+/// Relaxations: the battery is treated as a lossless, infinitely large,
+/// wear-free store; the interconnect and deadline constraints are dropped;
+/// renewable energy is freely shiftable. Under those relaxations every
+/// megawatt-hour of net demand (total demand minus total renewables) can
+/// be bought at the single cheapest price observed anywhere in the
+/// horizon, and no other cost can be avoided below zero — hence
+///
+/// ```text
+/// bound = (Σd − Σr)⁺ · min(all p_lt, all p_rt)
+/// ```
+///
+/// It is intentionally loose; its role is a sanity floor in the benchmark
+/// ordering `bound ≤ offline ≤ online`.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_core::cheapest_window_bound;
+/// use dpss_sim::SimParams;
+/// use dpss_traces::paper_month_traces;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let truth = paper_month_traces(42)?;
+/// let bound = cheapest_window_bound(&truth, &SimParams::icdcs13());
+/// assert!(bound.dollars() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn cheapest_window_bound(truth: &TraceSet, _params: &SimParams) -> Money {
+    let net_demand = (truth.total_demand() - truth.total_renewable()).positive_part();
+    if net_demand <= Energy::ZERO {
+        return Money::ZERO;
+    }
+    let min_price = truth
+        .price_lt
+        .iter()
+        .chain(truth.price_rt.iter())
+        .copied()
+        .fold(Price::from_dollars_per_mwh(f64::INFINITY), Price::min);
+    if !min_price.is_finite() {
+        return Money::ZERO;
+    }
+    net_demand * min_price
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpss_traces::Scenario;
+    use dpss_units::SlotClock;
+
+    #[test]
+    fn bound_is_positive_for_paper_traces() {
+        let t = dpss_traces::paper_month_traces(1).unwrap();
+        let b = cheapest_window_bound(&t, &SimParams::icdcs13());
+        assert!(b.dollars() > 0.0);
+    }
+
+    #[test]
+    fn bound_zero_when_renewables_cover_everything() {
+        let clock = SlotClock::new(1, 2, 1.0).unwrap();
+        let t = TraceSet::new(
+            clock,
+            vec![Energy::from_mwh(0.1); 2],
+            vec![Energy::ZERO; 2],
+            vec![Energy::from_mwh(5.0); 2],
+            vec![Price::from_dollars_per_mwh(30.0)],
+            vec![Price::from_dollars_per_mwh(50.0); 2],
+        )
+        .unwrap();
+        assert_eq!(cheapest_window_bound(&t, &SimParams::icdcs13()), Money::ZERO);
+    }
+
+    #[test]
+    fn bound_uses_the_global_minimum_price() {
+        let clock = SlotClock::new(2, 1, 1.0).unwrap();
+        let t = TraceSet::new(
+            clock,
+            vec![Energy::from_mwh(1.0); 2],
+            vec![Energy::ZERO; 2],
+            vec![Energy::ZERO; 2],
+            vec![
+                Price::from_dollars_per_mwh(40.0),
+                Price::from_dollars_per_mwh(10.0),
+            ],
+            vec![Price::from_dollars_per_mwh(60.0); 2],
+        )
+        .unwrap();
+        // 2 MWh at the $10 minimum.
+        let b = cheapest_window_bound(&t, &SimParams::icdcs13());
+        assert!((b.dollars() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bound_below_any_real_controller() {
+        let clock = SlotClock::new(3, 24, 1.0).unwrap();
+        let truth = Scenario::icdcs13().generate(&clock, 9).unwrap();
+        let params = SimParams::icdcs13();
+        let bound = cheapest_window_bound(&truth, &params);
+        let engine = dpss_sim::Engine::new(params, truth).unwrap();
+        let r = engine.run(&mut crate::Impatient::two_markets()).unwrap();
+        assert!(bound <= r.total_cost());
+    }
+}

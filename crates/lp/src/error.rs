@@ -1,0 +1,79 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by model construction or the simplex solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LpError {
+    /// The constraint system admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The solver exceeded its pivot budget (numerical trouble; the budget
+    /// is generous, so this indicates a pathological model).
+    IterationLimit {
+        /// Number of pivots performed before giving up.
+        pivots: usize,
+    },
+    /// A coefficient, bound or right-hand side was NaN or infinite where a
+    /// finite value is required.
+    NotFinite {
+        /// Description of the offending quantity.
+        what: &'static str,
+    },
+    /// A variable's lower bound exceeds its upper bound.
+    EmptyBounds {
+        /// Index of the offending variable.
+        var: usize,
+    },
+    /// A [`Variable`](crate::Variable) handle from a different or newer
+    /// model was used.
+    UnknownVariable {
+        /// The out-of-range index carried by the handle.
+        var: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "problem is infeasible"),
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit { pivots } => {
+                write!(f, "simplex exceeded {pivots} pivots without converging")
+            }
+            LpError::NotFinite { what } => write!(f, "{what} must be finite"),
+            LpError::EmptyBounds { var } => {
+                write!(f, "variable {var} has lower bound above upper bound")
+            }
+            LpError::UnknownVariable { var } => {
+                write!(f, "variable handle {var} does not belong to this problem")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_meaningful() {
+        assert_eq!(LpError::Infeasible.to_string(), "problem is infeasible");
+        assert_eq!(LpError::Unbounded.to_string(), "objective is unbounded");
+        assert!(LpError::IterationLimit { pivots: 7 }
+            .to_string()
+            .contains('7'));
+        assert!(LpError::EmptyBounds { var: 3 }.to_string().contains('3'));
+        assert!(LpError::UnknownVariable { var: 9 }.to_string().contains('9'));
+        assert!(LpError::NotFinite { what: "rhs" }.to_string().contains("rhs"));
+    }
+
+    #[test]
+    fn error_is_send_sync_static() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<LpError>();
+    }
+}

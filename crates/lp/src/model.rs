@@ -1,0 +1,410 @@
+use crate::{LpError, Solution};
+
+/// Optimization direction of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sense {
+    /// Minimize the objective (the DPSS cost problems are minimizations).
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Relation of a linear constraint's left-hand side to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// `lhs ≤ rhs`
+    Le,
+    /// `lhs ≥ rhs`
+    Ge,
+    /// `lhs = rhs`
+    Eq,
+}
+
+/// Opaque handle to a decision variable of a [`Problem`].
+///
+/// Handles are only valid for the problem that created them; using a handle
+/// with another problem yields [`LpError::UnknownVariable`] (or refers to an
+/// unrelated variable if the index happens to exist — handles are plain
+/// indices, so keep problems separate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Variable(pub(crate) usize);
+
+impl Variable {
+    /// Index of this variable within its problem, in insertion order.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Opaque handle to a constraint row of a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConstraintId(pub(crate) usize);
+
+impl ConstraintId {
+    /// Index of this constraint within its problem, in insertion order.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarData {
+    pub(crate) name: String,
+    pub(crate) lo: f64,
+    pub(crate) up: f64,
+    pub(crate) obj: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct ConstraintData {
+    /// `(variable index, coefficient)`, deduplicated by summation.
+    pub(crate) terms: Vec<(usize, f64)>,
+    pub(crate) relation: Relation,
+    pub(crate) rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Build a problem by adding box-bounded variables with objective
+/// coefficients ([`Problem::add_var`]) and linear constraints
+/// ([`Problem::add_constraint`]), then call [`Problem::solve`].
+///
+/// # Examples
+///
+/// The paper's `P4` (long-term-ahead purchasing) is a one-variable LP:
+/// minimize `g·w` for a signed weight `w` subject to a demand cover and the
+/// grid cap:
+///
+/// ```
+/// use dpss_lp::{Problem, Relation, Sense};
+///
+/// # fn main() -> Result<(), dpss_lp::LpError> {
+/// let (w, need, cap) = (-3.0, 1.2, 2.0);
+/// let mut p = Problem::new(Sense::Minimize);
+/// let g = p.add_var("g_bef", 0.0, cap, w)?;
+/// p.add_constraint(&[(g, 1.0)], Relation::Ge, need)?;
+/// let sol = p.solve()?;
+/// // Negative weight → buy as much as the cap allows.
+/// assert!((sol.value(g) - cap).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<ConstraintData>,
+    max_pivots: Option<usize>,
+}
+
+impl Problem {
+    /// Creates an empty problem with the given optimization sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Problem {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            max_pivots: None,
+        }
+    }
+
+    /// Convenience constructor for a minimization problem.
+    #[must_use]
+    pub fn minimize() -> Self {
+        Problem::new(Sense::Minimize)
+    }
+
+    /// Convenience constructor for a maximization problem.
+    #[must_use]
+    pub fn maximize() -> Self {
+        Problem::new(Sense::Maximize)
+    }
+
+    /// Adds a decision variable with bounds `[lo, up]` and objective
+    /// coefficient `obj`, returning its handle.
+    ///
+    /// Bounds may be infinite (`f64::NEG_INFINITY` / `f64::INFINITY`) to
+    /// express one-sided or free variables.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::NotFinite`] if `obj` is not finite or a bound is NaN;
+    /// * [`LpError::EmptyBounds`] if `lo > up`.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lo: f64,
+        up: f64,
+        obj: f64,
+    ) -> Result<Variable, LpError> {
+        if !obj.is_finite() {
+            return Err(LpError::NotFinite {
+                what: "objective coefficient",
+            });
+        }
+        if lo.is_nan() || up.is_nan() {
+            return Err(LpError::NotFinite { what: "bound" });
+        }
+        if lo > up {
+            return Err(LpError::EmptyBounds { var: self.vars.len() });
+        }
+        let idx = self.vars.len();
+        self.vars.push(VarData {
+            name: name.into(),
+            lo,
+            up,
+            obj,
+        });
+        Ok(Variable(idx))
+    }
+
+    /// Adds the linear constraint `Σ coeff·var REL rhs`.
+    ///
+    /// Repeated variables in `terms` are summed. Terms with zero coefficient
+    /// are kept (harmless) so callers can build rows mechanically.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::UnknownVariable`] if a handle does not belong here;
+    /// * [`LpError::NotFinite`] if a coefficient or `rhs` is not finite.
+    pub fn add_constraint(
+        &mut self,
+        terms: &[(Variable, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<ConstraintId, LpError> {
+        if !rhs.is_finite() {
+            return Err(LpError::NotFinite { what: "rhs" });
+        }
+        let mut dense: Vec<(usize, f64)> = Vec::with_capacity(terms.len());
+        for &(v, c) in terms {
+            if v.0 >= self.vars.len() {
+                return Err(LpError::UnknownVariable { var: v.0 });
+            }
+            if !c.is_finite() {
+                return Err(LpError::NotFinite {
+                    what: "constraint coefficient",
+                });
+            }
+            match dense.iter_mut().find(|(j, _)| *j == v.0) {
+                Some((_, acc)) => *acc += c,
+                None => dense.push((v.0, c)),
+            }
+        }
+        let idx = self.constraints.len();
+        self.constraints.push(ConstraintData {
+            terms: dense,
+            relation,
+            rhs,
+        });
+        Ok(ConstraintId(idx))
+    }
+
+    /// Overrides the objective coefficient of an existing variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] or [`LpError::NotFinite`].
+    pub fn set_objective(&mut self, var: Variable, obj: f64) -> Result<(), LpError> {
+        if var.0 >= self.vars.len() {
+            return Err(LpError::UnknownVariable { var: var.0 });
+        }
+        if !obj.is_finite() {
+            return Err(LpError::NotFinite {
+                what: "objective coefficient",
+            });
+        }
+        self.vars[var.0].obj = obj;
+        Ok(())
+    }
+
+    /// Caps the number of simplex pivots (both phases combined). The default
+    /// budget is `200·(rows + columns) + 2000`, far above what well-posed
+    /// DPSS problems need.
+    pub fn set_max_pivots(&mut self, max_pivots: usize) {
+        self.max_pivots = Some(max_pivots);
+    }
+
+    /// Number of variables added so far.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    ///
+    /// Returns `None` for foreign handles.
+    #[must_use]
+    pub fn var_name(&self, var: Variable) -> Option<&str> {
+        self.vars.get(var.0).map(|v| v.name.as_str())
+    }
+
+    /// Optimization sense of this problem.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    pub(crate) fn pivot_budget(&self, rows: usize, cols: usize) -> usize {
+        self.max_pivots.unwrap_or(200 * (rows + cols) + 2_000)
+    }
+
+    /// Solves the problem with the two-phase simplex method.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] if no point satisfies all constraints and
+    ///   bounds;
+    /// * [`LpError::Unbounded`] if the objective can be improved without
+    ///   limit;
+    /// * [`LpError::IterationLimit`] if the pivot budget is exhausted.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        crate::standard::solve(self)
+    }
+
+    /// Evaluates the objective at an arbitrary assignment (useful in tests
+    /// and for verifying candidate points).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_vars()`.
+    #[must_use]
+    pub fn objective_at(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.vars.len(), "assignment length mismatch");
+        self.vars
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.obj * x)
+            .sum()
+    }
+
+    /// Checks whether an assignment satisfies all bounds and constraints
+    /// within tolerance `tol` (useful in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_vars()`.
+    #[must_use]
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        assert_eq!(values.len(), self.vars.len(), "assignment length mismatch");
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lo - tol || x > v.up + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(j, a)| a * values[j]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_var_validates_input() {
+        let mut p = Problem::minimize();
+        assert!(matches!(
+            p.add_var("x", 0.0, 1.0, f64::NAN),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.add_var("x", f64::NAN, 1.0, 0.0),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.add_var("x", 2.0, 1.0, 0.0),
+            Err(LpError::EmptyBounds { var: 0 })
+        ));
+        assert!(p.add_var("x", 0.0, f64::INFINITY, 1.0).is_ok());
+        assert_eq!(p.num_vars(), 1);
+    }
+
+    #[test]
+    fn add_constraint_validates_input() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        assert!(matches!(
+            p.add_constraint(&[(Variable(7), 1.0)], Relation::Le, 1.0),
+            Err(LpError::UnknownVariable { var: 7 })
+        ));
+        assert!(matches!(
+            p.add_constraint(&[(x, f64::INFINITY)], Relation::Le, 1.0),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.add_constraint(&[(x, 1.0)], Relation::Le, f64::NAN),
+            Err(LpError::NotFinite { .. })
+        ));
+        let id = p.add_constraint(&[(x, 1.0)], Relation::Le, 1.0).unwrap();
+        assert_eq!(id.index(), 0);
+        assert_eq!(p.num_constraints(), 1);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (x, 2.0)], Relation::Ge, 6.0)
+            .unwrap();
+        // 3x >= 6 → x >= 2.
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_objective_replaces_coefficient() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, 2.0, 1.0).unwrap();
+        p.set_objective(x, -1.0).unwrap();
+        let sol = p.solve().unwrap();
+        // Minimizing −x drives x to its upper bound.
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+        assert!(p.set_objective(Variable(9), 1.0).is_err());
+        assert!(p.set_objective(x, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn introspection_helpers() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("mwh", 0.0, 1.0, 2.0).unwrap();
+        assert_eq!(p.var_name(x), Some("mwh"));
+        assert_eq!(p.var_name(Variable(4)), None);
+        assert_eq!(p.sense(), Sense::Maximize);
+        assert_eq!(p.objective_at(&[3.0]), 6.0);
+        assert!(p.is_feasible(&[0.5], 1e-9));
+        assert!(!p.is_feasible(&[1.5], 1e-9));
+    }
+
+    #[test]
+    fn feasibility_checks_all_relations() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, -2.0).unwrap();
+        p.add_constraint(&[(x, 2.0)], Relation::Eq, 2.0).unwrap();
+        assert!(p.is_feasible(&[1.0], 1e-9));
+        assert!(!p.is_feasible(&[0.0], 1e-9)); // violates Eq
+        assert!(!p.is_feasible(&[3.0], 1e-9)); // violates Le and Eq
+    }
+}

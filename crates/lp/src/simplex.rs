@@ -1,0 +1,346 @@
+//! Dense two-phase simplex on an explicit tableau.
+//!
+//! The tableau stores `B⁻¹A` row-major together with `B⁻¹b`; reduced costs
+//! are maintained incrementally through pivots. Pricing is Dantzig's rule
+//! (most negative reduced cost) with an automatic switch to Bland's rule
+//! after a streak of degenerate pivots, which guarantees termination.
+
+use crate::{LpError, TOLERANCE};
+
+/// How many consecutive degenerate pivots trigger the Bland's-rule fallback.
+const DEGENERATE_STREAK_LIMIT: usize = 24;
+
+/// Dense tableau: `rows × cols` coefficient matrix, right-hand side, and the
+/// index of the basic column for each row.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    /// Row-major `rows × cols`.
+    pub(crate) a: Vec<f64>,
+    /// `B⁻¹b`, kept non-negative by the ratio test.
+    pub(crate) b: Vec<f64>,
+    /// Basic column per row.
+    pub(crate) basis: Vec<usize>,
+}
+
+impl Tableau {
+    pub(crate) fn new(rows: usize, cols: usize) -> Self {
+        Tableau {
+            rows,
+            cols,
+            a: vec![0.0; rows * cols],
+            b: vec![0.0; rows],
+            basis: vec![usize::MAX; rows],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, r: usize, c: usize) -> f64 {
+        self.a[r * self.cols + c]
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.a[r * self.cols + c] = v;
+    }
+
+    /// Gauss-Jordan pivot on `(prow, pcol)`: normalizes the pivot row and
+    /// eliminates `pcol` from every other row and from `cost`.
+    fn pivot(&mut self, prow: usize, pcol: usize, cost: &mut CostRow) {
+        let cols = self.cols;
+        let pivot_val = self.at(prow, pcol);
+        debug_assert!(pivot_val.abs() > TOLERANCE, "pivot element too small");
+
+        let inv = 1.0 / pivot_val;
+        for j in 0..cols {
+            self.a[prow * cols + j] *= inv;
+        }
+        self.b[prow] *= inv;
+        // Clean the pivot column entry to exactly 1 to limit drift.
+        self.set(prow, pcol, 1.0);
+
+        for r in 0..self.rows {
+            if r == prow {
+                continue;
+            }
+            let factor = self.at(r, pcol);
+            if factor == 0.0 {
+                continue;
+            }
+            for j in 0..cols {
+                let upd = self.a[prow * cols + j] * factor;
+                self.a[r * cols + j] -= upd;
+            }
+            self.b[r] -= self.b[prow] * factor;
+            self.set(r, pcol, 0.0);
+            if self.b[r].abs() < TOLERANCE {
+                self.b[r] = self.b[r].max(0.0);
+            }
+        }
+
+        let factor = cost.reduced[pcol];
+        if factor != 0.0 {
+            for j in 0..cols {
+                cost.reduced[j] -= self.a[prow * cols + j] * factor;
+            }
+            // Entering variable rises to θ = b̄[prow]; objective moves by
+            // its reduced cost times θ.
+            cost.objective += self.b[prow] * factor;
+            cost.reduced[pcol] = 0.0;
+        }
+
+        self.basis[prow] = pcol;
+    }
+
+    /// Extracts the current basic solution as a dense vector over all
+    /// columns.
+    pub(crate) fn solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.cols];
+        for (r, &bc) in self.basis.iter().enumerate() {
+            x[bc] = self.b[r];
+        }
+        x
+    }
+}
+
+/// Reduced-cost row plus the (negated-offset) objective value at the current
+/// basic solution.
+#[derive(Debug, Clone)]
+pub(crate) struct CostRow {
+    pub(crate) reduced: Vec<f64>,
+    pub(crate) objective: f64,
+}
+
+impl CostRow {
+    /// Builds the reduced costs `c_j − c_Bᵀ (B⁻¹A)_j` for an already
+    /// basis-reduced tableau.
+    pub(crate) fn from_costs(tab: &Tableau, costs: &[f64]) -> Self {
+        debug_assert_eq!(costs.len(), tab.cols);
+        let mut reduced = costs.to_vec();
+        let mut objective = 0.0;
+        for (r, &bc) in tab.basis.iter().enumerate() {
+            let cb = costs[bc];
+            if cb == 0.0 {
+                continue;
+            }
+            for (j, red) in reduced.iter_mut().enumerate() {
+                *red -= cb * tab.at(r, j);
+            }
+            objective += cb * tab.b[r];
+        }
+        // Basic columns have exactly zero reduced cost by construction.
+        for &bc in &tab.basis {
+            reduced[bc] = 0.0;
+        }
+        CostRow { reduced, objective }
+    }
+}
+
+/// Outcome of a single simplex phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs primal simplex pivots until optimality, unboundedness or pivot
+/// exhaustion. `allowed` masks which columns may *enter* the basis (used to
+/// keep artificials out during phase 2). Returns the number of pivots spent.
+pub(crate) fn run_phase(
+    tab: &mut Tableau,
+    cost: &mut CostRow,
+    allowed: &[bool],
+    budget: &mut usize,
+) -> Result<PhaseOutcome, LpError> {
+    let mut degenerate_streak = 0usize;
+    let mut pivots_done = 0usize;
+    loop {
+        let use_bland = degenerate_streak >= DEGENERATE_STREAK_LIMIT;
+        let Some(pcol) = choose_entering(cost, allowed, use_bland) else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+        let Some(prow) = choose_leaving(tab, pcol) else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+        if *budget == 0 {
+            return Err(LpError::IterationLimit { pivots: pivots_done });
+        }
+        *budget -= 1;
+        pivots_done += 1;
+        let ratio_zero = tab.b[prow] <= TOLERANCE;
+        tab.pivot(prow, pcol, cost);
+        if ratio_zero {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+    }
+}
+
+#[allow(clippy::needless_range_loop)] // index loops keep the dense hot path branch-free
+fn choose_entering(cost: &CostRow, allowed: &[bool], bland: bool) -> Option<usize> {
+    if bland {
+        // Bland's rule: smallest-index column with negative reduced cost.
+        (0..cost.reduced.len())
+            .find(|&j| allowed[j] && cost.reduced[j] < -TOLERANCE)
+    } else {
+        // Dantzig's rule: most negative reduced cost.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..cost.reduced.len() {
+            if !allowed[j] {
+                continue;
+            }
+            let rc = cost.reduced[j];
+            if rc < -TOLERANCE && best.map_or(true, |(_, b)| rc < b) {
+                best = Some((j, rc));
+            }
+        }
+        best.map(|(j, _)| j)
+    }
+}
+
+fn choose_leaving(tab: &Tableau, pcol: usize) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for r in 0..tab.rows {
+        let a = tab.at(r, pcol);
+        if a <= TOLERANCE {
+            continue;
+        }
+        let ratio = tab.b[r] / a;
+        let better = match best {
+            None => true,
+            Some((br, bratio)) => {
+                ratio < bratio - TOLERANCE
+                    || ((ratio - bratio).abs() <= TOLERANCE && tab.basis[r] < tab.basis[br])
+            }
+        };
+        if better {
+            best = Some((r, ratio));
+        }
+    }
+    best.map(|(r, _)| r)
+}
+
+/// Drives basic artificial variables out of the basis after phase 1.
+///
+/// Rows where an artificial remains basic at level ~0 are either pivoted
+/// onto a structural column or marked redundant (returned as `true` in the
+/// mask) when the whole structural part of the row has been eliminated.
+#[allow(clippy::needless_range_loop)] // row/col index loops mirror the tableau layout
+pub(crate) fn expel_artificials(
+    tab: &mut Tableau,
+    cost: &mut CostRow,
+    n_structural: usize,
+) -> Vec<bool> {
+    let mut redundant = vec![false; tab.rows];
+    for r in 0..tab.rows {
+        if tab.basis[r] < n_structural {
+            continue;
+        }
+        // Find any structural column with a usable pivot in this row.
+        let mut pivot_col = None;
+        for j in 0..n_structural {
+            if tab.at(r, j).abs() > 1e-7 {
+                pivot_col = Some(j);
+                break;
+            }
+        }
+        match pivot_col {
+            Some(j) => tab.pivot(r, j, cost),
+            None => redundant[r] = true,
+        }
+    }
+    redundant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a tableau for `x + y ≤ 4`, `x + 3y ≤ 6` with slack columns 2,3
+    /// already basic.
+    fn small_tableau() -> Tableau {
+        let mut t = Tableau::new(2, 4);
+        t.set(0, 0, 1.0);
+        t.set(0, 1, 1.0);
+        t.set(0, 2, 1.0);
+        t.set(1, 0, 1.0);
+        t.set(1, 1, 3.0);
+        t.set(1, 3, 1.0);
+        t.b = vec![4.0, 6.0];
+        t.basis = vec![2, 3];
+        t
+    }
+
+    #[test]
+    fn phase_solves_small_maximization() {
+        // max 3x + 2y ≡ min −3x − 2y.
+        let mut tab = small_tableau();
+        let mut cost = CostRow::from_costs(&tab, &[-3.0, -2.0, 0.0, 0.0]);
+        let allowed = vec![true; 4];
+        let mut budget = 100;
+        let out = run_phase(&mut tab, &mut cost, &allowed, &mut budget).unwrap();
+        assert_eq!(out, PhaseOutcome::Optimal);
+        let x = tab.solution();
+        assert!((x[0] - 4.0).abs() < 1e-9);
+        assert!(x[1].abs() < 1e-9);
+        assert!((cost.objective - (-12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_detects_unbounded() {
+        // min −x with x unconstrained above: single row y slack only on x2.
+        let mut t = Tableau::new(1, 2);
+        t.set(0, 0, -1.0); // row: −x + s = 1 → x can grow without bound
+        t.set(0, 1, 1.0);
+        t.b = vec![1.0];
+        t.basis = vec![1];
+        let mut cost = CostRow::from_costs(&t, &[-1.0, 0.0]);
+        let allowed = vec![true; 2];
+        let mut budget = 50;
+        let out = run_phase(&mut t, &mut cost, &allowed, &mut budget).unwrap();
+        assert_eq!(out, PhaseOutcome::Unbounded);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut tab = small_tableau();
+        let mut cost = CostRow::from_costs(&tab, &[-3.0, -2.0, 0.0, 0.0]);
+        let allowed = vec![true; 4];
+        let mut budget = 0;
+        let err = run_phase(&mut tab, &mut cost, &allowed, &mut budget).unwrap_err();
+        assert!(matches!(err, LpError::IterationLimit { .. }));
+    }
+
+    #[test]
+    fn cost_row_zeroes_basic_columns() {
+        let tab = small_tableau();
+        let cost = CostRow::from_costs(&tab, &[1.0, 1.0, 5.0, -5.0]);
+        assert_eq!(cost.reduced[2], 0.0);
+        assert_eq!(cost.reduced[3], 0.0);
+    }
+
+    #[test]
+    fn expel_artificials_pivots_or_marks_redundant() {
+        // Two rows, one structural column; row 1 duplicates row 0 so one of
+        // them becomes redundant once the structural column is basic.
+        let mut t = Tableau::new(2, 3); // col0 structural, col1..2 artificial
+        t.set(0, 0, 1.0);
+        t.set(0, 1, 1.0);
+        t.set(1, 0, 1.0);
+        t.set(1, 2, 1.0);
+        t.b = vec![2.0, 2.0];
+        t.basis = vec![1, 2];
+        let mut cost = CostRow::from_costs(&t, &[0.0, 1.0, 1.0]);
+        let allowed = vec![true; 3];
+        let mut budget = 50;
+        // Phase 1 drives artificial sum to zero.
+        run_phase(&mut t, &mut cost, &allowed, &mut budget).unwrap();
+        assert!(cost.objective.abs() < 1e-9);
+        let redundant = expel_artificials(&mut t, &mut cost, 1);
+        // Exactly one row ends up redundant, the other has col 0 basic.
+        assert_eq!(redundant.iter().filter(|&&r| r).count(), 1);
+        assert!(t.basis.contains(&0));
+    }
+}

@@ -1,0 +1,455 @@
+//! Conversion of a [`Problem`] to standard form and the two-phase driver.
+//!
+//! Standard form: `min cᵀy` s.t. `Ay = b`, `y ≥ 0`, `b ≥ 0`. Variables with
+//! general box bounds are shifted/negated/split; `≤`/`≥` rows receive slack
+//! or surplus columns; rows that still lack an identity column receive an
+//! artificial variable, and phase 1 minimizes the artificial sum.
+
+use crate::model::{Problem, Relation, Sense};
+use crate::simplex::{expel_artificials, run_phase, CostRow, PhaseOutcome, Tableau};
+use crate::solution::Solution;
+use crate::{LpError, TOLERANCE};
+
+/// How each original variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lo + y`, `y ≥ 0` (finite lower bound).
+    Shifted { col: usize, lo: f64 },
+    /// `x = up − y`, `y ≥ 0` (only the upper bound is finite).
+    Negated { col: usize, up: f64 },
+    /// `x = y⁺ − y⁻` (free variable).
+    Split { pos: usize, neg: usize },
+}
+
+/// A standard-form row under construction: structural terms and rhs.
+#[derive(Debug, Clone)]
+struct Row {
+    terms: Vec<(usize, f64)>,
+    relation: Relation,
+    rhs: f64,
+}
+
+pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
+    // ---- 1. Map variables onto non-negative columns. -------------------
+    let mut maps = Vec::with_capacity(p.vars.len());
+    let mut n_struct = 0usize;
+    for v in &p.vars {
+        let map = if v.lo.is_finite() {
+            let m = VarMap::Shifted {
+                col: n_struct,
+                lo: v.lo,
+            };
+            n_struct += 1;
+            m
+        } else if v.up.is_finite() {
+            let m = VarMap::Negated {
+                col: n_struct,
+                up: v.up,
+            };
+            n_struct += 1;
+            m
+        } else {
+            let m = VarMap::Split {
+                pos: n_struct,
+                neg: n_struct + 1,
+            };
+            n_struct += 2;
+            m
+        };
+        maps.push(map);
+    }
+
+    // ---- 2. Transform constraint rows into structural-column space. ----
+    let mut rows: Vec<Row> = Vec::with_capacity(p.constraints.len() + p.vars.len());
+    for c in &p.constraints {
+        let mut terms: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len() + 1);
+        let mut rhs = c.rhs;
+        for &(j, a) in &c.terms {
+            match maps[j] {
+                VarMap::Shifted { col, lo } => {
+                    rhs -= a * lo;
+                    push_term(&mut terms, col, a);
+                }
+                VarMap::Negated { col, up } => {
+                    rhs -= a * up;
+                    push_term(&mut terms, col, -a);
+                }
+                VarMap::Split { pos, neg } => {
+                    push_term(&mut terms, pos, a);
+                    push_term(&mut terms, neg, -a);
+                }
+            }
+        }
+        rows.push(Row {
+            terms,
+            relation: c.relation,
+            rhs,
+        });
+    }
+    // Upper-bound rows `y ≤ up − lo` for doubly-bounded variables.
+    for (v, map) in p.vars.iter().zip(&maps) {
+        if let VarMap::Shifted { col, lo } = *map {
+            if v.up.is_finite() {
+                rows.push(Row {
+                    terms: vec![(col, 1.0)],
+                    relation: Relation::Le,
+                    rhs: v.up - lo,
+                });
+            }
+        }
+    }
+
+    // ---- 3. Normalize rhs signs and lay out slack/artificial columns. --
+    for row in &mut rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for t in &mut row.terms {
+                t.1 = -t.1;
+            }
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+    let m = rows.len();
+    let n_slack = rows
+        .iter()
+        .filter(|r| !matches!(r.relation, Relation::Eq))
+        .count();
+    let n_artificial = rows
+        .iter()
+        .filter(|r| !matches!(r.relation, Relation::Le))
+        .count();
+    let n_nonart = n_struct + n_slack;
+    let n_total = n_nonart + n_artificial;
+
+    // ---- 4. Fill the tableau. ------------------------------------------
+    let mut tab = Tableau::new(m, n_total);
+    let mut next_slack = n_struct;
+    let mut next_art = n_nonart;
+    for (r, row) in rows.iter().enumerate() {
+        for &(j, a) in &row.terms {
+            let old = tab.at(r, j);
+            tab.set(r, j, old + a);
+        }
+        tab.b[r] = row.rhs;
+        match row.relation {
+            Relation::Le => {
+                tab.set(r, next_slack, 1.0);
+                tab.basis[r] = next_slack;
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                tab.set(r, next_slack, -1.0);
+                next_slack += 1;
+                tab.set(r, next_art, 1.0);
+                tab.basis[r] = next_art;
+                next_art += 1;
+            }
+            Relation::Eq => {
+                tab.set(r, next_art, 1.0);
+                tab.basis[r] = next_art;
+                next_art += 1;
+            }
+        }
+    }
+
+    let mut budget = p.pivot_budget(m, n_total);
+
+    // ---- 5. Phase 1: drive artificials to zero. -------------------------
+    if n_artificial > 0 {
+        let mut phase1_costs = vec![0.0; n_total];
+        for c in phase1_costs.iter_mut().skip(n_nonart) {
+            *c = 1.0;
+        }
+        let mut cost = CostRow::from_costs(&tab, &phase1_costs);
+        let allowed = vec![true; n_total];
+        match run_phase(&mut tab, &mut cost, &allowed, &mut budget)? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => {
+                // Phase-1 objective is bounded below by 0; cannot happen for
+                // well-formed input, treat as numerical failure.
+                return Err(LpError::IterationLimit { pivots: 0 });
+            }
+        }
+        if cost.objective > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        let redundant = expel_artificials(&mut tab, &mut cost, n_nonart);
+        if redundant.iter().any(|&r| r) {
+            tab = drop_rows_and_artificials(&tab, &redundant, n_nonart);
+        } else if n_artificial > 0 {
+            tab = drop_rows_and_artificials(&tab, &vec![false; m], n_nonart);
+        }
+    }
+
+    // ---- 6. Phase 2: optimize the real objective. ------------------------
+    let sign = match p.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut phase2_costs = vec![0.0; tab.cols];
+    for (v, map) in p.vars.iter().zip(&maps) {
+        match *map {
+            VarMap::Shifted { col, .. } => phase2_costs[col] += sign * v.obj,
+            VarMap::Negated { col, .. } => phase2_costs[col] -= sign * v.obj,
+            VarMap::Split { pos, neg } => {
+                phase2_costs[pos] += sign * v.obj;
+                phase2_costs[neg] -= sign * v.obj;
+            }
+        }
+    }
+    let mut cost = CostRow::from_costs(&tab, &phase2_costs);
+    let allowed = vec![true; tab.cols];
+    match run_phase(&mut tab, &mut cost, &allowed, &mut budget)? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Err(LpError::Unbounded),
+    }
+
+    // ---- 7. Map the solution back to model space. ------------------------
+    let y = tab.solution();
+    let mut values = Vec::with_capacity(p.vars.len());
+    for map in &maps {
+        let x = match *map {
+            VarMap::Shifted { col, lo } => lo + y[col],
+            VarMap::Negated { col, up } => up - y[col],
+            VarMap::Split { pos, neg } => y[pos] - y[neg],
+        };
+        values.push(x);
+    }
+    // Snap to bounds to remove tolerance-level drift.
+    for (x, v) in values.iter_mut().zip(&p.vars) {
+        if v.lo.is_finite() && *x < v.lo {
+            *x = v.lo;
+        }
+        if v.up.is_finite() && *x > v.up {
+            *x = v.up;
+        }
+        if x.abs() < TOLERANCE {
+            *x = 0.0;
+        }
+    }
+    let objective = p.objective_at(&values);
+    let pivots_used = p.pivot_budget(m, n_total) - budget;
+    Ok(Solution::new(values, objective, pivots_used))
+}
+
+fn push_term(terms: &mut Vec<(usize, f64)>, col: usize, coeff: f64) {
+    match terms.iter_mut().find(|(j, _)| *j == col) {
+        Some((_, acc)) => *acc += coeff,
+        None => terms.push((col, coeff)),
+    }
+}
+
+/// Rebuilds the tableau without redundant rows and without artificial
+/// columns (which are all non-basic or belong to dropped rows by now).
+fn drop_rows_and_artificials(tab: &Tableau, redundant: &[bool], n_nonart: usize) -> Tableau {
+    let keep_rows: Vec<usize> = (0..tab.rows).filter(|&r| !redundant[r]).collect();
+    let mut out = Tableau::new(keep_rows.len(), n_nonart);
+    for (nr, &r) in keep_rows.iter().enumerate() {
+        for j in 0..n_nonart {
+            out.set(nr, j, tab.at(r, j));
+        }
+        out.b[nr] = tab.b[r];
+        debug_assert!(
+            tab.basis[r] < n_nonart,
+            "kept row must not have an artificial basic"
+        );
+        out.basis[nr] = tab.basis[r];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn equality_constraints_via_artificials() {
+        // min 2x + 3y s.t. x + y = 10, x − y = 2 → x=6, y=4, obj 24.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 2.0).unwrap();
+        let y = p.add_var("y", 0.0, f64::INFINITY, 3.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Eq, 2.0)
+            .unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), 6.0);
+        assert_close(sol.value(y), 4.0);
+        assert_close(sol.objective(), 24.0);
+    }
+
+    #[test]
+    fn free_variable_can_go_negative() {
+        // min x s.t. x ≥ −5 via constraint (variable itself free).
+        let mut p = Problem::minimize();
+        let x = p
+            .add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, -5.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), -5.0);
+        assert_close(sol.objective(), -5.0);
+    }
+
+    #[test]
+    fn negated_variable_upper_bound_only() {
+        // max x with x ≤ 3 (no lower bound) → 3.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", f64::NEG_INFINITY, 3.0, 1.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), 3.0);
+        // And min x with an extra floor constraint.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, 3.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 1.5).unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), 1.5);
+    }
+
+    #[test]
+    fn shifted_negative_lower_bound() {
+        // min x, x ∈ [−2, 7] → −2; max → 7.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", -2.0, 7.0, 1.0).unwrap();
+        assert_close(p.solve().unwrap().value(x), -2.0);
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", -2.0, 7.0, 1.0).unwrap();
+        assert_close(p.solve().unwrap().value(x), 7.0);
+    }
+
+    #[test]
+    fn infeasible_is_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        assert!(matches!(p.solve(), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Eq, 2.0).unwrap();
+        assert!(matches!(p.solve(), Err(LpError::Infeasible)));
+    }
+
+    #[test]
+    fn unbounded_is_detected() {
+        let mut p = Problem::minimize();
+        let _x = p.add_var("x", 0.0, f64::INFINITY, -1.0).unwrap();
+        assert!(matches!(p.solve(), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn redundant_equalities_are_dropped() {
+        // x + y = 4 stated twice; min x + 2y → x=4, y=0.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0)
+            .unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // −x ≤ −3 ⇔ x ≥ 3.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 1.0).unwrap();
+        p.add_constraint(&[(x, -1.0)], Relation::Le, -3.0).unwrap();
+        assert_close(p.solve().unwrap().value(x), 3.0);
+    }
+
+    #[test]
+    fn diet_problem() {
+        // Classic diet: minimize cost of two foods meeting two nutrients.
+        // min 0.6a + b s.t. 10a + 4b ≥ 20, 5a + 10b ≥ 30, a,b ≥ 0.
+        let mut p = Problem::minimize();
+        let a = p.add_var("a", 0.0, f64::INFINITY, 0.6).unwrap();
+        let b = p.add_var("b", 0.0, f64::INFINITY, 1.0).unwrap();
+        p.add_constraint(&[(a, 10.0), (b, 4.0)], Relation::Ge, 20.0)
+            .unwrap();
+        p.add_constraint(&[(a, 5.0), (b, 10.0)], Relation::Ge, 30.0)
+            .unwrap();
+        let sol = p.solve().unwrap();
+        assert!(p.is_feasible(sol.values(), 1e-7));
+        // Vertex: 10a+4b=20 & 5a+10b=30 → a=1, b=2.5 → cost 3.1.
+        assert_close(sol.objective(), 3.1);
+    }
+
+    #[test]
+    fn degenerate_beale_like_problem_terminates() {
+        // A classic cycling-prone LP (Beale's example). Bland fallback must
+        // terminate and find the optimum −0.05.
+        let mut p = Problem::minimize();
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY, -0.75).unwrap();
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY, 150.0).unwrap();
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY, -0.02).unwrap();
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY, 6.0).unwrap();
+        p.add_constraint(
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(&[(x3, 1.0)], Relation::Le, 1.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.objective(), -0.05);
+    }
+
+    #[test]
+    fn fixed_variable_lo_equals_up() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 2.5, 2.5, -10.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert_close(sol.value(x), 2.5);
+        assert_close(sol.objective(), -25.0);
+    }
+
+    #[test]
+    fn empty_problem_solves_trivially() {
+        let p = Problem::minimize();
+        let sol = p.solve().unwrap();
+        assert_eq!(sol.values().len(), 0);
+        assert_close(sol.objective(), 0.0);
+    }
+
+    #[test]
+    fn mixed_relations_one_model() {
+        // min 3x + 2y + z
+        //  s.t. x + y + z = 10, x − y ≥ 1, z ≤ 4, x,y,z ≥ 0.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, f64::INFINITY, 3.0).unwrap();
+        let y = p.add_var("y", 0.0, f64::INFINITY, 2.0).unwrap();
+        let z = p.add_var("z", 0.0, 4.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Eq, 10.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        let sol = p.solve().unwrap();
+        assert!(p.is_feasible(sol.values(), 1e-7));
+        // Best: maximize z (cheap) then balance x−y≥1: z=4, x+y=6, x−y=1 →
+        // x=3.5, y=2.5 → 3·3.5+2·2.5+4 = 19.5.
+        assert_close(sol.objective(), 19.5);
+    }
+}

@@ -1,0 +1,493 @@
+use dpss_units::{Energy, Money};
+use serde::{Deserialize, Serialize};
+
+use crate::SimError;
+
+/// Physical parameters of the UPS battery (paper §II-A3/§II-B4/§II-B5).
+///
+/// Fields are public — this is a passive parameter record — but consistency
+/// is enforced when a [`Battery`] is constructed from it.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::BatteryParams;
+///
+/// // The paper's 15-minutes-of-peak configuration.
+/// let p = BatteryParams::icdcs13(15.0);
+/// assert_eq!(p.capacity.mwh(), 0.5);
+/// assert_eq!(p.charge_efficiency, 0.8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BatteryParams {
+    /// Maximum stored energy `Bmax`.
+    pub capacity: Energy,
+    /// Reliability floor `Bmin`: the level reserved for outage ride-through;
+    /// normal operation never dips below it (Eq. (7)).
+    pub min_level: Energy,
+    /// Maximum grid-side energy accepted per slot, `Bcmax` (Eq. (8)).
+    pub max_charge: Energy,
+    /// Maximum load-side energy delivered per slot, `Bdmax` (Eq. (8)).
+    pub max_discharge: Energy,
+    /// Charge efficiency `ηc ∈ (0, 1]`: storing `brc` raises the level by
+    /// `ηc·brc` (Eq. (3)).
+    pub charge_efficiency: f64,
+    /// Discharge drain factor `ηd ≥ 1`: delivering `bdc` lowers the level
+    /// by `ηd·bdc` (Eq. (3)).
+    pub discharge_efficiency: f64,
+    /// Wear cost per charging or discharging slot, `Cb = Cbuy/Ccycle`.
+    pub op_cost: Money,
+    /// Optional cap `Nmax` on the number of operating slots over the
+    /// horizon (Eq. (9)). The paper prices wear through `Cb` and keeps the
+    /// cycle constraint loose for a one-month run, so the default is
+    /// `None`; set it to study hard lifetime budgets.
+    pub cycle_budget: Option<u64>,
+    /// Level at the start of the horizon.
+    pub initial_level: Energy,
+}
+
+impl BatteryParams {
+    /// The paper's §VI-A battery scaled to `bmax_minutes` of peak demand
+    /// (`Pgrid = 2 MW`): `Bmax = 2 MW × minutes`, `Bmin` ≈ one minute of
+    /// peak, `Bcmax = Bdmax = 0.5 MWh/slot`, `ηc = 0.8`, `ηd = 1.25`,
+    /// `Cb = $0.1`.
+    ///
+    /// `bmax_minutes = 0` yields a no-battery configuration (the paper's
+    /// "NB" case in Fig. 7).
+    #[must_use]
+    pub fn icdcs13(bmax_minutes: f64) -> Self {
+        let peak_mw = 2.0;
+        let capacity = Energy::from_mwh(peak_mw * bmax_minutes / 60.0);
+        let min_level = if bmax_minutes > 0.0 {
+            Energy::from_mwh(peak_mw * 1.0 / 60.0).min(capacity * 0.5)
+        } else {
+            Energy::ZERO
+        };
+        BatteryParams {
+            capacity,
+            min_level,
+            max_charge: Energy::from_mwh(0.5),
+            max_discharge: Energy::from_mwh(0.5),
+            charge_efficiency: 0.8,
+            discharge_efficiency: 1.25,
+            op_cost: Money::from_dollars(0.1),
+            cycle_budget: None,
+            initial_level: min_level,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] describing the first violated rule.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let finite_nonneg = |e: Energy| e.is_finite() && e.mwh() >= 0.0;
+        if !finite_nonneg(self.capacity) {
+            return Err(SimError::InvalidParameter {
+                what: "capacity",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !finite_nonneg(self.min_level) || self.min_level > self.capacity {
+            return Err(SimError::InvalidParameter {
+                what: "min_level",
+                requirement: "must be in [0, capacity]",
+            });
+        }
+        if !finite_nonneg(self.max_charge) || !finite_nonneg(self.max_discharge) {
+            return Err(SimError::InvalidParameter {
+                what: "rate limits",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(self.charge_efficiency > 0.0 && self.charge_efficiency <= 1.0) {
+            return Err(SimError::InvalidParameter {
+                what: "charge_efficiency",
+                requirement: "must be in (0, 1]",
+            });
+        }
+        if !(self.discharge_efficiency >= 1.0 && self.discharge_efficiency.is_finite()) {
+            return Err(SimError::InvalidParameter {
+                what: "discharge_efficiency",
+                requirement: "must be finite and at least 1",
+            });
+        }
+        if !(self.op_cost.is_finite() && self.op_cost.dollars() >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "op_cost",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !self.initial_level.is_finite()
+            || self.initial_level < self.min_level
+            || self.initial_level > self.capacity
+        {
+            return Err(SimError::InvalidParameter {
+                what: "initial_level",
+                requirement: "must be in [min_level, capacity]",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The stateful UPS battery (Eq. (3) dynamics plus Eqs. (7)–(9) limits).
+///
+/// Amounts are *grid-side* for charging (`brc`, what the circuit injects)
+/// and *load-side* for discharging (`bdc`, what the load receives); the
+/// efficiency factors are applied internally. A slot performs at most one
+/// of charge/discharge (the plant enforces `brc(τ)·bdc(τ) ≡ 0`).
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::{Battery, BatteryParams};
+/// use dpss_units::Energy;
+///
+/// # fn main() -> Result<(), dpss_sim::SimError> {
+/// let mut b = Battery::new(BatteryParams::icdcs13(15.0))?;
+/// let stored_before = b.level();
+/// let accepted = b.headroom().min(Energy::from_mwh(0.2));
+/// b.charge(accepted)?;
+/// assert!(b.level() > stored_before);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Battery {
+    params: BatteryParams,
+    level: Energy,
+    operations: u64,
+    total_charged: Energy,
+    total_discharged: Energy,
+    min_seen: Energy,
+    max_seen: Energy,
+}
+
+impl Battery {
+    /// Creates a battery at its configured initial level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatteryParams::validate`].
+    pub fn new(params: BatteryParams) -> Result<Self, SimError> {
+        params.validate()?;
+        Ok(Battery {
+            params,
+            level: params.initial_level,
+            operations: 0,
+            total_charged: Energy::ZERO,
+            total_discharged: Energy::ZERO,
+            min_seen: params.initial_level,
+            max_seen: params.initial_level,
+        })
+    }
+
+    /// Current stored energy `b(τ)`.
+    #[must_use]
+    pub fn level(&self) -> Energy {
+        self.level
+    }
+
+    /// The parameter record this battery was built from.
+    #[must_use]
+    pub fn params(&self) -> &BatteryParams {
+        &self.params
+    }
+
+    /// Whether the cycle budget `Nmax` is exhausted.
+    #[must_use]
+    pub fn cycle_budget_exhausted(&self) -> bool {
+        self.params
+            .cycle_budget
+            .is_some_and(|n| self.operations >= n)
+    }
+
+    /// Remaining operating slots, if a cycle budget is configured.
+    #[must_use]
+    pub fn operations_remaining(&self) -> Option<u64> {
+        self.params
+            .cycle_budget
+            .map(|n| n.saturating_sub(self.operations))
+    }
+
+    /// Maximum grid-side charge `brc` acceptable *this slot*: the rate cap,
+    /// the capacity headroom `(Bmax − b)/ηc` and the cycle budget combined.
+    #[must_use]
+    pub fn headroom(&self) -> Energy {
+        if self.cycle_budget_exhausted() {
+            return Energy::ZERO;
+        }
+        let space = (self.params.capacity - self.level).positive_part();
+        self.params
+            .max_charge
+            .min(space / self.params.charge_efficiency)
+    }
+
+    /// Maximum load-side discharge `bdc` deliverable *this slot*: the rate
+    /// cap, the reserve window `(b − Bmin)/ηd` and the cycle budget
+    /// combined.
+    #[must_use]
+    pub fn available(&self) -> Energy {
+        if self.cycle_budget_exhausted() {
+            return Energy::ZERO;
+        }
+        let above_floor = (self.level - self.params.min_level).positive_part();
+        self.params
+            .max_discharge
+            .min(above_floor / self.params.discharge_efficiency)
+    }
+
+    /// Stores `brc` (grid-side); the level rises by `ηc·brc`.
+    ///
+    /// A zero amount is a no-op and does not count as an operation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BatteryLimit`] if `brc` exceeds [`Battery::headroom`]
+    /// (beyond a small numerical tolerance) or is not finite/non-negative.
+    pub fn charge(&mut self, brc: Energy) -> Result<(), SimError> {
+        if !brc.is_finite() || brc.mwh() < 0.0 {
+            return Err(SimError::BatteryLimit {
+                operation: "charge",
+                requested: brc.mwh(),
+                limit: self.headroom().mwh(),
+            });
+        }
+        if brc <= Energy::ZERO {
+            return Ok(());
+        }
+        let limit = self.headroom();
+        if brc.mwh() > limit.mwh() + 1e-9 {
+            return Err(SimError::BatteryLimit {
+                operation: "charge",
+                requested: brc.mwh(),
+                limit: limit.mwh(),
+            });
+        }
+        self.level =
+            (self.level + brc * self.params.charge_efficiency).min(self.params.capacity);
+        self.operations += 1;
+        self.total_charged += brc;
+        self.max_seen = self.max_seen.max(self.level);
+        Ok(())
+    }
+
+    /// Delivers `bdc` (load-side); the level falls by `ηd·bdc`.
+    ///
+    /// A zero amount is a no-op and does not count as an operation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BatteryLimit`] if `bdc` exceeds [`Battery::available`]
+    /// (beyond a small numerical tolerance) or is not finite/non-negative.
+    pub fn discharge(&mut self, bdc: Energy) -> Result<(), SimError> {
+        if !bdc.is_finite() || bdc.mwh() < 0.0 {
+            return Err(SimError::BatteryLimit {
+                operation: "discharge",
+                requested: bdc.mwh(),
+                limit: self.available().mwh(),
+            });
+        }
+        if bdc <= Energy::ZERO {
+            return Ok(());
+        }
+        let limit = self.available();
+        if bdc.mwh() > limit.mwh() + 1e-9 {
+            return Err(SimError::BatteryLimit {
+                operation: "discharge",
+                requested: bdc.mwh(),
+                limit: limit.mwh(),
+            });
+        }
+        self.level = (self.level - bdc * self.params.discharge_efficiency)
+            .max(self.params.min_level);
+        self.operations += 1;
+        self.total_discharged += bdc;
+        self.min_seen = self.min_seen.min(self.level);
+        Ok(())
+    }
+
+    /// Number of operating slots so far (`Σ n(τ)`).
+    #[must_use]
+    pub fn operations(&self) -> u64 {
+        self.operations
+    }
+
+    /// Total wear cost so far (`Σ n(τ)·Cb`).
+    #[must_use]
+    pub fn wear_cost(&self) -> Money {
+        self.params.op_cost * self.operations as f64
+    }
+
+    /// Total grid-side energy ever charged.
+    #[must_use]
+    pub fn total_charged(&self) -> Energy {
+        self.total_charged
+    }
+
+    /// Total load-side energy ever discharged.
+    #[must_use]
+    pub fn total_discharged(&self) -> Energy {
+        self.total_discharged
+    }
+
+    /// Lowest level observed over the run (availability audit, Thm 2(2)).
+    #[must_use]
+    pub fn min_level_seen(&self) -> Energy {
+        self.min_seen
+    }
+
+    /// Highest level observed over the run.
+    #[must_use]
+    pub fn max_level_seen(&self) -> Energy {
+        self.max_seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BatteryParams {
+        BatteryParams::icdcs13(15.0)
+    }
+
+    #[test]
+    fn icdcs13_parameterization() {
+        let p = params();
+        assert_eq!(p.capacity, Energy::from_mwh(0.5));
+        assert!((p.min_level.mwh() - 2.0 / 60.0).abs() < 1e-12);
+        assert_eq!(p.max_charge, Energy::from_mwh(0.5));
+        assert_eq!(p.discharge_efficiency, 1.25);
+        p.validate().unwrap();
+        // Zero-minute battery is valid and empty.
+        let none = BatteryParams::icdcs13(0.0);
+        none.validate().unwrap();
+        assert_eq!(none.capacity, Energy::ZERO);
+        assert_eq!(none.min_level, Energy::ZERO);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistencies() {
+        let mut p = params();
+        p.min_level = Energy::from_mwh(1.0); // above capacity
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.charge_efficiency = 0.0;
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.discharge_efficiency = 0.9;
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.initial_level = Energy::from_mwh(0.01); // below Bmin
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.capacity = Energy::from_mwh(f64::NAN);
+        assert!(p.validate().is_err());
+
+        let mut p = params();
+        p.op_cost = Money::from_dollars(-1.0);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn charge_applies_efficiency() {
+        let mut b = Battery::new(params()).unwrap();
+        let before = b.level();
+        b.charge(Energy::from_mwh(0.1)).unwrap();
+        assert!((b.level().mwh() - (before.mwh() + 0.08)).abs() < 1e-12);
+        assert_eq!(b.operations(), 1);
+        assert_eq!(b.total_charged(), Energy::from_mwh(0.1));
+    }
+
+    #[test]
+    fn discharge_applies_efficiency_and_floor() {
+        let mut p = params();
+        p.initial_level = Energy::from_mwh(0.4);
+        let mut b = Battery::new(p).unwrap();
+        b.discharge(Energy::from_mwh(0.1)).unwrap();
+        assert!((b.level().mwh() - 0.275).abs() < 1e-12); // 0.4 − 1.25·0.1
+        // Available is limited by the floor: (0.275 − 0.0333)/1.25.
+        let avail = b.available().mwh();
+        assert!((avail - (0.275 - 2.0 / 60.0) / 1.25).abs() < 1e-9);
+        // Cannot discharge more than available.
+        let too_much = Energy::from_mwh(avail + 0.01);
+        assert!(matches!(
+            b.discharge(too_much),
+            Err(SimError::BatteryLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn headroom_respects_capacity_and_rate() {
+        let mut p = params();
+        p.initial_level = Energy::from_mwh(0.46);
+        let b = Battery::new(p).unwrap();
+        // Space is 0.04; headroom = 0.04/0.8 = 0.05 < rate cap 0.5.
+        assert!((b.headroom().mwh() - 0.05).abs() < 1e-12);
+        // Full battery accepts nothing.
+        let mut p = params();
+        p.initial_level = p.capacity;
+        let b = Battery::new(p).unwrap();
+        assert_eq!(b.headroom(), Energy::ZERO);
+    }
+
+    #[test]
+    fn zero_amounts_are_free_noops() {
+        let mut b = Battery::new(params()).unwrap();
+        b.charge(Energy::ZERO).unwrap();
+        b.discharge(Energy::ZERO).unwrap();
+        assert_eq!(b.operations(), 0);
+        assert_eq!(b.wear_cost(), Money::ZERO);
+    }
+
+    #[test]
+    fn cycle_budget_locks_battery_out() {
+        let mut p = params();
+        p.cycle_budget = Some(2);
+        let mut b = Battery::new(p).unwrap();
+        assert_eq!(b.operations_remaining(), Some(2));
+        b.charge(Energy::from_mwh(0.1)).unwrap();
+        b.charge(Energy::from_mwh(0.1)).unwrap();
+        assert!(b.cycle_budget_exhausted());
+        assert_eq!(b.operations_remaining(), Some(0));
+        assert_eq!(b.headroom(), Energy::ZERO);
+        assert_eq!(b.available(), Energy::ZERO);
+        assert!(b.charge(Energy::from_mwh(0.1)).is_err());
+    }
+
+    #[test]
+    fn level_never_leaves_window() {
+        let mut b = Battery::new(params()).unwrap();
+        for i in 0..200 {
+            if i % 2 == 0 {
+                let amt = b.headroom() * 0.9;
+                b.charge(amt).unwrap();
+            } else {
+                let amt = b.available() * 0.9;
+                b.discharge(amt).unwrap();
+            }
+            assert!(b.level() >= b.params().min_level - Energy::from_mwh(1e-12));
+            assert!(b.level() <= b.params().capacity + Energy::from_mwh(1e-12));
+        }
+        assert!(b.min_level_seen() >= b.params().min_level - Energy::from_mwh(1e-12));
+        assert!(b.max_level_seen() <= b.params().capacity + Energy::from_mwh(1e-12));
+        assert_eq!(b.operations(), 200);
+        assert!((b.wear_cost().dollars() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_nan_and_negative_amounts() {
+        let mut b = Battery::new(params()).unwrap();
+        assert!(b.charge(Energy::from_mwh(f64::NAN)).is_err());
+        assert!(b.charge(Energy::from_mwh(-0.1)).is_err());
+        assert!(b.discharge(Energy::from_mwh(f64::NAN)).is_err());
+        assert!(b.discharge(Energy::from_mwh(-0.1)).is_err());
+    }
+}

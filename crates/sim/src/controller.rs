@@ -1,0 +1,152 @@
+use dpss_units::{Energy, Price, SlotId};
+
+use crate::SlotOutcome;
+
+/// What a controller sees at the start of a coarse frame (`t = kT`), when
+/// the long-term-ahead purchase `g_bef(t)` must be committed.
+///
+/// Values come from the *observed* trace set — under the Fig. 9 robustness
+/// experiment they carry injected estimation errors, while the plant runs
+/// on the truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameObservation {
+    /// Coarse frame index `k`.
+    pub frame: usize,
+    /// Absolute fine-slot index of the frame start.
+    pub slot: usize,
+    /// Number of fine slots `T` in this frame.
+    pub slots_in_frame: usize,
+    /// Duration of one fine slot in hours.
+    pub slot_hours: f64,
+    /// Long-term-ahead market price `p_lt(t)` for this frame.
+    pub price_lt: Price,
+    /// Observed delay-sensitive demand, as a per-slot average over the
+    /// previous frame (the paper's "d(t) generated during time slot t",
+    /// made causal; frame 0 sees its first slot's value).
+    pub demand_ds: Energy,
+    /// Observed delay-tolerant demand, per-slot average over the previous
+    /// frame (frame 0: first slot's value).
+    pub demand_dt: Energy,
+    /// Observed renewable production, per-slot average over the previous
+    /// frame (frame 0: first slot's value).
+    pub renewable: Energy,
+}
+
+/// What a controller sees at each fine slot `τ`, when the real-time
+/// purchase `g_rt(τ)` and the service fraction `γ(τ)` must be chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlotObservation {
+    /// Which slot this is.
+    pub slot: SlotId,
+    /// Duration of one fine slot in hours.
+    pub slot_hours: f64,
+    /// Real-time market price `p_rt(τ)`.
+    pub price_rt: Price,
+    /// Long-term price of the enclosing frame (context).
+    pub price_lt: Price,
+    /// Observed delay-sensitive demand `d_ds(τ)`.
+    pub demand_ds: Energy,
+    /// Observed delay-tolerant arrival `d_dt(τ)`.
+    pub demand_dt: Energy,
+    /// Observed renewable production `r(τ)`.
+    pub renewable: Energy,
+}
+
+/// Plant state exposed to controllers (all of it is honestly observable in
+/// a real DPSS: battery telemetry and the operator's own queue).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemView {
+    /// Battery level `b(τ)`.
+    pub battery_level: Energy,
+    /// Maximum grid-side charge the battery accepts this slot.
+    pub battery_headroom: Energy,
+    /// Maximum load-side discharge the battery can deliver this slot.
+    pub battery_available: Energy,
+    /// Remaining battery operating slots if a cycle budget is configured.
+    pub battery_ops_remaining: Option<u64>,
+    /// Delay-tolerant backlog `Q(τ)` (pre-arrival for the current slot).
+    pub queue_backlog: Energy,
+    /// Long-term energy already scheduled for each slot of the current
+    /// frame (`g_bef(t)/T`); zero before the first frame decision.
+    pub lt_allocation: Energy,
+    /// Grid energy still purchasable this slot (`Pgrid·Δh − g_bef/T`).
+    pub rt_purchase_cap: Energy,
+}
+
+/// The long-term-ahead market decision: total energy `g_bef(t)` bought for
+/// the coming frame, delivered evenly as `g_bef(t)/T` per fine slot.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FrameDecision {
+    /// Total frame purchase `g_bef(t) ≥ 0`; the engine clamps it to the
+    /// interconnect limit `T · Pgrid · Δh`.
+    pub purchase_lt: Energy,
+}
+
+/// The per-fine-slot decisions of Algorithm 1's real-time balancing step.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SlotDecision {
+    /// Real-time market purchase `g_rt(τ) ≥ 0`; clamped by the engine to
+    /// the remaining interconnect capacity (Eq. (5)).
+    pub purchase_rt: Energy,
+    /// Fraction `γ(τ) ∈ [0, 1]` of the backlog `Q(τ)` to serve.
+    pub serve_fraction: f64,
+}
+
+/// A DPSS control policy.
+///
+/// The [`Engine`](crate::Engine) calls [`Controller::plan_frame`] at every
+/// coarse-frame start, then [`Controller::plan_slot`] at every fine slot,
+/// then [`Controller::end_slot`] with the realized physics so the policy
+/// can update internal state (SmartDPSS updates its virtual queues there).
+///
+/// Implementations must be deterministic given their construction inputs
+/// for experiments to be reproducible; all built-in controllers are.
+pub trait Controller {
+    /// Short machine-friendly policy name used in reports (e.g.
+    /// `"smart-dpss"`, `"offline"`, `"impatient"`).
+    fn name(&self) -> &str;
+
+    /// Chooses the long-term-ahead purchase at a frame start.
+    fn plan_frame(&mut self, obs: &FrameObservation, view: &SystemView) -> FrameDecision;
+
+    /// Chooses the real-time purchase and backlog service for one slot.
+    fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision;
+
+    /// Observes the realized outcome of a slot (default: no-op).
+    fn end_slot(&mut self, outcome: &SlotOutcome, view: &SystemView) {
+        let _ = (outcome, view);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The trait must be object-safe: the engine takes `&mut dyn Controller`.
+    #[test]
+    fn controller_is_object_safe() {
+        struct Noop;
+        impl Controller for Noop {
+            fn name(&self) -> &str {
+                "noop"
+            }
+            fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+                FrameDecision::default()
+            }
+            fn plan_slot(&mut self, _: &SlotObservation, _: &SystemView) -> SlotDecision {
+                SlotDecision::default()
+            }
+        }
+        let mut c = Noop;
+        let dynamic: &mut dyn Controller = &mut c;
+        assert_eq!(dynamic.name(), "noop");
+    }
+
+    #[test]
+    fn default_decisions_are_zero() {
+        assert_eq!(FrameDecision::default().purchase_lt, Energy::ZERO);
+        let d = SlotDecision::default();
+        assert_eq!(d.purchase_rt, Energy::ZERO);
+        assert_eq!(d.serve_fraction, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+use std::collections::VecDeque;
+
+use dpss_units::Energy;
+
+/// Exact FIFO ledger of delay-tolerant demand: tracks when each MWh arrived
+/// and when it was served, yielding the realized average and worst-case
+/// service delay (the paper's Fig. 6(b)/(d) metric and the Theorem 2(4)
+/// `λmax` audit).
+///
+/// Energy is fluid: arrivals and services are fractional and the ledger
+/// splits batches as needed. Delay is measured in *fine slots*: energy that
+/// arrives at slot `a` and is served at slot `s` waited `s − a` slots
+/// (same-slot service is zero delay).
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::DelayLedger;
+/// use dpss_units::Energy;
+///
+/// let mut ledger = DelayLedger::new();
+/// ledger.arrive(0, Energy::from_mwh(2.0));
+/// ledger.serve(3, Energy::from_mwh(2.0));
+/// assert_eq!(ledger.average_delay_slots(), 3.0);
+/// assert_eq!(ledger.max_delay_slots(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DelayLedger {
+    pending: VecDeque<(usize, f64)>,
+    weighted_delay_mwh_slots: f64,
+    served_mwh: f64,
+    max_delay: usize,
+}
+
+impl DelayLedger {
+    /// Creates an empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        DelayLedger::default()
+    }
+
+    /// Records `amount` of demand arriving at `slot`.
+    ///
+    /// Non-positive amounts are ignored.
+    pub fn arrive(&mut self, slot: usize, amount: Energy) {
+        let mwh = amount.mwh();
+        if mwh <= 0.0 {
+            return;
+        }
+        // Merge with the tail if it has the same arrival slot (keeps the
+        // deque short when arrivals are recorded piecewise).
+        if let Some(back) = self.pending.back_mut() {
+            if back.0 == slot {
+                back.1 += mwh;
+                return;
+            }
+        }
+        self.pending.push_back((slot, mwh));
+    }
+
+    /// Serves up to `amount` in FIFO order at `slot`, returning the energy
+    /// actually drained (less than `amount` if the ledger runs empty).
+    pub fn serve(&mut self, slot: usize, amount: Energy) -> Energy {
+        let mut remaining = amount.mwh().max(0.0);
+        let mut drained = 0.0;
+        while remaining > 1e-12 {
+            let Some(front) = self.pending.front_mut() else {
+                break;
+            };
+            let take = front.1.min(remaining);
+            let delay = slot.saturating_sub(front.0);
+            self.weighted_delay_mwh_slots += take * delay as f64;
+            self.served_mwh += take;
+            self.max_delay = self.max_delay.max(delay);
+            front.1 -= take;
+            remaining -= take;
+            drained += take;
+            if front.1 <= 1e-12 {
+                self.pending.pop_front();
+            }
+        }
+        Energy::from_mwh(drained)
+    }
+
+    /// Energy-weighted average delay of all *served* demand, in slots.
+    /// Zero when nothing has been served yet.
+    #[must_use]
+    pub fn average_delay_slots(&self) -> f64 {
+        if self.served_mwh <= 0.0 {
+            0.0
+        } else {
+            self.weighted_delay_mwh_slots / self.served_mwh
+        }
+    }
+
+    /// Worst delay of any served energy, in slots.
+    #[must_use]
+    pub fn max_delay_slots(&self) -> usize {
+        self.max_delay
+    }
+
+    /// Total energy served through the ledger.
+    #[must_use]
+    pub fn served(&self) -> Energy {
+        Energy::from_mwh(self.served_mwh)
+    }
+
+    /// Energy still waiting.
+    #[must_use]
+    pub fn unserved(&self) -> Energy {
+        Energy::from_mwh(self.pending.iter().map(|(_, m)| m).sum())
+    }
+
+    /// Age (in slots, relative to `now`) of the oldest pending energy, or
+    /// `None` when the ledger is empty. Useful for worst-case-delay audits
+    /// that must include still-queued demand.
+    #[must_use]
+    pub fn oldest_pending_age(&self, now: usize) -> Option<usize> {
+        self.pending.front().map(|(a, _)| now.saturating_sub(*a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mwh(x: f64) -> Energy {
+        Energy::from_mwh(x)
+    }
+
+    #[test]
+    fn empty_ledger_reports_zeroes() {
+        let l = DelayLedger::new();
+        assert_eq!(l.average_delay_slots(), 0.0);
+        assert_eq!(l.max_delay_slots(), 0);
+        assert_eq!(l.served(), Energy::ZERO);
+        assert_eq!(l.unserved(), Energy::ZERO);
+        assert_eq!(l.oldest_pending_age(10), None);
+    }
+
+    #[test]
+    fn same_slot_service_is_zero_delay() {
+        let mut l = DelayLedger::new();
+        l.arrive(5, mwh(1.0));
+        let got = l.serve(5, mwh(1.0));
+        assert_eq!(got, mwh(1.0));
+        assert_eq!(l.average_delay_slots(), 0.0);
+    }
+
+    #[test]
+    fn fifo_order_and_weighted_average() {
+        let mut l = DelayLedger::new();
+        l.arrive(0, mwh(1.0));
+        l.arrive(2, mwh(3.0));
+        // Serve 2 MWh at slot 4: 1 MWh waited 4 slots, 1 MWh waited 2.
+        l.serve(4, mwh(2.0));
+        assert!((l.average_delay_slots() - 3.0).abs() < 1e-12);
+        assert_eq!(l.max_delay_slots(), 4);
+        // 2 MWh of the slot-2 batch remains.
+        assert_eq!(l.unserved(), mwh(2.0));
+        assert_eq!(l.oldest_pending_age(10), Some(8));
+    }
+
+    #[test]
+    fn partial_service_returns_actual_drain() {
+        let mut l = DelayLedger::new();
+        l.arrive(0, mwh(0.5));
+        let got = l.serve(1, mwh(2.0));
+        assert_eq!(got, mwh(0.5));
+        assert_eq!(l.unserved(), Energy::ZERO);
+    }
+
+    #[test]
+    fn arrivals_merge_within_a_slot() {
+        let mut l = DelayLedger::new();
+        l.arrive(3, mwh(0.25));
+        l.arrive(3, mwh(0.25));
+        l.arrive(4, mwh(0.1));
+        assert_eq!(l.unserved(), mwh(0.6));
+        l.serve(3, mwh(0.5));
+        assert_eq!(l.average_delay_slots(), 0.0);
+        assert_eq!(l.unserved(), mwh(0.1));
+    }
+
+    #[test]
+    fn negative_and_zero_amounts_ignored() {
+        let mut l = DelayLedger::new();
+        l.arrive(0, mwh(0.0));
+        l.arrive(0, mwh(-1.0));
+        assert_eq!(l.unserved(), Energy::ZERO);
+        assert_eq!(l.serve(1, mwh(-2.0)), Energy::ZERO);
+    }
+
+    #[test]
+    fn long_run_conservation() {
+        // Energy in = energy served + unserved, across interleavings.
+        let mut l = DelayLedger::new();
+        let mut arrived = 0.0;
+        for slot in 0..100 {
+            let a = 0.1 + (slot % 7) as f64 * 0.05;
+            l.arrive(slot, mwh(a));
+            arrived += a;
+            if slot % 3 == 0 {
+                l.serve(slot, mwh(0.2));
+            }
+        }
+        let total = l.served().mwh() + l.unserved().mwh();
+        assert!((total - arrived).abs() < 1e-9);
+        assert!(l.max_delay_slots() > 0);
+    }
+}

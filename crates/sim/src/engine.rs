@@ -1,0 +1,559 @@
+use dpss_traces::TraceSet;
+use dpss_units::Energy;
+
+use crate::plant::{self, SlotInputs};
+use crate::{
+    Battery, Controller, DemandQueue, FrameObservation, RunReport, SimError, SimParams,
+    SlotObservation, SystemView,
+};
+
+/// The two-timescale simulation driver.
+///
+/// An engine owns the physical parameters and the *true* traces; optionally
+/// it also carries an *observed* trace set (same calendar) that is shown to
+/// the controller instead of the truth — this is how the Fig. 9 robustness
+/// experiment injects estimation errors without corrupting the physics.
+///
+/// `run` borrows the engine immutably, so one engine can evaluate many
+/// controllers on identical inputs (exactly what the figure sweeps do).
+///
+/// # Examples
+///
+/// See the crate-level example; every controller in `dpss-core` runs
+/// through this same entry point.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    params: SimParams,
+    truth: TraceSet,
+    observed: Option<TraceSet>,
+    record_slots: bool,
+    forecast: crate::ForecastPolicy,
+}
+
+impl Engine {
+    /// Creates an engine for the given parameters and true traces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter and trace validation failures.
+    pub fn new(params: SimParams, truth: TraceSet) -> Result<Self, SimError> {
+        params.validate()?;
+        truth.validate()?;
+        Ok(Engine {
+            params,
+            truth,
+            observed: None,
+            record_slots: false,
+            forecast: crate::ForecastPolicy::default(),
+        })
+    }
+
+    /// Selects how the frame observations' demand/renewable fields are
+    /// produced (default: causal previous-frame averages). See
+    /// [`ForecastPolicy`](crate::ForecastPolicy).
+    ///
+    /// # Errors
+    ///
+    /// Propagates policy validation.
+    pub fn with_forecast(mut self, policy: crate::ForecastPolicy) -> Result<Self, SimError> {
+        policy.validate()?;
+        self.forecast = policy;
+        Ok(self)
+    }
+
+    /// Supplies an observed trace set (what controllers see). Must share
+    /// the truth's calendar.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::ObservationMismatch`] if the calendars differ, plus
+    /// validation failures of the observed set itself.
+    pub fn with_observed(mut self, observed: TraceSet) -> Result<Self, SimError> {
+        observed.validate()?;
+        if observed.clock != self.truth.clock {
+            return Err(SimError::ObservationMismatch);
+        }
+        self.observed = Some(observed);
+        Ok(self)
+    }
+
+    /// Enables per-slot outcome recording in the report (memory: one record
+    /// per fine slot).
+    #[must_use]
+    pub fn with_slot_recording(mut self, record: bool) -> Self {
+        self.record_slots = record;
+        self
+    }
+
+    /// The physical parameters.
+    #[must_use]
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The true traces.
+    #[must_use]
+    pub fn truth(&self) -> &TraceSet {
+        &self.truth
+    }
+
+    /// Runs one controller over the whole horizon and aggregates a report.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDecision`] if the controller emits NaN/negative
+    /// decisions; battery errors cannot escape the plant's clamping.
+    pub fn run(&self, controller: &mut dyn Controller) -> Result<RunReport, SimError> {
+        let clock = self.truth.clock;
+        let obs_traces = self.observed.as_ref().unwrap_or(&self.truth);
+        let slot_hours = clock.slot_hours();
+        let t = clock.slots_per_frame();
+        let grid_slot_cap = self.params.grid_slot_cap(slot_hours);
+
+        let mut battery = Battery::new(self.params.battery)?;
+        let mut queue = DemandQueue::new();
+        let mut lt_alloc = Energy::ZERO;
+
+        let mut report = empty_report(controller.name(), clock.total_slots());
+        let mut recorded = if self.record_slots {
+            Some(Vec::with_capacity(clock.total_slots()))
+        } else {
+            None
+        };
+
+        for id in clock.slots() {
+            let view = |battery: &Battery, queue: &DemandQueue, lt_alloc: Energy| SystemView {
+                battery_level: battery.level(),
+                battery_headroom: battery.headroom(),
+                battery_available: battery.available(),
+                battery_ops_remaining: battery.operations_remaining(),
+                queue_backlog: queue.backlog(),
+                lt_allocation: lt_alloc,
+                rt_purchase_cap: (grid_slot_cap - lt_alloc).positive_part(),
+            };
+
+            // ---- Long-term-ahead planning at frame starts. ----------------
+            if id.is_frame_start() {
+                // The paper observes "the demand d(t) and renewable r(t)
+                // generated during time slot t" when committing g_bef(t);
+                // causally that is the *previous* frame's realization
+                // (frame 0 sees its first slot's values). The forecast
+                // policy can substitute (noisy) coming-frame oracles.
+                let avg = |series: &[Energy], component: u64| -> Energy {
+                    match self.forecast {
+                        crate::ForecastPolicy::PrevFrameAverage => {
+                            if id.frame == 0 {
+                                series[id.index]
+                            } else {
+                                let start = (id.frame - 1) * t;
+                                series[start..start + t].iter().sum::<Energy>() / t as f64
+                            }
+                        }
+                        crate::ForecastPolicy::Oracle
+                        | crate::ForecastPolicy::NoisyOracle { .. } => {
+                            let start = id.frame * t;
+                            let mean =
+                                series[start..start + t].iter().sum::<Energy>() / t as f64;
+                            mean * self.forecast.noise_factor(id.frame, component)
+                        }
+                    }
+                };
+                let fobs = FrameObservation {
+                    frame: id.frame,
+                    slot: id.index,
+                    slots_in_frame: t,
+                    slot_hours,
+                    price_lt: obs_traces.price_lt[id.frame],
+                    demand_ds: avg(&obs_traces.demand_ds, 0),
+                    demand_dt: avg(&obs_traces.demand_dt, 1),
+                    renewable: avg(&obs_traces.renewable, 2),
+                };
+                let v = view(&battery, &queue, Energy::ZERO);
+                let decision = controller.plan_frame(&fobs, &v);
+                if !decision.purchase_lt.is_finite() || decision.purchase_lt.mwh() < 0.0 {
+                    return Err(SimError::InvalidDecision {
+                        what: "purchase_lt",
+                        slot: id.index,
+                    });
+                }
+                let frame_cap = grid_slot_cap * t as f64;
+                lt_alloc = decision.purchase_lt.min(frame_cap) / t as f64;
+            }
+
+            // ---- Real-time balancing. --------------------------------------
+            let sobs = SlotObservation {
+                slot: id,
+                slot_hours,
+                price_rt: obs_traces.price_rt[id.index],
+                price_lt: obs_traces.price_lt[id.frame],
+                demand_ds: obs_traces.demand_ds[id.index],
+                demand_dt: obs_traces.demand_dt[id.index],
+                renewable: obs_traces.renewable[id.index],
+            };
+            let v = view(&battery, &queue, lt_alloc);
+            let decision = controller.plan_slot(&sobs, &v);
+
+            let inputs = SlotInputs {
+                slot: id,
+                slot_hours,
+                demand_ds: self.truth.demand_ds[id.index],
+                demand_dt: self.truth.demand_dt[id.index],
+                renewable: self.truth.renewable[id.index],
+                price_rt: self.truth.price_rt[id.index],
+                price_lt: self.truth.price_lt[id.frame],
+                lt_alloc,
+            };
+            let outcome = plant::step(&self.params, &inputs, &decision, &mut battery, &mut queue)?;
+
+            // ---- Aggregate metrics. ----------------------------------------
+            report.cost_lt += outcome.cost.long_term;
+            report.cost_rt += outcome.cost.real_time;
+            report.cost_battery += outcome.cost.battery;
+            report.cost_waste += outcome.cost.waste;
+            report.energy_lt += outcome.supply_lt;
+            report.energy_rt += outcome.purchase_rt;
+            report.energy_emergency += outcome.emergency_rt;
+            report.energy_renewable += outcome.renewable;
+            report.energy_wasted += outcome.waste;
+            report.served_ds += outcome.served_ds;
+            report.served_dt += outcome.served_dt;
+            report.unserved_ds += outcome.unserved_ds;
+            if outcome.unserved_ds > Energy::ZERO {
+                report.availability_violations += 1;
+            }
+            report.peak_grid_draw = report.peak_grid_draw.max(outcome.grid_draw());
+
+            let v_after = view(&battery, &queue, lt_alloc);
+            controller.end_slot(&outcome, &v_after);
+            if let Some(rec) = recorded.as_mut() {
+                rec.push(outcome);
+            }
+        }
+
+        // ---- Peak demand charge (extension; off by default). -----------------
+        if self.params.peak_charge_per_mw > 0.0 {
+            let peak_mw = report.peak_grid_draw.mwh() / slot_hours;
+            report.cost_peak =
+                dpss_units::Money::from_dollars(peak_mw * self.params.peak_charge_per_mw);
+        }
+
+        // ---- Final queue/battery statistics. --------------------------------
+        let last = clock.total_slots() - 1;
+        report.average_delay_slots = queue.ledger().average_delay_slots();
+        report.max_delay_slots = queue.ledger().max_delay_slots();
+        report.oldest_pending_age = queue.ledger().oldest_pending_age(last);
+        report.final_backlog = queue.backlog();
+        report.max_backlog = queue.max_backlog_seen();
+        report.battery_ops = battery.operations();
+        report.battery_min = battery.min_level_seen();
+        report.battery_max = battery.max_level_seen();
+        report.slot_outcomes = recorded;
+        Ok(report)
+    }
+}
+
+fn empty_report(controller: &str, slots: usize) -> RunReport {
+    RunReport {
+        controller: controller.to_owned(),
+        slots,
+        cost_lt: dpss_units::Money::ZERO,
+        cost_rt: dpss_units::Money::ZERO,
+        cost_battery: dpss_units::Money::ZERO,
+        cost_waste: dpss_units::Money::ZERO,
+        cost_peak: dpss_units::Money::ZERO,
+        energy_lt: Energy::ZERO,
+        energy_rt: Energy::ZERO,
+        energy_emergency: Energy::ZERO,
+        energy_renewable: Energy::ZERO,
+        energy_wasted: Energy::ZERO,
+        served_ds: Energy::ZERO,
+        served_dt: Energy::ZERO,
+        unserved_ds: Energy::ZERO,
+        availability_violations: 0,
+        average_delay_slots: 0.0,
+        max_delay_slots: 0,
+        oldest_pending_age: None,
+        final_backlog: Energy::ZERO,
+        max_backlog: Energy::ZERO,
+        battery_ops: 0,
+        battery_min: Energy::ZERO,
+        battery_max: Energy::ZERO,
+        peak_grid_draw: Energy::ZERO,
+        slot_outcomes: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FrameDecision, SlotDecision};
+    use dpss_traces::{paper_month_traces, Scenario, UniformError};
+    use dpss_units::SlotClock;
+
+    /// Serves everything eagerly from the real-time market.
+    struct Eager;
+    impl Controller for Eager {
+        fn name(&self) -> &str {
+            "eager"
+        }
+        fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+            FrameDecision::default()
+        }
+        fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+            SlotDecision {
+                purchase_rt: (obs.demand_ds + view.queue_backlog + obs.demand_dt
+                    - obs.renewable)
+                    .positive_part(),
+                serve_fraction: 1.0,
+            }
+        }
+    }
+
+    /// Buys a fixed long-term block every frame, nothing real-time.
+    struct LtOnly(f64);
+    impl Controller for LtOnly {
+        fn name(&self) -> &str {
+            "lt-only"
+        }
+        fn plan_frame(&mut self, obs: &FrameObservation, _: &SystemView) -> FrameDecision {
+            FrameDecision {
+                purchase_lt: Energy::from_mwh(self.0 * obs.slots_in_frame as f64),
+            }
+        }
+        fn plan_slot(&mut self, _: &SlotObservation, _: &SystemView) -> SlotDecision {
+            SlotDecision {
+                purchase_rt: Energy::ZERO,
+                serve_fraction: 1.0,
+            }
+        }
+    }
+
+    #[test]
+    fn eager_controller_serves_everything() {
+        let traces = paper_month_traces(42).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces.clone()).unwrap();
+        let r = engine.run(&mut Eager).unwrap();
+        assert_eq!(r.unserved_ds, Energy::ZERO);
+        assert_eq!(r.availability_violations, 0);
+        // All delay-tolerant demand served promptly → tiny final backlog.
+        assert!(r.final_backlog.mwh() < 1.0, "backlog {}", r.final_backlog);
+        // Eq. (2) serves the *pre-arrival* backlog, so even an eager policy
+        // incurs exactly one slot of delay.
+        assert!(r.average_delay_slots <= 1.0 + 1e-9);
+        assert!(r.average_delay_slots >= 1.0 - 1e-9);
+        // Conservation: served ≤ demand.
+        assert!(r.served_ds.mwh() <= traces.demand_ds.iter().sum::<Energy>().mwh() + 1e-6);
+    }
+
+    #[test]
+    fn energy_conservation_across_run() {
+        let traces = paper_month_traces(7).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces)
+            .unwrap()
+            .with_slot_recording(true);
+        let r = engine.run(&mut Eager).unwrap();
+        // Per-slot balance: supply + discharge = served + charge + waste.
+        for o in r.slot_outcomes.as_ref().unwrap() {
+            let lhs = o.supply_lt + o.purchase_rt + o.renewable + o.discharge;
+            let rhs = o.served_ds + o.served_dt + o.charge + o.waste + o.unserved_ds;
+            assert!(
+                (lhs.mwh() - rhs.mwh()).abs() < 1e-6,
+                "slot {}: {lhs:?} vs {rhs:?}",
+                o.slot.index
+            );
+        }
+    }
+
+    #[test]
+    fn lt_only_controller_uses_long_term_market() {
+        let traces = paper_month_traces(3).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        let r = engine.run(&mut LtOnly(1.2)).unwrap();
+        assert!(r.cost_lt.dollars() > 0.0);
+        assert!(r.energy_lt.mwh() > 0.0);
+        // Emergency purchases may exist (tight slots) but the bulk is LT.
+        assert!(r.energy_lt > r.energy_rt);
+        assert_eq!(r.unserved_ds, Energy::ZERO, "guard keeps availability");
+    }
+
+    #[test]
+    fn lt_purchase_clamped_to_interconnect() {
+        let traces = paper_month_traces(4).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        // Ask for an absurd block; per-slot allocation must be ≤ Pgrid·Δh.
+        let r = engine.run(&mut LtOnly(1e9)).unwrap();
+        assert!(r.energy_lt.mwh() <= 2.0 * 744.0 + 1e-6);
+        assert!(r.peak_grid_draw.mwh() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn battery_level_never_leaves_window() {
+        let traces = paper_month_traces(5).unwrap();
+        let params = SimParams::icdcs13();
+        let engine = Engine::new(params, traces).unwrap();
+        let r = engine.run(&mut Eager).unwrap();
+        assert!(r.battery_min >= params.battery.min_level - Energy::from_mwh(1e-9));
+        assert!(r.battery_max <= params.battery.capacity + Energy::from_mwh(1e-9));
+    }
+
+    #[test]
+    fn observed_traces_must_share_calendar() {
+        let truth = paper_month_traces(6).unwrap();
+        let other = Scenario::icdcs13()
+            .generate(&SlotClock::new(2, 24, 1.0).unwrap(), 6)
+            .unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), truth).unwrap();
+        assert!(matches!(
+            engine.with_observed(other),
+            Err(SimError::ObservationMismatch)
+        ));
+    }
+
+    #[test]
+    fn observation_errors_change_decisions_not_physics() {
+        let truth = paper_month_traces(8).unwrap();
+        let observed = UniformError::new(0.5)
+            .unwrap()
+            .perturb(&truth, 99)
+            .unwrap();
+        let base = Engine::new(SimParams::icdcs13(), truth.clone()).unwrap();
+        let noisy = Engine::new(SimParams::icdcs13(), truth)
+            .unwrap()
+            .with_observed(observed)
+            .unwrap();
+        let r_base = base.run(&mut Eager).unwrap();
+        let r_noisy = noisy.run(&mut Eager).unwrap();
+        // Physics identical in total demand served + unserved + backlog...
+        let total_base = r_base.served_ds + r_base.unserved_ds;
+        let total_noisy = r_noisy.served_ds + r_noisy.unserved_ds;
+        assert!((total_base.mwh() - total_noisy.mwh()).abs() < 1e-6);
+        // ...but the decisions (and hence costs) differ.
+        assert_ne!(r_base.total_cost(), r_noisy.total_cost());
+    }
+
+    #[test]
+    fn invalid_lt_decision_is_reported() {
+        struct BadLt;
+        impl Controller for BadLt {
+            fn name(&self) -> &str {
+                "bad"
+            }
+            fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+                FrameDecision {
+                    purchase_lt: Energy::from_mwh(-1.0),
+                }
+            }
+            fn plan_slot(&mut self, _: &SlotObservation, _: &SystemView) -> SlotDecision {
+                SlotDecision::default()
+            }
+        }
+        let traces = paper_month_traces(9).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        assert!(matches!(
+            engine.run(&mut BadLt),
+            Err(SimError::InvalidDecision { what: "purchase_lt", .. })
+        ));
+    }
+
+    #[test]
+    fn run_is_repeatable_and_engine_reusable() {
+        let traces = paper_month_traces(10).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        let a = engine.run(&mut Eager).unwrap();
+        let b = engine.run(&mut Eager).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn forecast_policies_change_frame_observations_only() {
+        // An oracle forecast changes lt purchasing decisions (frame obs)
+        // but must not touch the physics or the per-slot observations.
+        let traces = paper_month_traces(12).unwrap();
+        let params = SimParams::icdcs13();
+        let base = Engine::new(params, traces.clone()).unwrap();
+        let oracle = Engine::new(params, traces)
+            .unwrap()
+            .with_forecast(crate::ForecastPolicy::Oracle)
+            .unwrap();
+        let r_base = base.run(&mut LtOnly(1.0)).unwrap();
+        let r_oracle = oracle.run(&mut LtOnly(1.0)).unwrap();
+        // LtOnly ignores the frame observation content except via its own
+        // constant, so outcomes are identical → proves no physics change.
+        assert_eq!(r_base.total_cost(), r_oracle.total_cost());
+
+        // Eager uses frame observations? No — it ignores them too; use a
+        // controller that buys the observed frame demand ahead.
+        struct BuyObserved;
+        impl Controller for BuyObserved {
+            fn name(&self) -> &str {
+                "buy-observed"
+            }
+            fn plan_frame(&mut self, obs: &FrameObservation, _: &SystemView) -> FrameDecision {
+                FrameDecision {
+                    purchase_lt: (obs.demand_ds + obs.demand_dt - obs.renewable)
+                        .positive_part()
+                        * obs.slots_in_frame as f64,
+                }
+            }
+            fn plan_slot(&mut self, _: &SlotObservation, _: &SystemView) -> SlotDecision {
+                SlotDecision {
+                    purchase_rt: Energy::ZERO,
+                    serve_fraction: 1.0,
+                }
+            }
+        }
+        let r_base = base.run(&mut BuyObserved).unwrap();
+        let r_oracle = oracle.run(&mut BuyObserved).unwrap();
+        assert_ne!(
+            r_base.total_cost(),
+            r_oracle.total_cost(),
+            "oracle forecast must change frame decisions"
+        );
+    }
+
+    #[test]
+    fn noisy_oracle_validates_and_runs() {
+        let traces = paper_month_traces(14).unwrap();
+        let params = SimParams::icdcs13();
+        assert!(Engine::new(params, traces.clone())
+            .unwrap()
+            .with_forecast(crate::ForecastPolicy::NoisyOracle {
+                rel_std: -1.0,
+                seed: 0
+            })
+            .is_err());
+        let engine = Engine::new(params, traces)
+            .unwrap()
+            .with_forecast(crate::ForecastPolicy::NoisyOracle {
+                rel_std: 0.22,
+                seed: 7,
+            })
+            .unwrap();
+        let r = engine.run(&mut Eager).unwrap();
+        assert_eq!(r.unserved_ds, Energy::ZERO);
+    }
+
+    #[test]
+    fn peak_charge_prices_the_largest_draw() {
+        let traces = paper_month_traces(15).unwrap();
+        let mut params = SimParams::icdcs13();
+        params.peak_charge_per_mw = 1_000.0;
+        let engine = Engine::new(params, traces).unwrap();
+        let r = engine.run(&mut Eager).unwrap();
+        let expected = r.peak_grid_draw.mwh() / 1.0 * 1_000.0;
+        assert!((r.cost_peak.dollars() - expected).abs() < 1e-9);
+        assert!(r.total_cost() > r.cost_lt + r.cost_rt + r.cost_battery + r.cost_waste);
+        // Default configuration charges nothing.
+        let free = Engine::new(SimParams::icdcs13(), paper_month_traces(15).unwrap()).unwrap();
+        assert_eq!(free.run(&mut Eager).unwrap().cost_peak.dollars(), 0.0);
+    }
+
+    #[test]
+    fn report_names_controller() {
+        let traces = paper_month_traces(11).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        let r = engine.run(&mut Eager).unwrap();
+        assert_eq!(r.controller, "eager");
+        assert!(r.summary().contains("eager"));
+    }
+}

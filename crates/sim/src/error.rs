@@ -1,0 +1,131 @@
+use std::error::Error;
+use std::fmt;
+
+use dpss_traces::TraceError;
+use dpss_units::UnitsError;
+
+/// Error produced by simulator configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A parameter violates its documented range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint.
+        requirement: &'static str,
+    },
+    /// A battery operation would violate a physical limit (rate, capacity
+    /// window or cycle budget). The plant never triggers this — it clamps
+    /// first — but direct [`Battery`](crate::Battery) users can.
+    BatteryLimit {
+        /// Which operation was attempted.
+        operation: &'static str,
+        /// Requested amount in MWh.
+        requested: f64,
+        /// Maximum permitted amount in MWh.
+        limit: f64,
+    },
+    /// A controller returned a NaN or negative decision.
+    InvalidDecision {
+        /// Which decision field was invalid.
+        what: &'static str,
+        /// Fine-slot index at which it happened.
+        slot: usize,
+    },
+    /// The observed trace set does not share the true trace set's calendar.
+    ObservationMismatch,
+    /// An underlying trace error.
+    Trace(TraceError),
+    /// An underlying units/calendar error.
+    Units(UnitsError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidParameter { what, requirement } => {
+                write!(f, "parameter {what} {requirement}")
+            }
+            SimError::BatteryLimit {
+                operation,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "battery {operation} of {requested} MWh exceeds limit {limit} MWh"
+            ),
+            SimError::InvalidDecision { what, slot } => {
+                write!(f, "controller produced invalid {what} at slot {slot}")
+            }
+            SimError::ObservationMismatch => {
+                write!(f, "observed traces use a different calendar than the truth")
+            }
+            SimError::Trace(e) => write!(f, "trace error: {e}"),
+            SimError::Units(e) => write!(f, "units error: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Trace(e) => Some(e),
+            SimError::Units(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(e: TraceError) -> Self {
+        SimError::Trace(e)
+    }
+}
+
+impl From<UnitsError> for SimError {
+    fn from(e: UnitsError) -> Self {
+        SimError::Units(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SimError::BatteryLimit {
+            operation: "discharge",
+            requested: 2.0,
+            limit: 0.5,
+        };
+        let s = e.to_string();
+        assert!(s.contains("discharge") && s.contains('2') && s.contains("0.5"));
+
+        let e = SimError::InvalidDecision {
+            what: "serve_fraction",
+            slot: 17,
+        };
+        assert!(e.to_string().contains("17"));
+        assert!(SimError::ObservationMismatch.to_string().contains("calendar"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        let e: SimError = TraceError::InvalidParameter {
+            what: "beta",
+            requirement: "must be finite",
+        }
+        .into();
+        assert!(Error::source(&e).is_some());
+        let e: SimError = UnitsError::ZeroCount { what: "frames" }.into();
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_bounds<T: Send + Sync + 'static>() {}
+        assert_bounds::<SimError>();
+    }
+}

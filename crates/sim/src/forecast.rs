@@ -1,0 +1,147 @@
+//! Frame-level forecasting policies (extension; paper §IV-C notes that
+//! "advanced prediction techniques can complement SmartDPSS").
+//!
+//! The paper's controller approximates the coming frame by the current
+//! observation; real deployments would plug in a day-ahead forecast. The
+//! engine supports three policies for producing the demand/renewable
+//! fields of a [`FrameObservation`](crate::FrameObservation):
+//!
+//! * [`ForecastPolicy::PrevFrameAverage`] — the default causal policy
+//!   (per-slot averages over the previous frame);
+//! * [`ForecastPolicy::Oracle`] — the *coming* frame's true per-slot
+//!   averages (an idealized perfect day-ahead forecast);
+//! * [`ForecastPolicy::NoisyOracle`] — the oracle corrupted by
+//!   multiplicative gaussian error of a given relative standard
+//!   deviation (e.g. `0.22` for the 22.2% hour-ahead error the paper
+//!   cites for renewables).
+//!
+//! The `forecast_ablation` rows of the `ablations` figure quantify how
+//! much better frame information is worth.
+
+use serde::{Deserialize, Serialize};
+
+/// How the engine fills the demand/renewable fields of a frame
+/// observation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ForecastPolicy {
+    /// Per-slot averages over the previous frame (causal; the paper's
+    /// "approximate the future by the present").
+    #[default]
+    PrevFrameAverage,
+    /// Per-slot averages over the *coming* frame, from the observed trace
+    /// set (perfect day-ahead forecast).
+    Oracle,
+    /// [`ForecastPolicy::Oracle`] with multiplicative gaussian noise:
+    /// each forecast is scaled by `max(0, 1 + rel_std·ε)`, `ε ~ N(0,1)`,
+    /// deterministic in the engine run (seeded per frame).
+    NoisyOracle {
+        /// Relative standard deviation of the forecast error.
+        rel_std: f64,
+        /// Seed for the forecast error stream.
+        seed: u64,
+    },
+}
+
+impl ForecastPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SimError::InvalidParameter`] if `rel_std` is negative or
+    /// not finite.
+    pub fn validate(&self) -> Result<(), crate::SimError> {
+        if let ForecastPolicy::NoisyOracle { rel_std, .. } = self {
+            if !(rel_std.is_finite() && *rel_std >= 0.0) {
+                return Err(crate::SimError::InvalidParameter {
+                    what: "forecast rel_std",
+                    requirement: "must be finite and non-negative",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Deterministic multiplicative noise factor for `frame` and
+    /// `component` (0 = ds, 1 = dt, 2 = renewable).
+    pub(crate) fn noise_factor(&self, frame: usize, component: u64) -> f64 {
+        match self {
+            ForecastPolicy::NoisyOracle { rel_std, seed } => {
+                // splitmix64 → two uniform draws → Box–Muller gaussian.
+                let mut z = seed
+                    ^ (frame as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ component.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                let mut next = || {
+                    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut x = z;
+                    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    x ^= x >> 31;
+                    (x >> 11) as f64 / (1u64 << 53) as f64
+                };
+                let u1: f64 = next().max(f64::MIN_POSITIVE);
+                let u2: f64 = next();
+                let gauss =
+                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (1.0 + rel_std * gauss).max(0.0)
+            }
+            _ => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_causal() {
+        assert_eq!(ForecastPolicy::default(), ForecastPolicy::PrevFrameAverage);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(ForecastPolicy::PrevFrameAverage.validate().is_ok());
+        assert!(ForecastPolicy::Oracle.validate().is_ok());
+        assert!(ForecastPolicy::NoisyOracle {
+            rel_std: 0.22,
+            seed: 1
+        }
+        .validate()
+        .is_ok());
+        assert!(ForecastPolicy::NoisyOracle {
+            rel_std: -0.1,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ForecastPolicy::NoisyOracle {
+            rel_std: f64::NAN,
+            seed: 1
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn noise_factor_properties() {
+        let p = ForecastPolicy::NoisyOracle {
+            rel_std: 0.2,
+            seed: 9,
+        };
+        // Deterministic per (frame, component), non-negative, varies.
+        assert_eq!(p.noise_factor(3, 0), p.noise_factor(3, 0));
+        assert_ne!(p.noise_factor(3, 0), p.noise_factor(4, 0));
+        assert_ne!(p.noise_factor(3, 0), p.noise_factor(3, 1));
+        let mut sum = 0.0;
+        for f in 0..2000 {
+            let x = p.noise_factor(f, 2);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / 2000.0;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        // Exact policies are noiseless.
+        assert_eq!(ForecastPolicy::Oracle.noise_factor(5, 1), 1.0);
+        assert_eq!(ForecastPolicy::PrevFrameAverage.noise_factor(5, 1), 1.0);
+    }
+}

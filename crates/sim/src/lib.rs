@@ -1,0 +1,91 @@
+//! Discrete-time two-timescale simulator for datacenter power supply
+//! systems (DPSS).
+//!
+//! This crate is the *physical plant* of the SmartDPSS reproduction: it
+//! owns everything the paper's Eqs. (1)–(9) say about how energy actually
+//! flows, and it is deliberately separate from the control algorithms in
+//! `dpss-core` so that every controller — SmartDPSS, the offline benchmark,
+//! the `Impatient` baseline, or anything a downstream user writes — faces
+//! exactly the same physics:
+//!
+//! * [`Battery`] — the UPS model: capacity window `[Bmin, Bmax]`, per-slot
+//!   rate caps `Bcmax`/`Bdmax`, charge efficiency `ηc`, discharge
+//!   efficiency `1/ηd`, per-operation wear cost `Cb`, optional cycle
+//!   budget `Nmax` (Eqs. (3)(7)(8)(9));
+//! * [`DemandQueue`] + [`DelayLedger`] — the delay-tolerant backlog `Q(τ)`
+//!   of Eq. (2) with an exact FIFO ledger that measures realized per-MWh
+//!   service delay (the y-axis of Figs. 6(b) and 6(d));
+//! * [`Controller`] — the trait every control policy implements: one
+//!   long-term decision per coarse frame (`g_bef`), one real-time decision
+//!   per fine slot (`g_rt`, `γ`);
+//! * [`Engine`] — the run loop. It enforces the supply/demand balance of
+//!   Eq. (4) with a *feasibility guard* (emergency real-time purchases
+//!   before any load shedding), supports a split between *true* traces
+//!   (what the plant experiences) and *observed* traces (what the
+//!   controller sees — the Fig. 9 robustness experiment), and produces a
+//!   [`RunReport`];
+//! * [`SimParams`] — the paper's §VI-A parameter set via
+//!   [`SimParams::icdcs13`].
+//!
+//! # Examples
+//!
+//! A minimal greedy controller running on the paper's one-month scenario:
+//!
+//! ```
+//! use dpss_sim::{Controller, Engine, FrameObservation, SimParams,
+//!                SlotDecision, SlotObservation, SystemView, FrameDecision};
+//! use dpss_traces::paper_month_traces;
+//! use dpss_units::Energy;
+//!
+//! /// Buys everything it needs in the real-time market, serves eagerly.
+//! struct Greedy;
+//!
+//! impl Controller for Greedy {
+//!     fn name(&self) -> &str { "greedy" }
+//!     fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+//!         FrameDecision { purchase_lt: Energy::ZERO }
+//!     }
+//!     fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+//!         SlotDecision {
+//!             purchase_rt: (obs.demand_ds + view.queue_backlog - obs.renewable)
+//!                 .positive_part(),
+//!             serve_fraction: 1.0,
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let traces = paper_month_traces(42)?;
+//! let engine = Engine::new(SimParams::icdcs13(), traces)?;
+//! let report = engine.run(&mut Greedy)?;
+//! assert!(report.unserved_ds == Energy::ZERO, "no blackout");
+//! assert!(report.total_cost().dollars() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod battery;
+mod controller;
+mod delay;
+mod engine;
+mod error;
+mod forecast;
+mod metrics;
+mod params;
+mod plant;
+mod queue;
+
+pub use battery::{Battery, BatteryParams};
+pub use controller::{
+    Controller, FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView,
+};
+pub use delay::DelayLedger;
+pub use engine::Engine;
+pub use error::SimError;
+pub use forecast::ForecastPolicy;
+pub use metrics::{RunReport, SlotCost, SlotOutcome};
+pub use params::SimParams;
+pub use queue::DemandQueue;

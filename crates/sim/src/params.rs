@@ -1,0 +1,192 @@
+use dpss_units::{Energy, Power, Price};
+use serde::{Deserialize, Serialize};
+
+use crate::{BatteryParams, SimError};
+
+/// All physical parameters of a simulation run (the paper's §VI-A table,
+/// minus the trace inputs which live in `dpss-traces`).
+///
+/// Public fields form a passive record; [`SimParams::validate`] enforces
+/// consistency when an [`Engine`](crate::Engine) is built.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::SimParams;
+///
+/// let p = SimParams::icdcs13();
+/// assert_eq!(p.grid_cap.mw(), 2.0);
+/// assert_eq!(p.price_cap.dollars_per_mwh(), 100.0);
+/// p.validate().unwrap();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// UPS battery configuration.
+    pub battery: BatteryParams,
+    /// Grid interconnect limit `Pgrid` (Eq. (5)): the *combined* long-term
+    /// allocation plus real-time purchase per slot may not exceed
+    /// `Pgrid × slot_hours`.
+    pub grid_cap: Power,
+    /// Optional cap `Smax` on total supply per slot (Eq. (1)); `None`
+    /// disables the cap (the interconnect limit usually binds first).
+    pub supply_cap: Option<Energy>,
+    /// Optional cap `Sdtmax` on delay-tolerant service per slot; `None`
+    /// disables it (service is then limited by the backlog itself).
+    pub sdt_max: Option<Energy>,
+    /// Price at which wasted energy `W(τ)` is penalized. The paper adds
+    /// `W(τ)` to the cost with unit weight, i.e. `$1/MWh`.
+    pub waste_price: Price,
+    /// Market price cap `Pmax` (used by the Theorem 2 bound calculators;
+    /// trace generators enforce it on the series themselves).
+    pub price_cap: Price,
+    /// Optional demand charge in dollars per MW of the *largest* per-slot
+    /// grid draw over the horizon (extension; the paper lists power-peak
+    /// management as future work). `0` — the paper's model — disables it.
+    pub peak_charge_per_mw: f64,
+}
+
+impl SimParams {
+    /// The paper's evaluation parameters with the default 15-minute battery:
+    /// `Pgrid = 2 MW`, `Pmax = $100/MWh`, waste at `$1/MWh`, no `Smax`.
+    #[must_use]
+    pub fn icdcs13() -> Self {
+        Self::icdcs13_with_battery(15.0)
+    }
+
+    /// Same as [`SimParams::icdcs13`] but with the battery sized to
+    /// `bmax_minutes` of peak demand (`0`, `15`, `30` in Fig. 7).
+    #[must_use]
+    pub fn icdcs13_with_battery(bmax_minutes: f64) -> Self {
+        SimParams {
+            battery: BatteryParams::icdcs13(bmax_minutes),
+            grid_cap: Power::from_mw(2.0),
+            supply_cap: None,
+            sdt_max: None,
+            waste_price: Price::from_dollars_per_mwh(1.0),
+            price_cap: Price::from_dollars_per_mwh(100.0),
+            peak_charge_per_mw: 0.0,
+        }
+    }
+
+    /// Grid energy limit for one fine slot of `slot_hours` hours.
+    #[must_use]
+    pub fn grid_slot_cap(&self, slot_hours: f64) -> Energy {
+        self.grid_cap.over_hours(slot_hours)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] describing the first violated rule.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.battery.validate()?;
+        if !(self.grid_cap.is_finite() && self.grid_cap.mw() > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "grid_cap",
+                requirement: "must be finite and positive",
+            });
+        }
+        if let Some(s) = self.supply_cap {
+            if !(s.is_finite() && s.mwh() > 0.0) {
+                return Err(SimError::InvalidParameter {
+                    what: "supply_cap",
+                    requirement: "must be finite and positive when set",
+                });
+            }
+        }
+        if let Some(s) = self.sdt_max {
+            if !(s.is_finite() && s.mwh() >= 0.0) {
+                return Err(SimError::InvalidParameter {
+                    what: "sdt_max",
+                    requirement: "must be finite and non-negative when set",
+                });
+            }
+        }
+        if !(self.waste_price.is_finite() && self.waste_price.dollars_per_mwh() >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "waste_price",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        if !(self.price_cap.is_finite() && self.price_cap.dollars_per_mwh() > 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "price_cap",
+                requirement: "must be finite and positive",
+            });
+        }
+        if !(self.peak_charge_per_mw.is_finite() && self.peak_charge_per_mw >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "peak_charge_per_mw",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate() {
+        SimParams::icdcs13().validate().unwrap();
+        SimParams::icdcs13_with_battery(0.0).validate().unwrap();
+        SimParams::icdcs13_with_battery(30.0).validate().unwrap();
+    }
+
+    #[test]
+    fn battery_size_scales_with_minutes() {
+        let p0 = SimParams::icdcs13_with_battery(0.0);
+        let p30 = SimParams::icdcs13_with_battery(30.0);
+        assert_eq!(p0.battery.capacity, Energy::ZERO);
+        assert_eq!(p30.battery.capacity, Energy::from_mwh(1.0));
+    }
+
+    #[test]
+    fn grid_slot_cap_scales_with_duration() {
+        let p = SimParams::icdcs13();
+        assert_eq!(p.grid_slot_cap(1.0), Energy::from_mwh(2.0));
+        assert_eq!(p.grid_slot_cap(0.25), Energy::from_mwh(0.5));
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut p = SimParams::icdcs13();
+        p.grid_cap = Power::ZERO;
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.supply_cap = Some(Energy::from_mwh(-1.0));
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.sdt_max = Some(Energy::from_mwh(f64::NAN));
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.waste_price = Price::from_dollars_per_mwh(-2.0);
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.price_cap = Price::ZERO;
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.battery.charge_efficiency = 2.0;
+        assert!(p.validate().is_err());
+
+        let mut p = SimParams::icdcs13();
+        p.peak_charge_per_mw = -1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn peak_charge_defaults_off() {
+        assert_eq!(SimParams::icdcs13().peak_charge_per_mw, 0.0);
+        let mut p = SimParams::icdcs13();
+        p.peak_charge_per_mw = 5000.0;
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,145 @@
+use dpss_units::Energy;
+
+use crate::DelayLedger;
+
+/// The delay-tolerant demand queue `Q(τ)` of Eq. (2), paired with an exact
+/// FIFO [`DelayLedger`] so that realized delays are measured, not modeled.
+///
+/// The update order follows the paper exactly: service `s_dt(τ) = γ(τ)·Q(τ)`
+/// draws on the *pre-arrival* backlog, then the slot's arrival `d_dt(τ)` is
+/// appended — `Q(τ+1) = max{Q(τ) − s_dt(τ), 0} + d_dt(τ)`.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::DemandQueue;
+/// use dpss_units::Energy;
+///
+/// let mut q = DemandQueue::new();
+/// q.arrive(0, Energy::from_mwh(1.0));
+/// let served = q.serve(1, Energy::from_mwh(0.4));
+/// assert_eq!(served, Energy::from_mwh(0.4));
+/// assert_eq!(q.backlog(), Energy::from_mwh(0.6));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DemandQueue {
+    backlog: Energy,
+    max_backlog: Energy,
+    ledger: DelayLedger,
+}
+
+impl DemandQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        DemandQueue::default()
+    }
+
+    /// Current backlog `Q(τ)`.
+    #[must_use]
+    pub fn backlog(&self) -> Energy {
+        self.backlog
+    }
+
+    /// Largest backlog observed (the Theorem 2(3) `Qmax` audit).
+    #[must_use]
+    pub fn max_backlog_seen(&self) -> Energy {
+        self.max_backlog
+    }
+
+    /// Appends `amount` of delay-tolerant demand arriving at `slot`.
+    ///
+    /// Non-positive amounts are ignored.
+    pub fn arrive(&mut self, slot: usize, amount: Energy) {
+        if amount <= Energy::ZERO {
+            return;
+        }
+        self.backlog += amount;
+        self.max_backlog = self.max_backlog.max(self.backlog);
+        self.ledger.arrive(slot, amount);
+    }
+
+    /// Serves up to `amount` from the backlog in FIFO order at `slot`,
+    /// returning the energy actually served (capped by the backlog).
+    pub fn serve(&mut self, slot: usize, amount: Energy) -> Energy {
+        let target = amount.max(Energy::ZERO).min(self.backlog);
+        let served = self.ledger.serve(slot, target);
+        self.backlog = (self.backlog - served).positive_part();
+        served
+    }
+
+    /// Read access to the delay ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &DelayLedger {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mwh(x: f64) -> Energy {
+        Energy::from_mwh(x)
+    }
+
+    #[test]
+    fn paper_update_order() {
+        // Q(0)=0, arrive 1.0 at slot 0; at slot 1 serve γ=0.5·Q then a new
+        // arrival lands: Q(2) = max(1.0 − 0.5, 0) + 0.3 = 0.8.
+        let mut q = DemandQueue::new();
+        q.arrive(0, mwh(1.0));
+        assert_eq!(q.backlog(), mwh(1.0));
+        let served = q.serve(1, mwh(0.5));
+        assert_eq!(served, mwh(0.5));
+        q.arrive(1, mwh(0.3));
+        assert_eq!(q.backlog(), mwh(0.8));
+    }
+
+    #[test]
+    fn service_capped_by_backlog() {
+        let mut q = DemandQueue::new();
+        q.arrive(0, mwh(0.4));
+        let served = q.serve(2, mwh(1.0));
+        assert_eq!(served, mwh(0.4));
+        assert_eq!(q.backlog(), Energy::ZERO);
+        // Further service is a no-op.
+        assert_eq!(q.serve(3, mwh(1.0)), Energy::ZERO);
+    }
+
+    #[test]
+    fn max_backlog_tracked() {
+        let mut q = DemandQueue::new();
+        q.arrive(0, mwh(1.0));
+        q.arrive(1, mwh(2.0));
+        q.serve(2, mwh(2.5));
+        q.arrive(2, mwh(0.1));
+        assert_eq!(q.max_backlog_seen(), mwh(3.0));
+    }
+
+    #[test]
+    fn backlog_and_ledger_stay_consistent() {
+        let mut q = DemandQueue::new();
+        for slot in 0..50 {
+            q.arrive(slot, mwh(0.3));
+            if slot % 2 == 1 {
+                q.serve(slot, q.backlog() * 0.7);
+            }
+            assert!(
+                (q.backlog().mwh() - q.ledger().unserved().mwh()).abs() < 1e-9,
+                "slot {slot}"
+            );
+        }
+        assert!(q.ledger().average_delay_slots() > 0.0);
+    }
+
+    #[test]
+    fn negative_amounts_ignored() {
+        let mut q = DemandQueue::new();
+        q.arrive(0, mwh(-1.0));
+        assert_eq!(q.backlog(), Energy::ZERO);
+        q.arrive(0, mwh(1.0));
+        assert_eq!(q.serve(0, mwh(-0.5)), Energy::ZERO);
+        assert_eq!(q.backlog(), mwh(1.0));
+    }
+}

@@ -1,0 +1,118 @@
+use std::error::Error;
+use std::fmt;
+
+use dpss_units::UnitsError;
+
+/// Error produced by trace generation, validation or (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A series has the wrong length for its calendar.
+    LengthMismatch {
+        /// Which series is inconsistent.
+        series: &'static str,
+        /// Expected number of entries.
+        expected: usize,
+        /// Actual number of entries.
+        actual: usize,
+    },
+    /// A model parameter is out of its documented range.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint, e.g. `"must be in [0, 1]"`.
+        requirement: &'static str,
+    },
+    /// A generated or parsed value is NaN/infinite/negative where it must
+    /// not be.
+    InvalidValue {
+        /// Which series contains the bad value.
+        series: &'static str,
+        /// Fine-slot index of the bad value.
+        slot: usize,
+    },
+    /// A CSV line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// An invalid calendar was supplied.
+    Units(UnitsError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::LengthMismatch {
+                series,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "series {series} has {actual} entries, calendar expects {expected}"
+            ),
+            TraceError::InvalidParameter { what, requirement } => {
+                write!(f, "parameter {what} {requirement}")
+            }
+            TraceError::InvalidValue { series, slot } => {
+                write!(f, "series {series} has an invalid value at slot {slot}")
+            }
+            TraceError::Parse { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
+            TraceError::Units(e) => write!(f, "invalid calendar: {e}"),
+        }
+    }
+}
+
+impl Error for TraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TraceError::Units(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<UnitsError> for TraceError {
+    fn from(e: UnitsError) -> Self {
+        TraceError::Units(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = TraceError::LengthMismatch {
+            series: "renewable",
+            expected: 744,
+            actual: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("renewable") && s.contains("744") && s.contains("10"));
+
+        let e = TraceError::InvalidParameter {
+            what: "cloud_persistence",
+            requirement: "must be in [0, 1)",
+        };
+        assert!(e.to_string().contains("cloud_persistence"));
+
+        let e = TraceError::Parse {
+            line: 3,
+            reason: "expected 7 fields".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn units_error_is_wrapped_with_source() {
+        let e: TraceError = UnitsError::ZeroCount { what: "frames" }.into();
+        assert!(e.to_string().contains("frames"));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,151 @@
+use dpss_units::{Energy, Price};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::randutil::subseed;
+use crate::{TraceError, TraceSet};
+
+/// Uniform multiplicative observation-error model for the Fig. 9 robustness
+/// experiment.
+///
+/// The paper injects "uniformly distributed ±50% errors" into the demand,
+/// solar and price data the controller *observes*, while the physical plant
+/// continues to run on the true traces (§VI-C). [`UniformError::perturb`]
+/// produces the observed copy: every value is multiplied by an independent
+/// `Uniform[1 − f, 1 + f]` factor and re-clamped to validity.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_traces::{paper_month_traces, UniformError};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let truth = paper_month_traces(42)?;
+/// let observed = UniformError::new(0.5)?.perturb(&truth, 7)?;
+/// assert_ne!(observed, truth);
+/// assert_eq!(observed.clock, truth.clock);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformError {
+    fraction: f64,
+}
+
+impl UniformError {
+    /// Creates an error model with relative half-width `fraction` (e.g.
+    /// `0.5` for the paper's ±50%).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidParameter`] unless `fraction ∈ [0, 1]`.
+    pub fn new(fraction: f64) -> Result<Self, TraceError> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(TraceError::InvalidParameter {
+                what: "error fraction",
+                requirement: "must be in [0, 1]",
+            });
+        }
+        Ok(UniformError { fraction })
+    }
+
+    /// The relative half-width.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Returns the *observed* copy of `truth`: demand, renewable and price
+    /// series independently perturbed. Deterministic in `(self, truth,
+    /// seed)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceSet`] validation (cannot fail for valid input, as
+    /// perturbed values are clamped non-negative).
+    pub fn perturb(&self, truth: &TraceSet, seed: u64) -> Result<TraceSet, TraceError> {
+        let mut rng = StdRng::seed_from_u64(subseed(seed, 0xE88E_0005));
+        let f = self.fraction;
+        let mut factor = move |rng: &mut StdRng| 1.0 + f * (2.0 * rng.gen::<f64>() - 1.0);
+
+        let perturb_energy = |xs: &[Energy], rng: &mut StdRng, factor: &mut dyn FnMut(&mut StdRng) -> f64| {
+            xs.iter()
+                .map(|e| Energy::from_mwh((e.mwh() * factor(rng)).max(0.0)))
+                .collect::<Vec<_>>()
+        };
+        let demand_ds = perturb_energy(&truth.demand_ds, &mut rng, &mut factor);
+        let demand_dt = perturb_energy(&truth.demand_dt, &mut rng, &mut factor);
+        let renewable = perturb_energy(&truth.renewable, &mut rng, &mut factor);
+        let price_lt = truth
+            .price_lt
+            .iter()
+            .map(|p| Price::from_dollars_per_mwh((p.dollars_per_mwh() * factor(&mut rng)).max(0.0)))
+            .collect();
+        let price_rt = truth
+            .price_rt
+            .iter()
+            .map(|p| Price::from_dollars_per_mwh((p.dollars_per_mwh() * factor(&mut rng)).max(0.0)))
+            .collect();
+        TraceSet::new(
+            truth.clock,
+            demand_ds,
+            demand_dt,
+            renewable,
+            price_lt,
+            price_rt,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_month_traces;
+
+    #[test]
+    fn rejects_out_of_range_fraction() {
+        assert!(UniformError::new(-0.1).is_err());
+        assert!(UniformError::new(1.1).is_err());
+        assert!(UniformError::new(0.0).is_ok());
+        assert!(UniformError::new(1.0).is_ok());
+        assert_eq!(UniformError::new(0.5).unwrap().fraction(), 0.5);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let truth = paper_month_traces(1).unwrap();
+        let observed = UniformError::new(0.0).unwrap().perturb(&truth, 2).unwrap();
+        assert_eq!(observed, truth);
+    }
+
+    #[test]
+    fn errors_stay_within_band() {
+        let truth = paper_month_traces(3).unwrap();
+        let observed = UniformError::new(0.5).unwrap().perturb(&truth, 4).unwrap();
+        for (t, o) in truth.demand_ds.iter().zip(&observed.demand_ds) {
+            assert!(o.mwh() >= t.mwh() * 0.5 - 1e-12);
+            assert!(o.mwh() <= t.mwh() * 1.5 + 1e-12);
+        }
+        for (t, o) in truth.price_rt.iter().zip(&observed.price_rt) {
+            assert!(o.dollars_per_mwh() >= t.dollars_per_mwh() * 0.5 - 1e-12);
+            assert!(o.dollars_per_mwh() <= t.dollars_per_mwh() * 1.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let truth = paper_month_traces(5).unwrap();
+        let e = UniformError::new(0.3).unwrap();
+        assert_eq!(e.perturb(&truth, 6).unwrap(), e.perturb(&truth, 6).unwrap());
+        assert_ne!(e.perturb(&truth, 6).unwrap(), e.perturb(&truth, 7).unwrap());
+    }
+
+    #[test]
+    fn observed_copy_is_unbiased_in_aggregate() {
+        // Multiplicative Uniform[0.5, 1.5] noise keeps totals within a few
+        // percent over 744 slots.
+        let truth = paper_month_traces(8).unwrap();
+        let observed = UniformError::new(0.5).unwrap().perturb(&truth, 9).unwrap();
+        let ratio = observed.total_demand() / truth.total_demand();
+        assert!((ratio - 1.0).abs() < 0.06, "aggregate drift {ratio}");
+    }
+}

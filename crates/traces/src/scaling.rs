@@ -1,0 +1,249 @@
+//! Trace transforms behind the Fig. 8 and Fig. 10 experiments.
+//!
+//! * [`expand`] — the Fig. 10 system-expansion model: demand and renewables
+//!   scale by `β ≥ 1` while the UPS stays fixed (`d(β,t) = β·d(t)`,
+//!   `r(β,t) = β·r(t)`, §V-C);
+//! * [`with_renewable_penetration`] — rescales the renewable series so its
+//!   total equals a target fraction of total demand (the Fig. 8 x-axis);
+//! * [`with_demand_variation`] — stretches demand deviations around the
+//!   mean by a factor, holding the mean fixed (the Fig. 8 variation sweep).
+
+use dpss_units::Energy;
+
+use crate::{TraceError, TraceSet};
+
+/// Fig. 10 system expansion: returns a copy with demand and renewables
+/// multiplied by `beta` (prices and calendar unchanged, UPS unchanged by
+/// construction since the battery belongs to the simulator, not the trace).
+///
+/// # Errors
+///
+/// [`TraceError::InvalidParameter`] unless `beta ≥ 1` and finite, matching
+/// the paper's expansion model (`β ≥ 1`).
+///
+/// # Examples
+///
+/// ```
+/// let t = dpss_traces::paper_month_traces(42)?;
+/// let big = dpss_traces::scaling::expand(&t, 5.0)?;
+/// let ratio = big.total_demand() / t.total_demand();
+/// assert!((ratio - 5.0).abs() < 1e-9);
+/// # Ok::<(), dpss_traces::TraceError>(())
+/// ```
+pub fn expand(traces: &TraceSet, beta: f64) -> Result<TraceSet, TraceError> {
+    if !(beta.is_finite() && beta >= 1.0) {
+        return Err(TraceError::InvalidParameter {
+            what: "beta",
+            requirement: "must be finite and at least 1",
+        });
+    }
+    let scale = |xs: &[Energy]| xs.iter().map(|&e| e * beta).collect::<Vec<_>>();
+    TraceSet::new(
+        traces.clock,
+        scale(&traces.demand_ds),
+        scale(&traces.demand_dt),
+        scale(&traces.renewable),
+        traces.price_lt.clone(),
+        traces.price_rt.clone(),
+    )
+}
+
+/// Fig. 8 renewable-penetration sweep: rescales the renewable series so the
+/// horizon total equals `penetration × total demand` while preserving its
+/// temporal shape. `penetration = 0` zeroes the series.
+///
+/// # Errors
+///
+/// [`TraceError::InvalidParameter`] unless `penetration ∈ [0, ∞)` and
+/// finite, or if the base trace has no renewable energy to rescale while
+/// `penetration > 0`.
+///
+/// # Examples
+///
+/// ```
+/// let t = dpss_traces::paper_month_traces(42)?;
+/// let half = dpss_traces::scaling::with_renewable_penetration(&t, 0.5)?;
+/// assert!((half.renewable_penetration() - 0.5).abs() < 1e-9);
+/// # Ok::<(), dpss_traces::TraceError>(())
+/// ```
+pub fn with_renewable_penetration(
+    traces: &TraceSet,
+    penetration: f64,
+) -> Result<TraceSet, TraceError> {
+    if !(penetration.is_finite() && penetration >= 0.0) {
+        return Err(TraceError::InvalidParameter {
+            what: "penetration",
+            requirement: "must be finite and non-negative",
+        });
+    }
+    let total_r = traces.total_renewable();
+    let target = traces.total_demand() * penetration;
+    let renewable = if penetration == 0.0 {
+        vec![Energy::ZERO; traces.renewable.len()]
+    } else {
+        if total_r <= Energy::ZERO {
+            return Err(TraceError::InvalidParameter {
+                what: "penetration",
+                requirement: "requires a non-zero base renewable series",
+            });
+        }
+        let f = target / total_r;
+        traces.renewable.iter().map(|&e| e * f).collect()
+    };
+    TraceSet::new(
+        traces.clock,
+        traces.demand_ds.clone(),
+        traces.demand_dt.clone(),
+        renewable,
+        traces.price_lt.clone(),
+        traces.price_rt.clone(),
+    )
+}
+
+/// Fig. 8 demand-variation sweep: stretches each demand class around its
+/// own mean by `factor` (`0` flattens demand to the mean, `1` is identity,
+/// `> 1` exaggerates variation), clamping at zero. The paper quantifies
+/// variation with the standard deviation of the demand series under the
+/// uniform empirical distribution; stretching deviations scales that
+/// standard deviation by `factor` (up to the zero-clamp).
+///
+/// # Errors
+///
+/// [`TraceError::InvalidParameter`] unless `factor` is finite and
+/// non-negative.
+///
+/// # Examples
+///
+/// ```
+/// let t = dpss_traces::paper_month_traces(42)?;
+/// let flat = dpss_traces::scaling::with_demand_variation(&t, 0.0)?;
+/// assert!(flat.demand_stats().std < 1e-6);
+/// # Ok::<(), dpss_traces::TraceError>(())
+/// ```
+pub fn with_demand_variation(traces: &TraceSet, factor: f64) -> Result<TraceSet, TraceError> {
+    if !(factor.is_finite() && factor >= 0.0) {
+        return Err(TraceError::InvalidParameter {
+            what: "variation factor",
+            requirement: "must be finite and non-negative",
+        });
+    }
+    let stretch = |xs: &[Energy]| {
+        let mean = if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().map(|e| e.mwh()).sum::<f64>() / xs.len() as f64
+        };
+        xs.iter()
+            .map(|e| Energy::from_mwh((mean + factor * (e.mwh() - mean)).max(0.0)))
+            .collect::<Vec<_>>()
+    };
+    TraceSet::new(
+        traces.clock,
+        stretch(&traces.demand_ds),
+        stretch(&traces.demand_dt),
+        traces.renewable.clone(),
+        traces.price_lt.clone(),
+        traces.price_rt.clone(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_month_traces;
+
+    #[test]
+    fn expand_scales_demand_and_renewables_only() {
+        let t = paper_month_traces(1).unwrap();
+        let big = expand(&t, 2.0).unwrap();
+        assert!((big.total_demand() / t.total_demand() - 2.0).abs() < 1e-9);
+        assert!((big.total_renewable() / t.total_renewable() - 2.0).abs() < 1e-9);
+        assert_eq!(big.price_rt, t.price_rt);
+        assert_eq!(big.price_lt, t.price_lt);
+        // Penetration is invariant under uniform expansion.
+        assert!(
+            (big.renewable_penetration() - t.renewable_penetration()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn expand_rejects_shrinking() {
+        let t = paper_month_traces(2).unwrap();
+        assert!(expand(&t, 0.5).is_err());
+        assert!(expand(&t, f64::NAN).is_err());
+        assert!(expand(&t, 1.0).is_ok());
+    }
+
+    #[test]
+    fn penetration_hits_target() {
+        let t = paper_month_traces(3).unwrap();
+        for target in [0.0, 0.1, 0.5, 1.0] {
+            let s = with_renewable_penetration(&t, target).unwrap();
+            assert!(
+                (s.renewable_penetration() - target).abs() < 1e-9,
+                "target {target}"
+            );
+            assert_eq!(s.demand_ds, t.demand_ds, "demand untouched");
+        }
+    }
+
+    #[test]
+    fn penetration_preserves_temporal_shape() {
+        let t = paper_month_traces(4).unwrap();
+        let s = with_renewable_penetration(&t, 0.6).unwrap();
+        // Zero slots stay zero; ratios between non-zero slots are constant.
+        let mut ratio: Option<f64> = None;
+        for (a, b) in t.renewable.iter().zip(&s.renewable) {
+            if a.mwh() == 0.0 {
+                assert_eq!(b.mwh(), 0.0);
+            } else {
+                let r = b.mwh() / a.mwh();
+                if let Some(r0) = ratio {
+                    assert!((r - r0).abs() < 1e-9);
+                } else {
+                    ratio = Some(r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn penetration_rejects_invalid() {
+        let t = paper_month_traces(5).unwrap();
+        assert!(with_renewable_penetration(&t, -0.1).is_err());
+        assert!(with_renewable_penetration(&t, f64::INFINITY).is_err());
+        // Zero base renewables cannot be scaled up.
+        let zeroed = with_renewable_penetration(&t, 0.0).unwrap();
+        assert!(with_renewable_penetration(&zeroed, 0.5).is_err());
+        assert!(with_renewable_penetration(&zeroed, 0.0).is_ok());
+    }
+
+    #[test]
+    fn variation_scales_standard_deviation() {
+        let t = paper_month_traces(6).unwrap();
+        let base_std = t.demand_stats().std;
+        let flat = with_demand_variation(&t, 0.0).unwrap();
+        assert!(flat.demand_stats().std < 1e-6);
+        let half = with_demand_variation(&t, 0.5).unwrap();
+        // Mean preserved (no clamping for factor <= 1 on non-negative data
+        // with mean below all-positive values — allow small drift).
+        assert!(
+            (half.demand_stats().mean - t.demand_stats().mean).abs()
+                / t.demand_stats().mean
+                < 0.02
+        );
+        assert!((half.demand_stats().std - 0.5 * base_std).abs() / base_std < 0.05);
+        let double = with_demand_variation(&t, 2.0).unwrap();
+        assert!(double.demand_stats().std > 1.5 * base_std);
+    }
+
+    #[test]
+    fn variation_never_goes_negative() {
+        let t = paper_month_traces(7).unwrap();
+        let wild = with_demand_variation(&t, 5.0).unwrap();
+        for i in 0..wild.clock.total_slots() {
+            assert!(wild.demand_total(i).mwh() >= 0.0);
+        }
+        assert!(with_demand_variation(&t, -1.0).is_err());
+    }
+}

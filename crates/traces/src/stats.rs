@@ -1,0 +1,145 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a scalar series (used for trace reporting and the
+/// Fig. 8 demand-variation metric).
+///
+/// # Examples
+///
+/// ```
+/// use dpss_traces::SeriesStats;
+///
+/// let s = SeriesStats::from_values([1.0, 3.0].iter().copied());
+/// assert_eq!(s.mean, 2.0);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 3.0);
+/// assert_eq!(s.std, 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SeriesStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper's Fig. 8 uses the uniform
+    /// empirical distribution over slots, i.e. the population formula).
+    pub std: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Number of samples.
+    pub count: usize,
+}
+
+impl SeriesStats {
+    /// Computes statistics over an iterator of values.
+    ///
+    /// Returns an all-zero record for an empty iterator.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut count = 0usize;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in values {
+            count += 1;
+            sum += v;
+            sum_sq += v * v;
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if count == 0 {
+            return SeriesStats {
+                mean: 0.0,
+                std: 0.0,
+                min: 0.0,
+                max: 0.0,
+                count: 0,
+            };
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let var = (sum_sq / n - mean * mean).max(0.0);
+        SeriesStats {
+            mean,
+            std: var.sqrt(),
+            min,
+            max,
+            count,
+        }
+    }
+
+    /// Coefficient of variation (`std / mean`); zero for a zero mean.
+    #[must_use]
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.std / self.mean
+        }
+    }
+}
+
+impl fmt::Display for SeriesStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mean {:.4}, std {:.4}, range [{:.4}, {:.4}], n={}",
+            self.mean, self.std, self.min, self.max, self.count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_all_zero() {
+        let s = SeriesStats::from_values(std::iter::empty());
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn single_value() {
+        let s = SeriesStats::from_values([5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 1);
+    }
+
+    #[test]
+    fn known_population_std() {
+        // Values 2, 4, 4, 4, 5, 5, 7, 9: classic example with σ = 2.
+        let s = SeriesStats::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficient_of_variation_handles_zero_mean() {
+        let s = SeriesStats::from_values([0.0, 0.0]);
+        assert_eq!(s.coefficient_of_variation(), 0.0);
+        let s = SeriesStats::from_values([1.0, 3.0]);
+        assert!((s.coefficient_of_variation() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let s = SeriesStats::from_values([1.0, 2.0]);
+        let t = s.to_string();
+        assert!(t.contains("mean") && t.contains("std") && t.contains("n=2"));
+    }
+
+    #[test]
+    fn numerical_noise_never_yields_negative_variance() {
+        // Identical large values can make sum_sq/n − mean² slightly
+        // negative; the clamp keeps std at exactly 0.
+        let s = SeriesStats::from_values(std::iter::repeat(1e9).take(1000));
+        assert_eq!(s.std, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+use dpss_units::{Energy, Power, SlotClock};
+use rand::{rngs::StdRng, SeedableRng};
+
+use crate::randutil::{subseed, Ar1};
+use crate::TraceError;
+
+/// Synthetic wind-farm production model (extension beyond the paper's
+/// solar-only evaluation; §I motivates both solar and wind).
+///
+/// Wind speed follows a mean-reverting AR(1) process around a site mean and
+/// is mapped through the standard turbine power curve: zero below cut-in,
+/// cubic ramp between cut-in and rated speed, nameplate output up to
+/// cut-out, and an emergency stop (zero) beyond cut-out.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_traces::WindModel;
+/// use dpss_units::SlotClock;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let clock = SlotClock::new(2, 24, 1.0)?;
+/// let trace = WindModel::icdcs13().generate(&clock, 3)?;
+/// assert_eq!(trace.len(), 48);
+/// assert!(trace.iter().all(|e| e.mwh() >= 0.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindModel {
+    capacity: Power,
+    mean_speed: f64,
+    speed_std: f64,
+    persistence: f64,
+    cut_in: f64,
+    rated: f64,
+    cut_out: f64,
+}
+
+impl WindModel {
+    /// Defaults matching a mid-size onshore turbine: 1 MW nameplate,
+    /// 7 m/s site mean, cut-in 3 m/s, rated 12 m/s, cut-out 25 m/s.
+    #[must_use]
+    pub fn icdcs13() -> Self {
+        WindModel {
+            capacity: Power::from_mw(1.0),
+            mean_speed: 7.0,
+            speed_std: 2.6,
+            persistence: 0.92,
+            cut_in: 3.0,
+            rated: 12.0,
+            cut_out: 25.0,
+        }
+    }
+
+    /// Sets the nameplate capacity.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: Power) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Sets the wind-speed process: site mean and standard deviation (m/s)
+    /// and AR(1) persistence in `[0, 1)`.
+    #[must_use]
+    pub fn with_speed_process(mut self, mean: f64, std: f64, persistence: f64) -> Self {
+        self.mean_speed = mean;
+        self.speed_std = std;
+        self.persistence = persistence;
+        self
+    }
+
+    /// Sets the turbine power-curve speeds (m/s): cut-in, rated, cut-out.
+    #[must_use]
+    pub fn with_power_curve(mut self, cut_in: f64, rated: f64, cut_out: f64) -> Self {
+        self.cut_in = cut_in;
+        self.rated = rated;
+        self.cut_out = cut_out;
+        self
+    }
+
+    /// Nameplate capacity.
+    #[must_use]
+    pub fn capacity(&self) -> Power {
+        self.capacity
+    }
+
+    fn validate(&self) -> Result<(), TraceError> {
+        if !(self.capacity.is_finite() && self.capacity.mw() >= 0.0) {
+            return Err(TraceError::InvalidParameter {
+                what: "capacity",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        let finite_nonneg = |x: f64| x.is_finite() && x >= 0.0;
+        if !finite_nonneg(self.mean_speed) || !finite_nonneg(self.speed_std) {
+            return Err(TraceError::InvalidParameter {
+                what: "speed process",
+                requirement: "mean and std must be finite and non-negative",
+            });
+        }
+        if !(0.0..1.0).contains(&self.persistence) {
+            return Err(TraceError::InvalidParameter {
+                what: "persistence",
+                requirement: "must be in [0, 1)",
+            });
+        }
+        if !(0.0 <= self.cut_in && self.cut_in < self.rated && self.rated < self.cut_out) {
+            return Err(TraceError::InvalidParameter {
+                what: "power curve",
+                requirement: "must satisfy 0 <= cut_in < rated < cut_out",
+            });
+        }
+        Ok(())
+    }
+
+    /// Generates per-fine-slot production for the whole calendar.
+    ///
+    /// Deterministic in `(self, clock, seed)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::InvalidParameter`] if the model is misconfigured.
+    pub fn generate(&self, clock: &SlotClock, seed: u64) -> Result<Vec<Energy>, TraceError> {
+        self.validate()?;
+        let mut rng = StdRng::seed_from_u64(subseed(seed, 0x817D_0002));
+        let mut ar = Ar1::new(self.persistence, 1.0);
+        let mut out = Vec::with_capacity(clock.total_slots());
+        for _ in clock.slots() {
+            let speed = (self.mean_speed + self.speed_std * ar.next(&mut rng)).max(0.0);
+            let frac = self.power_fraction(speed);
+            let mw = self.capacity.mw() * frac;
+            out.push(Power::from_mw(mw).over_hours(clock.slot_hours()));
+        }
+        Ok(out)
+    }
+
+    /// Power output as a fraction of nameplate at wind `speed` (m/s).
+    fn power_fraction(&self, speed: f64) -> f64 {
+        if speed < self.cut_in || speed >= self.cut_out {
+            0.0
+        } else if speed >= self.rated {
+            1.0
+        } else {
+            let num = speed.powi(3) - self.cut_in.powi(3);
+            let den = self.rated.powi(3) - self.cut_in.powi(3);
+            (num / den).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_curve_shape() {
+        let m = WindModel::icdcs13();
+        assert_eq!(m.power_fraction(0.0), 0.0);
+        assert_eq!(m.power_fraction(2.9), 0.0);
+        assert!(m.power_fraction(7.0) > 0.0 && m.power_fraction(7.0) < 1.0);
+        assert_eq!(m.power_fraction(12.0), 1.0);
+        assert_eq!(m.power_fraction(20.0), 1.0);
+        assert_eq!(m.power_fraction(25.0), 0.0, "cut-out stops the turbine");
+        // Monotone below rated speed.
+        assert!(m.power_fraction(8.0) > m.power_fraction(5.0));
+    }
+
+    #[test]
+    fn deterministic_and_bounded() {
+        let m = WindModel::icdcs13();
+        let clock = SlotClock::icdcs13_month();
+        let a = m.generate(&clock, 1).unwrap();
+        let b = m.generate(&clock, 1).unwrap();
+        assert_eq!(a, b);
+        for e in &a {
+            assert!(e.mwh() >= 0.0 && e.mwh() <= 1.0 + 1e-12);
+        }
+        // The site produces a plausible capacity factor (10%..70%).
+        let cf: f64 = a.iter().map(|e| e.mwh()).sum::<f64>() / a.len() as f64;
+        assert!((0.1..0.7).contains(&cf), "capacity factor {cf}");
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let clock = SlotClock::icdcs13_month();
+        assert!(WindModel::icdcs13()
+            .with_power_curve(5.0, 4.0, 25.0)
+            .generate(&clock, 0)
+            .is_err());
+        assert!(WindModel::icdcs13()
+            .with_speed_process(7.0, 2.0, 1.5)
+            .generate(&clock, 0)
+            .is_err());
+        assert!(WindModel::icdcs13()
+            .with_speed_process(-1.0, 2.0, 0.5)
+            .generate(&clock, 0)
+            .is_err());
+        assert!(WindModel::icdcs13()
+            .with_capacity(Power::from_mw(f64::NAN))
+            .generate(&clock, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn zero_capacity_produces_nothing() {
+        let m = WindModel::icdcs13().with_capacity(Power::ZERO);
+        let t = m.generate(&SlotClock::new(1, 24, 1.0).unwrap(), 2).unwrap();
+        assert!(t.iter().all(|e| e.mwh() == 0.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based checks of the trace generators: for *any* sane model
+//! parameters, every generated series must satisfy the `TraceSet`
+//! invariants, respect its caps, and be deterministic in the seed.
+
+use dpss_traces::{DemandModel, PriceModel, Scenario, SolarModel, UniformError, WindModel};
+use dpss_units::{Energy, Power, SlotClock};
+use proptest::prelude::*;
+
+fn small_clock() -> SlotClock {
+    SlotClock::new(4, 24, 1.0).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solar_respects_physics(
+        capacity in 0.0..10.0f64,
+        persistence in 0.0..0.99f64,
+        severity in 0.0..2.0f64,
+        day_std in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let m = SolarModel::icdcs13()
+            .with_capacity(Power::from_mw(capacity))
+            .with_clouds(persistence, severity)
+            .with_day_variability(day_std);
+        let t = m.generate(&small_clock(), seed).unwrap();
+        prop_assert_eq!(t.len(), 96);
+        for (i, e) in t.iter().enumerate() {
+            prop_assert!(e.is_finite() && e.mwh() >= 0.0, "slot {i}");
+            // Day factor is capped at 1.6 in the model.
+            prop_assert!(e.mwh() <= capacity * 1.6 + 1e-9, "slot {i}");
+        }
+        // Night slots (hour 0..6) are always dark.
+        for day in 0..4 {
+            for h in 0..6 {
+                prop_assert_eq!(t[day * 24 + h].mwh(), 0.0);
+            }
+        }
+        prop_assert_eq!(&m.generate(&small_clock(), seed).unwrap(), &t);
+    }
+
+    #[test]
+    fn wind_respects_its_curve(
+        capacity in 0.0..5.0f64,
+        mean in 0.0..20.0f64,
+        std in 0.0..8.0f64,
+        persistence in 0.0..0.99f64,
+        seed in 0u64..1000,
+    ) {
+        let m = WindModel::icdcs13()
+            .with_capacity(Power::from_mw(capacity))
+            .with_speed_process(mean, std, persistence);
+        let t = m.generate(&small_clock(), seed).unwrap();
+        for e in &t {
+            prop_assert!(e.is_finite() && e.mwh() >= 0.0);
+            prop_assert!(e.mwh() <= capacity + 1e-12);
+        }
+    }
+
+    #[test]
+    fn prices_respect_cap_floor_and_means(
+        amplitude in 0.0..0.6f64,
+        markup in 1.0..2.0f64,
+        spike_p in 0.0..0.3f64,
+        seed in 0u64..1000,
+    ) {
+        let m = PriceModel::icdcs13()
+            .with_daily_amplitude(amplitude)
+            .with_rt_markup(markup)
+            .with_spikes(spike_p, 40.0);
+        let clock = small_clock();
+        let p = m.generate(&clock, seed).unwrap();
+        prop_assert_eq!(p.long_term.len(), 4);
+        prop_assert_eq!(p.real_time.len(), 96);
+        for x in p.long_term.iter().chain(p.real_time.iter()) {
+            prop_assert!(x.is_finite());
+            prop_assert!(x.dollars_per_mwh() >= 0.0);
+            prop_assert!(x.dollars_per_mwh() <= 100.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn demand_respects_caps(
+        base in 0.0..1.5f64,
+        amplitude in 0.0..1.0f64,
+        rate in 0.0..10.0f64,
+        size in 0.0..1.0f64,
+        seed in 0u64..1000,
+    ) {
+        let m = DemandModel::icdcs13()
+            .with_interactive_base(Power::from_mw(base))
+            .with_interactive_amplitude(amplitude)
+            .with_batch(rate, Energy::from_mwh(size));
+        let t = m.generate(&small_clock(), seed).unwrap();
+        for i in 0..96 {
+            let ds = t.delay_sensitive[i];
+            let dt = t.delay_tolerant[i];
+            prop_assert!(ds.is_finite() && ds.mwh() >= 0.0);
+            prop_assert!(dt.is_finite() && dt.mwh() >= 0.0);
+            prop_assert!(dt.mwh() <= 0.8 + 1e-9, "Ddtmax violated at {i}");
+            prop_assert!((ds + dt).mwh() <= 2.0 + 1e-9, "Pgrid clip violated at {i}");
+        }
+    }
+
+    #[test]
+    fn scenario_always_yields_valid_trace_sets(seed in 0u64..500) {
+        let t = Scenario::icdcs13().generate(&small_clock(), seed).unwrap();
+        t.validate().unwrap();
+        // The §II-B2 market property must hold for every seed.
+        prop_assert!(t.mean_rt_price() > t.mean_lt_price());
+    }
+
+    #[test]
+    fn error_injection_stays_in_band_and_valid(
+        fraction in 0.0..1.0f64,
+        seed in 0u64..500,
+    ) {
+        let truth = Scenario::icdcs13().generate(&small_clock(), 7).unwrap();
+        let observed = UniformError::new(fraction).unwrap().perturb(&truth, seed).unwrap();
+        observed.validate().unwrap();
+        for (t, o) in truth.renewable.iter().zip(&observed.renewable) {
+            prop_assert!(o.mwh() >= t.mwh() * (1.0 - fraction) - 1e-9);
+            prop_assert!(o.mwh() <= t.mwh() * (1.0 + fraction) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_for_any_seed(seed in 0u64..500) {
+        let t = Scenario::icdcs13().generate(&small_clock(), seed).unwrap();
+        let back = dpss_traces::TraceSet::from_csv(t.clock, &t.to_csv()).unwrap();
+        prop_assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,384 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An amount of energy in megawatt-hours (MWh).
+///
+/// This is the quantity that flows through the DPSS per fine time slot:
+/// demand `d(τ)`, renewable production `r(τ)`, grid purchases, battery
+/// charge/discharge amounts and queue backlogs are all energies.
+///
+/// `Energy` is a plain additive quantity: it supports addition, subtraction,
+/// scaling by a dimensionless `f64`, division by another `Energy` (yielding a
+/// dimensionless ratio) and multiplication by a [`Price`](crate::Price)
+/// (yielding [`Money`](crate::Money)). Values may be negative — net-flow
+/// arithmetic produces transient negatives — callers that need non-negativity
+/// use [`Energy::max`] with [`Energy::ZERO`] (the paper's `[·]⁺`).
+///
+/// # Examples
+///
+/// ```
+/// use dpss_units::Energy;
+///
+/// let surplus = Energy::from_mwh(1.5) - Energy::from_mwh(2.0);
+/// assert_eq!(surplus.positive_part(), Energy::ZERO);
+/// assert_eq!((-surplus).positive_part(), Energy::from_mwh(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from megawatt-hours.
+    #[must_use]
+    pub const fn from_mwh(mwh: f64) -> Self {
+        Energy(mwh)
+    }
+
+    /// Returns the amount in megawatt-hours.
+    #[must_use]
+    pub const fn mwh(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the amount in kilowatt-hours.
+    #[must_use]
+    pub fn kwh(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Returns `max(self, 0)` — the paper's `[·]⁺` operator.
+    #[must_use]
+    pub fn positive_part(self) -> Self {
+        Energy(self.0.max(0.0))
+    }
+
+    /// Returns the element-wise minimum of two energies.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Energy(self.0.min(other.0))
+    }
+
+    /// Returns the element-wise maximum of two energies.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Energy(self.0.max(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`, tolerating degenerate intervals.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Energy(crate::clamp_interval(self.0, lo.0, hi.0))
+    }
+
+    /// Returns `true` if the amount is finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Average power if this energy is spread evenly over `hours`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `hours` is not strictly positive.
+    #[must_use]
+    pub fn over_hours(self, hours: f64) -> Power {
+        debug_assert!(hours > 0.0, "hours must be positive");
+        Power::from_mw(self.0 / hours)
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} MWh", self.0)
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Self) -> Self {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Self) -> Self {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Energy {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Energy {
+    type Output = Energy;
+    fn neg(self) -> Self {
+        Energy(-self.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Self {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<Energy> for f64 {
+    type Output = Energy;
+    fn mul(self, rhs: Energy) -> Energy {
+        Energy(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Self {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Div<Energy> for Energy {
+    /// Dimensionless ratio of two energies.
+    type Output = f64;
+    fn div(self, rhs: Energy) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Self {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Energy> for Energy {
+    fn sum<I: Iterator<Item = &'a Energy>>(iter: I) -> Self {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+/// An instantaneous power in megawatts (MW).
+///
+/// Powers describe *rates* and limits: the grid interconnect cap `Pgrid`,
+/// battery charge/discharge rate limits, peak demand. Multiplying by a
+/// duration in hours yields [`Energy`].
+///
+/// # Examples
+///
+/// ```
+/// use dpss_units::{Energy, Power};
+///
+/// // A 0.5 MW battery charge limit over a 15-minute slot.
+/// let cap = Power::from_mw(0.5).over_hours(0.25);
+/// assert_eq!(cap, Energy::from_mwh(0.125));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Power(f64);
+
+impl Power {
+    /// Zero power.
+    pub const ZERO: Power = Power(0.0);
+
+    /// Creates a power from megawatts.
+    #[must_use]
+    pub const fn from_mw(mw: f64) -> Self {
+        Power(mw)
+    }
+
+    /// Returns the rate in megawatts.
+    #[must_use]
+    pub const fn mw(self) -> f64 {
+        self.0
+    }
+
+    /// Energy delivered at this constant power for `hours` hours.
+    #[must_use]
+    pub fn over_hours(self, hours: f64) -> Energy {
+        Energy::from_mwh(self.0 * hours)
+    }
+
+    /// Returns the element-wise minimum of two powers.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Power(self.0.min(other.0))
+    }
+
+    /// Returns the element-wise maximum of two powers.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Power(self.0.max(other.0))
+    }
+
+    /// Returns `true` if the rate is finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Power {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} MW", self.0)
+    }
+}
+
+impl Add for Power {
+    type Output = Power;
+    fn add(self, rhs: Self) -> Self {
+        Power(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Power {
+    type Output = Power;
+    fn sub(self, rhs: Self) -> Self {
+        Power(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Power {
+    type Output = Power;
+    fn mul(self, rhs: f64) -> Self {
+        Power(self.0 * rhs)
+    }
+}
+
+impl Mul<Power> for f64 {
+    type Output = Power;
+    fn mul(self, rhs: Power) -> Power {
+        Power(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Power {
+    type Output = Power;
+    fn div(self, rhs: f64) -> Self {
+        Power(self.0 / rhs)
+    }
+}
+
+impl Div<Power> for Power {
+    /// Dimensionless ratio of two powers.
+    type Output = f64;
+    fn div(self, rhs: Power) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_arithmetic() {
+        let a = Energy::from_mwh(2.0);
+        let b = Energy::from_mwh(0.5);
+        assert_eq!((a + b).mwh(), 2.5);
+        assert_eq!((a - b).mwh(), 1.5);
+        assert_eq!((a * 2.0).mwh(), 4.0);
+        assert_eq!((2.0 * a).mwh(), 4.0);
+        assert_eq!((a / 4.0).mwh(), 0.5);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((-a).mwh(), -2.0);
+    }
+
+    #[test]
+    fn energy_positive_part_matches_paper_plus_operator() {
+        assert_eq!(Energy::from_mwh(-3.0).positive_part(), Energy::ZERO);
+        assert_eq!(
+            Energy::from_mwh(3.0).positive_part(),
+            Energy::from_mwh(3.0)
+        );
+    }
+
+    #[test]
+    fn energy_min_max_clamp() {
+        let a = Energy::from_mwh(2.0);
+        let b = Energy::from_mwh(0.5);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(
+            Energy::from_mwh(9.0).clamp(b, a),
+            a,
+            "clamps to the upper bound"
+        );
+        // Degenerate interval collapses to the lower bound.
+        assert_eq!(Energy::from_mwh(9.0).clamp(a, b), a);
+    }
+
+    #[test]
+    fn energy_sum_over_iterators() {
+        let xs = [Energy::from_mwh(1.0), Energy::from_mwh(2.5)];
+        let owned: Energy = xs.iter().copied().sum();
+        let borrowed: Energy = xs.iter().sum();
+        assert_eq!(owned.mwh(), 3.5);
+        assert_eq!(borrowed.mwh(), 3.5);
+    }
+
+    #[test]
+    fn energy_accumulates_in_place() {
+        let mut acc = Energy::ZERO;
+        acc += Energy::from_mwh(1.0);
+        acc -= Energy::from_mwh(0.25);
+        assert_eq!(acc.mwh(), 0.75);
+    }
+
+    #[test]
+    fn power_energy_round_trip() {
+        let p = Power::from_mw(2.0);
+        let e = p.over_hours(0.25);
+        assert_eq!(e.mwh(), 0.5);
+        assert_eq!(e.over_hours(0.25), p);
+    }
+
+    #[test]
+    fn power_arithmetic() {
+        let p = Power::from_mw(3.0);
+        let q = Power::from_mw(1.0);
+        assert_eq!((p + q).mw(), 4.0);
+        assert_eq!((p - q).mw(), 2.0);
+        assert_eq!((p * 2.0).mw(), 6.0);
+        assert_eq!((0.5 * p).mw(), 1.5);
+        assert_eq!((p / 3.0).mw(), 1.0);
+        assert_eq!(p / q, 3.0);
+        assert_eq!(p.min(q), q);
+        assert_eq!(p.max(q), p);
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        assert_eq!(Energy::from_mwh(1.5).kwh(), 1_500.0);
+    }
+
+    #[test]
+    fn display_is_nonempty_and_unit_tagged() {
+        assert!(Energy::from_mwh(1.0).to_string().contains("MWh"));
+        assert!(Power::from_mw(1.0).to_string().contains("MW"));
+    }
+
+    #[test]
+    fn finiteness_checks() {
+        assert!(Energy::from_mwh(1.0).is_finite());
+        assert!(!Energy::from_mwh(f64::NAN).is_finite());
+        assert!(Power::from_mw(1.0).is_finite());
+        assert!(!Power::from_mw(f64::INFINITY).is_finite());
+    }
+}

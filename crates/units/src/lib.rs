@@ -1,0 +1,113 @@
+//! Physical-unit newtypes and the two-timescale slot calendar shared by all
+//! SmartDPSS crates.
+//!
+//! The SmartDPSS model (Deng et al., ICDCS 2013) mixes energies, powers,
+//! prices and money in almost every equation. Mixing those up as bare `f64`s
+//! is the classic source of silent factor-of-`T` bugs, so this crate provides
+//! zero-cost newtypes with only the physically meaningful operations:
+//!
+//! * [`Energy`] (MWh) — what flows through the system per fine slot;
+//! * [`Power`] (MW) — instantaneous rates and interconnect limits;
+//! * [`Price`] ($/MWh) — market prices;
+//! * [`Money`] ($) — costs; `Energy * Price = Money`, `Power * hours = Energy`.
+//!
+//! It also provides [`SlotClock`], the two-timescale calendar of the paper's
+//! §II: `K` coarse-grained *frames* (the long-term-ahead market granularity,
+//! e.g. one day) each divided into `T` fine-grained *slots* (e.g. one hour).
+//!
+//! # Examples
+//!
+//! ```
+//! use dpss_units::{Energy, Power, Price, SlotClock};
+//!
+//! # fn main() -> Result<(), dpss_units::UnitsError> {
+//! // A 2 MW grid interconnect over a 1-hour slot delivers 2 MWh.
+//! let grid = Power::from_mw(2.0);
+//! let delivered = grid.over_hours(1.0);
+//! assert_eq!(delivered, Energy::from_mwh(2.0));
+//!
+//! // Buying it at 35 $/MWh costs $70.
+//! let bill = delivered * Price::from_dollars_per_mwh(35.0);
+//! assert_eq!(bill.dollars(), 70.0);
+//!
+//! // The paper's one-month setup: 31 daily frames of 24 hourly slots.
+//! let clock = SlotClock::new(31, 24, 1.0)?;
+//! assert_eq!(clock.total_slots(), 744);
+//! assert!(clock.is_frame_start(48)); // midnight of day 3
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod energy;
+mod error;
+mod money;
+
+pub use clock::{SlotClock, SlotId, Slots};
+pub use energy::{Energy, Power};
+pub use error::UnitsError;
+pub use money::{Money, Price};
+
+/// Clamps `x` into `[lo, hi]`, tolerating `lo > hi` by returning `lo`.
+///
+/// Used throughout the workspace for numerically safe projections onto
+/// feasible intervals that may have collapsed to a point (or slightly
+/// inverted) due to floating-point noise.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dpss_units::clamp_interval(5.0, 0.0, 2.0), 2.0);
+/// assert_eq!(dpss_units::clamp_interval(1.0, 2.0, 0.5), 2.0); // inverted
+/// ```
+#[must_use]
+pub fn clamp_interval(x: f64, lo: f64, hi: f64) -> f64 {
+    if hi < lo {
+        return lo;
+    }
+    x.clamp(lo, hi)
+}
+
+/// Returns `true` when two floats agree within `abs` absolute *or* `rel`
+/// relative tolerance.
+///
+/// # Examples
+///
+/// ```
+/// assert!(dpss_units::approx_eq(1.0, 1.0 + 1e-12, 1e-9, 1e-9));
+/// assert!(!dpss_units::approx_eq(1.0, 2.0, 1e-9, 1e-9));
+/// ```
+#[must_use]
+pub fn approx_eq(a: f64, b: f64, abs: f64, rel: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= abs || diff <= rel * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_interval_ordinary() {
+        assert_eq!(clamp_interval(0.5, 0.0, 1.0), 0.5);
+        assert_eq!(clamp_interval(-1.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp_interval(2.0, 0.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn clamp_interval_degenerate() {
+        assert_eq!(clamp_interval(3.0, 1.0, 1.0), 1.0);
+        // Inverted interval returns the lower bound.
+        assert_eq!(clamp_interval(3.0, 1.0, 0.9), 1.0);
+    }
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1e9, 1e9 + 1.0, 0.0, 1e-6));
+        assert!(approx_eq(0.0, 1e-12, 1e-9, 0.0));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9, 1e-9));
+    }
+}

@@ -1,0 +1,345 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Energy;
+
+/// A cost or payment in dollars.
+///
+/// All DPSS cost components — long-term and real-time grid purchases, battery
+/// wear `n(τ)·Cb` and the waste penalty — are `Money`. Money is produced by
+/// multiplying [`Energy`] by [`Price`] and supports only additive arithmetic
+/// plus dimensionless scaling.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_units::{Energy, Money, Price};
+///
+/// let bill = Energy::from_mwh(2.0) * Price::from_dollars_per_mwh(40.0)
+///     + Money::from_dollars(0.1); // one battery operation
+/// assert_eq!(bill.dollars(), 80.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Money(f64);
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money(0.0);
+
+    /// Creates a money amount from dollars.
+    #[must_use]
+    pub const fn from_dollars(dollars: f64) -> Self {
+        Money(dollars)
+    }
+
+    /// Returns the amount in dollars.
+    #[must_use]
+    pub const fn dollars(self) -> f64 {
+        self.0
+    }
+
+    /// Returns `max(self, 0)`.
+    #[must_use]
+    pub fn positive_part(self) -> Self {
+        Money(self.0.max(0.0))
+    }
+
+    /// Returns the element-wise minimum of two amounts.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Money(self.0.min(other.0))
+    }
+
+    /// Returns the element-wise maximum of two amounts.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Money(self.0.max(other.0))
+    }
+
+    /// Returns `true` if the amount is finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.4}", self.0)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Self) -> Self {
+        Money(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Self) -> Self {
+        Money(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Self {
+        Money(-self.0)
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Self {
+        Money(self.0 * rhs)
+    }
+}
+
+impl Mul<Money> for f64 {
+    type Output = Money;
+    fn mul(self, rhs: Money) -> Money {
+        Money(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    fn div(self, rhs: f64) -> Self {
+        Money(self.0 / rhs)
+    }
+}
+
+impl Div<Money> for Money {
+    /// Dimensionless ratio of two amounts.
+    type Output = f64;
+    fn div(self, rhs: Money) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Self {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+impl<'a> Sum<&'a Money> for Money {
+    fn sum<I: Iterator<Item = &'a Money>>(iter: I) -> Self {
+        Money(iter.map(|m| m.0).sum())
+    }
+}
+
+/// An electricity price in dollars per megawatt-hour ($/MWh).
+///
+/// Both grid markets quote prices of this kind: the long-term-ahead price
+/// `p_lt(t)` per coarse frame and the real-time price `p_rt(τ)` per fine
+/// slot, each bounded by the paper's price cap `Pmax`.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_units::{Energy, Price};
+///
+/// let p = Price::from_dollars_per_mwh(28.5);
+/// assert_eq!((Energy::from_mwh(2.0) * p).dollars(), 57.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Price(f64);
+
+impl Price {
+    /// Zero price (free energy, e.g. the paper's marginal renewable cost).
+    pub const ZERO: Price = Price(0.0);
+
+    /// Creates a price from $/MWh.
+    #[must_use]
+    pub const fn from_dollars_per_mwh(p: f64) -> Self {
+        Price(p)
+    }
+
+    /// Returns the price in $/MWh.
+    #[must_use]
+    pub const fn dollars_per_mwh(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the element-wise minimum of two prices.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Price(self.0.min(other.0))
+    }
+
+    /// Returns the element-wise maximum of two prices.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Price(self.0.max(other.0))
+    }
+
+    /// Clamps into `[lo, hi]`, tolerating degenerate intervals.
+    #[must_use]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        Price(crate::clamp_interval(self.0, lo.0, hi.0))
+    }
+
+    /// Returns `true` if the price is finite (not NaN/∞).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl fmt::Display for Price {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} $/MWh", self.0)
+    }
+}
+
+impl Mul<Energy> for Price {
+    type Output = Money;
+    fn mul(self, rhs: Energy) -> Money {
+        Money(self.0 * rhs.mwh())
+    }
+}
+
+impl Mul<Price> for Energy {
+    type Output = Money;
+    fn mul(self, rhs: Price) -> Money {
+        Money(self.mwh() * rhs.0)
+    }
+}
+
+impl Mul<f64> for Price {
+    type Output = Price;
+    fn mul(self, rhs: f64) -> Price {
+        Price(self.0 * rhs)
+    }
+}
+
+impl Mul<Price> for f64 {
+    type Output = Price;
+    fn mul(self, rhs: Price) -> Price {
+        Price(self * rhs.0)
+    }
+}
+
+impl Add for Price {
+    type Output = Price;
+    fn add(self, rhs: Self) -> Price {
+        Price(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Price {
+    type Output = Price;
+    fn sub(self, rhs: Self) -> Price {
+        Price(self.0 - rhs.0)
+    }
+}
+
+impl Div<f64> for Price {
+    type Output = Price;
+    fn div(self, rhs: f64) -> Price {
+        Price(self.0 / rhs)
+    }
+}
+
+impl Div<Price> for Price {
+    /// Dimensionless ratio of two prices (e.g. real-time markup).
+    type Output = f64;
+    fn div(self, rhs: Price) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn money_arithmetic() {
+        let a = Money::from_dollars(10.0);
+        let b = Money::from_dollars(4.0);
+        assert_eq!((a + b).dollars(), 14.0);
+        assert_eq!((a - b).dollars(), 6.0);
+        assert_eq!((a * 0.5).dollars(), 5.0);
+        assert_eq!((2.0 * b).dollars(), 8.0);
+        assert_eq!((a / 2.0).dollars(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!((-a).dollars(), -10.0);
+        assert_eq!(Money::from_dollars(-1.0).positive_part(), Money::ZERO);
+    }
+
+    #[test]
+    fn money_accumulates_and_sums() {
+        let mut acc = Money::ZERO;
+        acc += Money::from_dollars(1.0);
+        acc -= Money::from_dollars(0.25);
+        assert_eq!(acc.dollars(), 0.75);
+        let total: Money = [Money::from_dollars(1.0), Money::from_dollars(2.0)]
+            .iter()
+            .sum();
+        assert_eq!(total.dollars(), 3.0);
+    }
+
+    #[test]
+    fn price_times_energy_is_money_both_ways() {
+        let p = Price::from_dollars_per_mwh(25.0);
+        let e = Energy::from_mwh(4.0);
+        assert_eq!((p * e).dollars(), 100.0);
+        assert_eq!((e * p).dollars(), 100.0);
+    }
+
+    #[test]
+    fn price_scaling_and_ratio() {
+        let p = Price::from_dollars_per_mwh(30.0);
+        assert_eq!((p * 2.0).dollars_per_mwh(), 60.0);
+        assert_eq!((1.5 * p).dollars_per_mwh(), 45.0);
+        assert_eq!((p / 3.0).dollars_per_mwh(), 10.0);
+        assert_eq!(p / Price::from_dollars_per_mwh(15.0), 2.0);
+        assert_eq!((p + p).dollars_per_mwh(), 60.0);
+        assert_eq!((p - p).dollars_per_mwh(), 0.0);
+    }
+
+    #[test]
+    fn price_clamp_respects_cap() {
+        let cap = Price::from_dollars_per_mwh(100.0);
+        let spiked = Price::from_dollars_per_mwh(400.0);
+        assert_eq!(spiked.clamp(Price::ZERO, cap), cap);
+    }
+
+    #[test]
+    fn displays_are_unit_tagged() {
+        assert!(Money::from_dollars(1.0).to_string().starts_with('$'));
+        assert!(Price::from_dollars_per_mwh(1.0).to_string().contains("$/MWh"));
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let lo = Price::from_dollars_per_mwh(10.0);
+        let hi = Price::from_dollars_per_mwh(20.0);
+        assert_eq!(lo.min(hi), lo);
+        assert_eq!(lo.max(hi), hi);
+        let a = Money::from_dollars(1.0);
+        let b = Money::from_dollars(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based checks of the unit algebra: the newtypes must behave
+//! exactly like the underlying field operations (no hidden rounding), and
+//! the calendar arithmetic must partition slots correctly.
+
+use dpss_units::{Energy, Money, Power, Price, SlotClock};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn energy_addition_is_commutative_and_associative(
+        a in -1e6..1e6f64, b in -1e6..1e6f64, c in -1e6..1e6f64,
+    ) {
+        let (ea, eb, ec) = (Energy::from_mwh(a), Energy::from_mwh(b), Energy::from_mwh(c));
+        prop_assert_eq!(ea + eb, eb + ea);
+        let left = ((ea + eb) + ec).mwh();
+        let right = (ea + (eb + ec)).mwh();
+        prop_assert!((left - right).abs() <= 1e-9 * left.abs().max(right.abs()).max(1.0));
+    }
+
+    #[test]
+    fn positive_part_is_idempotent_and_dominates(x in -1e6..1e6f64) {
+        let e = Energy::from_mwh(x);
+        let p = e.positive_part();
+        prop_assert!(p.mwh() >= 0.0);
+        prop_assert!(p >= e);
+        prop_assert_eq!(p.positive_part(), p);
+    }
+
+    #[test]
+    fn power_energy_conversion_round_trips(mw in 0.0..1e4f64, hours in 0.001..100.0f64) {
+        let p = Power::from_mw(mw);
+        let e = p.over_hours(hours);
+        prop_assert!((e.over_hours(hours).mw() - mw).abs() < 1e-9 * mw.max(1.0));
+    }
+
+    #[test]
+    fn price_times_energy_is_bilinear(
+        p in 0.0..1e3f64, e in 0.0..1e4f64, k in 0.0..100.0f64,
+    ) {
+        let price = Price::from_dollars_per_mwh(p);
+        let energy = Energy::from_mwh(e);
+        let scaled = (energy * k) * price;
+        let direct = (energy * price) * k;
+        prop_assert!((scaled.dollars() - direct.dollars()).abs()
+            <= 1e-9 * scaled.dollars().abs().max(1.0));
+    }
+
+    #[test]
+    fn money_sum_matches_f64_sum(xs in proptest::collection::vec(-1e4..1e4f64, 0..50)) {
+        let total: Money = xs.iter().map(|&x| Money::from_dollars(x)).sum();
+        let expect: f64 = xs.iter().sum();
+        prop_assert!((total.dollars() - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clamp_always_lands_inside(x in -1e6..1e6f64, lo in -10.0..10.0f64, width in 0.0..20.0f64) {
+        let lo_e = Energy::from_mwh(lo);
+        let hi_e = Energy::from_mwh(lo + width);
+        let c = Energy::from_mwh(x).clamp(lo_e, hi_e);
+        prop_assert!(c >= lo_e && c <= hi_e);
+    }
+
+    #[test]
+    fn slot_clock_partitions_slots(frames in 1usize..40, t in 1usize..50) {
+        let clock = SlotClock::new(frames, t, 1.0).unwrap();
+        prop_assert_eq!(clock.total_slots(), frames * t);
+        let mut frame_starts = 0;
+        for id in clock.slots() {
+            prop_assert_eq!(clock.frame_of(id.index), id.frame);
+            prop_assert_eq!(clock.slot_in_frame(id.index), id.offset);
+            prop_assert_eq!(id.frame * t + id.offset, id.index);
+            if id.is_frame_start() {
+                frame_starts += 1;
+                prop_assert_eq!(clock.frame_start(id.frame), id.index);
+            }
+        }
+        prop_assert_eq!(frame_starts, frames);
+    }
+
+    #[test]
+    fn resegmenting_preserves_horizon(t2 in 1usize..100) {
+        let base = SlotClock::icdcs13_month();
+        let re = base.with_slots_per_frame(t2).unwrap();
+        prop_assert!(re.total_slots() >= base.total_slots());
+        prop_assert!(re.total_slots() < base.total_slots() + t2);
+    }
+}

@@ -1,0 +1,61 @@
+//! Statistics-free feedback vs forecast-driven optimization: run the
+//! receding-horizon MPC controller under increasingly good forecasts and
+//! compare it with SmartDPSS, which never forecasts at all (extension;
+//! the paper's §VII positions SmartDPSS against lookahead designs).
+//!
+//! ```sh
+//! cargo run --release --example mpc_vs_smartdpss
+//! ```
+
+use smartdpss::{
+    Engine, ForecastPolicy, RecedingHorizon, SimParams, SmartDpss, SmartDpssConfig,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let truth = smartdpss::traces::paper_month_traces(42)?;
+    let params = SimParams::icdcs13();
+    let clock = truth.clock;
+
+    println!("{:<38} {:>8}  {:>8}", "controller / forecast", "$/slot", "delay h");
+
+    let engine = Engine::new(params, truth.clone())?;
+    let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)?;
+    let r = engine.run(&mut smart)?;
+    println!(
+        "{:<38} {:>8.3}  {:>8.2}",
+        "smart-dpss (no forecast at all)",
+        r.time_average_cost().dollars(),
+        r.average_delay_slots
+    );
+
+    let policies: [(&str, ForecastPolicy); 4] = [
+        ("mpc / previous-frame average", ForecastPolicy::PrevFrameAverage),
+        (
+            "mpc / oracle mean ± 50%",
+            ForecastPolicy::NoisyOracle { rel_std: 0.5, seed: 1 },
+        ),
+        (
+            "mpc / oracle mean ± 22.2%",
+            ForecastPolicy::NoisyOracle { rel_std: 0.222, seed: 1 },
+        ),
+        ("mpc / perfect oracle mean", ForecastPolicy::Oracle),
+    ];
+    for (label, policy) in policies {
+        let engine = Engine::new(params, truth.clone())?.with_forecast(policy)?;
+        let mut mpc = RecedingHorizon::new(params)?;
+        let r = engine.run(&mut mpc)?;
+        println!(
+            "{label:<38} {:>8.3}  {:>8.2}",
+            r.time_average_cost().dollars(),
+            r.average_delay_slots
+        );
+    }
+
+    println!(
+        "\neven a *perfect* frame-mean forecast does not close the gap to \
+         SmartDPSS: the MPC plans against a flat daily profile, while the \
+         Lyapunov queues react to every slot's actual prices and renewables. \
+         That per-slot feedback — not prediction — is where the savings live."
+    );
+    Ok(())
+}

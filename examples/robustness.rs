@@ -1,0 +1,51 @@
+//! Robustness to estimation errors (the paper's Fig. 9 and Theorem 3):
+//! feed the controller observations corrupted with uniform ±50% errors
+//! while the physical plant runs on the truth, and measure how much of
+//! the cost reduction survives.
+//!
+//! ```sh
+//! cargo run --release --example robustness
+//! ```
+
+use smartdpss::{Engine, Impatient, SimParams, SmartDpss, SmartDpssConfig, UniformError};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let truth = smartdpss::traces::paper_month_traces(42)?;
+    let params = SimParams::icdcs13();
+    let clock = truth.clock;
+
+    // Baseline for "cost reduction": the Impatient policy.
+    let clean_engine = Engine::new(params, truth.clone())?;
+    let impatient = clean_engine.run(&mut Impatient::two_markets())?;
+    let baseline = impatient.total_cost().dollars();
+    println!("impatient baseline: ${baseline:.2} total\n");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}",
+        "±err", "smart total", "reduction", "Δ vs clean"
+    );
+
+    let mut clean_reduction = 0.0;
+    for fraction in [0.0, 0.1, 0.25, 0.5] {
+        let observed = UniformError::new(fraction)?.perturb(&truth, 1000 + (fraction * 100.0) as u64)?;
+        let engine = Engine::new(params, truth.clone())?.with_observed(observed)?;
+        let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)?;
+        let r = engine.run(&mut smart)?;
+        let reduction = 100.0 * (baseline - r.total_cost().dollars()) / baseline;
+        if fraction == 0.0 {
+            clean_reduction = reduction;
+        }
+        println!(
+            "{:>5.0}%  {:>12.2}  {:>11.2}%  {:>+9.2}pp",
+            fraction * 100.0,
+            r.total_cost().dollars(),
+            reduction,
+            reduction - clean_reduction,
+        );
+        assert_eq!(r.unserved_ds.mwh(), 0.0, "availability must survive errors");
+    }
+    println!(
+        "\nthe cost-reduction delta stays within a small band — the \
+         approximation-robustness the paper reports as [−1.6%, +2.1%]."
+    );
+    Ok(())
+}

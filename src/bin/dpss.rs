@@ -1,0 +1,385 @@
+//! `dpss` — command-line front end for the SmartDPSS reproduction.
+//!
+//! ```text
+//! dpss run    [--controller smart|offline|impatient|greedy] [--v F]
+//!             [--epsilon F] [--seed N] [--days N] [--battery-min F]
+//!             [--market tm|rtm] [--error F] [--json]
+//! dpss traces [--seed N] [--days N] [--out FILE]
+//! dpss sweep-v [--grid F,F,...] [--seed N] [--days N]
+//! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
+//! ```
+//!
+//! Everything is deterministic in `--seed`; defaults reproduce the
+//! paper's §VI-A setup.
+
+use std::process::ExitCode;
+
+use smartdpss::{
+    Engine, GreedyBattery, Impatient, MarketMode, OfflineOptimal, Price, RunReport, Scenario,
+    SimParams, SlotClock, SmartDpss, SmartDpssConfig, TheoremBounds, UniformError,
+};
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+struct Cli {
+    command: Command,
+    controller: String,
+    v: f64,
+    epsilon: f64,
+    seed: u64,
+    days: usize,
+    battery_min: f64,
+    market: MarketMode,
+    error: f64,
+    t: usize,
+    json: bool,
+    grid: Vec<f64>,
+    out: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    Run,
+    Traces,
+    SweepV,
+    Bounds,
+    Help,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Cli {
+            command: Command::Help,
+            controller: "smart".into(),
+            v: 1.0,
+            epsilon: 0.5,
+            seed: 42,
+            days: 31,
+            battery_min: 15.0,
+            market: MarketMode::TwoMarkets,
+            error: 0.0,
+            t: 24,
+            json: false,
+            grid: vec![0.05, 0.25, 1.0, 5.0],
+            out: None,
+        }
+    }
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut it = args.into_iter();
+    cli.command = match it.next().as_deref() {
+        Some("run") => Command::Run,
+        Some("traces") => Command::Traces,
+        Some("sweep-v") => Command::SweepV,
+        Some("bounds") => Command::Bounds,
+        Some("help" | "--help" | "-h") | None => Command::Help,
+        Some(other) => return Err(format!("unknown command: {other}")),
+    };
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--controller" => cli.controller = value("--controller")?,
+            "--v" => cli.v = parse_f64(&value("--v")?, "--v")?,
+            "--epsilon" => cli.epsilon = parse_f64(&value("--epsilon")?, "--epsilon")?,
+            "--seed" => {
+                cli.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--days" => {
+                cli.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?;
+            }
+            "--battery-min" => {
+                cli.battery_min = parse_f64(&value("--battery-min")?, "--battery-min")?;
+            }
+            "--market" => {
+                cli.market = match value("--market")?.as_str() {
+                    "tm" => MarketMode::TwoMarkets,
+                    "rtm" => MarketMode::RealTimeOnly,
+                    other => return Err(format!("--market must be tm|rtm, got {other}")),
+                };
+            }
+            "--error" => cli.error = parse_f64(&value("--error")?, "--error")?,
+            "--t" => {
+                cli.t = value("--t")?.parse().map_err(|e| format!("--t: {e}"))?;
+            }
+            "--json" => cli.json = true,
+            "--grid" => {
+                cli.grid = value("--grid")?
+                    .split(',')
+                    .map(|s| parse_f64(s, "--grid"))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => cli.out = Some(value("--out")?),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    if cli.days == 0 || cli.t == 0 {
+        return Err("--days and --t must be at least 1".into());
+    }
+    Ok(cli)
+}
+
+fn parse_f64(s: &str, name: &str) -> Result<f64, String> {
+    let x: f64 = s.trim().parse().map_err(|e| format!("{name}: {e}"))?;
+    if x.is_finite() {
+        Ok(x)
+    } else {
+        Err(format!("{name} must be finite"))
+    }
+}
+
+fn usage() -> &'static str {
+    "dpss — SmartDPSS (ICDCS 2013) reproduction CLI
+
+USAGE:
+  dpss run     [--controller smart|offline|impatient|greedy] [--v F]
+               [--epsilon F] [--seed N] [--days N] [--battery-min F]
+               [--market tm|rtm] [--error F (obs. error, e.g. 0.5)] [--json]
+  dpss traces  [--seed N] [--days N] [--out FILE]   export the input CSV
+  dpss sweep-v [--grid F,F,...] [--seed N] [--days N]
+  dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
+
+All defaults reproduce the paper's one-month setup (seed 42)."
+}
+
+fn build_world(cli: &Cli) -> Result<(Engine, SimParams, SlotClock), String> {
+    let clock = SlotClock::new(cli.days, cli.t, 1.0).map_err(|e| e.to_string())?;
+    let truth = Scenario::icdcs13()
+        .generate(&clock, cli.seed)
+        .map_err(|e| e.to_string())?;
+    let params = SimParams::icdcs13_with_battery(cli.battery_min);
+    let mut engine = Engine::new(params, truth.clone()).map_err(|e| e.to_string())?;
+    if cli.error > 0.0 {
+        let observed = UniformError::new(cli.error)
+            .map_err(|e| e.to_string())?
+            .perturb(&truth, cli.seed ^ 0xE44)
+            .map_err(|e| e.to_string())?;
+        engine = engine.with_observed(observed).map_err(|e| e.to_string())?;
+    }
+    Ok((engine, params, clock))
+}
+
+fn smart_config(cli: &Cli) -> SmartDpssConfig {
+    SmartDpssConfig::icdcs13()
+        .with_v(cli.v)
+        .with_epsilon(cli.epsilon)
+        .with_market(cli.market)
+}
+
+fn run_controller(cli: &Cli) -> Result<RunReport, String> {
+    let (engine, params, clock) = build_world(cli)?;
+    let report = match cli.controller.as_str() {
+        "smart" => {
+            let mut c =
+                SmartDpss::new(smart_config(cli), params, clock).map_err(|e| e.to_string())?;
+            engine.run(&mut c)
+        }
+        "offline" => {
+            let mut c = OfflineOptimal::new(params, engine.truth().clone())
+                .map_err(|e| e.to_string())?;
+            engine.run(&mut c)
+        }
+        "impatient" => engine.run(&mut match cli.market {
+            MarketMode::TwoMarkets => Impatient::two_markets(),
+            MarketMode::RealTimeOnly => Impatient::real_time_only(),
+        }),
+        "greedy" => {
+            let mut c = GreedyBattery::around(Price::from_dollars_per_mwh(35.0))
+                .map_err(|e| e.to_string())?;
+            engine.run(&mut c)
+        }
+        other => return Err(format!("unknown controller: {other}")),
+    };
+    report.map_err(|e| e.to_string())
+}
+
+fn execute(cli: &Cli) -> Result<String, String> {
+    match cli.command {
+        Command::Help => Ok(usage().to_owned()),
+        Command::Run => {
+            let report = run_controller(cli)?;
+            if cli.json {
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            } else {
+                Ok(format!(
+                    "{}\npeak grid draw {:.3} MWh/slot, battery [{:.3}, {:.3}] MWh, \
+                     final backlog {:.3} MWh",
+                    report.summary(),
+                    report.peak_grid_draw.mwh(),
+                    report.battery_min.mwh(),
+                    report.battery_max.mwh(),
+                    report.final_backlog.mwh(),
+                ))
+            }
+        }
+        Command::Traces => {
+            let clock = SlotClock::new(cli.days, cli.t, 1.0).map_err(|e| e.to_string())?;
+            let truth = Scenario::icdcs13()
+                .generate(&clock, cli.seed)
+                .map_err(|e| e.to_string())?;
+            let csv = truth.to_csv();
+            match &cli.out {
+                Some(path) => {
+                    std::fs::write(path, &csv).map_err(|e| e.to_string())?;
+                    Ok(format!("wrote {} ({} rows)", path, clock.total_slots()))
+                }
+                None => Ok(csv),
+            }
+        }
+        Command::SweepV => {
+            let (engine, params, clock) = build_world(cli)?;
+            let mut out = String::from("V,cost_per_slot,avg_delay_slots,max_delay_slots\n");
+            for &v in &cli.grid {
+                let mut c = SmartDpss::new(smart_config(cli).with_v(v), params, clock)
+                    .map_err(|e| e.to_string())?;
+                let r = engine.run(&mut c).map_err(|e| e.to_string())?;
+                out.push_str(&format!(
+                    "{v},{:.4},{:.3},{}\n",
+                    r.time_average_cost().dollars(),
+                    r.average_delay_slots,
+                    r.max_delay_slots
+                ));
+            }
+            Ok(out)
+        }
+        Command::Bounds => {
+            let params = SimParams::icdcs13_with_battery(cli.battery_min);
+            let clock = SlotClock::new(cli.days, cli.t, 1.0).map_err(|e| e.to_string())?;
+            let config = smart_config(cli);
+            config.validate().map_err(|e| e.to_string())?;
+            let b = TheoremBounds::compute(&config, &params, &clock);
+            Ok(format!(
+                "Theorem 2 bounds for V={}, eps={}, T={}, battery {} min:\n\
+                 Qmax {:.3} MWh | Ymax {:.3} | Umax {:.3} | lambda_max {} slots\n\
+                 Vmax {:.3} (premise {}) | X in [{:.3}, {:.3}] | cost gap H2/V {:.3}",
+                cli.v,
+                cli.epsilon,
+                cli.t,
+                cli.battery_min,
+                b.q_max,
+                b.y_max,
+                b.u_max,
+                b.lambda_max_slots,
+                b.v_max,
+                if cli.v <= b.v_max { "holds" } else { "violated" },
+                b.x_lower,
+                b.x_upper,
+                b.cost_gap,
+            ))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(args) {
+        Ok(cli) => match execute(&cli) {
+            Ok(output) => {
+                println!("{output}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_run_flags() {
+        let cli = parse_args(args(
+            "run --controller offline --v 2.5 --epsilon 0.25 --seed 7 \
+             --days 3 --battery-min 30 --market rtm --error 0.5 --json",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Run);
+        assert_eq!(cli.controller, "offline");
+        assert_eq!(cli.v, 2.5);
+        assert_eq!(cli.epsilon, 0.25);
+        assert_eq!(cli.seed, 7);
+        assert_eq!(cli.days, 3);
+        assert_eq!(cli.battery_min, 30.0);
+        assert_eq!(cli.market, MarketMode::RealTimeOnly);
+        assert_eq!(cli.error, 0.5);
+        assert!(cli.json);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(args("explode")).is_err());
+        assert!(parse_args(args("run --v")).is_err());
+        assert!(parse_args(args("run --v nan")).is_err());
+        assert!(parse_args(args("run --market sideways")).is_err());
+        assert!(parse_args(args("run --days 0")).is_err());
+        assert!(parse_args(args("run --bogus 1")).is_err());
+    }
+
+    #[test]
+    fn parses_grid() {
+        let cli = parse_args(args("sweep-v --grid 0.1,1,5")).unwrap();
+        assert_eq!(cli.grid, vec![0.1, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn help_by_default() {
+        let cli = parse_args(Vec::new()).unwrap();
+        assert_eq!(cli.command, Command::Help);
+        assert!(execute(&cli).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn executes_small_run_for_every_controller() {
+        for controller in ["smart", "offline", "impatient", "greedy"] {
+            let mut cli = parse_args(args("run --days 2 --seed 3")).unwrap();
+            cli.controller = controller.into();
+            let out = execute(&cli).unwrap();
+            assert!(out.contains("cost/slot"), "{controller}: {out}");
+        }
+        let mut cli = parse_args(args("run --days 2 --seed 3 --json")).unwrap();
+        cli.controller = "smart".into();
+        let out = execute(&cli).unwrap();
+        assert!(out.contains("\"controller\""));
+    }
+
+    #[test]
+    fn executes_sweep_and_bounds_and_traces() {
+        let cli = parse_args(args("sweep-v --days 2 --grid 0.5,2")).unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.lines().count(), 3);
+
+        let cli = parse_args(args("bounds --v 1 --battery-min 120")).unwrap();
+        let out = execute(&cli).unwrap();
+        assert!(out.contains("Qmax"));
+
+        let cli = parse_args(args("traces --days 1")).unwrap();
+        let out = execute(&cli).unwrap();
+        assert_eq!(out.lines().count(), 25); // header + 24 slots
+    }
+
+    #[test]
+    fn unknown_controller_is_an_execution_error() {
+        let mut cli = parse_args(args("run --days 1")).unwrap();
+        cli.controller = "quantum".into();
+        assert!(execute(&cli).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! **smartdpss** — a reproduction of *"SmartDPSS: Cost-Minimizing
+//! Multi-source Power Supply for Datacenters with Arbitrary Demand"*
+//! (Deng, Liu, Jin & Wu, IEEE ICDCS 2013) as a production-quality Rust
+//! workspace.
+//!
+//! This crate is the façade: it re-exports the workspace's five libraries
+//! so applications can depend on a single crate. See the individual crates
+//! for full documentation:
+//!
+//! * [`units`] (`dpss-units`) — physical-unit newtypes ([`Energy`],
+//!   [`Power`], [`Price`], [`Money`]) and the two-timescale calendar
+//!   ([`SlotClock`]);
+//! * [`lp`] (`dpss-lp`) — the two-phase simplex LP substrate;
+//! * [`traces`] (`dpss-traces`) — synthetic solar/wind/price/demand trace
+//!   generators with error injection and scaling transforms;
+//! * [`sim`] (`dpss-sim`) — the discrete-time DPSS plant: UPS battery,
+//!   demand queue with an exact FIFO delay ledger, the [`Controller`]
+//!   trait and the simulation [`Engine`];
+//! * [`core`] (`dpss-core`) — the [`SmartDpss`] controller itself plus the
+//!   [`OfflineOptimal`] benchmark, the [`Impatient`] baseline and the
+//!   Theorem 2 bound calculators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smartdpss::{Engine, SimParams, SmartDpss, SmartDpssConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One month of synthetic traces shaped like the paper's inputs.
+//! let traces = smartdpss::traces::paper_month_traces(42)?;
+//! let params = SimParams::icdcs13();
+//! let engine = Engine::new(params, traces)?;
+//!
+//! let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params,
+//!                                engine.truth().clock)?;
+//! let report = engine.run(&mut smart)?;
+//! println!("{}", report.summary());
+//! assert!(report.unserved_ds.mwh() == 0.0); // datacenter stayed up
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dpss_core as core;
+pub use dpss_lp as lp;
+pub use dpss_sim as sim;
+pub use dpss_traces as traces;
+pub use dpss_units as units;
+
+pub use dpss_core::{
+    cheapest_window_bound, GreedyBattery, Impatient, MarketMode, OfflineConfig, OfflineOptimal, P4Variant,
+    P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig, TheoremBounds,
+};
+pub use dpss_sim::{
+    Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, ForecastPolicy,
+    FrameDecision, FrameObservation, RunReport, SimParams, SlotDecision, SlotObservation,
+    SystemView,
+};
+pub use dpss_traces::{Scenario, TraceSet, UniformError};
+pub use dpss_units::{Energy, Money, Power, Price, SlotClock};

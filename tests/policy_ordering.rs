@@ -1,0 +1,142 @@
+//! Cross-crate benchmark ordering: on paper-shaped traces, the relaxation
+//! lower bound must sit below the offline benchmark, which must sit below
+//! (or equal to) SmartDPSS, which must beat the Impatient baseline — the
+//! ordering behind Fig. 6(a).
+
+use smartdpss::{
+    cheapest_window_bound, Engine, Impatient, MarketMode, OfflineOptimal, SimParams, SlotClock,
+    SmartDpss, SmartDpssConfig,
+};
+
+fn setup(seed: u64) -> (Engine, SimParams, SlotClock) {
+    let clock = SlotClock::icdcs13_month();
+    let traces = smartdpss::traces::paper_month_traces(seed).unwrap();
+    let params = SimParams::icdcs13();
+    (Engine::new(params, traces).unwrap(), params, clock)
+}
+
+#[test]
+fn full_ordering_holds_on_the_paper_month() {
+    let (engine, params, clock) = setup(42);
+    let bound = cheapest_window_bound(engine.truth(), &params);
+
+    let mut offline = OfflineOptimal::new(params, engine.truth().clone()).unwrap();
+    let r_off = engine.run(&mut offline).unwrap();
+
+    let mut smart =
+        SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+    let r_smart = engine.run(&mut smart).unwrap();
+
+    let r_imp = engine.run(&mut Impatient::two_markets()).unwrap();
+
+    assert!(
+        bound <= r_off.total_cost(),
+        "bound {bound} above offline {}",
+        r_off.total_cost()
+    );
+    assert!(
+        r_off.total_cost() <= r_smart.total_cost(),
+        "offline {} above smart {}",
+        r_off.total_cost(),
+        r_smart.total_cost()
+    );
+    assert!(
+        r_smart.total_cost() < r_imp.total_cost(),
+        "smart {} not below impatient {}",
+        r_smart.total_cost(),
+        r_imp.total_cost()
+    );
+}
+
+#[test]
+fn ordering_is_not_a_seed_accident() {
+    for seed in [7, 99, 1234] {
+        let (engine, params, clock) = setup(seed);
+        let mut smart =
+            SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let r_smart = engine.run(&mut smart).unwrap();
+        let r_imp = engine.run(&mut Impatient::two_markets()).unwrap();
+        assert!(
+            r_smart.total_cost() < r_imp.total_cost(),
+            "seed {seed}: smart {} vs impatient {}",
+            r_smart.total_cost(),
+            r_imp.total_cost()
+        );
+        // The saving the paper reports is material, not a rounding artifact.
+        let saving = 1.0 - r_smart.total_cost() / r_imp.total_cost();
+        assert!(saving > 0.05, "seed {seed}: saving only {:.1}%", saving * 100.0);
+    }
+}
+
+#[test]
+fn large_v_approaches_the_offline_cost() {
+    let (engine, params, clock) = setup(42);
+    let mut offline = OfflineOptimal::new(params, engine.truth().clone()).unwrap();
+    let off = engine.run(&mut offline).unwrap().total_cost().dollars();
+
+    let mut v1 = SmartDpss::new(SmartDpssConfig::icdcs13().with_v(1.0), params, clock).unwrap();
+    let c1 = engine.run(&mut v1).unwrap().total_cost().dollars();
+    let mut v5 = SmartDpss::new(SmartDpssConfig::icdcs13().with_v(5.0), params, clock).unwrap();
+    let c5 = engine.run(&mut v5).unwrap().total_cost().dollars();
+
+    let gap1 = (c1 - off).abs() / off;
+    let gap5 = (c5 - off).abs() / off;
+    assert!(gap5 < gap1 + 0.02, "gap must shrink: V=1 {gap1:.3}, V=5 {gap5:.3}");
+    assert!(gap5 < 0.15, "V=5 should be close to offline: {gap5:.3}");
+}
+
+#[test]
+fn two_markets_beat_real_time_only_for_both_policies() {
+    let (engine, params, clock) = setup(42);
+    let mut tm = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+    let mut rtm = SmartDpss::new(
+        SmartDpssConfig::icdcs13().with_market(MarketMode::RealTimeOnly),
+        params,
+        clock,
+    )
+    .unwrap();
+    let c_tm = engine.run(&mut tm).unwrap().total_cost();
+    let c_rtm = engine.run(&mut rtm).unwrap().total_cost();
+    assert!(c_tm < c_rtm, "smart: tm {c_tm} vs rtm {c_rtm}");
+
+    // The paper's Fig. 7 claim is specific to SmartDPSS; Impatient's naive
+    // flat hedge can waste enough to lose the long-term advantage, so for
+    // it we only require the two modes to be in the same ballpark.
+    let c_imp_tm = engine.run(&mut Impatient::two_markets()).unwrap().total_cost();
+    let c_imp_rtm = engine
+        .run(&mut Impatient::real_time_only())
+        .unwrap()
+        .total_cost();
+    let ratio = c_imp_tm.dollars() / c_imp_rtm.dollars();
+    assert!((0.8..1.2).contains(&ratio), "impatient: tm {c_imp_tm} vs rtm {c_imp_rtm}");
+}
+
+#[test]
+fn impatient_has_the_best_delay() {
+    let (engine, params, clock) = setup(42);
+    let r_imp = engine.run(&mut Impatient::two_markets()).unwrap();
+    let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+    let r_smart = engine.run(&mut smart).unwrap();
+    assert!(r_imp.average_delay_slots < r_smart.average_delay_slots);
+    assert!(r_imp.max_delay_slots <= 2);
+}
+
+#[test]
+fn every_policy_keeps_the_lights_on() {
+    let (engine, params, clock) = setup(42);
+    let mut policies: Vec<Box<dyn smartdpss::Controller>> = vec![
+        Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap()),
+        Box::new(OfflineOptimal::new(params, engine.truth().clone()).unwrap()),
+        Box::new(Impatient::two_markets()),
+        Box::new(Impatient::real_time_only()),
+    ];
+    for p in policies.iter_mut() {
+        let r = engine.run(p.as_mut()).unwrap();
+        assert_eq!(
+            r.availability_violations, 0,
+            "{} violated availability",
+            r.controller
+        );
+        assert_eq!(r.unserved_ds.mwh(), 0.0, "{} shed load", r.controller);
+    }
+}

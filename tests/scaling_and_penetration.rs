@@ -1,0 +1,115 @@
+//! The Fig. 8 (renewable penetration / demand variation) and Fig. 10
+//! (system expansion) behaviours, verified end-to-end across crates.
+
+use smartdpss::traces::scaling;
+use smartdpss::{Engine, SimParams, SlotClock, SmartDpss, SmartDpssConfig};
+
+fn run_on(traces: smartdpss::TraceSet) -> smartdpss::RunReport {
+    let params = SimParams::icdcs13();
+    let engine = Engine::new(params, traces).unwrap();
+    let mut ctl = SmartDpss::new(
+        SmartDpssConfig::icdcs13(),
+        params,
+        SlotClock::icdcs13_month(),
+    )
+    .unwrap();
+    engine.run(&mut ctl).unwrap()
+}
+
+#[test]
+fn cost_decreases_with_renewable_penetration() {
+    // Fig. 8: sweep penetration 0 → 100%; operating cost must fall
+    // markedly (renewables are free at the margin).
+    let truth = smartdpss::traces::paper_month_traces(42).unwrap();
+    let mut last = f64::INFINITY;
+    for pen in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let t = scaling::with_renewable_penetration(&truth, pen).unwrap();
+        let cost = run_on(t).time_average_cost().dollars();
+        assert!(
+            cost <= last * 1.02,
+            "penetration {pen}: cost {cost} above previous {last}"
+        );
+        last = cost;
+    }
+    // End-to-end drop must be large.
+    let zero = run_on(scaling::with_renewable_penetration(&truth, 0.0).unwrap());
+    let full = run_on(scaling::with_renewable_penetration(&truth, 1.0).unwrap());
+    assert!(
+        full.time_average_cost().dollars() < 0.7 * zero.time_average_cost().dollars(),
+        "full penetration {} vs none {}",
+        full.time_average_cost().dollars(),
+        zero.time_average_cost().dollars()
+    );
+}
+
+#[test]
+fn cost_rises_mildly_with_demand_variation() {
+    // Fig. 8's second axis: more demand variation → slightly higher cost.
+    let truth = smartdpss::traces::paper_month_traces(42).unwrap();
+    let flat = run_on(scaling::with_demand_variation(&truth, 0.25).unwrap());
+    let wild = run_on(scaling::with_demand_variation(&truth, 2.0).unwrap());
+    assert!(
+        wild.total_cost().dollars() > flat.total_cost().dollars() * 0.98,
+        "variation should not make operation cheaper: flat {} wild {}",
+        flat.total_cost().dollars(),
+        wild.total_cost().dollars()
+    );
+}
+
+#[test]
+fn expansion_grows_cost_sublinearly() {
+    // Fig. 10: β ∈ {1, 2, 5, 10} with the UPS fixed. Total cost grows,
+    // but less than proportionally (amortization), and the system stays
+    // available even though demand can now exceed the fixed Pgrid... the
+    // grid cap scales as part of the datacenter build-out in the paper's
+    // expansion; we scale it alongside to keep the model physical.
+    let truth = smartdpss::traces::paper_month_traces(42).unwrap();
+    let base_params = SimParams::icdcs13();
+    let mut costs = Vec::new();
+    for beta in [1.0, 2.0, 5.0, 10.0] {
+        let t = scaling::expand(&truth, beta).unwrap();
+        let mut params = base_params;
+        params.grid_cap = base_params.grid_cap * beta; // expanded interconnect
+        let engine = Engine::new(params, t).unwrap();
+        let mut ctl = SmartDpss::new(
+            SmartDpssConfig::icdcs13(),
+            params,
+            SlotClock::icdcs13_month(),
+        )
+        .unwrap();
+        let r = engine.run(&mut ctl).unwrap();
+        assert_eq!(r.availability_violations, 0, "beta {beta}");
+        costs.push(r.total_cost().dollars());
+    }
+    assert!(costs[1] > costs[0] && costs[2] > costs[1] && costs[3] > costs[2]);
+    // "Almost linearly" (paper Fig. 10): per-unit operating cost stays in
+    // a narrow band around the base system. (With the UPS fixed, a few
+    // percent of super-linearity is physical — EXPERIMENTS.md, Fig. 10.)
+    let per_unit = costs[3] / 10.0 / costs[0];
+    assert!(
+        (0.85..=1.15).contains(&per_unit),
+        "per-unit cost drifted {per_unit:.3}x: {costs:?}"
+    );
+}
+
+#[test]
+fn expansion_with_fixed_interconnect_hits_the_wall_visibly() {
+    // Keeping Pgrid fixed while demand doubles is a mis-provisioned
+    // system: the report must say so through emergency purchases, shed
+    // delay-tolerant service or availability violations — not silence.
+    let truth = smartdpss::traces::paper_month_traces(42).unwrap();
+    let doubled = scaling::expand(&truth, 2.0).unwrap();
+    let params = SimParams::icdcs13();
+    let engine = Engine::new(params, doubled).unwrap();
+    let mut ctl = SmartDpss::new(
+        SmartDpssConfig::icdcs13(),
+        params,
+        SlotClock::icdcs13_month(),
+    )
+    .unwrap();
+    let r = engine.run(&mut ctl).unwrap();
+    let stressed = r.availability_violations > 0
+        || r.energy_emergency.mwh() > 0.0
+        || r.final_backlog.mwh() > 10.0;
+    assert!(stressed, "doubling demand under a fixed 2 MW feed must show stress");
+}
