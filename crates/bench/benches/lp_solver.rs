@@ -26,7 +26,9 @@ fn frame_shaped(t: usize) -> Problem {
     let mut prev_q = None;
     for i in 0..t {
         let grt = p.add_var(format!("grt{i}"), 0.0, 2.0, 45.0).unwrap();
-        let sdt = p.add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
+        let sdt = p
+            .add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0)
+            .unwrap();
         let brc = p.add_var(format!("brc{i}"), 0.0, 0.5, 0.2).unwrap();
         let bdc = p.add_var(format!("bdc{i}"), 0.0, 0.5, 0.2).unwrap();
         let w = p.add_var(format!("w{i}"), 0.0, f64::INFINITY, 1.0).unwrap();
@@ -88,11 +90,7 @@ fn bench_lp(c: &mut Criterion) {
     for t in [6usize, 24] {
         group.bench_function(format!("frame_shaped_t{t}"), |b| {
             let p = frame_shaped(t);
-            b.iter_batched(
-                || p.clone(),
-                |p| p.solve().unwrap(),
-                BatchSize::SmallInput,
-            );
+            b.iter_batched(|| p.clone(), |p| p.solve().unwrap(), BatchSize::SmallInput);
         });
     }
     group.finish();

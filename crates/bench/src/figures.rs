@@ -50,9 +50,18 @@ pub fn fig5(seed: u64) -> (FigureTable, String) {
     let t = traces.clock.slots_per_frame();
     for day in 0..traces.clock.frames() {
         let range = day * t..(day + 1) * t;
-        let ds: f64 = traces.demand_ds[range.clone()].iter().map(|e| e.mwh()).sum();
-        let dt: f64 = traces.demand_dt[range.clone()].iter().map(|e| e.mwh()).sum();
-        let solar: f64 = traces.renewable[range.clone()].iter().map(|e| e.mwh()).sum();
+        let ds: f64 = traces.demand_ds[range.clone()]
+            .iter()
+            .map(|e| e.mwh())
+            .sum();
+        let dt: f64 = traces.demand_dt[range.clone()]
+            .iter()
+            .map(|e| e.mwh())
+            .sum();
+        let solar: f64 = traces.renewable[range.clone()]
+            .iter()
+            .map(|e| e.mwh())
+            .sum();
         let rt: Vec<f64> = traces.price_rt[range]
             .iter()
             .map(|p| p.dollars_per_mwh())
@@ -187,7 +196,10 @@ pub fn fig7_markets(seed: u64) -> FigureTable {
         "Fig. 7 (markets): two markets (TM) vs real-time only (RTM)",
         &["markets", "$/slot", "lt MWh", "rt MWh"],
     );
-    for (label, market) in [("TM", MarketMode::TwoMarkets), ("RTM", MarketMode::RealTimeOnly)] {
+    for (label, market) in [
+        ("TM", MarketMode::TwoMarkets),
+        ("RTM", MarketMode::RealTimeOnly),
+    ] {
         let r = run_smart(
             &engine,
             params,
@@ -287,8 +299,12 @@ pub fn fig9(seed: u64, error_fraction: f64, vs: &[f64]) -> FigureTable {
     );
     for &v in vs {
         let config = SmartDpssConfig::icdcs13().with_v(v);
-        let clean = run_smart(&clean_engine, params, config).total_cost().dollars();
-        let noisy = run_smart(&noisy_engine, params, config).total_cost().dollars();
+        let clean = run_smart(&clean_engine, params, config)
+            .total_cost()
+            .dollars();
+        let noisy = run_smart(&noisy_engine, params, config)
+            .total_cost()
+            .dollars();
         let red_clean = 100.0 * (baseline - clean) / baseline;
         let red_noisy = 100.0 * (baseline - noisy) / baseline;
         table.push_owned(vec![
@@ -343,7 +359,10 @@ pub fn ablations(seed: u64) -> FigureTable {
         &["variant", "$/slot", "delay", "waste MWh"],
     );
     let cases: [(&str, SmartDpssConfig); 4] = [
-        ("derived + waste-aware (default)", SmartDpssConfig::icdcs13()),
+        (
+            "derived + waste-aware (default)",
+            SmartDpssConfig::icdcs13(),
+        ),
         (
             "paper-literal P5",
             SmartDpssConfig::icdcs13().with_p5_objective(P5Objective::PaperLiteral),
@@ -385,7 +404,10 @@ pub fn forecast_ablation(seed: u64) -> FigureTable {
         &["frame forecast", "$/slot", "delay", "rt MWh"],
     );
     let policies: [(&str, ForecastPolicy); 3] = [
-        ("prev-frame average (paper)", ForecastPolicy::PrevFrameAverage),
+        (
+            "prev-frame average (paper)",
+            ForecastPolicy::PrevFrameAverage,
+        ),
         ("perfect oracle", ForecastPolicy::Oracle),
         (
             "noisy oracle (22.2% err)",

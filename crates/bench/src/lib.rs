@@ -66,8 +66,7 @@ pub fn run_smart(engine: &Engine, params: SimParams, config: SmartDpssConfig) ->
 /// Panics if the run fails.
 #[must_use]
 pub fn run_offline(engine: &Engine, params: SimParams) -> RunReport {
-    let mut ctl =
-        OfflineOptimal::new(params, engine.truth().clone()).expect("valid configuration");
+    let mut ctl = OfflineOptimal::new(params, engine.truth().clone()).expect("valid configuration");
     engine.run(&mut ctl).expect("run succeeds")
 }
 

@@ -102,7 +102,7 @@ mod tests {
         assert!(s.starts_with("title\n"));
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 5); // title, header, rule, 2 rows
-        // All data lines are equally wide.
+                                    // All data lines are equally wide.
         assert_eq!(lines[1].len(), lines[3].len());
         assert_eq!(lines[3].len(), lines[4].len());
     }

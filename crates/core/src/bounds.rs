@@ -176,7 +176,8 @@ impl TheoremBounds {
         let b = &params.battery;
         let sdt_max = params.sdt_max.map_or(self.q_max, |s| s.mwh());
         let h3_b = beta * self.h2
-            + t * beta.powf(alpha) * theta_max.max(0.0)
+            + t * beta.powf(alpha)
+                * theta_max.max(0.0)
                 * (2.0 * sdt_max
                     + config.ddt_max.mwh()
                     + b.max_charge.mwh() * b.charge_efficiency

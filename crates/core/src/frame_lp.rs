@@ -56,7 +56,9 @@ pub(crate) struct FramePlan {
 pub(crate) fn solve(inp: &FrameLpInputs<'_>) -> Result<FramePlan, CoreError> {
     let t = inp.t;
     debug_assert!(
-        inp.p_rt.len() == t && inp.d_ds.len() == t && inp.d_dt.len() == t
+        inp.p_rt.len() == t
+            && inp.d_ds.len() == t
+            && inp.d_dt.len() == t
             && inp.renewable.len() == t,
         "series length mismatch"
     );
@@ -239,11 +241,7 @@ mod tests {
         let d_dt = [0.4; 4];
         let r = [0.0; 4];
         let plan = solve(&inputs(&params, &p_rt, &d_ds, &d_dt, &r)).unwrap();
-        let max_rt = plan
-            .grt
-            .iter()
-            .cloned()
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max_rt = plan.grt.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             (plan.grt[2] - max_rt).abs() < 1e-9,
             "cheapest slot buys the most: {:?}",

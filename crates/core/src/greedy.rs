@@ -117,7 +117,9 @@ mod tests {
 
     fn engine(seed: u64) -> Engine {
         let clock = SlotClock::new(6, 24, 1.0).unwrap();
-        let traces = dpss_traces::Scenario::icdcs13().generate(&clock, seed).unwrap();
+        let traces = dpss_traces::Scenario::icdcs13()
+            .generate(&clock, seed)
+            .unwrap();
         Engine::new(SimParams::icdcs13(), traces).unwrap()
     }
 

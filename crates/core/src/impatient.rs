@@ -79,8 +79,7 @@ impl Controller for Impatient {
             MarketMode::TwoMarkets => {
                 // Naive hedge: cover the observed per-slot net demand for
                 // the whole frame.
-                let per_slot =
-                    (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
+                let per_slot = (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
                 FrameDecision {
                     purchase_lt: per_slot * obs.slots_in_frame as f64,
                 }
@@ -130,7 +129,10 @@ mod tests {
         let r = run(Impatient::real_time_only(), 2);
         assert_eq!(r.energy_lt, Energy::ZERO);
         assert!(r.energy_rt.mwh() > 0.0);
-        assert_eq!(Impatient::real_time_only().market(), MarketMode::RealTimeOnly);
+        assert_eq!(
+            Impatient::real_time_only().market(),
+            MarketMode::RealTimeOnly
+        );
     }
 
     #[test]

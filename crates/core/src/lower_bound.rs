@@ -76,7 +76,10 @@ mod tests {
             vec![Price::from_dollars_per_mwh(50.0); 2],
         )
         .unwrap();
-        assert_eq!(cheapest_window_bound(&t, &SimParams::icdcs13()), Money::ZERO);
+        assert_eq!(
+            cheapest_window_bound(&t, &SimParams::icdcs13()),
+            Money::ZERO
+        );
     }
 
     #[test]

@@ -229,7 +229,11 @@ mod tests {
         assert_eq!(r.unserved_ds, Energy::ZERO);
         assert_eq!(r.availability_violations, 0);
         // Deadline T keeps worst-case delay within ~2 frames.
-        assert!(r.max_delay_slots <= 2 * 24, "max delay {}", r.max_delay_slots);
+        assert!(
+            r.max_delay_slots <= 2 * 24,
+            "max delay {}",
+            r.max_delay_slots
+        );
         // Lemma 1's spirit: with p_rt above p_lt on average, the long-term
         // market dominates. (Some real-time top-up remains because the
         // long-term delivery is a flat g_bef/T per slot and cannot track
@@ -279,9 +283,7 @@ mod tests {
             r_slow.average_delay_slots
         );
         // And pays for the privilege (weakly).
-        assert!(
-            r_fast.total_cost() >= r_slow.total_cost() - dpss_units::Money::from_dollars(1e-6)
-        );
+        assert!(r_fast.total_cost() >= r_slow.total_cost() - dpss_units::Money::from_dollars(1e-6));
     }
 
     #[test]

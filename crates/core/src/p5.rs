@@ -90,8 +90,7 @@ fn evaluate(inp: &P5Inputs, g: f64, y: f64) -> Option<f64> {
     let n = if brc > TOL || bdc > TOL { 1.0 } else { 0.0 };
     let obj = match inp.objective {
         P5Objective::Derived => {
-            inp.v * (inp.p_rt * g + inp.cb * n + inp.w_pen * waste)
-                - (inp.q + inp.y_queue) * y
+            inp.v * (inp.p_rt * g + inp.cb * n + inp.w_pen * waste) - (inp.q + inp.y_queue) * y
                 + inp.x * (inp.eta_c * brc - inp.eta_d * bdc)
         }
         P5Objective::PaperLiteral => {
@@ -115,12 +114,8 @@ pub(crate) fn solve_closed_form(inp: &P5Inputs) -> P5Solution {
     let g_cap = inp.g_cap.max(0.0);
     let y_cap = inp.y_cap.max(0.0);
 
-    let mut candidates: Vec<(f64, f64)> = vec![
-        (0.0, 0.0),
-        (g_cap, 0.0),
-        (0.0, y_cap),
-        (g_cap, y_cap),
-    ];
+    let mut candidates: Vec<(f64, f64)> =
+        vec![(0.0, 0.0), (g_cap, 0.0), (0.0, y_cap), (g_cap, y_cap)];
     // Kink lines g − y = c: net = 0, charge saturation, discharge limit.
     let cs = [
         -inp.base,
@@ -129,12 +124,7 @@ pub(crate) fn solve_closed_form(inp: &P5Inputs) -> P5Solution {
     ];
     for c in cs {
         // Intersections with the four box edges.
-        let pts = [
-            (c, 0.0),
-            (c + y_cap, y_cap),
-            (0.0, -c),
-            (g_cap, g_cap - c),
-        ];
+        let pts = [(c, 0.0), (c + y_cap, y_cap), (0.0, -c), (g_cap, g_cap - c)];
         for (g, y) in pts {
             if (-TOL..=g_cap + TOL).contains(&g) && (-TOL..=y_cap + TOL).contains(&y) {
                 candidates.push((g.clamp(0.0, g_cap), y.clamp(0.0, y_cap)));
@@ -152,8 +142,7 @@ pub(crate) fn solve_closed_form(inp: &P5Inputs) -> P5Solution {
             Some(b) => {
                 obj < b.objective - TOL
                     || ((obj - b.objective).abs() <= TOL
-                        && (g < b.g_rt - TOL
-                            || ((g - b.g_rt).abs() <= TOL && y > b.s_dt + TOL)))
+                        && (g < b.g_rt - TOL || ((g - b.g_rt).abs() <= TOL && y > b.s_dt + TOL)))
             }
         };
         if better {
@@ -184,13 +173,14 @@ pub(crate) fn solve_lp(inp: &P5Inputs) -> Result<P5Solution, CoreError> {
 
     // Linear coefficients of g and y for the configured objective.
     let (cg, cy) = match inp.objective {
-        P5Objective::Derived => (
-            inp.v * inp.p_rt,
-            -(inp.q + inp.y_queue),
-        ),
+        P5Objective::Derived => (inp.v * inp.p_rt, -(inp.q + inp.y_queue)),
         P5Objective::PaperLiteral => (
             inp.v * inp.p_rt - inp.q - inp.y_queue,
-            if inp.q > TOL { inp.q - inp.y_queue } else { 0.0 },
+            if inp.q > TOL {
+                inp.q - inp.y_queue
+            } else {
+                0.0
+            },
         ),
     };
     // Coefficients of brc/bdc/waste per objective.
@@ -214,7 +204,7 @@ pub(crate) fn solve_lp(inp: &P5Inputs) -> Result<P5Solution, CoreError> {
     let mut best: Option<P5Solution> = None;
     let mut consider = |sol: Option<(f64, f64, f64)>| {
         if let Some((obj, g, y)) = sol {
-            if best.as_ref().map_or(true, |b| obj < b.objective - 1e-12) {
+            if best.as_ref().is_none_or(|b| obj < b.objective - 1e-12) {
                 best = Some(P5Solution {
                     g_rt: g,
                     s_dt: y,

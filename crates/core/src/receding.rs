@@ -167,8 +167,7 @@ impl Controller for RecedingHorizon {
             0.0
         };
         SlotDecision {
-            purchase_rt: Energy::from_mwh((planned + miss).max(0.0))
-                .min(view.rt_purchase_cap),
+            purchase_rt: Energy::from_mwh((planned + miss).max(0.0)).min(view.rt_purchase_cap),
             serve_fraction,
         }
     }

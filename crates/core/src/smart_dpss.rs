@@ -175,10 +175,7 @@ impl Controller for SmartDpss {
                 purchase_lt: Energy::ZERO,
             };
         }
-        let slot_cap = self
-            .params
-            .grid_slot_cap(obs.slot_hours)
-            .mwh();
+        let slot_cap = self.params.grid_slot_cap(obs.slot_hours).mwh();
         // How much the battery offsets the per-slot demand cover. The
         // printed P4 uses the level `b(t)` as a per-slot resource; the
         // waste-aware variant spreads the battery's deliverable *energy*
@@ -199,8 +196,7 @@ impl Controller for SmartDpss {
                 // fill the battery is excluded — round-tripping purchased
                 // energy through ηc·ηd < 1 loses more than time-shifting
                 // gains; the battery fills from incidental surplus instead.
-                let per_slot_net =
-                    (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
+                let per_slot_net = (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
                 (per_slot_net * obs.slots_in_frame as f64 + view.queue_backlog).mwh()
             }
         };
@@ -245,7 +241,11 @@ impl Controller for SmartDpss {
     fn end_slot(&mut self, outcome: &SlotOutcome, _view: &SystemView) {
         // Eq. (12): Y(t+1) = max{Y(t) − s_dt(t) + ε·1[Q(t)>0], 0}, with the
         // *realized* service and the backlog as seen at planning time.
-        let indicator = if self.planned_backlog > 1e-12 { 1.0 } else { 0.0 };
+        let indicator = if self.planned_backlog > 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
         self.y = (self.y - outcome.served_dt.mwh() + self.config.epsilon * indicator).max(0.0);
         self.y_max_seen = self.y_max_seen.max(self.y);
     }
@@ -257,8 +257,8 @@ mod tests {
     use dpss_sim::Engine;
     use dpss_traces::Scenario;
 
-    fn run_with(config: SmartDpssConfig, seed: u64) -> dpss_sim::RunReport {
-        let clock = SlotClock::new(6, 24, 1.0).unwrap();
+    fn run_frames(config: SmartDpssConfig, seed: u64, frames: usize) -> dpss_sim::RunReport {
+        let clock = SlotClock::new(frames, 24, 1.0).unwrap();
         let traces = Scenario::icdcs13().generate(&clock, seed).unwrap();
         let params = SimParams::icdcs13();
         let engine = Engine::new(params, traces).unwrap();
@@ -266,16 +266,15 @@ mod tests {
         engine.run(&mut ctl).unwrap()
     }
 
+    fn run_with(config: SmartDpssConfig, seed: u64) -> dpss_sim::RunReport {
+        run_frames(config, seed, 6)
+    }
+
     #[test]
     fn construction_validates() {
         let clock = SlotClock::icdcs13_month();
         let params = SimParams::icdcs13();
-        assert!(SmartDpss::new(
-            SmartDpssConfig::icdcs13().with_v(-1.0),
-            params,
-            clock
-        )
-        .is_err());
+        assert!(SmartDpss::new(SmartDpssConfig::icdcs13().with_v(-1.0), params, clock).is_err());
         let ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
         assert_eq!(ctl.name(), "smart-dpss");
         assert_eq!(ctl.virtual_queue_y(), 0.0);
@@ -305,11 +304,15 @@ mod tests {
 
     #[test]
     fn two_markets_cheaper_than_real_time_only() {
-        // The Fig. 7 "TM vs RTM" claim on a 6-day horizon.
-        let tm = run_with(SmartDpssConfig::icdcs13(), 42);
-        let rtm = run_with(
+        // The Fig. 7 "TM vs RTM" claim. Two weeks, not six days: the
+        // prev-frame-average forecast needs warm-up before the E[p_rt] >
+        // E[p_lt] gap dominates per-trace noise; at 14+ frames TM wins on
+        // every seed tried, at 6 it is a coin flip.
+        let tm = run_frames(SmartDpssConfig::icdcs13(), 42, 14);
+        let rtm = run_frames(
             SmartDpssConfig::icdcs13().with_market(MarketMode::RealTimeOnly),
             42,
+            14,
         );
         assert!(
             tm.total_cost() < rtm.total_cost(),

@@ -67,8 +67,12 @@ mod tests {
             .to_string()
             .contains('7'));
         assert!(LpError::EmptyBounds { var: 3 }.to_string().contains('3'));
-        assert!(LpError::UnknownVariable { var: 9 }.to_string().contains('9'));
-        assert!(LpError::NotFinite { what: "rhs" }.to_string().contains("rhs"));
+        assert!(LpError::UnknownVariable { var: 9 }
+            .to_string()
+            .contains('9'));
+        assert!(LpError::NotFinite { what: "rhs" }
+            .to_string()
+            .contains("rhs"));
     }
 
     #[test]

@@ -150,7 +150,9 @@ impl Problem {
             return Err(LpError::NotFinite { what: "bound" });
         }
         if lo > up {
-            return Err(LpError::EmptyBounds { var: self.vars.len() });
+            return Err(LpError::EmptyBounds {
+                var: self.vars.len(),
+            });
         }
         let idx = self.vars.len();
         self.vars.push(VarData {
@@ -281,11 +283,7 @@ impl Problem {
     #[must_use]
     pub fn objective_at(&self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.vars.len(), "assignment length mismatch");
-        self.vars
-            .iter()
-            .zip(values)
-            .map(|(v, x)| v.obj * x)
-            .sum()
+        self.vars.iter().zip(values).map(|(v, x)| v.obj * x).sum()
     }
 
     /// Checks whether an assignment satisfies all bounds and constraints
@@ -399,7 +397,9 @@ mod tests {
     #[test]
     fn feasibility_checks_all_relations() {
         let mut p = Problem::minimize();
-        let x = p.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0).unwrap();
+        let x = p
+            .add_var("x", f64::NEG_INFINITY, f64::INFINITY, 0.0)
+            .unwrap();
         p.add_constraint(&[(x, 1.0)], Relation::Le, 2.0).unwrap();
         p.add_constraint(&[(x, 1.0)], Relation::Ge, -2.0).unwrap();
         p.add_constraint(&[(x, 2.0)], Relation::Eq, 2.0).unwrap();

@@ -164,7 +164,9 @@ pub(crate) fn run_phase(
             return Ok(PhaseOutcome::Unbounded);
         };
         if *budget == 0 {
-            return Err(LpError::IterationLimit { pivots: pivots_done });
+            return Err(LpError::IterationLimit {
+                pivots: pivots_done,
+            });
         }
         *budget -= 1;
         pivots_done += 1;
@@ -182,8 +184,7 @@ pub(crate) fn run_phase(
 fn choose_entering(cost: &CostRow, allowed: &[bool], bland: bool) -> Option<usize> {
     if bland {
         // Bland's rule: smallest-index column with negative reduced cost.
-        (0..cost.reduced.len())
-            .find(|&j| allowed[j] && cost.reduced[j] < -TOLERANCE)
+        (0..cost.reduced.len()).find(|&j| allowed[j] && cost.reduced[j] < -TOLERANCE)
     } else {
         // Dantzig's rule: most negative reduced cost.
         let mut best: Option<(usize, f64)> = None;
@@ -192,7 +193,7 @@ fn choose_entering(cost: &CostRow, allowed: &[bool], bland: bool) -> Option<usiz
                 continue;
             }
             let rc = cost.reduced[j];
-            if rc < -TOLERANCE && best.map_or(true, |(_, b)| rc < b) {
+            if rc < -TOLERANCE && best.is_none_or(|(_, b)| rc < b) {
                 best = Some((j, rc));
             }
         }

@@ -50,8 +50,10 @@ fn feasible_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = Feasib
             0..=max_rows,
         );
         (objective, widths, fractions, rows).prop_map(|(objective, widths, fractions, raw_rows)| {
-            let bounds: Vec<(f64, f64)> =
-                widths.iter().map(|&(lo, w)| (lo - 2.0, lo - 2.0 + w)).collect();
+            let bounds: Vec<(f64, f64)> = widths
+                .iter()
+                .map(|&(lo, w)| (lo - 2.0, lo - 2.0 + w))
+                .collect();
             let witness: Vec<f64> = bounds
                 .iter()
                 .zip(&fractions)
@@ -60,8 +62,7 @@ fn feasible_lp(max_vars: usize, max_rows: usize) -> impl Strategy<Value = Feasib
             let rows = raw_rows
                 .into_iter()
                 .map(|(coeffs, slack)| {
-                    let activity: f64 =
-                        coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
+                    let activity: f64 = coeffs.iter().zip(&witness).map(|(a, x)| a * x).sum();
                     (coeffs, activity + slack)
                 })
                 .collect();
@@ -160,7 +161,10 @@ fn large_chain_lp_solves_quickly() {
     // shape of the offline per-frame benchmark problem.
     let mut p = Problem::new(Sense::Minimize);
     let vars: Vec<_> = (0..200)
-        .map(|i| p.add_var(format!("v{i}"), 0.0, 10.0, 1.0 + (i % 7) as f64).unwrap())
+        .map(|i| {
+            p.add_var(format!("v{i}"), 0.0, 10.0, 1.0 + (i % 7) as f64)
+                .unwrap()
+        })
         .collect();
     for w in vars.windows(2) {
         p.add_constraint(&[(w[0], 1.0), (w[1], 1.0)], Relation::Ge, 1.0)

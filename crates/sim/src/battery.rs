@@ -266,8 +266,7 @@ impl Battery {
                 limit: limit.mwh(),
             });
         }
-        self.level =
-            (self.level + brc * self.params.charge_efficiency).min(self.params.capacity);
+        self.level = (self.level + brc * self.params.charge_efficiency).min(self.params.capacity);
         self.operations += 1;
         self.total_charged += brc;
         self.max_seen = self.max_seen.max(self.level);
@@ -301,8 +300,8 @@ impl Battery {
                 limit: limit.mwh(),
             });
         }
-        self.level = (self.level - bdc * self.params.discharge_efficiency)
-            .max(self.params.min_level);
+        self.level =
+            (self.level - bdc * self.params.discharge_efficiency).max(self.params.min_level);
         self.operations += 1;
         self.total_discharged += bdc;
         self.min_seen = self.min_seen.min(self.level);
@@ -413,7 +412,7 @@ mod tests {
         let mut b = Battery::new(p).unwrap();
         b.discharge(Energy::from_mwh(0.1)).unwrap();
         assert!((b.level().mwh() - 0.275).abs() < 1e-12); // 0.4 − 1.25·0.1
-        // Available is limited by the floor: (0.275 − 0.0333)/1.25.
+                                                          // Available is limited by the floor: (0.275 − 0.0333)/1.25.
         let avail = b.available().mwh();
         assert!((avail - (0.275 - 2.0 / 60.0) / 1.25).abs() < 1e-9);
         // Cannot discharge more than available.

@@ -152,8 +152,7 @@ impl Engine {
                         crate::ForecastPolicy::Oracle
                         | crate::ForecastPolicy::NoisyOracle { .. } => {
                             let start = id.frame * t;
-                            let mean =
-                                series[start..start + t].iter().sum::<Energy>() / t as f64;
+                            let mean = series[start..start + t].iter().sum::<Energy>() / t as f64;
                             mean * self.forecast.noise_factor(id.frame, component)
                         }
                     }
@@ -301,8 +300,7 @@ mod tests {
         }
         fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
             SlotDecision {
-                purchase_rt: (obs.demand_ds + view.queue_backlog + obs.demand_dt
-                    - obs.renewable)
+                purchase_rt: (obs.demand_ds + view.queue_backlog + obs.demand_dt - obs.renewable)
                     .positive_part(),
                 serve_fraction: 1.0,
             }
@@ -412,10 +410,7 @@ mod tests {
     #[test]
     fn observation_errors_change_decisions_not_physics() {
         let truth = paper_month_traces(8).unwrap();
-        let observed = UniformError::new(0.5)
-            .unwrap()
-            .perturb(&truth, 99)
-            .unwrap();
+        let observed = UniformError::new(0.5).unwrap().perturb(&truth, 99).unwrap();
         let base = Engine::new(SimParams::icdcs13(), truth.clone()).unwrap();
         let noisy = Engine::new(SimParams::icdcs13(), truth)
             .unwrap()
@@ -451,7 +446,10 @@ mod tests {
         let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
         assert!(matches!(
             engine.run(&mut BadLt),
-            Err(SimError::InvalidDecision { what: "purchase_lt", .. })
+            Err(SimError::InvalidDecision {
+                what: "purchase_lt",
+                ..
+            })
         ));
     }
 
@@ -490,8 +488,7 @@ mod tests {
             }
             fn plan_frame(&mut self, obs: &FrameObservation, _: &SystemView) -> FrameDecision {
                 FrameDecision {
-                    purchase_lt: (obs.demand_ds + obs.demand_dt - obs.renewable)
-                        .positive_part()
+                    purchase_lt: (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part()
                         * obs.slots_in_frame as f64,
                 }
             }

@@ -108,7 +108,9 @@ mod tests {
             slot: 17,
         };
         assert!(e.to_string().contains("17"));
-        assert!(SimError::ObservationMismatch.to_string().contains("calendar"));
+        assert!(SimError::ObservationMismatch
+            .to_string()
+            .contains("calendar"));
     }
 
     #[test]

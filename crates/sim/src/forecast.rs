@@ -80,8 +80,7 @@ impl ForecastPolicy {
                 };
                 let u1: f64 = next().max(f64::MIN_POSITIVE);
                 let u2: f64 = next();
-                let gauss =
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let gauss = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (1.0 + rel_std * gauss).max(0.0)
             }
             _ => 1.0,

@@ -83,7 +83,11 @@ pub(crate) fn step(
     let waste: Energy;
     if net.mwh() >= 0.0 {
         let charge = net.min(battery.headroom());
-        brc = if charge.mwh() > DUST { charge } else { Energy::ZERO };
+        brc = if charge.mwh() > DUST {
+            charge
+        } else {
+            Energy::ZERO
+        };
         waste = net - brc;
         bdc = Energy::ZERO;
     } else {
@@ -342,7 +346,10 @@ mod tests {
         };
         assert!(matches!(
             step(&params, &inp, &bad_rt, &mut battery, &mut queue),
-            Err(SimError::InvalidDecision { what: "purchase_rt", .. })
+            Err(SimError::InvalidDecision {
+                what: "purchase_rt",
+                ..
+            })
         ));
         let bad_gamma = SlotDecision {
             purchase_rt: Energy::ZERO,
@@ -350,7 +357,10 @@ mod tests {
         };
         assert!(matches!(
             step(&params, &inp, &bad_gamma, &mut battery, &mut queue),
-            Err(SimError::InvalidDecision { what: "serve_fraction", .. })
+            Err(SimError::InvalidDecision {
+                what: "serve_fraction",
+                ..
+            })
         ));
         // Out-of-range gamma is clamped, not rejected.
         let clamped = SlotDecision {

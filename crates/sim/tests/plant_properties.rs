@@ -4,8 +4,8 @@
 //! queue conservation — and never panic or emit NaN.
 
 use dpss_sim::{
-    Controller, Engine, FrameDecision, FrameObservation, SimParams, SlotDecision,
-    SlotObservation, SystemView,
+    Controller, Engine, FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation,
+    SystemView,
 };
 use dpss_traces::Scenario;
 use dpss_units::{Energy, SlotClock};

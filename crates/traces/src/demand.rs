@@ -264,8 +264,14 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let m = DemandModel::icdcs13();
-        assert_eq!(m.generate(&month(), 1).unwrap(), m.generate(&month(), 1).unwrap());
-        assert_ne!(m.generate(&month(), 1).unwrap(), m.generate(&month(), 2).unwrap());
+        assert_eq!(
+            m.generate(&month(), 1).unwrap(),
+            m.generate(&month(), 1).unwrap()
+        );
+        assert_ne!(
+            m.generate(&month(), 1).unwrap(),
+            m.generate(&month(), 2).unwrap()
+        );
     }
 
     #[test]
@@ -303,7 +309,10 @@ mod tests {
             trough += t.delay_sensitive[day * 24 + 4].mwh();
             days += 1.0;
         }
-        assert!(peak / days > 1.3 * (trough / days), "peak {peak} trough {trough}");
+        assert!(
+            peak / days > 1.3 * (trough / days),
+            "peak {peak} trough {trough}"
+        );
     }
 
     #[test]
@@ -320,10 +329,11 @@ mod tests {
     fn batch_is_bursty() {
         let m = DemandModel::icdcs13();
         let t = m.generate(&month(), 7).unwrap();
-        let stats = crate::SeriesStats::from_values(
-            t.delay_tolerant.iter().map(|e| e.mwh()),
+        let stats = crate::SeriesStats::from_values(t.delay_tolerant.iter().map(|e| e.mwh()));
+        assert!(
+            stats.coefficient_of_variation() > 0.4,
+            "cv too small: {stats}"
         );
-        assert!(stats.coefficient_of_variation() > 0.4, "cv too small: {stats}");
         // Some slots have zero batch arrivals.
         assert!(t.delay_tolerant.iter().any(|e| e.mwh() == 0.0));
     }

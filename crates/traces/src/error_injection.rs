@@ -67,11 +67,12 @@ impl UniformError {
         let f = self.fraction;
         let mut factor = move |rng: &mut StdRng| 1.0 + f * (2.0 * rng.gen::<f64>() - 1.0);
 
-        let perturb_energy = |xs: &[Energy], rng: &mut StdRng, factor: &mut dyn FnMut(&mut StdRng) -> f64| {
-            xs.iter()
-                .map(|e| Energy::from_mwh((e.mwh() * factor(rng)).max(0.0)))
-                .collect::<Vec<_>>()
-        };
+        let perturb_energy =
+            |xs: &[Energy], rng: &mut StdRng, factor: &mut dyn FnMut(&mut StdRng) -> f64| {
+                xs.iter()
+                    .map(|e| Energy::from_mwh((e.mwh() * factor(rng)).max(0.0)))
+                    .collect::<Vec<_>>()
+            };
         let demand_ds = perturb_energy(&truth.demand_ds, &mut rng, &mut factor);
         let demand_dt = perturb_energy(&truth.demand_dt, &mut rng, &mut factor);
         let renewable = perturb_energy(&truth.renewable, &mut rng, &mut factor);

@@ -222,8 +222,14 @@ mod tests {
     fn deterministic_given_seed() {
         let m = PriceModel::icdcs13();
         let clock = SlotClock::icdcs13_month();
-        assert_eq!(m.generate(&clock, 1).unwrap(), m.generate(&clock, 1).unwrap());
-        assert_ne!(m.generate(&clock, 1).unwrap(), m.generate(&clock, 2).unwrap());
+        assert_eq!(
+            m.generate(&clock, 1).unwrap(),
+            m.generate(&clock, 1).unwrap()
+        );
+        assert_ne!(
+            m.generate(&clock, 1).unwrap(),
+            m.generate(&clock, 2).unwrap()
+        );
     }
 
     #[test]
@@ -238,7 +244,10 @@ mod tests {
                 / p.long_term.len() as f64;
             let rt_mean: f64 = p.real_time.iter().map(|x| x.dollars_per_mwh()).sum::<f64>()
                 / p.real_time.len() as f64;
-            assert!(rt_mean > lt_mean, "seed {seed}: rt {rt_mean} <= lt {lt_mean}");
+            assert!(
+                rt_mean > lt_mean,
+                "seed {seed}: rt {rt_mean} <= lt {lt_mean}"
+            );
         }
     }
 
@@ -266,9 +275,8 @@ mod tests {
         let m = PriceModel::icdcs13();
         let clock = SlotClock::icdcs13_month();
         let p = m.generate(&clock, 4).unwrap();
-        let stats = crate::SeriesStats::from_values(
-            p.real_time.iter().map(|x| x.dollars_per_mwh()),
-        );
+        let stats =
+            crate::SeriesStats::from_values(p.real_time.iter().map(|x| x.dollars_per_mwh()));
         assert!(stats.coefficient_of_variation() > 0.08, "cv {}", stats.std);
     }
 

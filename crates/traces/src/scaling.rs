@@ -161,9 +161,7 @@ mod tests {
         assert_eq!(big.price_rt, t.price_rt);
         assert_eq!(big.price_lt, t.price_lt);
         // Penetration is invariant under uniform expansion.
-        assert!(
-            (big.renewable_penetration() - t.renewable_penetration()).abs() < 1e-12
-        );
+        assert!((big.renewable_penetration() - t.renewable_penetration()).abs() < 1e-12);
     }
 
     #[test]
@@ -228,9 +226,7 @@ mod tests {
         // Mean preserved (no clamping for factor <= 1 on non-negative data
         // with mean below all-positive values — allow small drift).
         assert!(
-            (half.demand_stats().mean - t.demand_stats().mean).abs()
-                / t.demand_stats().mean
-                < 0.02
+            (half.demand_stats().mean - t.demand_stats().mean).abs() / t.demand_stats().mean < 0.02
         );
         assert!((half.demand_stats().std - 0.5 * base_std).abs() / base_std < 0.05);
         let double = with_demand_variation(&t, 2.0).unwrap();

@@ -55,12 +55,8 @@ impl Scenario {
     #[must_use]
     pub fn windy_plains() -> Self {
         Scenario {
-            solar: SolarModel::icdcs13()
-                .with_capacity(dpss_units::Power::from_mw(0.5)),
-            wind: Some(
-                crate::WindModel::icdcs13()
-                    .with_capacity(dpss_units::Power::from_mw(2.0)),
-            ),
+            solar: SolarModel::icdcs13().with_capacity(dpss_units::Power::from_mw(0.5)),
+            wind: Some(crate::WindModel::icdcs13().with_capacity(dpss_units::Power::from_mw(2.0))),
             price: PriceModel::icdcs13(),
             demand: DemandModel::icdcs13(),
         }
@@ -192,8 +188,14 @@ mod tests {
     fn deterministic_and_seed_sensitive() {
         let clock = SlotClock::new(3, 24, 1.0).unwrap();
         let s = Scenario::icdcs13();
-        assert_eq!(s.generate(&clock, 1).unwrap(), s.generate(&clock, 1).unwrap());
-        assert_ne!(s.generate(&clock, 1).unwrap(), s.generate(&clock, 2).unwrap());
+        assert_eq!(
+            s.generate(&clock, 1).unwrap(),
+            s.generate(&clock, 1).unwrap()
+        );
+        assert_ne!(
+            s.generate(&clock, 1).unwrap(),
+            s.generate(&clock, 2).unwrap()
+        );
     }
 
     #[test]

@@ -185,7 +185,9 @@ impl SolarModel {
         }
         let span = self.sunset_hour - self.sunrise_hour;
         let phase = (hour - self.sunrise_hour) / span;
-        (std::f64::consts::PI * phase).sin().powf(self.bell_sharpness)
+        (std::f64::consts::PI * phase)
+            .sin()
+            .powf(self.bell_sharpness)
     }
 }
 
@@ -219,8 +221,7 @@ mod tests {
             }
         }
         // Noon across the month is productive on average.
-        let noon_mean: f64 =
-            (0..31).map(|d| t[d * 24 + 12].mwh()).sum::<f64>() / 31.0;
+        let noon_mean: f64 = (0..31).map(|d| t[d * 24 + 12].mwh()).sum::<f64>() / 31.0;
         assert!(noon_mean > 0.2, "noon mean {noon_mean}");
     }
 
@@ -241,11 +242,7 @@ mod tests {
         // enough to exercise the uncertainty handling (>15%).
         let m = SolarModel::icdcs13();
         let t = m.generate(&month_clock(), 5).unwrap();
-        let daylight: Vec<f64> = t
-            .iter()
-            .map(|e| e.mwh())
-            .filter(|&x| x > 0.0)
-            .collect();
+        let daylight: Vec<f64> = t.iter().map(|e| e.mwh()).filter(|&x| x > 0.0).collect();
         let stats = crate::SeriesStats::from_values(daylight.iter().copied());
         assert!(
             stats.coefficient_of_variation() > 0.15,
@@ -315,10 +312,17 @@ mod tests {
         let hourly = SolarModel::icdcs13()
             .with_clouds(0.0, 0.0)
             .with_day_variability(0.0);
-        let t1 = hourly.generate(&SlotClock::new(1, 24, 1.0).unwrap(), 0).unwrap();
-        let t4 = hourly.generate(&SlotClock::new(1, 96, 0.25).unwrap(), 0).unwrap();
+        let t1 = hourly
+            .generate(&SlotClock::new(1, 24, 1.0).unwrap(), 0)
+            .unwrap();
+        let t4 = hourly
+            .generate(&SlotClock::new(1, 96, 0.25).unwrap(), 0)
+            .unwrap();
         let daily_1: f64 = t1.iter().map(|e| e.mwh()).sum();
         let daily_4: f64 = t4.iter().map(|e| e.mwh()).sum();
-        assert!((daily_1 - daily_4).abs() / daily_1 < 0.05, "{daily_1} vs {daily_4}");
+        assert!(
+            (daily_1 - daily_4).abs() / daily_1 < 0.05,
+            "{daily_1} vs {daily_4}"
+        );
     }
 }

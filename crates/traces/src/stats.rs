@@ -139,7 +139,7 @@ mod tests {
     fn numerical_noise_never_yields_negative_variance() {
         // Identical large values can make sum_sq/n − mean² slightly
         // negative; the clamp keeps std at exactly 0.
-        let s = SeriesStats::from_values(std::iter::repeat(1e9).take(1000));
+        let s = SeriesStats::from_values(std::iter::repeat_n(1e9, 1000));
         assert_eq!(s.std, 0.0);
     }
 }

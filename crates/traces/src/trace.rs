@@ -185,9 +185,7 @@ impl TraceSet {
     /// Statistics of the *total* demand series (Fig. 8's variation metric).
     #[must_use]
     pub fn demand_stats(&self) -> SeriesStats {
-        SeriesStats::from_values(
-            (0..self.clock.total_slots()).map(|s| self.demand_total(s).mwh()),
-        )
+        SeriesStats::from_values((0..self.clock.total_slots()).map(|s| self.demand_total(s).mwh()))
     }
 
     /// Statistics of the renewable series.
@@ -208,7 +206,9 @@ impl TraceSet {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::with_capacity(64 * self.clock.total_slots());
-        out.push_str("slot,frame,offset,demand_ds_mwh,demand_dt_mwh,renewable_mwh,price_lt,price_rt\n");
+        out.push_str(
+            "slot,frame,offset,demand_ds_mwh,demand_dt_mwh,renewable_mwh,price_lt,price_rt\n",
+        );
         for id in self.clock.slots() {
             // `{}` on f64 is Rust's shortest round-trippable representation,
             // so `from_csv(to_csv(t)) == t` exactly.

@@ -129,7 +129,7 @@ impl SlotClock {
     /// i.e. a long-term-ahead market decision point.
     #[must_use]
     pub fn is_frame_start(&self, slot: usize) -> bool {
-        slot % self.slots_per_frame == 0
+        slot.is_multiple_of(self.slots_per_frame)
     }
 
     /// First fine slot of coarse frame `frame`.
@@ -220,7 +220,11 @@ impl SlotId {
 
 impl fmt::Display for SlotId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "slot {} (frame {}, offset {})", self.index, self.frame, self.offset)
+        write!(
+            f,
+            "slot {} (frame {}, offset {})",
+            self.index, self.frame, self.offset
+        )
     }
 }
 

@@ -303,10 +303,7 @@ mod tests {
     #[test]
     fn energy_positive_part_matches_paper_plus_operator() {
         assert_eq!(Energy::from_mwh(-3.0).positive_part(), Energy::ZERO);
-        assert_eq!(
-            Energy::from_mwh(3.0).positive_part(),
-            Energy::from_mwh(3.0)
-        );
+        assert_eq!(Energy::from_mwh(3.0).positive_part(), Energy::from_mwh(3.0));
     }
 
     #[test]

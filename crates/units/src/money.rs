@@ -328,7 +328,9 @@ mod tests {
     #[test]
     fn displays_are_unit_tagged() {
         assert!(Money::from_dollars(1.0).to_string().starts_with('$'));
-        assert!(Price::from_dollars_per_mwh(1.0).to_string().contains("$/MWh"));
+        assert!(Price::from_dollars_per_mwh(1.0)
+            .to_string()
+            .contains("$/MWh"));
     }
 
     #[test]

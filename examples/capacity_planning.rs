@@ -7,14 +7,17 @@
 //! ```
 
 use smartdpss::traces::WindModel;
-use smartdpss::{Engine, Power, Scenario, SimParams, SmartDpss, SmartDpssConfig, SlotClock};
+use smartdpss::{Engine, Power, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = SlotClock::icdcs13_month();
 
     // ---- Question 1: battery sizing (paper Fig. 7, Bmax sweep). --------
     println!("battery sizing (solar only, V = 1):\n");
-    println!("{:>10}  {:>8}  {:>8}  {:>6}", "Bmax", "$/slot", "waste", "ops");
+    println!(
+        "{:>10}  {:>8}  {:>8}  {:>6}",
+        "Bmax", "$/slot", "waste", "ops"
+    );
     let solar_traces = Scenario::icdcs13().generate(&clock, 42)?;
     for minutes in [0.0, 5.0, 15.0, 30.0, 60.0] {
         let params = SimParams::icdcs13_with_battery(minutes);
@@ -32,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ---- Question 2: does adding wind help? (extension) ----------------
     println!("\nrenewable portfolio (15-min battery, V = 1):\n");
-    println!("{:>22}  {:>8}  {:>12}", "portfolio", "$/slot", "penetration");
+    println!(
+        "{:>22}  {:>8}  {:>12}",
+        "portfolio", "$/slot", "penetration"
+    );
     let params = SimParams::icdcs13();
     let portfolios: Vec<(&str, Scenario)> = vec![
         ("solar 2.5 MW", Scenario::icdcs13()),

@@ -50,8 +50,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nrelaxation lower bound on any policy: ${:.2} total",
         cheapest_window_bound(&traces, &params).dollars()
     );
-    println!(
-        "(delay in fine slots = hours; lt/rt/waste in MWh over the month)"
-    );
+    println!("(delay in fine slots = hours; lt/rt/waste in MWh over the month)");
     Ok(())
 }

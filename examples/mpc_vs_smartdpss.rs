@@ -7,16 +7,17 @@
 //! cargo run --release --example mpc_vs_smartdpss
 //! ```
 
-use smartdpss::{
-    Engine, ForecastPolicy, RecedingHorizon, SimParams, SmartDpss, SmartDpssConfig,
-};
+use smartdpss::{Engine, ForecastPolicy, RecedingHorizon, SimParams, SmartDpss, SmartDpssConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth = smartdpss::traces::paper_month_traces(42)?;
     let params = SimParams::icdcs13();
     let clock = truth.clock;
 
-    println!("{:<38} {:>8}  {:>8}", "controller / forecast", "$/slot", "delay h");
+    println!(
+        "{:<38} {:>8}  {:>8}",
+        "controller / forecast", "$/slot", "delay h"
+    );
 
     let engine = Engine::new(params, truth.clone())?;
     let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)?;
@@ -29,14 +30,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let policies: [(&str, ForecastPolicy); 4] = [
-        ("mpc / previous-frame average", ForecastPolicy::PrevFrameAverage),
+        (
+            "mpc / previous-frame average",
+            ForecastPolicy::PrevFrameAverage,
+        ),
         (
             "mpc / oracle mean ± 50%",
-            ForecastPolicy::NoisyOracle { rel_std: 0.5, seed: 1 },
+            ForecastPolicy::NoisyOracle {
+                rel_std: 0.5,
+                seed: 1,
+            },
         ),
         (
             "mpc / oracle mean ± 22.2%",
-            ForecastPolicy::NoisyOracle { rel_std: 0.222, seed: 1 },
+            ForecastPolicy::NoisyOracle {
+                rel_std: 0.222,
+                seed: 1,
+            },
         ),
         ("mpc / perfect oracle mean", ForecastPolicy::Oracle),
     ];

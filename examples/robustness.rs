@@ -26,7 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut clean_reduction = 0.0;
     for fraction in [0.0, 0.1, 0.25, 0.5] {
-        let observed = UniformError::new(fraction)?.perturb(&truth, 1000 + (fraction * 100.0) as u64)?;
+        let observed =
+            UniformError::new(fraction)?.perturb(&truth, 1000 + (fraction * 100.0) as u64)?;
         let engine = Engine::new(params, truth.clone())?.with_observed(observed)?;
         let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)?;
         let r = engine.run(&mut smart)?;

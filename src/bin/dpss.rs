@@ -182,8 +182,8 @@ fn run_controller(cli: &Cli) -> Result<RunReport, String> {
             engine.run(&mut c)
         }
         "offline" => {
-            let mut c = OfflineOptimal::new(params, engine.truth().clone())
-                .map_err(|e| e.to_string())?;
+            let mut c =
+                OfflineOptimal::new(params, engine.truth().clone()).map_err(|e| e.to_string())?;
             engine.run(&mut c)
         }
         "impatient" => engine.run(&mut match cli.market {
@@ -268,7 +268,11 @@ fn execute(cli: &Cli) -> Result<String, String> {
                 b.u_max,
                 b.lambda_max_slots,
                 b.v_max,
-                if cli.v <= b.v_max { "holds" } else { "violated" },
+                if cli.v <= b.v_max {
+                    "holds"
+                } else {
+                    "violated"
+                },
                 b.x_lower,
                 b.x_upper,
                 b.cost_gap,

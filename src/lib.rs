@@ -50,8 +50,8 @@ pub use dpss_traces as traces;
 pub use dpss_units as units;
 
 pub use dpss_core::{
-    cheapest_window_bound, GreedyBattery, Impatient, MarketMode, OfflineConfig, OfflineOptimal, P4Variant,
-    P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig, TheoremBounds,
+    cheapest_window_bound, GreedyBattery, Impatient, MarketMode, OfflineConfig, OfflineOptimal,
+    P4Variant, P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig, TheoremBounds,
 };
 pub use dpss_sim::{
     Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, ForecastPolicy,

@@ -1,0 +1,54 @@
+//! Facade smoke test: one short run of each headline controller through
+//! the `smartdpss` re-exports alone, asserting the Theorem 2 cost ordering
+//! `offline ≤ smart ≤ impatient` (offline sees the whole future, so it
+//! lower-bounds any online policy; impatient serves immediately at any
+//! price, so a cost-aware online policy must not lose to it).
+
+use smartdpss::{
+    Engine, Impatient, OfflineOptimal, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig,
+};
+
+#[test]
+fn theorem_2_cost_ordering_on_a_tiny_trace() {
+    // Six days: the shortest horizon on which the ordering is strict.
+    // Shorter runs let SmartDPSS park backlog past the horizon edge (cost
+    // it never pays), which can place it nominally below offline.
+    let clock = SlotClock::new(6, 24, 1.0).unwrap();
+    let traces = Scenario::icdcs13().generate(&clock, 42).unwrap();
+    let params = SimParams::icdcs13();
+    let engine = Engine::new(params, traces.clone()).unwrap();
+
+    let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+    let mut offline = OfflineOptimal::new(params, traces).unwrap();
+    let mut impatient = Impatient::two_markets();
+
+    let smart_run = engine.run(&mut smart).unwrap();
+    let offline_run = engine.run(&mut offline).unwrap();
+    let impatient_run = engine.run(&mut impatient).unwrap();
+
+    // Every controller must keep the datacenter up.
+    for (name, r) in [
+        ("smart", &smart_run),
+        ("offline", &offline_run),
+        ("impatient", &impatient_run),
+    ] {
+        assert_eq!(r.availability_violations, 0, "{name} caused a blackout");
+        assert_eq!(r.unserved_ds.mwh(), 0.0, "{name} dropped DS demand");
+    }
+
+    let (off, smart, imp) = (
+        offline_run.total_cost().dollars(),
+        smart_run.total_cost().dollars(),
+        impatient_run.total_cost().dollars(),
+    );
+    // Tiny tolerance: offline's frame LP and the online policies round
+    // through the same plant, so ties at 1e-9 scale are equalities.
+    assert!(
+        off <= smart + 1e-6,
+        "offline (${off:.4}) must lower-bound smart (${smart:.4})"
+    );
+    assert!(
+        smart <= imp + 1e-6,
+        "smart (${smart:.4}) must not lose to impatient (${imp:.4})"
+    );
+}

@@ -2,9 +2,7 @@
 //! round-trips feeding the engine, LP-vs-closed-form controller
 //! equivalence, and per-slot energy conservation audits.
 
-use smartdpss::{
-    Engine, SimParams, SlotClock, SmartDpss, SmartDpssConfig, TraceSet,
-};
+use smartdpss::{Engine, SimParams, SlotClock, SmartDpss, SmartDpssConfig, TraceSet};
 
 #[test]
 fn identical_seeds_reproduce_identical_reports() {
@@ -48,13 +46,22 @@ fn lp_backed_controller_matches_closed_form_on_the_full_month() {
     let clock = truth.clock;
     let engine = Engine::new(params, truth).unwrap();
     let mut cf = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
-    let mut lp =
-        SmartDpss::new(SmartDpssConfig::icdcs13().with_lp_solver(true), params, clock).unwrap();
+    let mut lp = SmartDpss::new(
+        SmartDpssConfig::icdcs13().with_lp_solver(true),
+        params,
+        clock,
+    )
+    .unwrap();
     let r_cf = engine.run(&mut cf).unwrap();
     let r_lp = engine.run(&mut lp).unwrap();
     let rel = (r_cf.total_cost().dollars() - r_lp.total_cost().dollars()).abs()
         / r_cf.total_cost().dollars();
-    assert!(rel < 1e-6, "cf {} vs lp {}", r_cf.total_cost(), r_lp.total_cost());
+    assert!(
+        rel < 1e-6,
+        "cf {} vs lp {}",
+        r_cf.total_cost(),
+        r_lp.total_cost()
+    );
     assert!((r_cf.average_delay_slots - r_lp.average_delay_slots).abs() < 1e-6);
     assert_eq!(r_cf.availability_violations, r_lp.availability_violations);
 }
@@ -107,7 +114,9 @@ fn fifteen_minute_slots_run_end_to_end() {
     let clock = SlotClock::new(7, 96, 0.25).unwrap();
     let truth = smartdpss::Scenario::icdcs13().generate(&clock, 21).unwrap();
     let params = SimParams::icdcs13();
-    let engine = Engine::new(params, truth).unwrap().with_slot_recording(true);
+    let engine = Engine::new(params, truth)
+        .unwrap()
+        .with_slot_recording(true);
     let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
     let r = engine.run(&mut ctl).unwrap();
     assert_eq!(r.slots, 672);
@@ -136,5 +145,8 @@ fn different_seeds_produce_different_but_valid_worlds() {
         assert_eq!(r.availability_violations, 0, "seed {seed}");
         costs.push(r.total_cost().dollars());
     }
-    assert!(costs[0] != costs[1] && costs[1] != costs[2], "seeds must matter");
+    assert!(
+        costs[0] != costs[1] && costs[1] != costs[2],
+        "seeds must matter"
+    );
 }

@@ -23,8 +23,7 @@ fn full_ordering_holds_on_the_paper_month() {
     let mut offline = OfflineOptimal::new(params, engine.truth().clone()).unwrap();
     let r_off = engine.run(&mut offline).unwrap();
 
-    let mut smart =
-        SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+    let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
     let r_smart = engine.run(&mut smart).unwrap();
 
     let r_imp = engine.run(&mut Impatient::two_markets()).unwrap();
@@ -52,8 +51,7 @@ fn full_ordering_holds_on_the_paper_month() {
 fn ordering_is_not_a_seed_accident() {
     for seed in [7, 99, 1234] {
         let (engine, params, clock) = setup(seed);
-        let mut smart =
-            SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let mut smart = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
         let r_smart = engine.run(&mut smart).unwrap();
         let r_imp = engine.run(&mut Impatient::two_markets()).unwrap();
         assert!(
@@ -64,7 +62,11 @@ fn ordering_is_not_a_seed_accident() {
         );
         // The saving the paper reports is material, not a rounding artifact.
         let saving = 1.0 - r_smart.total_cost() / r_imp.total_cost();
-        assert!(saving > 0.05, "seed {seed}: saving only {:.1}%", saving * 100.0);
+        assert!(
+            saving > 0.05,
+            "seed {seed}: saving only {:.1}%",
+            saving * 100.0
+        );
     }
 }
 
@@ -81,7 +83,10 @@ fn large_v_approaches_the_offline_cost() {
 
     let gap1 = (c1 - off).abs() / off;
     let gap5 = (c5 - off).abs() / off;
-    assert!(gap5 < gap1 + 0.02, "gap must shrink: V=1 {gap1:.3}, V=5 {gap5:.3}");
+    assert!(
+        gap5 < gap1 + 0.02,
+        "gap must shrink: V=1 {gap1:.3}, V=5 {gap5:.3}"
+    );
     assert!(gap5 < 0.15, "V=5 should be close to offline: {gap5:.3}");
 }
 
@@ -102,13 +107,19 @@ fn two_markets_beat_real_time_only_for_both_policies() {
     // The paper's Fig. 7 claim is specific to SmartDPSS; Impatient's naive
     // flat hedge can waste enough to lose the long-term advantage, so for
     // it we only require the two modes to be in the same ballpark.
-    let c_imp_tm = engine.run(&mut Impatient::two_markets()).unwrap().total_cost();
+    let c_imp_tm = engine
+        .run(&mut Impatient::two_markets())
+        .unwrap()
+        .total_cost();
     let c_imp_rtm = engine
         .run(&mut Impatient::real_time_only())
         .unwrap()
         .total_cost();
     let ratio = c_imp_tm.dollars() / c_imp_rtm.dollars();
-    assert!((0.8..1.2).contains(&ratio), "impatient: tm {c_imp_tm} vs rtm {c_imp_rtm}");
+    assert!(
+        (0.8..1.2).contains(&ratio),
+        "impatient: tm {c_imp_tm} vs rtm {c_imp_rtm}"
+    );
 }
 
 #[test]

@@ -111,5 +111,8 @@ fn expansion_with_fixed_interconnect_hits_the_wall_visibly() {
     let stressed = r.availability_violations > 0
         || r.energy_emergency.mwh() > 0.0
         || r.final_backlog.mwh() > 10.0;
-    assert!(stressed, "doubling demand under a fixed 2 MW feed must show stress");
+    assert!(
+        stressed,
+        "doubling demand under a fixed 2 MW feed must show stress"
+    );
 }

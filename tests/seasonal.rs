@@ -41,7 +41,13 @@ fn summer_surplus_stresses_curtailment_not_stability() {
     // Long daylight on a winter-sized farm produces real surplus; the
     // system must curtail (waste) rather than destabilize.
     let (_, summer) = run_season(SolarModel::summer(), 7);
-    assert!(summer.energy_wasted.mwh() > 0.0, "surplus must show up as waste");
+    assert!(
+        summer.energy_wasted.mwh() > 0.0,
+        "surplus must show up as waste"
+    );
     assert_eq!(summer.unserved_ds.mwh(), 0.0);
-    assert!(summer.final_backlog.mwh() < 50.0, "backlog must stay bounded");
+    assert!(
+        summer.final_backlog.mwh() < 50.0,
+        "backlog must stay bounded"
+    );
 }

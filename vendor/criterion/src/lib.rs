@@ -1,0 +1,196 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, covering the API the `dpss-bench` benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`), [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! It measures wall-clock medians over a fixed sample count and prints one
+//! line per benchmark — no statistics engine, plots or HTML reports. The
+//! point is that `cargo bench` compiles and produces comparable numbers
+//! offline; swap in upstream criterion when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; every batch is size 1 here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher<'a> {
+    samples: usize,
+    result: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` over this bench's sample count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.result.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup time excluded).
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.result.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut timings = Vec::with_capacity(samples);
+    {
+        let mut b = Bencher {
+            samples,
+            result: &mut timings,
+        };
+        f(&mut b);
+    }
+    if timings.is_empty() {
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    timings.sort();
+    let median = timings[timings.len() / 2];
+    let total: Duration = timings.iter().sum();
+    println!(
+        "{id:<50} median {:>12.3?}   mean {:>12.3?}   ({} samples)",
+        median,
+        total / timings.len() as u32,
+        timings.len()
+    );
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the default sample count for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        run_one(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_one(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_apis_run_the_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.sample_size(3)
+            .bench_function("t", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 3);
+
+        let mut batched = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2).bench_function("u", |b| {
+            b.iter_batched(|| 5usize, |x| batched += x, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(batched, 10);
+    }
+}
