@@ -67,6 +67,29 @@ fn bench_controller(c: &mut Criterion) {
         let engine = Engine::new(params, paper_traces(PAPER_SEED)).unwrap();
         b.iter(|| run_smart(&engine, params, SmartDpssConfig::icdcs13()));
     });
+
+    // Cold vs warm frame planning: the offline benchmark re-solves one
+    // frame LP per coarse frame; `warm_start: false` forces every solve
+    // through the cold two-phase path, `true` reuses the previous basis
+    // whenever it stays primal-feasible. Results are identical.
+    let truth = paper_traces(PAPER_SEED);
+    for (label, warm) in [
+        ("full_month_offline_cold", false),
+        ("full_month_offline_warm", true),
+    ] {
+        group.bench_function(label, |b| {
+            let engine = Engine::new(params, truth.clone()).unwrap();
+            let config = dpss_core::OfflineConfig {
+                warm_start: warm,
+                ..dpss_core::OfflineConfig::default()
+            };
+            b.iter(|| {
+                let mut ctl =
+                    dpss_core::OfflineOptimal::with_config(params, truth.clone(), config).unwrap();
+                engine.run(&mut ctl).unwrap()
+            });
+        });
+    }
     group.finish();
 }
 

@@ -3,7 +3,7 @@
 //! offline benchmark.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use dpss_lp::{Problem, Relation, Sense};
+use dpss_lp::{LpWorkspace, Problem, Relation, Sense};
 use std::hint::black_box;
 
 /// A P5-shaped LP: two decision variables, one balance row.
@@ -17,65 +17,10 @@ fn p5_shaped() -> Problem {
     p
 }
 
-/// A frame-shaped LP: `t` slots × 7 variables with balance, battery and
-/// queue recursions (the structure the offline benchmark solves).
+/// The shared frame-shaped LP family (see
+/// [`dpss_bench::frame_shaped_lp`]).
 fn frame_shaped(t: usize) -> Problem {
-    let mut p = Problem::new(Sense::Minimize);
-    let g = p.add_var("g", 0.0, 2.0, 35.0 * t as f64).unwrap();
-    let mut prev_b = None;
-    let mut prev_q = None;
-    for i in 0..t {
-        let grt = p.add_var(format!("grt{i}"), 0.0, 2.0, 45.0).unwrap();
-        let sdt = p
-            .add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0)
-            .unwrap();
-        let brc = p.add_var(format!("brc{i}"), 0.0, 0.5, 0.2).unwrap();
-        let bdc = p.add_var(format!("bdc{i}"), 0.0, 0.5, 0.2).unwrap();
-        let w = p.add_var(format!("w{i}"), 0.0, f64::INFINITY, 1.0).unwrap();
-        let b = p.add_var(format!("b{i}"), 0.03, 0.5, 0.0).unwrap();
-        let q = p.add_var(format!("q{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
-        let demand = 0.8 + 0.3 * (i as f64 * 0.7).sin();
-        p.add_constraint(
-            &[
-                (g, 1.0),
-                (grt, 1.0),
-                (bdc, 1.0),
-                (brc, -1.0),
-                (sdt, -1.0),
-                (w, -1.0),
-            ],
-            Relation::Eq,
-            demand,
-        )
-        .unwrap();
-        match prev_b {
-            None => p
-                .add_constraint(&[(b, 1.0), (brc, -0.8), (bdc, 1.25)], Relation::Eq, 0.25)
-                .unwrap(),
-            Some(pb) => p
-                .add_constraint(
-                    &[(b, 1.0), (pb, -1.0), (brc, -0.8), (bdc, 1.25)],
-                    Relation::Eq,
-                    0.0,
-                )
-                .unwrap(),
-        };
-        match prev_q {
-            None => p
-                .add_constraint(&[(q, 1.0), (sdt, 1.0)], Relation::Eq, 0.4)
-                .unwrap(),
-            Some(pq) => p
-                .add_constraint(&[(q, 1.0), (pq, -1.0), (sdt, 1.0)], Relation::Eq, 0.4)
-                .unwrap(),
-        };
-        prev_b = Some(b);
-        prev_q = Some(q);
-    }
-    // Serve everything by the frame end.
-    if let Some(q) = prev_q {
-        p.add_constraint(&[(q, 1.0)], Relation::Le, 0.4).unwrap();
-    }
-    p
+    dpss_bench::frame_shaped_lp(t, 1.0)
 }
 
 fn bench_lp(c: &mut Criterion) {
@@ -91,6 +36,31 @@ fn bench_lp(c: &mut Criterion) {
         group.bench_function(format!("frame_shaped_t{t}"), |b| {
             let p = frame_shaped(t);
             b.iter_batched(|| p.clone(), |p| p.solve().unwrap(), BatchSize::SmallInput);
+        });
+    }
+
+    // Cold vs warm on a stream of mildly varying frames: the cold case
+    // pays phase 1 + allocation per solve, the warm case re-reduces onto
+    // the previous optimal basis inside a persistent workspace.
+    for t in [6usize, 24] {
+        let frames: Vec<Problem> = (0..8)
+            .map(|k| dpss_bench::frame_shaped_lp(t, 1.0 + 0.02 * k as f64))
+            .collect();
+        group.bench_function(format!("frame_stream_t{t}_cold"), |b| {
+            b.iter(|| {
+                for p in &frames {
+                    // A fresh workspace per solve: no basis, no buffers.
+                    black_box(p.solve().unwrap());
+                }
+            });
+        });
+        group.bench_function(format!("frame_stream_t{t}_warm"), |b| {
+            let mut ws = LpWorkspace::new();
+            b.iter(|| {
+                for p in &frames {
+                    black_box(p.solve_with(&mut ws).unwrap());
+                }
+            });
         });
     }
     group.finish();

@@ -4,15 +4,16 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let table = figures::ablations(PAPER_SEED);
+    let runner = dpss_bench::runner_from_env_args();
+    let table = figures::ablations_with(&runner, PAPER_SEED);
     table.print();
     persist(&table, "ablations");
 
-    let forecast = figures::forecast_ablation(PAPER_SEED);
+    let forecast = figures::forecast_ablation_with(&runner, PAPER_SEED);
     forecast.print();
     persist(&forecast, "forecast_ablation");
 
-    let baselines = figures::baselines(PAPER_SEED);
+    let baselines = figures::baselines_with(&runner, PAPER_SEED);
     baselines.print();
     persist(&baselines, "baselines");
 

@@ -1,0 +1,187 @@
+//! `bench_sweep` — the perf-trajectory artifact behind `BENCH_sweep.json`.
+//!
+//! Measures three things and asserts correctness along the way:
+//!
+//! 1. **Sweep throughput**: the Fig. 6 V-sweep end-to-end on one thread
+//!    vs `--threads N` (default 4), in cells/sec. The two tables must be
+//!    identical (the threaded-determinism contract) or the binary exits
+//!    nonzero.
+//! 2. **Warm vs cold LP solves**: a stream of frame-shaped LPs through a
+//!    persistent [`LpWorkspace`] vs fresh cold solves.
+//! 3. **Warm vs cold offline controller**: the full-month offline
+//!    benchmark with frame-to-frame warm starts on vs off.
+//!
+//! ```text
+//! bench_sweep [--out PATH] [--threads N] [--iters K]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use dpss_bench::{figures, frame_shaped_lp, ExperimentRunner, PAPER_SEED};
+use dpss_core::{OfflineConfig, OfflineOptimal};
+use dpss_lp::LpWorkspace;
+use dpss_sim::{Engine, SimParams};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct BenchSweepReport {
+    generated_by: &'static str,
+    /// Worker budget of the threaded measurements.
+    threads: usize,
+    /// CPUs visible to this process — the hard ceiling on any threaded
+    /// speedup. On a single-CPU container the `*_speedup` fields can
+    /// only show scheduling overhead; read them together with this.
+    host_cpus: usize,
+    fig6_cells: usize,
+    fig6_serial_ms: f64,
+    fig6_threaded_ms: f64,
+    fig6_speedup: f64,
+    cells_per_sec_serial: f64,
+    cells_per_sec_threaded: f64,
+    /// A denser (64-point) Fig. 6 V-grid without the offline baseline:
+    /// the pure sweep-throughput view, free of the one long
+    /// sequential-by-nature offline cell that Amdahl-bounds the full
+    /// figure.
+    dense_v_cells: usize,
+    dense_v_serial_ms: f64,
+    dense_v_threaded_ms: f64,
+    dense_v_speedup: f64,
+    lp_cold_us_per_solve: f64,
+    lp_warm_us_per_solve: f64,
+    lp_warm_speedup: f64,
+    offline_cold_ms: f64,
+    offline_warm_ms: f64,
+    offline_warm_speedup: f64,
+}
+
+fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let mut out = "BENCH_sweep.json".to_owned();
+    let mut threads = 4usize;
+    let mut iters = 5usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().unwrap_or(out),
+            "--threads" => threads = args.next().and_then(|v| v.parse().ok()).unwrap_or(threads),
+            "--iters" => iters = args.next().and_then(|v| v.parse().ok()).unwrap_or(iters),
+            other => {
+                eprintln!("bench_sweep: error: unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // ---- 1. Fig. 6 V-sweep: serial vs threaded. -------------------------
+    let serial = ExperimentRunner::serial();
+    let threaded = ExperimentRunner::new(threads);
+    let grid = figures::FIG6_V_GRID;
+    // +2 cells: the offline and Impatient baselines run in the same sweep.
+    let cells = grid.len() + 2;
+    // Warm both paths once and check determinism on the real artifacts.
+    let table_serial = figures::fig6_v_with(&serial, PAPER_SEED, &grid, true);
+    let table_threaded = figures::fig6_v_with(&threaded, PAPER_SEED, &grid, true);
+    if table_serial != table_threaded {
+        eprintln!("bench_sweep: error: threads=1 and threads={threads} tables differ");
+        return ExitCode::FAILURE;
+    }
+    let serial_s = best_of(iters, || {
+        let _ = figures::fig6_v_with(&serial, PAPER_SEED, &grid, true);
+    });
+    let threaded_s = best_of(iters, || {
+        let _ = figures::fig6_v_with(&threaded, PAPER_SEED, &grid, true);
+    });
+
+    // Dense V-grid (the sweep-throughput view; no offline baseline).
+    let dense: Vec<f64> = (0..64).map(|i| 0.05 + 0.08 * f64::from(i)).collect();
+    if figures::fig6_v_with(&serial, PAPER_SEED, &dense, false)
+        != figures::fig6_v_with(&threaded, PAPER_SEED, &dense, false)
+    {
+        eprintln!("bench_sweep: error: dense sweep not thread-deterministic");
+        return ExitCode::FAILURE;
+    }
+    let dense_serial_s = best_of(iters, || {
+        let _ = figures::fig6_v_with(&serial, PAPER_SEED, &dense, false);
+    });
+    let dense_threaded_s = best_of(iters, || {
+        let _ = figures::fig6_v_with(&threaded, PAPER_SEED, &dense, false);
+    });
+
+    // ---- 2. Warm vs cold LP streams. ------------------------------------
+    let frames: Vec<_> = (0..16)
+        .map(|k| frame_shaped_lp(24, 1.0 + 0.02 * f64::from(k)))
+        .collect();
+    let lp_cold_s = best_of(iters, || {
+        for p in &frames {
+            let _ = p.solve().expect("frame LP solves");
+        }
+    });
+    let lp_warm_s = best_of(iters, || {
+        let mut ws = LpWorkspace::new();
+        for p in &frames {
+            let _ = p.solve_with(&mut ws).expect("frame LP solves");
+        }
+    });
+
+    // ---- 3. Offline controller, warm starts on vs off. ------------------
+    let params = SimParams::icdcs13();
+    let truth = dpss_bench::paper_traces(PAPER_SEED);
+    let engine = Engine::new(params, truth.clone()).expect("valid engine");
+    let offline_time = |warm: bool| {
+        best_of(iters.max(2), || {
+            let config = OfflineConfig {
+                warm_start: warm,
+                ..OfflineConfig::default()
+            };
+            let mut ctl =
+                OfflineOptimal::with_config(params, truth.clone(), config).expect("valid config");
+            let _ = engine.run(&mut ctl).expect("run succeeds");
+        })
+    };
+    let offline_cold_s = offline_time(false);
+    let offline_warm_s = offline_time(true);
+
+    let report = BenchSweepReport {
+        generated_by: "dpss-bench/bench_sweep",
+        threads,
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        fig6_cells: cells,
+        fig6_serial_ms: serial_s * 1e3,
+        fig6_threaded_ms: threaded_s * 1e3,
+        fig6_speedup: serial_s / threaded_s,
+        cells_per_sec_serial: cells as f64 / serial_s,
+        cells_per_sec_threaded: cells as f64 / threaded_s,
+        dense_v_cells: dense.len() + 1,
+        dense_v_serial_ms: dense_serial_s * 1e3,
+        dense_v_threaded_ms: dense_threaded_s * 1e3,
+        dense_v_speedup: dense_serial_s / dense_threaded_s,
+        lp_cold_us_per_solve: lp_cold_s * 1e6 / frames.len() as f64,
+        lp_warm_us_per_solve: lp_warm_s * 1e6 / frames.len() as f64,
+        lp_warm_speedup: lp_cold_s / lp_warm_s,
+        offline_cold_ms: offline_cold_s * 1e3,
+        offline_warm_ms: offline_warm_s * 1e3,
+        offline_warm_speedup: offline_cold_s / offline_warm_s,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    println!("{json}");
+    match std::fs::write(&out, format!("{json}\n")) {
+        Ok(()) => {
+            eprintln!("wrote {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("bench_sweep: error: cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -4,7 +4,8 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let table = figures::fig10(PAPER_SEED, &figures::FIG10_BETA_GRID);
+    let runner = dpss_bench::runner_from_env_args();
+    let table = figures::fig10_with(&runner, PAPER_SEED, &figures::FIG10_BETA_GRID);
     table.print();
     persist(&table, "fig10");
     println!(

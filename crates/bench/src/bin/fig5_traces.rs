@@ -5,7 +5,8 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let (table, csv) = figures::fig5(PAPER_SEED);
+    let runner = dpss_bench::runner_from_env_args();
+    let (table, csv) = figures::fig5_with(&runner, PAPER_SEED);
     table.print();
     persist(&table, "fig5");
     let path = "target/figures/fig5_traces.csv";

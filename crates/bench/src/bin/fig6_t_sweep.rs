@@ -8,7 +8,8 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let table = figures::fig6_t(PAPER_SEED, &figures::FIG6_T_GRID, 48);
+    let runner = dpss_bench::runner_from_env_args();
+    let table = figures::fig6_t_with(&runner, PAPER_SEED, &figures::FIG6_T_GRID, 48);
     table.print();
     persist(&table, "fig6_t");
     println!(

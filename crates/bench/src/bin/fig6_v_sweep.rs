@@ -5,7 +5,8 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let table = figures::fig6_v(PAPER_SEED, &figures::FIG6_V_GRID, true);
+    let runner = dpss_bench::runner_from_env_args();
+    let table = figures::fig6_v_with(&runner, PAPER_SEED, &figures::FIG6_V_GRID, true);
     table.print();
     persist(&table, "fig6_v");
     println!(

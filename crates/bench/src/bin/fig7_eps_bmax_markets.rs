@@ -5,15 +5,16 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let eps = figures::fig7_epsilon(PAPER_SEED, &figures::FIG7_EPS_GRID);
+    let runner = dpss_bench::runner_from_env_args();
+    let eps = figures::fig7_epsilon_with(&runner, PAPER_SEED, &figures::FIG7_EPS_GRID);
     eps.print();
     persist(&eps, "fig7_epsilon");
 
-    let markets = figures::fig7_markets(PAPER_SEED);
+    let markets = figures::fig7_markets_with(&runner, PAPER_SEED);
     markets.print();
     persist(&markets, "fig7_markets");
 
-    let battery = figures::fig7_battery(PAPER_SEED, &figures::FIG7_BMAX_GRID);
+    let battery = figures::fig7_battery_with(&runner, PAPER_SEED, &figures::FIG7_BMAX_GRID);
     battery.print();
     persist(&battery, "fig7_battery");
 

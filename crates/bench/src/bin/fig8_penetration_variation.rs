@@ -4,7 +4,9 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let (pen, var) = figures::fig8(
+    let runner = dpss_bench::runner_from_env_args();
+    let (pen, var) = figures::fig8_with(
+        &runner,
         PAPER_SEED,
         &figures::FIG8_PENETRATION_GRID,
         &figures::FIG8_VARIATION_GRID,

@@ -4,7 +4,8 @@
 use dpss_bench::{figures, persist, PAPER_SEED};
 
 fn main() {
-    let table = figures::fig9(PAPER_SEED, 0.5, &figures::FIG6_V_GRID);
+    let runner = dpss_bench::runner_from_env_args();
+    let table = figures::fig9_with(&runner, PAPER_SEED, 0.5, &figures::FIG6_V_GRID);
     table.print();
     persist(&table, "fig9");
     println!(

@@ -11,8 +11,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+mod runner;
+mod spec;
 mod table;
 
+pub use runner::ExperimentRunner;
+pub use spec::{Axis, Cell, SweepSpec};
 pub use table::FigureTable;
 
 use dpss_core::{Impatient, OfflineOptimal, SmartDpss, SmartDpssConfig};
@@ -44,6 +48,29 @@ pub fn traces_on(clock: &SlotClock, seed: u64) -> TraceSet {
     Scenario::icdcs13()
         .generate(clock, seed)
         .expect("built-in scenario is valid")
+}
+
+/// Builds the canonical experiment world: the paper's one-month traces
+/// for `seed` under the §VI-A parameters. This is the shared setup every
+/// figure cell starts from (the sweep axes then vary one knob at a time).
+///
+/// # Panics
+///
+/// Panics on generator misconfiguration (impossible for built-ins).
+#[must_use]
+pub fn setup(seed: u64) -> (Engine, SimParams) {
+    let params = SimParams::icdcs13();
+    (setup_with_params(seed, params), params)
+}
+
+/// [`setup`] with explicit parameters (e.g. a different UPS size).
+///
+/// # Panics
+///
+/// Panics on invalid parameters or generator misconfiguration.
+#[must_use]
+pub fn setup_with_params(seed: u64, params: SimParams) -> Engine {
+    Engine::new(params, paper_traces(seed)).expect("valid engine")
 }
 
 /// Runs SmartDPSS with `config` on `engine`.
@@ -80,6 +107,96 @@ pub fn run_impatient(engine: &Engine) -> RunReport {
     engine
         .run(&mut Impatient::two_markets())
         .expect("run succeeds")
+}
+
+/// Builds a frame-shaped LP — `t` slots × 7 variables with balance,
+/// battery and queue recursions, the structure the offline benchmark
+/// solves each coarse frame — with demands and real-time prices scaled
+/// by `scale`. Shared by the `lp_solver` criterion bench and the
+/// `bench_sweep` perf-artifact binary so cold-vs-warm numbers come from
+/// the same instance family.
+///
+/// # Panics
+///
+/// Panics only on internal model-construction bugs.
+#[must_use]
+pub fn frame_shaped_lp(t: usize, scale: f64) -> dpss_lp::Problem {
+    use dpss_lp::{Problem, Relation, Sense};
+    let mut p = Problem::new(Sense::Minimize);
+    let g = p.add_var("g", 0.0, 2.0, 35.0 * t as f64).unwrap();
+    let mut prev_b = None;
+    let mut prev_q = None;
+    for i in 0..t {
+        let grt = p
+            .add_var(format!("grt{i}"), 0.0, 2.0, 45.0 * scale)
+            .unwrap();
+        let sdt = p
+            .add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0)
+            .unwrap();
+        let brc = p.add_var(format!("brc{i}"), 0.0, 0.5, 0.2).unwrap();
+        let bdc = p.add_var(format!("bdc{i}"), 0.0, 0.5, 0.2).unwrap();
+        let w = p.add_var(format!("w{i}"), 0.0, f64::INFINITY, 1.0).unwrap();
+        let b = p.add_var(format!("b{i}"), 0.03, 0.5, 0.0).unwrap();
+        let q = p.add_var(format!("q{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
+        let demand = (0.8 + 0.3 * (i as f64 * 0.7).sin()) * scale;
+        p.add_constraint(
+            &[
+                (g, 1.0),
+                (grt, 1.0),
+                (bdc, 1.0),
+                (brc, -1.0),
+                (sdt, -1.0),
+                (w, -1.0),
+            ],
+            Relation::Eq,
+            demand,
+        )
+        .unwrap();
+        match prev_b {
+            None => p
+                .add_constraint(&[(b, 1.0), (brc, -0.8), (bdc, 1.25)], Relation::Eq, 0.25)
+                .unwrap(),
+            Some(pb) => p
+                .add_constraint(
+                    &[(b, 1.0), (pb, -1.0), (brc, -0.8), (bdc, 1.25)],
+                    Relation::Eq,
+                    0.0,
+                )
+                .unwrap(),
+        };
+        match prev_q {
+            None => p
+                .add_constraint(&[(q, 1.0), (sdt, 1.0)], Relation::Eq, 0.4)
+                .unwrap(),
+            Some(pq) => p
+                .add_constraint(&[(q, 1.0), (pq, -1.0), (sdt, 1.0)], Relation::Eq, 0.4)
+                .unwrap(),
+        };
+        prev_b = Some(b);
+        prev_q = Some(q);
+    }
+    // Serve everything by the frame end.
+    if let Some(q) = prev_q {
+        p.add_constraint(&[(q, 1.0)], Relation::Le, 0.4).unwrap();
+    }
+    p
+}
+
+/// Builds an [`ExperimentRunner`] from a report binary's command line:
+/// `--threads N` selects the worker budget (`0` or absent = all cores).
+/// Unknown flags are ignored so binaries can layer their own.
+#[must_use]
+pub fn runner_from_env_args() -> ExperimentRunner {
+    let mut threads = 0usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            if let Some(v) = args.next() {
+                threads = v.parse().unwrap_or(0);
+            }
+        }
+    }
+    ExperimentRunner::new(threads)
 }
 
 /// Writes a figure table as JSON under `target/figures/<name>.json`

@@ -1,0 +1,300 @@
+//! Declarative sweep descriptions: named axes × cells with deterministic
+//! per-cell seed derivation.
+//!
+//! A [`SweepSpec`] names an experiment and its parameter axes; the cross
+//! product of the axes' labels is the experiment's *cell grid*. Cells are
+//! enumerated in row-major order (last axis fastest), so a cell index is
+//! a stable identity no matter how the runner schedules the work, and
+//! every cell derives its own RNG seed from the spec seed, the spec name
+//! and its per-axis *coordinates* (not the flat index) — appending values
+//! to any axis therefore never perturbs the seeds of the pre-existing
+//! cells' scenario regenerations, only adds new ones.
+
+/// One named parameter axis of a sweep (e.g. `V` over its grid).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axis {
+    name: String,
+    labels: Vec<String>,
+}
+
+impl Axis {
+    /// Creates an axis from pre-rendered labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels` is empty (an empty axis would zero out the
+    /// whole cell grid).
+    #[must_use]
+    pub fn new<S: Into<String>>(name: &str, labels: impl IntoIterator<Item = S>) -> Self {
+        let labels: Vec<String> = labels.into_iter().map(Into::into).collect();
+        assert!(!labels.is_empty(), "axis {name} needs at least one value");
+        Axis {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+
+    /// Creates an axis over a numeric grid, using `{v}` display labels
+    /// (the format the figure tables print).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn from_f64s(name: &str, values: &[f64]) -> Self {
+        Axis::new(name, values.iter().map(|v| format!("{v}")))
+    }
+
+    /// The axis name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The axis labels, in sweep order.
+    #[must_use]
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Number of values on this axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the axis is empty (never true for a constructed axis).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// A declarative sweep: a name, a base seed, and the axes whose cross
+/// product forms the cell grid.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_bench::{Axis, SweepSpec};
+///
+/// let spec = SweepSpec::new("fig6-v", 42)
+///     .with_axis(Axis::from_f64s("V", &[0.1, 1.0, 5.0]))
+///     .with_axis(Axis::new("market", ["tm", "rtm"]));
+/// assert_eq!(spec.cells(), 6);
+/// let cell = spec.cell(4);
+/// assert_eq!(cell.coords, vec![2, 0]); // V = 5.0, market = "tm"
+/// // Seeds are per-cell deterministic and distinct.
+/// assert_ne!(spec.cell(0).seed, spec.cell(1).seed);
+/// assert_eq!(spec.cell(0).seed, spec.cell(0).seed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    name: String,
+    seed: u64,
+    axes: Vec<Axis>,
+}
+
+/// One unit of work of a sweep: its stable index in cell order, its
+/// per-axis coordinates, and its derived RNG seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Stable index in row-major cell order (last axis fastest).
+    pub index: usize,
+    /// Per-axis value indices (`coords[k]` indexes axis `k`'s labels).
+    pub coords: Vec<usize>,
+    /// Deterministic seed derived from the spec seed, spec name and
+    /// `index` — independent of thread scheduling.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// Creates a spec with no axes yet (a single cell).
+    #[must_use]
+    pub fn new(name: &str, seed: u64) -> Self {
+        SweepSpec {
+            name: name.to_owned(),
+            seed,
+            axes: Vec::new(),
+        }
+    }
+
+    /// Appends an axis (builder style).
+    #[must_use]
+    pub fn with_axis(mut self, axis: Axis) -> Self {
+        self.axes.push(axis);
+        self
+    }
+
+    /// The spec name (also salts the per-cell seeds).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The base seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The axes, in declaration order.
+    #[must_use]
+    pub fn axes(&self) -> &[Axis] {
+        &self.axes
+    }
+
+    /// Total number of cells (product of axis lengths; `1` with no axes).
+    #[must_use]
+    pub fn cells(&self) -> usize {
+        self.axes.iter().map(Axis::len).product()
+    }
+
+    /// Materializes cell `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cells()`.
+    #[must_use]
+    pub fn cell(&self, index: usize) -> Cell {
+        assert!(index < self.cells(), "cell {index} out of range");
+        let mut coords = vec![0usize; self.axes.len()];
+        let mut rest = index;
+        for (k, axis) in self.axes.iter().enumerate().rev() {
+            coords[k] = rest % axis.len();
+            rest /= axis.len();
+        }
+        let seed = self.coords_seed(&coords);
+        Cell {
+            index,
+            coords,
+            seed,
+        }
+    }
+
+    /// Deterministic per-cell seed for cell `index` (see
+    /// [`coords_seed`](Self::coords_seed) for the derivation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cells()`.
+    #[must_use]
+    pub fn cell_seed(&self, index: usize) -> u64 {
+        self.cell(index).seed
+    }
+
+    /// Deterministic per-cell seed: a `splitmix64` chain over the base
+    /// seed, an FNV-1a hash of the spec name, and each axis coordinate
+    /// in turn. Deriving from *coordinates* rather than the flat cell
+    /// index is what makes axis appends non-perturbing: an existing
+    /// cell keeps its coordinates — hence its seed — when any axis
+    /// grows, while every new coordinate combination gets a fresh,
+    /// well-spread seed.
+    #[must_use]
+    pub fn coords_seed(&self, coords: &[usize]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for b in self.name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut z = splitmix64(self.seed ^ h);
+        for &c in coords {
+            z = splitmix64(z ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        z
+    }
+}
+
+/// The splitmix64 finalizer — a cheap, high-quality 64-bit mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_enumerate_row_major_last_axis_fastest() {
+        let spec = SweepSpec::new("s", 1)
+            .with_axis(Axis::new("a", ["0", "1"]))
+            .with_axis(Axis::new("b", ["x", "y", "z"]));
+        assert_eq!(spec.cells(), 6);
+        let coords: Vec<Vec<usize>> = (0..6).map(|i| spec.cell(i).coords).collect();
+        assert_eq!(
+            coords,
+            vec![
+                vec![0, 0],
+                vec![0, 1],
+                vec![0, 2],
+                vec![1, 0],
+                vec![1, 1],
+                vec![1, 2]
+            ]
+        );
+    }
+
+    #[test]
+    fn no_axes_means_one_cell() {
+        let spec = SweepSpec::new("single", 7);
+        assert_eq!(spec.cells(), 1);
+        assert_eq!(spec.cell(0).coords, Vec::<usize>::new());
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_spread() {
+        let spec = SweepSpec::new("fig", 42).with_axis(Axis::from_f64s("v", &[1.0; 16]));
+        let seeds: Vec<u64> = (0..16).map(|i| spec.cell_seed(i)).collect();
+        let again: Vec<u64> = (0..16).map(|i| spec.cell_seed(i)).collect();
+        assert_eq!(seeds, again);
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 16, "per-cell seeds must be distinct");
+        // Name and base seed both salt the stream.
+        assert_ne!(
+            SweepSpec::new("fig", 43).cell_seed(0),
+            SweepSpec::new("fig", 42).cell_seed(0)
+        );
+        assert_ne!(
+            SweepSpec::new("gif", 42).cell_seed(0),
+            SweepSpec::new("fig", 42).cell_seed(0)
+        );
+    }
+
+    #[test]
+    fn appending_axis_values_keeps_existing_cell_seeds() {
+        let base = SweepSpec::new("fig", 42)
+            .with_axis(Axis::new("a", ["0", "1"]))
+            .with_axis(Axis::new("b", ["x", "y", "z"]));
+        let grown = SweepSpec::new("fig", 42)
+            .with_axis(Axis::new("a", ["0", "1", "2"]))
+            .with_axis(Axis::new("b", ["x", "y", "z", "w"]));
+        // Every pre-existing coordinate combination keeps its seed even
+        // though its flat index shifted (e.g. (1,0): index 3 → 4).
+        for i in 0..base.cells() {
+            let cell = base.cell(i);
+            assert_eq!(
+                cell.seed,
+                grown.coords_seed(&cell.coords),
+                "coords {:?} must keep their seed across axis growth",
+                cell.coords
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_cell_panics() {
+        let _ = SweepSpec::new("s", 1).cell(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_panics() {
+        let _ = Axis::new("v", Vec::<String>::new());
+    }
+}

@@ -11,7 +11,7 @@
 //! recursion Eq. (2) with pre-arrival service limits, and an optional
 //! service deadline expressed on cumulative service.
 
-use dpss_lp::{Problem, Relation, Sense, Variable};
+use dpss_lp::{LpWorkspace, Problem, Relation, Sense, Variable};
 use dpss_sim::SimParams;
 
 use crate::CoreError;
@@ -53,7 +53,16 @@ pub(crate) struct FramePlan {
     pub sdt: Vec<f64>,
 }
 
-pub(crate) fn solve(inp: &FrameLpInputs<'_>) -> Result<FramePlan, CoreError> {
+/// Solves one frame LP through `ws`. Consecutive frames share the
+/// constraint structure, so the workspace's warm-start basis (when the
+/// caller keeps one — see `OfflineConfig::warm_start`) usually skips
+/// phase 1 entirely and its buffers absorb the tableau allocation (see
+/// [`LpWorkspace`]). The objective and feasibility verdict are always
+/// identical to a cold solve; the returned *plan* may be a different,
+/// equally optimal vertex on degenerate frames (service timing is
+/// cost-free inside a frame), which is why the controllers default to
+/// cold solves for bit-reproducible published artifacts.
+pub(crate) fn solve(inp: &FrameLpInputs<'_>, ws: &mut LpWorkspace) -> Result<FramePlan, CoreError> {
     let t = inp.t;
     debug_assert!(
         inp.p_rt.len() == t
@@ -179,7 +188,7 @@ pub(crate) fn solve(inp: &FrameLpInputs<'_>) -> Result<FramePlan, CoreError> {
         }
     }
 
-    let sol = p.solve()?;
+    let sol = p.solve_with(ws)?;
     Ok(FramePlan {
         g_slot: sol.value(g_slot),
         grt: grt.iter().map(|&v| sol.value(v)).collect(),
@@ -221,7 +230,11 @@ mod tests {
         let d_ds = [0.8, 1.0, 0.9, 0.7];
         let d_dt = [0.3, 0.2, 0.4, 0.1];
         let r = [0.0, 0.5, 1.0, 0.2];
-        let plan = solve(&inputs(&params, &p_rt, &d_ds, &d_dt, &r)).unwrap();
+        let plan = solve(
+            &inputs(&params, &p_rt, &d_ds, &d_dt, &r),
+            &mut LpWorkspace::new(),
+        )
+        .unwrap();
         // Deadline 4 with q0 > 0 forces all initial backlog served.
         let total_served: f64 = plan.sdt.iter().sum();
         assert!(total_served >= 0.5 - 1e-7, "served {total_served}");
@@ -240,7 +253,11 @@ mod tests {
         let d_ds = [1.0; 4];
         let d_dt = [0.4; 4];
         let r = [0.0; 4];
-        let plan = solve(&inputs(&params, &p_rt, &d_ds, &d_dt, &r)).unwrap();
+        let plan = solve(
+            &inputs(&params, &p_rt, &d_ds, &d_dt, &r),
+            &mut LpWorkspace::new(),
+        )
+        .unwrap();
         let max_rt = plan.grt.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         assert!(
             (plan.grt[2] - max_rt).abs() < 1e-9,
@@ -259,7 +276,7 @@ mod tests {
         let mut inp = inputs(&params, &p_rt, &d_ds, &d_dt, &r);
         inp.allow_rt = false;
         inp.deadline = Some(3);
-        let plan = solve(&inp).unwrap();
+        let plan = solve(&inp, &mut LpWorkspace::new()).unwrap();
         assert!(plan.grt.iter().all(|&g| g.abs() < 1e-9));
         // Long-term covers everything instead.
         assert!(plan.g_slot > 0.4);
@@ -276,6 +293,6 @@ mod tests {
         let mut inp = inputs(&params, &p_rt, &d_ds, &d_dt, &r);
         inp.q0 = 5.0;
         inp.deadline = Some(1);
-        assert!(solve(&inp).is_err());
+        assert!(solve(&inp, &mut LpWorkspace::new()).is_err());
     }
 }

@@ -52,6 +52,12 @@ pub struct RecedingHorizon {
     deadline_slots: Option<usize>,
     plan_grt: Vec<f64>,
     plan_sdt: Vec<f64>,
+    /// Workspace shared by the per-frame LPs (see
+    /// [`LpWorkspace`](dpss_lp::LpWorkspace)): always reuses the tableau
+    /// buffers; reuses the previous frame's basis only when
+    /// [`with_warm_start`](Self::with_warm_start) enabled it.
+    workspace: dpss_lp::LpWorkspace,
+    warm_start: bool,
 }
 
 impl RecedingHorizon {
@@ -95,7 +101,24 @@ impl RecedingHorizon {
             deadline_slots,
             plan_grt: Vec::new(),
             plan_sdt: Vec::new(),
+            workspace: dpss_lp::LpWorkspace::new(),
+            warm_start: false,
         })
+    }
+
+    /// Enables (or disables) warm-starting consecutive frame LPs from
+    /// the previous frame's optimal basis.
+    ///
+    /// Off by default for the same reason as
+    /// [`OfflineConfig::warm_start`](crate::OfflineConfig): a warm solve
+    /// reaches the same optimal *objective* but, on degenerate frames,
+    /// possibly a different optimal *vertex*, which perturbs the
+    /// realized plan relative to the cold path. Turn it on when
+    /// replanning throughput matters more than bit-stability.
+    #[must_use]
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
     }
 }
 
@@ -113,6 +136,9 @@ impl Controller for RecedingHorizon {
         let p_lt = obs.price_lt.dollars_per_mwh();
         let p_rt = vec![p_lt * self.rt_markup; t];
         let deadline = Some(self.deadline_slots.unwrap_or(t));
+        if !self.warm_start {
+            self.workspace.clear_basis();
+        }
         let inputs = FrameLpInputs {
             params: &self.params,
             t,
@@ -127,11 +153,14 @@ impl Controller for RecedingHorizon {
             deadline,
             allow_rt: true,
         };
-        let solved = frame_lp::solve(&inputs).or_else(|_| {
-            frame_lp::solve(&FrameLpInputs {
-                deadline: None,
-                ..inputs.clone()
-            })
+        let solved = frame_lp::solve(&inputs, &mut self.workspace).or_else(|_| {
+            frame_lp::solve(
+                &FrameLpInputs {
+                    deadline: None,
+                    ..inputs.clone()
+                },
+                &mut self.workspace,
+            )
         });
         match solved {
             Ok(plan) => {
@@ -227,6 +256,24 @@ mod tests {
             oracle.total_cost(),
             causal.total_cost()
         );
+    }
+
+    #[test]
+    fn warm_replanning_matches_cold_cost_quality() {
+        let (engine, params) = world(14);
+        let cold = engine
+            .run(&mut RecedingHorizon::new(params).unwrap())
+            .unwrap();
+        let warm = engine
+            .run(&mut RecedingHorizon::new(params).unwrap().with_warm_start(true))
+            .unwrap();
+        let c = cold.total_cost().dollars();
+        let w = warm.total_cost().dollars();
+        assert!(
+            ((c - w) / c).abs() < 1e-3,
+            "cold {c} vs warm {w}: alternate optima must stay equivalent"
+        );
+        assert_eq!(warm.availability_violations, 0);
     }
 
     #[test]

@@ -50,10 +50,12 @@ mod model;
 mod simplex;
 mod solution;
 mod standard;
+mod workspace;
 
 pub use error::LpError;
 pub use model::{ConstraintId, Problem, Relation, Sense, Variable};
 pub use solution::Solution;
+pub use workspace::LpWorkspace;
 
 /// Absolute feasibility/optimality tolerance used throughout the solver.
 pub const TOLERANCE: f64 = 1e-9;

@@ -263,6 +263,11 @@ impl Problem {
 
     /// Solves the problem with the two-phase simplex method.
     ///
+    /// Allocates a fresh [`LpWorkspace`](crate::LpWorkspace) per call; hot
+    /// loops that solve many structurally similar problems should hold one
+    /// workspace and call [`solve_with`](Self::solve_with) instead, which
+    /// reuses buffers and warm-starts from the previous optimal basis.
+    ///
     /// # Errors
     ///
     /// * [`LpError::Infeasible`] if no point satisfies all constraints and
@@ -271,7 +276,21 @@ impl Problem {
     ///   limit;
     /// * [`LpError::IterationLimit`] if the pivot budget is exhausted.
     pub fn solve(&self) -> Result<Solution, LpError> {
-        crate::standard::solve(self)
+        self.solve_with(&mut crate::LpWorkspace::new())
+    }
+
+    /// Solves the problem reusing `ws`'s buffers and warm-start basis.
+    ///
+    /// Semantically identical to [`solve`](Self::solve): the returned
+    /// objective and the feasibility verdict never depend on the
+    /// workspace's history (a stale basis is detected and the solver falls
+    /// back to the cold path). Only the work done to get there changes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Self::solve).
+    pub fn solve_with(&self, ws: &mut crate::LpWorkspace) -> Result<Solution, LpError> {
+        crate::standard::solve(self, ws)
     }
 
     /// Evaluates the objective at an arbitrary assignment (useful in tests

@@ -7,12 +7,16 @@
 
 use crate::{LpError, TOLERANCE};
 
-/// How many consecutive degenerate pivots trigger the Bland's-rule fallback.
-const DEGENERATE_STREAK_LIMIT: usize = 24;
+/// How many consecutive degenerate pivots trigger the Bland's-rule
+/// fallback. Dantzig pricing can cycle forever on degenerate vertices
+/// (Beale's example); Bland's rule provably terminates, so after this
+/// many zero-progress pivots the phase switches pricing rules until the
+/// objective moves again.
+pub(crate) const DEGENERATE_STREAK_LIMIT: usize = 24;
 
 /// Dense tableau: `rows × cols` coefficient matrix, right-hand side, and the
 /// index of the basic column for each row.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub(crate) struct Tableau {
     pub(crate) rows: usize,
     pub(crate) cols: usize,
@@ -25,14 +29,24 @@ pub(crate) struct Tableau {
 }
 
 impl Tableau {
+    #[cfg(test)]
     pub(crate) fn new(rows: usize, cols: usize) -> Self {
-        Tableau {
-            rows,
-            cols,
-            a: vec![0.0; rows * cols],
-            b: vec![0.0; rows],
-            basis: vec![usize::MAX; rows],
-        }
+        let mut t = Tableau::default();
+        t.reset(rows, cols);
+        t
+    }
+
+    /// Re-dimensions the tableau to an all-zero `rows × cols` system,
+    /// reusing the existing allocations (the workspace hot path).
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.a.clear();
+        self.a.resize(rows * cols, 0.0);
+        self.b.clear();
+        self.b.resize(rows, 0.0);
+        self.basis.clear();
+        self.basis.resize(rows, usize::MAX);
     }
 
     #[inline]
@@ -46,8 +60,10 @@ impl Tableau {
     }
 
     /// Gauss-Jordan pivot on `(prow, pcol)`: normalizes the pivot row and
-    /// eliminates `pcol` from every other row and from `cost`.
-    fn pivot(&mut self, prow: usize, pcol: usize, cost: &mut CostRow) {
+    /// eliminates `pcol` from every other row and from `cost`. Also used
+    /// by the warm-start rebuild in `standard`, which re-reduces a fresh
+    /// tableau onto a saved basis one pivot per basic column.
+    pub(crate) fn pivot(&mut self, prow: usize, pcol: usize, cost: &mut CostRow) {
         let cols = self.cols;
         let pivot_val = self.at(prow, pcol);
         debug_assert!(pivot_val.abs() > TOLERANCE, "pivot element too small");
@@ -79,6 +95,17 @@ impl Tableau {
             }
         }
 
+        self.eliminate_cost(prow, pcol, cost);
+        self.basis[prow] = pcol;
+    }
+
+    /// Eliminates `pcol` from a cost row against the (already pivoted)
+    /// row `prow`. Factored out of [`pivot`](Self::pivot) so warm starts
+    /// can keep a *second* cost row (the saved solve's objective, which
+    /// guides the dual feasibility-restore phase) in sync with the same
+    /// pivots.
+    pub(crate) fn eliminate_cost(&self, prow: usize, pcol: usize, cost: &mut CostRow) {
+        let cols = self.cols;
         let factor = cost.reduced[pcol];
         if factor != 0.0 {
             for j in 0..cols {
@@ -89,8 +116,6 @@ impl Tableau {
             cost.objective += self.b[prow] * factor;
             cost.reduced[pcol] = 0.0;
         }
-
-        self.basis[prow] = pcol;
     }
 
     /// Extracts the current basic solution as a dense vector over all
@@ -146,17 +171,21 @@ pub(crate) enum PhaseOutcome {
 
 /// Runs primal simplex pivots until optimality, unboundedness or pivot
 /// exhaustion. `allowed` masks which columns may *enter* the basis (used to
-/// keep artificials out during phase 2). Returns the number of pivots spent.
+/// keep artificials out during phase 2). `bland_after` is the degenerate
+/// streak that triggers the Bland's-rule fallback (`0` forces Bland from
+/// the first pivot; production callers pass
+/// [`DEGENERATE_STREAK_LIMIT`]).
 pub(crate) fn run_phase(
     tab: &mut Tableau,
     cost: &mut CostRow,
     allowed: &[bool],
     budget: &mut usize,
+    bland_after: usize,
 ) -> Result<PhaseOutcome, LpError> {
     let mut degenerate_streak = 0usize;
     let mut pivots_done = 0usize;
     loop {
-        let use_bland = degenerate_streak >= DEGENERATE_STREAK_LIMIT;
+        let use_bland = degenerate_streak >= bland_after;
         let Some(pcol) = choose_entering(cost, allowed, use_bland) else {
             return Ok(PhaseOutcome::Optimal);
         };
@@ -177,6 +206,70 @@ pub(crate) fn run_phase(
         } else {
             degenerate_streak = 0;
         }
+    }
+}
+
+/// Outcome of the dual simplex feasibility-restore phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DualOutcome {
+    /// All right-hand sides are now non-negative (primal feasible).
+    Feasible,
+    /// A negative row has no negative coefficient: the constraint system
+    /// itself is infeasible (costs play no role in that certificate).
+    NoPivot,
+}
+
+/// Dual simplex pivots until primal feasibility, guided by the
+/// dual-feasible cost row `guide` (all reduced costs `≥ 0`, e.g. the
+/// objective of the previous solve whose optimal basis we warm-started
+/// from). `extra` is a second cost row kept in sync with the pivots (the
+/// *current* objective, which the subsequent primal phase optimizes).
+///
+/// Used exclusively by warm starts: after a right-hand-side change the
+/// saved basis stays dual-feasible w.r.t. its own costs, so a handful of
+/// dual pivots restores feasibility without re-running phase 1.
+pub(crate) fn run_dual_phase(
+    tab: &mut Tableau,
+    guide: &mut CostRow,
+    extra: &mut CostRow,
+    budget: &mut usize,
+) -> Result<DualOutcome, LpError> {
+    let mut pivots_done = 0usize;
+    loop {
+        // Leaving row: most negative b̄ (ties → smallest row index).
+        let mut leaving: Option<(usize, f64)> = None;
+        for (r, &b) in tab.b.iter().enumerate() {
+            if b < -TOLERANCE && leaving.is_none_or(|(_, best)| b < best) {
+                leaving = Some((r, b));
+            }
+        }
+        let Some((prow, _)) = leaving else {
+            return Ok(DualOutcome::Feasible);
+        };
+        // Entering column: dual ratio test over negative row entries
+        // (ties → smallest column index, Bland-style, for termination).
+        let mut entering: Option<(usize, f64)> = None;
+        for j in 0..tab.cols {
+            let a = tab.at(prow, j);
+            if a < -TOLERANCE {
+                let ratio = guide.reduced[j] / -a;
+                if entering.is_none_or(|(_, best)| ratio < best - TOLERANCE) {
+                    entering = Some((j, ratio));
+                }
+            }
+        }
+        let Some((pcol, _)) = entering else {
+            return Ok(DualOutcome::NoPivot);
+        };
+        if *budget == 0 {
+            return Err(LpError::IterationLimit {
+                pivots: pivots_done,
+            });
+        }
+        *budget -= 1;
+        pivots_done += 1;
+        tab.pivot(prow, pcol, guide);
+        tab.eliminate_cost(prow, pcol, extra);
     }
 }
 
@@ -281,7 +374,14 @@ mod tests {
         let mut cost = CostRow::from_costs(&tab, &[-3.0, -2.0, 0.0, 0.0]);
         let allowed = vec![true; 4];
         let mut budget = 100;
-        let out = run_phase(&mut tab, &mut cost, &allowed, &mut budget).unwrap();
+        let out = run_phase(
+            &mut tab,
+            &mut cost,
+            &allowed,
+            &mut budget,
+            DEGENERATE_STREAK_LIMIT,
+        )
+        .unwrap();
         assert_eq!(out, PhaseOutcome::Optimal);
         let x = tab.solution();
         assert!((x[0] - 4.0).abs() < 1e-9);
@@ -300,8 +400,31 @@ mod tests {
         let mut cost = CostRow::from_costs(&t, &[-1.0, 0.0]);
         let allowed = vec![true; 2];
         let mut budget = 50;
-        let out = run_phase(&mut t, &mut cost, &allowed, &mut budget).unwrap();
+        let out = run_phase(
+            &mut t,
+            &mut cost,
+            &allowed,
+            &mut budget,
+            DEGENERATE_STREAK_LIMIT,
+        )
+        .unwrap();
         assert_eq!(out, PhaseOutcome::Unbounded);
+    }
+
+    #[test]
+    fn forced_bland_rule_reaches_the_same_optimum() {
+        // `bland_after = 0` runs pure Bland's rule from the first pivot —
+        // the anti-cycling fallback must be a correct solver on its own,
+        // not just a termination hack.
+        let mut tab = small_tableau();
+        let mut cost = CostRow::from_costs(&tab, &[-3.0, -2.0, 0.0, 0.0]);
+        let allowed = vec![true; 4];
+        let mut budget = 100;
+        let out = run_phase(&mut tab, &mut cost, &allowed, &mut budget, 0).unwrap();
+        assert_eq!(out, PhaseOutcome::Optimal);
+        let x = tab.solution();
+        assert!((x[0] - 4.0).abs() < 1e-9);
+        assert!((cost.objective - (-12.0)).abs() < 1e-9);
     }
 
     #[test]
@@ -310,7 +433,14 @@ mod tests {
         let mut cost = CostRow::from_costs(&tab, &[-3.0, -2.0, 0.0, 0.0]);
         let allowed = vec![true; 4];
         let mut budget = 0;
-        let err = run_phase(&mut tab, &mut cost, &allowed, &mut budget).unwrap_err();
+        let err = run_phase(
+            &mut tab,
+            &mut cost,
+            &allowed,
+            &mut budget,
+            DEGENERATE_STREAK_LIMIT,
+        )
+        .unwrap_err();
         assert!(matches!(err, LpError::IterationLimit { .. }));
     }
 
@@ -337,7 +467,14 @@ mod tests {
         let allowed = vec![true; 3];
         let mut budget = 50;
         // Phase 1 drives artificial sum to zero.
-        run_phase(&mut t, &mut cost, &allowed, &mut budget).unwrap();
+        run_phase(
+            &mut t,
+            &mut cost,
+            &allowed,
+            &mut budget,
+            DEGENERATE_STREAK_LIMIT,
+        )
+        .unwrap();
         assert!(cost.objective.abs() < 1e-9);
         let redundant = expel_artificials(&mut t, &mut cost, 1);
         // Exactly one row ends up redundant, the other has col 0 basic.

@@ -4,10 +4,22 @@
 //! general box bounds are shifted/negated/split; `≤`/`≥` rows receive slack
 //! or surplus columns; rows that still lack an identity column receive an
 //! artificial variable, and phase 1 minimizes the artificial sum.
+//!
+//! All solves run through a caller-supplied [`LpWorkspace`], which owns the
+//! tableau buffers and, when the previous solve had the same standard-form
+//! shape, supplies a warm-start basis that skips phase 1 entirely (see the
+//! `workspace` module docs). A warm start that turns out singular or
+//! primal-infeasible for the new data silently falls back to the cold
+//! two-phase path below, so callers observe identical objectives and
+//! feasibility verdicts either way.
 
 use crate::model::{Problem, Relation, Sense};
-use crate::simplex::{expel_artificials, run_phase, CostRow, PhaseOutcome, Tableau};
+use crate::simplex::{
+    expel_artificials, run_dual_phase, run_phase, CostRow, DualOutcome, PhaseOutcome, Tableau,
+    DEGENERATE_STREAK_LIMIT,
+};
 use crate::solution::Solution;
+use crate::workspace::{LpWorkspace, SavedBasis};
 use crate::{LpError, TOLERANCE};
 
 /// How each original variable maps onto standard-form columns.
@@ -29,7 +41,7 @@ struct Row {
     rhs: f64,
 }
 
-pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
+pub(crate) fn solve(p: &Problem, ws: &mut LpWorkspace) -> Result<Solution, LpError> {
     // ---- 1. Map variables onto non-negative columns. -------------------
     let mut maps = Vec::with_capacity(p.vars.len());
     let mut n_struct = 0usize;
@@ -125,10 +137,261 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
     let n_nonart = n_struct + n_slack;
     let n_total = n_nonart + n_artificial;
 
-    // ---- 4. Fill the tableau. ------------------------------------------
-    let mut tab = Tableau::new(m, n_total);
+    // Phase-2 objective in structural-column space (shared by both paths).
+    let sign = match p.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut phase2_costs = vec![0.0; n_nonart];
+    for (v, map) in p.vars.iter().zip(&maps) {
+        match *map {
+            VarMap::Shifted { col, .. } => phase2_costs[col] += sign * v.obj,
+            VarMap::Negated { col, .. } => phase2_costs[col] -= sign * v.obj,
+            VarMap::Split { pos, neg } => {
+                phase2_costs[pos] += sign * v.obj;
+                phase2_costs[neg] -= sign * v.obj;
+            }
+        }
+    }
+
+    // ---- 4. Warm path: re-reduce onto the previous basis, skip phase 1.
+    if let Some(saved) = ws.take_matching_basis(m, n_nonart) {
+        match try_warm(p, &maps, &rows, n_struct, &phase2_costs, &saved, ws) {
+            WarmOutcome::Solved(sol) => return Ok(sol),
+            WarmOutcome::Unbounded => return Err(LpError::Unbounded),
+            WarmOutcome::Fallback => ws.note_warm_reject(),
+        }
+    }
+    ws.note_cold();
+
+    // ---- 5. Cold path: fill the two-phase tableau. ----------------------
+    fill_tableau(&mut ws.tab, &rows, m, n_struct, n_total, true);
+    let tab = &mut ws.tab;
+    let mut budget = p.pivot_budget(m, n_total);
+
+    // Phase 1: drive artificials to zero.
+    if n_artificial > 0 {
+        ws.costs.clear();
+        ws.costs.resize(n_total, 0.0);
+        for c in ws.costs.iter_mut().skip(n_nonart) {
+            *c = 1.0;
+        }
+        let mut cost = CostRow::from_costs(tab, &ws.costs);
+        ws.allowed.clear();
+        ws.allowed.resize(n_total, true);
+        match run_phase(
+            tab,
+            &mut cost,
+            &ws.allowed,
+            &mut budget,
+            DEGENERATE_STREAK_LIMIT,
+        )? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => {
+                // Phase-1 objective is bounded below by 0; cannot happen for
+                // well-formed input, treat as numerical failure.
+                return Err(LpError::IterationLimit { pivots: 0 });
+            }
+        }
+        if cost.objective > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        let redundant = expel_artificials(tab, &mut cost, n_nonart);
+        drop_rows_and_artificials(tab, &mut ws.aux, &redundant, n_nonart);
+        std::mem::swap(&mut ws.tab, &mut ws.aux);
+    }
+    let tab = &mut ws.tab;
+
+    // Phase 2: optimize the real objective.
+    let mut cost = CostRow::from_costs(tab, &phase2_costs);
+    ws.allowed.clear();
+    ws.allowed.resize(tab.cols, true);
+    match run_phase(
+        tab,
+        &mut cost,
+        &ws.allowed,
+        &mut budget,
+        DEGENERATE_STREAK_LIMIT,
+    )? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => return Err(LpError::Unbounded),
+    }
+
+    // Only a full-rank phase-2 system can seed the next warm start (rows
+    // dropped as redundant change the shape key and are simply not saved).
+    let pivots_used = p.pivot_budget(m, n_total) - budget;
+    if tab.rows == m {
+        let (rows_now, cols_now) = (tab.rows, tab.cols);
+        let basis = std::mem::take(&mut ws.tab.basis);
+        ws.save_basis(rows_now, cols_now, &basis, &phase2_costs);
+        ws.tab.basis = basis;
+    } else {
+        ws.clear_basis();
+    }
+    Ok(extract_solution(p, &maps, &ws.tab, pivots_used))
+}
+
+enum WarmOutcome {
+    Solved(Solution),
+    Unbounded,
+    /// Saved basis unusable (singular / primal-infeasible / budget burn):
+    /// redo the solve on the cold path.
+    Fallback,
+}
+
+/// Attempts a phase-1-free solve from `saved`: rebuilds the artificial-free
+/// tableau, pivots it onto the saved basis (rows whose saved basic column
+/// is their own untouched `+1` slack need no pivot at all; the rest use
+/// partial pivoting over the not-yet-assigned rows), then:
+///
+/// * **primal-feasible** basis → phase 2 directly;
+/// * **primal-infeasible** basis (the usual case after a right-hand-side
+///   change) → a dual simplex feasibility restore guided by the *saved*
+///   cost row (which the basis is optimal, hence dual-feasible, for),
+///   followed by phase 2 on the current costs;
+/// * anything unusable (singular basis, changed matrix breaking dual
+///   feasibility, budget burn) → fall back to the cold two-phase path.
+fn try_warm(
+    p: &Problem,
+    maps: &[VarMap],
+    rows: &[Row],
+    n_struct: usize,
+    phase2_costs: &[f64],
+    saved: &SavedBasis,
+    ws: &mut LpWorkspace,
+) -> WarmOutcome {
+    let m = rows.len();
+    let n_nonart = saved.cols;
+    fill_tableau(&mut ws.tab, rows, m, n_struct, n_nonart, false);
+    let tab = &mut ws.tab;
+
+    // Raw costs are the correct reduced costs for the empty basis; the
+    // rebuild pivots then maintain them incrementally, so after the last
+    // pivot they are exactly `c − c_Bᵀ B⁻¹A` for the saved basis. The
+    // saved solve's costs ride along as the dual guide row.
+    let mut cost = CostRow {
+        reduced: phase2_costs.to_vec(),
+        objective: 0.0,
+    };
+    let mut guide = CostRow {
+        reduced: saved.costs.clone(),
+        objective: 0.0,
+    };
+    let mut budget = p.pivot_budget(m, n_nonart);
+    ws.allowed.clear();
+    ws.allowed.resize(m, false); // reused here as a "row placed" mask
+    let placed = &mut ws.allowed;
+
+    // Pass 1 — identity skips: a row whose saved basic column is its own
+    // `+1` slack is already reduced in the fresh tableau, and (because
+    // such a column has its only nonzero entry in that row, and the row
+    // is never used as a pivot row) stays reduced through the remaining
+    // rebuild pivots. On the Le-heavy DPSS frame LPs this skips most of
+    // the rebuild work.
+    for (r, &col) in saved.basis.iter().enumerate() {
+        if col >= n_struct && tab.basis[r] == col {
+            debug_assert_eq!(tab.at(r, col), 1.0);
+            placed[r] = true;
+        }
+    }
+    // Pass 2 — pivot the remaining saved columns onto unplaced rows.
+    for (r_old, &col) in saved.basis.iter().enumerate() {
+        if placed[r_old] && tab.basis[r_old] == col {
+            continue;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (r, &done) in placed.iter().enumerate().take(m) {
+            if done {
+                continue;
+            }
+            let mag = tab.at(r, col).abs();
+            if best.is_none_or(|(_, b)| mag > b) {
+                best = Some((r, mag));
+            }
+        }
+        let Some((r, mag)) = best else {
+            return WarmOutcome::Fallback;
+        };
+        if mag < 1e-7 || budget == 0 {
+            // Singular for the new coefficients (or pathological budget).
+            return WarmOutcome::Fallback;
+        }
+        budget -= 1;
+        tab.pivot(r, col, &mut cost);
+        tab.eliminate_cost(r, col, &mut guide);
+        placed[r] = true;
+    }
+
+    // Feasibility restore: dual simplex when the new right-hand side
+    // turned the saved basis primal-infeasible.
+    if tab.b.iter().any(|&b| b < -1e-7) {
+        // The guide row must be dual-feasible; with an unchanged
+        // constraint matrix it is exactly the saved solve's optimal
+        // reduced costs (all ≥ 0), but a changed matrix can break this.
+        if guide.reduced.iter().any(|&r| r < -1e-7) {
+            return WarmOutcome::Fallback;
+        }
+        for g in &mut guide.reduced {
+            if *g < 0.0 {
+                *g = 0.0;
+            }
+        }
+        match run_dual_phase(tab, &mut guide, &mut cost, &mut budget) {
+            Ok(DualOutcome::Feasible) => {}
+            // `NoPivot` certifies the constraint system infeasible, but
+            // falling back keeps a single source of truth for error
+            // classification (the cold path re-derives it).
+            Ok(DualOutcome::NoPivot) | Err(_) => return WarmOutcome::Fallback,
+        }
+    }
+    for b in &mut tab.b {
+        if *b < 0.0 {
+            *b = 0.0;
+        }
+    }
+
+    ws.allowed.clear();
+    ws.allowed.resize(n_nonart, true);
+    match run_phase(
+        tab,
+        &mut cost,
+        &ws.allowed,
+        &mut budget,
+        DEGENERATE_STREAK_LIMIT,
+    ) {
+        Ok(PhaseOutcome::Optimal) => {}
+        Ok(PhaseOutcome::Unbounded) => return WarmOutcome::Unbounded,
+        Err(_) => return WarmOutcome::Fallback,
+    }
+
+    // Rebuild and dual pivots count toward the total: real tableau work.
+    let pivots_used = p.pivot_budget(m, n_nonart) - budget;
+    ws.note_warm();
+    let (rows_now, cols_now) = (ws.tab.rows, ws.tab.cols);
+    let basis = std::mem::take(&mut ws.tab.basis);
+    ws.save_basis(rows_now, cols_now, &basis, phase2_costs);
+    ws.tab.basis = basis;
+    WarmOutcome::Solved(extract_solution(p, maps, &ws.tab, pivots_used))
+}
+
+/// Fills `tab` with the standard-form system: structural terms, slack /
+/// surplus columns at `n_struct..`, and (cold path only) artificial
+/// columns after the slacks with the phase-1 starting basis.
+fn fill_tableau(
+    tab: &mut Tableau,
+    rows: &[Row],
+    m: usize,
+    n_struct: usize,
+    n_cols: usize,
+    with_artificials: bool,
+) {
+    tab.reset(m, n_cols);
+    let n_slack = rows
+        .iter()
+        .filter(|r| !matches!(r.relation, Relation::Eq))
+        .count();
     let mut next_slack = n_struct;
-    let mut next_art = n_nonart;
+    let mut next_art = n_struct + n_slack;
     for (r, row) in rows.iter().enumerate() {
         for &(j, a) in &row.terms {
             let old = tab.at(r, j);
@@ -144,74 +407,29 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
             Relation::Ge => {
                 tab.set(r, next_slack, -1.0);
                 next_slack += 1;
-                tab.set(r, next_art, 1.0);
-                tab.basis[r] = next_art;
-                next_art += 1;
+                if with_artificials {
+                    tab.set(r, next_art, 1.0);
+                    tab.basis[r] = next_art;
+                    next_art += 1;
+                }
             }
             Relation::Eq => {
-                tab.set(r, next_art, 1.0);
-                tab.basis[r] = next_art;
-                next_art += 1;
+                if with_artificials {
+                    tab.set(r, next_art, 1.0);
+                    tab.basis[r] = next_art;
+                    next_art += 1;
+                }
             }
         }
     }
+}
 
-    let mut budget = p.pivot_budget(m, n_total);
-
-    // ---- 5. Phase 1: drive artificials to zero. -------------------------
-    if n_artificial > 0 {
-        let mut phase1_costs = vec![0.0; n_total];
-        for c in phase1_costs.iter_mut().skip(n_nonart) {
-            *c = 1.0;
-        }
-        let mut cost = CostRow::from_costs(&tab, &phase1_costs);
-        let allowed = vec![true; n_total];
-        match run_phase(&mut tab, &mut cost, &allowed, &mut budget)? {
-            PhaseOutcome::Optimal => {}
-            PhaseOutcome::Unbounded => {
-                // Phase-1 objective is bounded below by 0; cannot happen for
-                // well-formed input, treat as numerical failure.
-                return Err(LpError::IterationLimit { pivots: 0 });
-            }
-        }
-        if cost.objective > 1e-7 {
-            return Err(LpError::Infeasible);
-        }
-        let redundant = expel_artificials(&mut tab, &mut cost, n_nonart);
-        if redundant.iter().any(|&r| r) {
-            tab = drop_rows_and_artificials(&tab, &redundant, n_nonart);
-        } else if n_artificial > 0 {
-            tab = drop_rows_and_artificials(&tab, &vec![false; m], n_nonart);
-        }
-    }
-
-    // ---- 6. Phase 2: optimize the real objective. ------------------------
-    let sign = match p.sense {
-        Sense::Minimize => 1.0,
-        Sense::Maximize => -1.0,
-    };
-    let mut phase2_costs = vec![0.0; tab.cols];
-    for (v, map) in p.vars.iter().zip(&maps) {
-        match *map {
-            VarMap::Shifted { col, .. } => phase2_costs[col] += sign * v.obj,
-            VarMap::Negated { col, .. } => phase2_costs[col] -= sign * v.obj,
-            VarMap::Split { pos, neg } => {
-                phase2_costs[pos] += sign * v.obj;
-                phase2_costs[neg] -= sign * v.obj;
-            }
-        }
-    }
-    let mut cost = CostRow::from_costs(&tab, &phase2_costs);
-    let allowed = vec![true; tab.cols];
-    match run_phase(&mut tab, &mut cost, &allowed, &mut budget)? {
-        PhaseOutcome::Optimal => {}
-        PhaseOutcome::Unbounded => return Err(LpError::Unbounded),
-    }
-
-    // ---- 7. Map the solution back to model space. ------------------------
+/// Maps the optimal tableau solution back to model space (bound shifts
+/// undone, tolerance drift snapped to bounds).
+fn extract_solution(p: &Problem, maps: &[VarMap], tab: &Tableau, pivots_used: usize) -> Solution {
     let y = tab.solution();
     let mut values = Vec::with_capacity(p.vars.len());
-    for map in &maps {
+    for map in maps {
         let x = match *map {
             VarMap::Shifted { col, lo } => lo + y[col],
             VarMap::Negated { col, up } => up - y[col],
@@ -232,8 +450,7 @@ pub(crate) fn solve(p: &Problem) -> Result<Solution, LpError> {
         }
     }
     let objective = p.objective_at(&values);
-    let pivots_used = p.pivot_budget(m, n_total) - budget;
-    Ok(Solution::new(values, objective, pivots_used))
+    Solution::new(values, objective, pivots_used)
 }
 
 fn push_term(terms: &mut Vec<(usize, f64)>, col: usize, coeff: f64) {
@@ -245,9 +462,14 @@ fn push_term(terms: &mut Vec<(usize, f64)>, col: usize, coeff: f64) {
 
 /// Rebuilds the tableau without redundant rows and without artificial
 /// columns (which are all non-basic or belong to dropped rows by now).
-fn drop_rows_and_artificials(tab: &Tableau, redundant: &[bool], n_nonart: usize) -> Tableau {
+fn drop_rows_and_artificials(
+    tab: &Tableau,
+    out: &mut Tableau,
+    redundant: &[bool],
+    n_nonart: usize,
+) {
     let keep_rows: Vec<usize> = (0..tab.rows).filter(|&r| !redundant[r]).collect();
-    let mut out = Tableau::new(keep_rows.len(), n_nonart);
+    out.reset(keep_rows.len(), n_nonart);
     for (nr, &r) in keep_rows.iter().enumerate() {
         for j in 0..n_nonart {
             out.set(nr, j, tab.at(r, j));
@@ -259,9 +481,7 @@ fn drop_rows_and_artificials(tab: &Tableau, redundant: &[bool], n_nonart: usize)
         );
         out.basis[nr] = tab.basis[r];
     }
-    out
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

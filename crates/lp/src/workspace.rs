@@ -1,0 +1,216 @@
+//! Reusable solver state for repeated, structurally similar solves.
+//!
+//! The DPSS controllers solve one frame LP per coarse frame; consecutive
+//! frames share the constraint structure and differ only in right-hand
+//! sides (demands, battery/queue state) and objective coefficients
+//! (prices). A [`LpWorkspace`] makes that loop cheap twice over:
+//!
+//! * **allocation reuse** — the dense tableau (the dominant allocation:
+//!   `rows × cols` of `f64`, hundreds of kilobytes for a day-long frame)
+//!   and the auxiliary masks are owned by the workspace and recycled;
+//! * **warm starts** — the optimal basis of the previous solve is saved
+//!   and, when the next problem has the same standard-form shape, phase 1
+//!   is skipped entirely: the tableau is re-reduced onto the saved basis
+//!   and phase 2 starts from there. If the saved basis is singular or
+//!   primal-infeasible for the new data, the solver falls back to the
+//!   cold two-phase path — results are always identical in objective and
+//!   feasibility status to a cold solve.
+//!
+//! # Examples
+//!
+//! ```
+//! use dpss_lp::{LpWorkspace, Problem, Relation, Sense};
+//!
+//! # fn main() -> Result<(), dpss_lp::LpError> {
+//! let mut ws = LpWorkspace::new();
+//! for demand in [1.0, 1.2, 0.9] {
+//!     let mut p = Problem::new(Sense::Minimize);
+//!     let g = p.add_var("g", 0.0, 2.0, 40.0)?;
+//!     p.add_constraint(&[(g, 1.0)], Relation::Ge, demand)?;
+//!     let sol = p.solve_with(&mut ws)?;
+//!     assert!((sol.value(g) - demand).abs() < 1e-9);
+//! }
+//! assert_eq!(ws.cold_solves(), 1); // first solve primes the basis
+//! assert_eq!(ws.warm_solves(), 2); // later solves reuse it
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::simplex::Tableau;
+
+/// The basis of the last successful solve, keyed by standard-form shape.
+#[derive(Debug, Clone)]
+pub(crate) struct SavedBasis {
+    /// Constraint rows of the phase-2 system the basis belongs to.
+    pub(crate) rows: usize,
+    /// Non-artificial columns (structural + slack) of that system.
+    pub(crate) cols: usize,
+    /// Basic column per row, all `< cols`.
+    pub(crate) basis: Vec<usize>,
+    /// The phase-2 objective the basis is optimal (hence dual-feasible)
+    /// for — the guide row of the warm start's dual feasibility restore.
+    pub(crate) costs: Vec<f64>,
+}
+
+/// Reusable buffers and warm-start state for [`Problem::solve_with`]
+/// (see the module docs for the full story).
+///
+/// [`Problem::solve_with`]: crate::Problem::solve_with
+#[derive(Debug, Clone, Default)]
+pub struct LpWorkspace {
+    /// Primary tableau storage, recycled across solves.
+    pub(crate) tab: Tableau,
+    /// Secondary tableau used when redundant rows are compacted away.
+    pub(crate) aux: Tableau,
+    /// Scratch cost vector (phase-1 and phase-2 objective rows).
+    pub(crate) costs: Vec<f64>,
+    /// Scratch entering-column mask.
+    pub(crate) allowed: Vec<bool>,
+    /// Basis of the previous successful solve, if any.
+    pub(crate) saved: Option<SavedBasis>,
+    warm_solves: u64,
+    cold_solves: u64,
+    warm_rejects: u64,
+    last_was_warm: bool,
+}
+
+impl LpWorkspace {
+    /// Creates an empty workspace (first solve is necessarily cold).
+    #[must_use]
+    pub fn new() -> Self {
+        LpWorkspace::default()
+    }
+
+    /// Number of solves that started from a saved basis.
+    #[must_use]
+    pub fn warm_solves(&self) -> u64 {
+        self.warm_solves
+    }
+
+    /// Number of solves that went through the cold two-phase path.
+    #[must_use]
+    pub fn cold_solves(&self) -> u64 {
+        self.cold_solves
+    }
+
+    /// Number of warm attempts abandoned because the saved basis was
+    /// singular or primal-infeasible for the new data (each such solve is
+    /// also counted in [`cold_solves`](Self::cold_solves)).
+    #[must_use]
+    pub fn warm_rejects(&self) -> u64 {
+        self.warm_rejects
+    }
+
+    /// Whether the most recent solve completed on the warm path.
+    #[must_use]
+    pub fn last_was_warm(&self) -> bool {
+        self.last_was_warm
+    }
+
+    /// Drops the saved basis so the next solve is forced cold (the
+    /// buffers remain allocated).
+    pub fn clear_basis(&mut self) {
+        self.saved = None;
+    }
+
+    /// Takes the saved basis if it matches the given phase-2 shape.
+    pub(crate) fn take_matching_basis(&mut self, rows: usize, cols: usize) -> Option<SavedBasis> {
+        match &self.saved {
+            Some(s) if s.rows == rows && s.cols == cols => self.saved.take(),
+            _ => None,
+        }
+    }
+
+    /// Records the basis (and the objective it is optimal for) of a
+    /// successful solve, for the next warm start.
+    pub(crate) fn save_basis(&mut self, rows: usize, cols: usize, basis: &[usize], costs: &[f64]) {
+        debug_assert_eq!(basis.len(), rows);
+        debug_assert_eq!(costs.len(), cols);
+        match &mut self.saved {
+            Some(s) => {
+                s.rows = rows;
+                s.cols = cols;
+                s.basis.clear();
+                s.basis.extend_from_slice(basis);
+                s.costs.clear();
+                s.costs.extend_from_slice(costs);
+            }
+            None => {
+                self.saved = Some(SavedBasis {
+                    rows,
+                    cols,
+                    basis: basis.to_vec(),
+                    costs: costs.to_vec(),
+                });
+            }
+        }
+    }
+
+    pub(crate) fn note_warm(&mut self) {
+        self.warm_solves += 1;
+        self.last_was_warm = true;
+    }
+
+    pub(crate) fn note_cold(&mut self) {
+        self.cold_solves += 1;
+        self.last_was_warm = false;
+    }
+
+    pub(crate) fn note_warm_reject(&mut self) {
+        self.warm_rejects += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Problem, Relation, Sense};
+
+    fn cover_lp(demand: f64, price: f64) -> Problem {
+        let mut p = Problem::new(Sense::Minimize);
+        let g = p.add_var("g", 0.0, 5.0, price).unwrap();
+        let w = p.add_var("w", 0.0, f64::INFINITY, 1.0).unwrap();
+        p.add_constraint(&[(g, 1.0), (w, -1.0)], Relation::Ge, demand)
+            .unwrap();
+        p
+    }
+
+    #[test]
+    fn warm_path_engages_on_repeat_solves() {
+        let mut ws = LpWorkspace::new();
+        for (d, pr) in [(1.0, 40.0), (2.0, 45.0), (0.5, 38.0), (3.0, 41.0)] {
+            let sol = cover_lp(d, pr).solve_with(&mut ws).unwrap();
+            assert!((sol.objective() - d * pr).abs() < 1e-9);
+        }
+        assert_eq!(ws.cold_solves(), 1);
+        assert_eq!(ws.warm_solves(), 3);
+        assert!(ws.last_was_warm());
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_cold() {
+        let mut ws = LpWorkspace::new();
+        cover_lp(1.0, 40.0).solve_with(&mut ws).unwrap();
+        // Different shape: one more variable and row.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        let y = p.add_var("y", 0.0, 1.0, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 0.4).unwrap();
+        let sol = p.solve_with(&mut ws).unwrap();
+        assert!((sol.objective() - (0.4 + 2.0 * 0.6)).abs() < 1e-9);
+        assert_eq!(ws.cold_solves(), 2);
+        assert!(!ws.last_was_warm());
+    }
+
+    #[test]
+    fn clear_basis_forces_cold() {
+        let mut ws = LpWorkspace::new();
+        cover_lp(1.0, 40.0).solve_with(&mut ws).unwrap();
+        ws.clear_basis();
+        cover_lp(1.5, 40.0).solve_with(&mut ws).unwrap();
+        assert_eq!(ws.cold_solves(), 2);
+        assert_eq!(ws.warm_solves(), 0);
+    }
+}

@@ -1,0 +1,373 @@
+//! Warm-start equivalence and degenerate-pivoting regression tests.
+//!
+//! The contract of [`Problem::solve_with`] is that the workspace only
+//! changes *how fast* a solve runs, never *what* it returns: the objective
+//! and the feasibility verdict must match a cold solve exactly (up to
+//! floating-point tolerance). The property tests below randomize frame-LP
+//! shaped instances — the structure the DPSS controllers re-solve every
+//! coarse frame — and compare a cold solve against a warm solve primed on
+//! a different instance of the same shape.
+
+use dpss_lp::{LpError, LpWorkspace, Problem, Relation, Sense, Variable};
+use proptest::prelude::*;
+
+/// A parameterized frame LP: per-slot balance + battery & queue
+/// recursions + an end-of-frame service deadline, the exact shape of
+/// `dpss-core`'s per-frame planning problem.
+#[derive(Debug, Clone)]
+struct FrameInstance {
+    demands: Vec<f64>,
+    arrivals: Vec<f64>,
+    prices: Vec<f64>,
+    p_lt: f64,
+    b0: f64,
+    q0: f64,
+}
+
+impl FrameInstance {
+    fn build(&self) -> Problem {
+        let t = self.demands.len();
+        let mut p = Problem::new(Sense::Minimize);
+        let g = p.add_var("g", 0.0, 2.0, self.p_lt * t as f64).unwrap();
+        let mut prev_b: Option<Variable> = None;
+        let mut prev_q: Option<Variable> = None;
+        for i in 0..t {
+            let grt = p
+                .add_var(format!("grt{i}"), 0.0, 2.0, self.prices[i])
+                .unwrap();
+            let sdt = p
+                .add_var(format!("sdt{i}"), 0.0, f64::INFINITY, 0.0)
+                .unwrap();
+            let brc = p.add_var(format!("brc{i}"), 0.0, 0.5, 0.2).unwrap();
+            let bdc = p.add_var(format!("bdc{i}"), 0.0, 0.5, 0.2).unwrap();
+            let w = p.add_var(format!("w{i}"), 0.0, f64::INFINITY, 1.0).unwrap();
+            let b = p.add_var(format!("b{i}"), 0.0, 0.5, 0.0).unwrap();
+            let q = p.add_var(format!("q{i}"), 0.0, f64::INFINITY, 0.0).unwrap();
+            p.add_constraint(
+                &[
+                    (g, 1.0),
+                    (grt, 1.0),
+                    (bdc, 1.0),
+                    (brc, -1.0),
+                    (sdt, -1.0),
+                    (w, -1.0),
+                ],
+                Relation::Eq,
+                self.demands[i],
+            )
+            .unwrap();
+            match prev_b {
+                None => p
+                    .add_constraint(&[(b, 1.0), (brc, -0.8), (bdc, 1.25)], Relation::Eq, self.b0)
+                    .unwrap(),
+                Some(pb) => p
+                    .add_constraint(
+                        &[(b, 1.0), (pb, -1.0), (brc, -0.8), (bdc, 1.25)],
+                        Relation::Eq,
+                        0.0,
+                    )
+                    .unwrap(),
+            };
+            match prev_q {
+                None => p
+                    .add_constraint(
+                        &[(q, 1.0), (sdt, 1.0)],
+                        Relation::Eq,
+                        self.q0 + self.arrivals[i],
+                    )
+                    .unwrap(),
+                Some(pq) => p
+                    .add_constraint(
+                        &[(q, 1.0), (pq, -1.0), (sdt, 1.0)],
+                        Relation::Eq,
+                        self.arrivals[i],
+                    )
+                    .unwrap(),
+            };
+            prev_b = Some(b);
+            prev_q = Some(q);
+        }
+        // Serve at least the initial backlog by the frame end.
+        if let Some(q) = prev_q {
+            let slack: f64 = self.arrivals.iter().sum();
+            p.add_constraint(&[(q, 1.0)], Relation::Le, slack.max(0.1))
+                .unwrap();
+        }
+        p
+    }
+}
+
+fn frame_instance(t: usize) -> impl Strategy<Value = FrameInstance> {
+    (
+        proptest::collection::vec(0.0..1.8f64, t),
+        proptest::collection::vec(0.0..0.5f64, t),
+        proptest::collection::vec(1.0..90.0f64, t),
+        20.0..60.0f64,
+        0.0..0.5f64,
+        0.0..0.4f64,
+    )
+        .prop_map(|(demands, arrivals, prices, p_lt, b0, q0)| FrameInstance {
+            demands,
+            arrivals,
+            prices,
+            p_lt,
+            b0,
+            q0,
+        })
+}
+
+/// Compares a cold solve against a warm solve of the same problem where
+/// the workspace was primed on `primer`. Status must match; on success
+/// the objectives must agree to 1e-9 (relative).
+fn assert_warm_matches_cold(primer: &FrameInstance, target: &FrameInstance) {
+    let mut warm_ws = LpWorkspace::new();
+    primer
+        .build()
+        .solve_with(&mut warm_ws)
+        .expect("primer instance is feasible by construction");
+
+    let p = target.build();
+    let cold = p.solve();
+    let warm = p.solve_with(&mut warm_ws);
+    match (&cold, &warm) {
+        (Ok(c), Ok(w)) => {
+            let tol = 1e-9 * (1.0 + c.objective().abs());
+            assert!(
+                (c.objective() - w.objective()).abs() <= tol,
+                "cold {} vs warm {} (warm path: {})",
+                c.objective(),
+                w.objective(),
+                warm_ws.last_was_warm()
+            );
+            assert!(
+                p.is_feasible(w.values(), 1e-6),
+                "warm solution infeasible: {:?}",
+                w.values()
+            );
+        }
+        (Err(ce), Err(we)) => {
+            assert_eq!(
+                std::mem::discriminant(ce),
+                std::mem::discriminant(we),
+                "cold {ce:?} vs warm {we:?}"
+            );
+        }
+        _ => panic!("status mismatch: cold {cold:?} vs warm {warm:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Warm-started solves of randomized frame LPs return the same
+    /// objective (within 1e-9) and feasibility status as cold solves.
+    #[test]
+    fn warm_equals_cold_on_random_frame_lps(
+        primer in frame_instance(4),
+        target in frame_instance(4),
+    ) {
+        assert_warm_matches_cold(&primer, &target);
+    }
+
+    /// Same property on a longer frame (more rows, more degeneracy).
+    #[test]
+    fn warm_equals_cold_on_longer_frames(
+        primer in frame_instance(8),
+        target in frame_instance(8),
+    ) {
+        assert_warm_matches_cold(&primer, &target);
+    }
+
+    /// A whole sweep through one workspace: every solve in a chain of
+    /// instances must match its own cold solve.
+    #[test]
+    fn workspace_chain_never_drifts(
+        chain in proptest::collection::vec(frame_instance(3), 2..5),
+    ) {
+        let mut ws = LpWorkspace::new();
+        for inst in &chain {
+            let p = inst.build();
+            let via_chain = p.solve_with(&mut ws);
+            let cold = p.solve();
+            match (&cold, &via_chain) {
+                (Ok(c), Ok(w)) => {
+                    let tol = 1e-9 * (1.0 + c.objective().abs());
+                    prop_assert!((c.objective() - w.objective()).abs() <= tol);
+                }
+                (Err(ce), Err(we)) => prop_assert_eq!(
+                    std::mem::discriminant(ce), std::mem::discriminant(we)),
+                _ => prop_assert!(false, "status mismatch: {:?} vs {:?}", cold, via_chain),
+            }
+        }
+    }
+}
+
+#[test]
+fn warm_path_engages_on_consecutive_frames() {
+    // Deterministic sanity check that the property tests above actually
+    // exercise the warm path: same-shaped consecutive frames must reuse
+    // the saved basis, not silently fall back cold every time.
+    let mut ws = LpWorkspace::new();
+    for k in 0..6 {
+        let inst = FrameInstance {
+            demands: vec![0.9 + 0.1 * k as f64, 1.1, 0.7, 1.3],
+            arrivals: vec![0.2, 0.3, 0.1, 0.25],
+            prices: vec![40.0 + k as f64, 55.0, 35.0, 60.0],
+            p_lt: 36.0,
+            b0: 0.2,
+            q0: 0.3,
+        };
+        inst.build().solve_with(&mut ws).unwrap();
+    }
+    assert_eq!(ws.cold_solves() + ws.warm_solves(), 6);
+    // A changed right-hand side can make the saved basis primal-infeasible
+    // (a genuine cold fallback), so not every solve is warm — but the warm
+    // path must engage repeatedly on this mild perturbation sequence.
+    assert!(
+        ws.warm_solves() >= 2,
+        "warm path must engage on repeated frame shapes: {} warm / {} cold",
+        ws.warm_solves(),
+        ws.cold_solves()
+    );
+}
+
+#[test]
+fn infeasible_instances_report_infeasible_on_both_paths() {
+    // Demand far beyond every supply bound → infeasible regardless of
+    // workspace history.
+    let feasible = FrameInstance {
+        demands: vec![1.0, 1.2, 0.8],
+        arrivals: vec![0.2, 0.1, 0.3],
+        prices: vec![45.0, 50.0, 40.0],
+        p_lt: 36.0,
+        b0: 0.25,
+        q0: 0.2,
+    };
+    let mut infeasible = feasible.clone();
+    infeasible.demands = vec![9.0, 9.0, 9.0]; // caps allow at most 4 + battery
+
+    let mut ws = LpWorkspace::new();
+    feasible.build().solve_with(&mut ws).unwrap();
+    let warm = infeasible.build().solve_with(&mut ws);
+    let cold = infeasible.build().solve();
+    assert!(matches!(warm, Err(LpError::Infeasible)), "warm: {warm:?}");
+    assert!(matches!(cold, Err(LpError::Infeasible)), "cold: {cold:?}");
+}
+
+// ---- Degenerate-pivoting regressions (Bland's-rule fallback) -----------
+
+/// Kuhn's classic cycling LP: under naive Dantzig pricing with
+/// first-index tie-breaking the simplex method cycles forever at the
+/// origin. The solver's degenerate-streak fallback to Bland's rule must
+/// terminate and certify unboundedness-free optimality.
+#[test]
+fn kuhn_cycling_lp_terminates_at_optimum() {
+    let mut p = Problem::new(Sense::Minimize);
+    let x1 = p.add_var("x1", 0.0, f64::INFINITY, -2.0).unwrap();
+    let x2 = p.add_var("x2", 0.0, f64::INFINITY, -3.0).unwrap();
+    let x3 = p.add_var("x3", 0.0, f64::INFINITY, 1.0).unwrap();
+    let x4 = p.add_var("x4", 0.0, f64::INFINITY, 12.0).unwrap();
+    p.add_constraint(
+        &[(x1, -2.0), (x2, -9.0), (x3, 1.0), (x4, 9.0)],
+        Relation::Le,
+        0.0,
+    )
+    .unwrap();
+    p.add_constraint(
+        &[(x1, 1.0 / 3.0), (x2, 1.0), (x3, -1.0 / 3.0), (x4, -2.0)],
+        Relation::Le,
+        0.0,
+    )
+    .unwrap();
+    p.add_constraint(
+        &[(x1, 1.0), (x2, 1.0), (x3, 1.0), (x4, 1.0)],
+        Relation::Le,
+        1.0,
+    )
+    .unwrap();
+    let sol = p.solve().expect("degenerate LP must terminate");
+    assert!(p.is_feasible(sol.values(), 1e-7));
+    // Optimum: x1 = x3 = 1/2 binding both degenerate rows, objective −1/2.
+    assert!(
+        (sol.objective() - (-0.5)).abs() < 1e-7,
+        "objective {}",
+        sol.objective()
+    );
+}
+
+/// A maximally degenerate vertex: many redundant active constraints at
+/// the optimum. Every pivot is degenerate until the objective can move;
+/// the fallback must still find the optimum within the pivot budget.
+#[test]
+fn massively_degenerate_vertex_terminates() {
+    let mut p = Problem::new(Sense::Minimize);
+    let n = 6;
+    let vars: Vec<_> = (0..n)
+        .map(|i| {
+            p.add_var(format!("x{i}"), 0.0, 10.0, 1.0 + i as f64 * 0.1)
+                .unwrap()
+        })
+        .collect();
+    // The same covering row stated many times (all active at the optimum)…
+    for _ in 0..8 {
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_constraint(&terms, Relation::Ge, 1.0).unwrap();
+    }
+    // …plus ordering rows that are all tight at the symmetric corner.
+    for w in vars.windows(2) {
+        p.add_constraint(&[(w[0], 1.0), (w[1], -1.0)], Relation::Ge, 0.0)
+            .unwrap();
+    }
+    let sol = p.solve().expect("must terminate despite degeneracy");
+    assert!(p.is_feasible(sol.values(), 1e-7));
+    // Cheapest cover puts everything on x0 (lowest cost): objective 1.0.
+    assert!(
+        (sol.objective() - 1.0).abs() < 1e-7,
+        "objective {}",
+        sol.objective()
+    );
+}
+
+/// Warm-starting *from* a degenerate optimal basis must not confuse the
+/// rebuild: resolve Kuhn's LP repeatedly through one workspace.
+#[test]
+fn warm_restart_from_degenerate_basis_is_stable() {
+    let build = |rhs: f64| {
+        let mut p = Problem::new(Sense::Minimize);
+        let x1 = p.add_var("x1", 0.0, f64::INFINITY, -2.0).unwrap();
+        let x2 = p.add_var("x2", 0.0, f64::INFINITY, -3.0).unwrap();
+        let x3 = p.add_var("x3", 0.0, f64::INFINITY, 1.0).unwrap();
+        let x4 = p.add_var("x4", 0.0, f64::INFINITY, 12.0).unwrap();
+        p.add_constraint(
+            &[(x1, -2.0), (x2, -9.0), (x3, 1.0), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x1, 1.0 / 3.0), (x2, 1.0), (x3, -1.0 / 3.0), (x4, -2.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        p.add_constraint(
+            &[(x1, 1.0), (x2, 1.0), (x3, 1.0), (x4, 1.0)],
+            Relation::Le,
+            rhs,
+        )
+        .unwrap();
+        p
+    };
+    let mut ws = LpWorkspace::new();
+    for rhs in [1.0, 2.0, 0.5, 1.0, 3.0] {
+        let p = build(rhs);
+        let warm = p.solve_with(&mut ws).unwrap();
+        let cold = p.solve().unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-9,
+            "rhs {rhs}: warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+    }
+}

@@ -85,6 +85,25 @@ impl Engine {
         self
     }
 
+    /// Derives a sweep-cell engine: identical traces, observations and
+    /// forecast policy, but different physical parameters.
+    ///
+    /// This is the cheap path for parameter sweeps (battery sizing,
+    /// interconnect scaling, …): the trace set is reused as-is instead of
+    /// being regenerated per cell, so only `params` is re-validated. Runs
+    /// on the derived engine are byte-identical to building a fresh
+    /// engine from the same seed with the new parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation failures.
+    pub fn with_params(&self, params: SimParams) -> Result<Self, SimError> {
+        params.validate()?;
+        let mut cell = self.clone();
+        cell.params = params;
+        Ok(cell)
+    }
+
     /// The physical parameters.
     #[must_use]
     pub fn params(&self) -> &SimParams {
@@ -392,6 +411,25 @@ mod tests {
         let r = engine.run(&mut Eager).unwrap();
         assert!(r.battery_min >= params.battery.min_level - Energy::from_mwh(1e-9));
         assert!(r.battery_max <= params.battery.capacity + Energy::from_mwh(1e-9));
+    }
+
+    #[test]
+    fn with_params_matches_fresh_engine() {
+        let traces = paper_month_traces(21).unwrap();
+        let base = Engine::new(SimParams::icdcs13(), traces.clone()).unwrap();
+        let mut bigger = SimParams::icdcs13();
+        bigger.grid_cap = bigger.grid_cap * 2.0;
+        let derived = base.with_params(bigger).unwrap();
+        let fresh = Engine::new(bigger, traces).unwrap();
+        assert_eq!(
+            derived.run(&mut Eager).unwrap(),
+            fresh.run(&mut Eager).unwrap(),
+            "derived cell engine must behave exactly like a fresh one"
+        );
+        // Invalid parameters are rejected, not deferred to run time.
+        let mut bad = SimParams::icdcs13();
+        bad.battery.charge_efficiency = -1.0;
+        assert!(base.with_params(bad).is_err());
     }
 
     #[test]

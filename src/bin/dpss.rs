@@ -5,18 +5,23 @@
 //!             [--epsilon F] [--seed N] [--days N] [--battery-min F]
 //!             [--market tm|rtm] [--error F] [--json]
 //! dpss traces [--seed N] [--days N] [--out FILE]
-//! dpss sweep-v [--grid F,F,...] [--seed N] [--days N]
+//! dpss sweep-v [--grid F,F,...] [--seed N] [--days N] [--threads N] [--json]
+//! dpss sweep  --figure NAME [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! ```
 //!
-//! Everything is deterministic in `--seed`; defaults reproduce the
-//! paper's §VI-A setup.
+//! Everything is deterministic in `--seed` (and independent of
+//! `--threads`); defaults reproduce the paper's §VI-A setup. All
+//! failures are routed through one stderr formatter and exit nonzero
+//! (`2` for usage errors, `1` for execution errors).
 
 use std::process::ExitCode;
 
+use smartdpss::bench::figures;
 use smartdpss::{
-    Engine, GreedyBattery, Impatient, MarketMode, OfflineOptimal, Price, RunReport, Scenario,
-    SimParams, SlotClock, SmartDpss, SmartDpssConfig, TheoremBounds, UniformError,
+    Engine, ExperimentRunner, FigureTable, GreedyBattery, Impatient, MarketMode, OfflineOptimal,
+    Price, RunReport, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig, TheoremBounds,
+    UniformError,
 };
 
 /// Parsed command line.
@@ -35,6 +40,8 @@ struct Cli {
     json: bool,
     grid: Vec<f64>,
     out: Option<String>,
+    threads: usize,
+    figure: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +49,7 @@ enum Command {
     Run,
     Traces,
     SweepV,
+    Sweep,
     Bounds,
     Help,
 }
@@ -62,6 +70,8 @@ impl Default for Cli {
             json: false,
             grid: vec![0.05, 0.25, 1.0, 5.0],
             out: None,
+            threads: 0,
+            figure: String::new(),
         }
     }
 }
@@ -73,6 +83,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
         Some("run") => Command::Run,
         Some("traces") => Command::Traces,
         Some("sweep-v") => Command::SweepV,
+        Some("sweep") => Command::Sweep,
         Some("bounds") => Command::Bounds,
         Some("help" | "--help" | "-h") | None => Command::Help,
         Some(other) => return Err(format!("unknown command: {other}")),
@@ -117,11 +128,20 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .collect::<Result<_, _>>()?;
             }
             "--out" => cli.out = Some(value("--out")?),
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--figure" => cli.figure = value("--figure")?,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     if cli.days == 0 || cli.t == 0 {
         return Err("--days and --t must be at least 1".into());
+    }
+    if cli.command == Command::Sweep && cli.figure.is_empty() {
+        return Err("sweep needs --figure (see usage for the figure names)".into());
     }
     Ok(cli)
 }
@@ -143,9 +163,14 @@ USAGE:
                [--epsilon F] [--seed N] [--days N] [--battery-min F]
                [--market tm|rtm] [--error F (obs. error, e.g. 0.5)] [--json]
   dpss traces  [--seed N] [--days N] [--out FILE]   export the input CSV
-  dpss sweep-v [--grid F,F,...] [--seed N] [--days N]
+  dpss sweep-v [--grid F,F,...] [--seed N] [--days N] [--threads N] [--json]
+  dpss sweep   --figure NAME [--seed N] [--threads N] [--json]
+               NAME: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|
+                     ablations|forecast|baselines
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
 
+Sweeps fan their cells out over --threads workers (0 = all cores) and
+are deterministic: any thread count produces identical tables.
 All defaults reproduce the paper's one-month setup (seed 42)."
 }
 
@@ -235,19 +260,100 @@ fn execute(cli: &Cli) -> Result<String, String> {
         }
         Command::SweepV => {
             let (engine, params, clock) = build_world(cli)?;
-            let mut out = String::from("V,cost_per_slot,avg_delay_slots,max_delay_slots\n");
-            for &v in &cli.grid {
+            let runner = ExperimentRunner::new(cli.threads);
+            let spec = smartdpss::SweepSpec::new("cli-sweep-v", cli.seed)
+                .with_axis(smartdpss::Axis::from_f64s("V", &cli.grid));
+            let rows: Vec<Result<Vec<String>, String>> = runner.run_cells(&spec, |cell| {
+                let v = cli.grid[cell.index];
                 let mut c = SmartDpss::new(smart_config(cli).with_v(v), params, clock)
                     .map_err(|e| e.to_string())?;
                 let r = engine.run(&mut c).map_err(|e| e.to_string())?;
-                out.push_str(&format!(
-                    "{v},{:.4},{:.3},{}\n",
-                    r.time_average_cost().dollars(),
-                    r.average_delay_slots,
-                    r.max_delay_slots
-                ));
+                Ok(vec![
+                    format!("{v}"),
+                    format!("{:.4}", r.time_average_cost().dollars()),
+                    format!("{:.3}", r.average_delay_slots),
+                    format!("{}", r.max_delay_slots),
+                ])
+            });
+            let mut table = FigureTable::new(
+                "sweep-v",
+                &["V", "cost_per_slot", "avg_delay_slots", "max_delay_slots"],
+            );
+            for row in rows {
+                table.push_owned(row?);
             }
-            Ok(out)
+            if cli.json {
+                serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
+            } else {
+                let mut out = String::from("V,cost_per_slot,avg_delay_slots,max_delay_slots\n");
+                for row in &table.rows {
+                    out.push_str(&row.join(","));
+                    out.push('\n');
+                }
+                Ok(out)
+            }
+        }
+        Command::Sweep => {
+            let runner = ExperimentRunner::new(cli.threads);
+            let seed = cli.seed;
+            let tables: Vec<FigureTable> = match cli.figure.as_str() {
+                "fig5" => vec![figures::fig5_with(&runner, seed).0],
+                "fig6v" => vec![figures::fig6_v_with(
+                    &runner,
+                    seed,
+                    &figures::FIG6_V_GRID,
+                    true,
+                )],
+                "fig6t" => vec![figures::fig6_t_with(
+                    &runner,
+                    seed,
+                    &figures::FIG6_T_GRID,
+                    48,
+                )],
+                "fig7" => vec![
+                    figures::fig7_epsilon_with(&runner, seed, &figures::FIG7_EPS_GRID),
+                    figures::fig7_markets_with(&runner, seed),
+                    figures::fig7_battery_with(&runner, seed, &figures::FIG7_BMAX_GRID),
+                ],
+                "fig8" => {
+                    let (pen, var) = figures::fig8_with(
+                        &runner,
+                        seed,
+                        &figures::FIG8_PENETRATION_GRID,
+                        &figures::FIG8_VARIATION_GRID,
+                    );
+                    vec![pen, var]
+                }
+                "fig9" => vec![figures::fig9_with(
+                    &runner,
+                    seed,
+                    0.5,
+                    &figures::FIG6_V_GRID,
+                )],
+                "fig10" => vec![figures::fig10_with(
+                    &runner,
+                    seed,
+                    &figures::FIG10_BETA_GRID,
+                )],
+                "ablations" => vec![figures::ablations_with(&runner, seed)],
+                "forecast" => vec![figures::forecast_ablation_with(&runner, seed)],
+                "baselines" => vec![figures::baselines_with(&runner, seed)],
+                other => {
+                    return Err(format!(
+                        "unknown figure: {other} (expected fig5|fig6v|fig6t|fig7|fig8|\
+                         fig9|fig10|ablations|forecast|baselines)"
+                    ))
+                }
+            };
+            if cli.json {
+                serde_json::to_string_pretty(&tables).map_err(|e| e.to_string())
+            } else {
+                Ok(tables
+                    .iter()
+                    .map(FigureTable::render)
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
         }
         Command::Bounds => {
             let params = SimParams::icdcs13_with_battery(cli.battery_min);
@@ -281,22 +387,60 @@ fn execute(cli: &Cli) -> Result<String, String> {
     }
 }
 
+/// A CLI failure: the message plus whether it was a usage error (bad
+/// flags — exit code 2, usage appended) or an execution error (exit
+/// code 1). Every failure path funnels through this one type so stderr
+/// formatting and exit codes cannot drift per subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CliFailure {
+    message: String,
+    usage_error: bool,
+}
+
+impl CliFailure {
+    fn usage(message: String) -> Self {
+        CliFailure {
+            message,
+            usage_error: true,
+        }
+    }
+
+    fn execution(message: String) -> Self {
+        CliFailure {
+            message,
+            usage_error: false,
+        }
+    }
+
+    /// The single stderr rendering of any `dpss` failure.
+    fn render(&self) -> String {
+        if self.usage_error {
+            format!("dpss: error: {}\n\n{}", self.message, usage())
+        } else {
+            format!("dpss: error: {}", self.message)
+        }
+    }
+
+    fn exit_code(&self) -> ExitCode {
+        ExitCode::from(if self.usage_error { 2 } else { 1 })
+    }
+}
+
+fn run_cli(args: Vec<String>) -> Result<String, CliFailure> {
+    let cli = parse_args(args).map_err(CliFailure::usage)?;
+    execute(&cli).map_err(CliFailure::execution)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(args) {
-        Ok(cli) => match execute(&cli) {
-            Ok(output) => {
-                println!("{output}");
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
-        Err(e) => {
-            eprintln!("error: {e}\n\n{}", usage());
-            ExitCode::FAILURE
+    match run_cli(args) {
+        Ok(output) => {
+            println!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(failure) => {
+            eprintln!("{}", failure.render());
+            failure.exit_code()
         }
     }
 }
@@ -385,5 +529,58 @@ mod tests {
         let mut cli = parse_args(args("run --days 1")).unwrap();
         cli.controller = "quantum".into();
         assert!(execute(&cli).is_err());
+    }
+
+    #[test]
+    fn parses_sweep_flags() {
+        let cli = parse_args(args("sweep --figure fig6v --threads 4 --json --seed 9")).unwrap();
+        assert_eq!(cli.command, Command::Sweep);
+        assert_eq!(cli.figure, "fig6v");
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.json);
+        // --figure is mandatory for sweep.
+        assert!(parse_args(args("sweep")).is_err());
+    }
+
+    #[test]
+    fn sweep_v_json_and_threads_agree_with_text() {
+        let text = run_cli(args("sweep-v --days 2 --grid 0.5,2 --threads 1")).unwrap();
+        let threaded = run_cli(args("sweep-v --days 2 --grid 0.5,2 --threads 4")).unwrap();
+        assert_eq!(text, threaded, "thread count must not change results");
+        assert_eq!(text.lines().count(), 3);
+        let json = run_cli(args("sweep-v --days 2 --grid 0.5,2 --json")).unwrap();
+        let table: FigureTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert_eq!(table.columns[0], "V");
+        // The JSON rows carry the same cells the CSV prints.
+        assert!(text.contains(&table.rows[0][1]));
+    }
+
+    #[test]
+    fn sweep_unknown_figure_is_an_execution_error() {
+        let err = run_cli(args("sweep --figure fig99")).unwrap_err();
+        assert!(!err.usage_error);
+        assert!(err.render().contains("unknown figure"));
+    }
+
+    #[test]
+    fn failure_path_formats_and_exit_codes() {
+        // Usage errors: prefixed, usage appended, exit code 2.
+        let err = run_cli(args("explode")).unwrap_err();
+        assert!(err.usage_error);
+        let shown = err.render();
+        assert!(shown.starts_with("dpss: error: unknown command: explode"));
+        assert!(shown.contains("USAGE"), "usage text appended: {shown}");
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+
+        // Execution errors: same prefix, no usage spam, exit code 1.
+        let mut cli = parse_args(args("run --days 1")).unwrap();
+        cli.controller = "quantum".into();
+        let err = CliFailure::execution(execute(&cli).unwrap_err());
+        let shown = err.render();
+        assert!(shown.starts_with("dpss: error: unknown controller: quantum"));
+        assert!(!shown.contains("USAGE"));
+        assert_eq!(err.exit_code(), ExitCode::from(1));
     }
 }

@@ -3,7 +3,7 @@
 //! (Deng, Liu, Jin & Wu, IEEE ICDCS 2013) as a production-quality Rust
 //! workspace.
 //!
-//! This crate is the façade: it re-exports the workspace's five libraries
+//! This crate is the façade: it re-exports the workspace's six libraries
 //! so applications can depend on a single crate. See the individual crates
 //! for full documentation:
 //!
@@ -18,7 +18,10 @@
 //!   trait and the simulation [`Engine`];
 //! * [`core`] (`dpss-core`) — the [`SmartDpss`] controller itself plus the
 //!   [`OfflineOptimal`] benchmark, the [`Impatient`] baseline and the
-//!   Theorem 2 bound calculators.
+//!   Theorem 2 bound calculators;
+//! * [`bench`] (`dpss-bench`) — the experiment-runner subsystem: declarative
+//!   [`SweepSpec`]s executed across threads by an [`ExperimentRunner`], one
+//!   computation function per paper figure.
 //!
 //! # Quickstart
 //!
@@ -43,11 +46,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dpss_bench as bench;
 pub use dpss_core as core;
 pub use dpss_lp as lp;
 pub use dpss_sim as sim;
 pub use dpss_traces as traces;
 pub use dpss_units as units;
+
+pub use dpss_bench::{Axis, ExperimentRunner, FigureTable, SweepSpec};
+pub use dpss_lp::LpWorkspace;
 
 pub use dpss_core::{
     cheapest_window_bound, GreedyBattery, Impatient, MarketMode, OfflineConfig, OfflineOptimal,
