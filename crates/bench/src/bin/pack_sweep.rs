@@ -1,0 +1,56 @@
+//! Regenerates the scenario-pack artifacts: the cross-site aggregation
+//! table for one pack (default `seasonal-calendar`, 3 sites) plus the
+//! all-packs single-site overview. CI uploads the persisted JSON.
+//!
+//! ```text
+//! pack_sweep [--pack NAME] [--sites N] [--threads N]
+//! ```
+
+use std::process::ExitCode;
+
+use dpss_bench::{packs, persist, PAPER_SEED};
+
+fn main() -> ExitCode {
+    let mut pack_name = "seasonal-calendar".to_owned();
+    let mut sites = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pack" => pack_name = args.next().unwrap_or_default(),
+            "--sites" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => sites = n,
+                    _ => {
+                        eprintln!("pack_sweep: --sites needs a positive integer, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => {} // --threads is consumed by runner_from_env_args
+        }
+    }
+    let pack = match packs::lookup_builtin(&pack_name) {
+        Ok(pack) => pack,
+        Err(message) => {
+            eprintln!("pack_sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let runner = dpss_bench::runner_from_env_args();
+    let table = packs::pack_sweep_with(
+        &runner,
+        PAPER_SEED,
+        &pack,
+        sites,
+        packs::default_transfer_cap(),
+    );
+    table.print();
+    persist(&table, "pack_sweep");
+
+    let overview = packs::pack_overview_with(&runner, PAPER_SEED);
+    overview.print();
+    persist(&overview, "pack_overview");
+    ExitCode::SUCCESS
+}

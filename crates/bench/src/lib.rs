@@ -1,6 +1,7 @@
 //! Experiment harness for the SmartDPSS evaluation (§VI): one computation
 //! function per paper figure, shared by the `fig*` regenerator binaries,
-//! the Criterion benches and the harness self-tests.
+//! the Criterion benches and the harness self-tests — plus the
+//! [`packs`] module's scenario-pack and multi-datacenter sweeps.
 //!
 //! Every function takes a seed (all built-in artifacts use seed 42) and
 //! returns a [`FigureTable`] whose rows mirror the series the paper plots.
@@ -11,10 +12,12 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod packs;
 mod runner;
 mod spec;
 mod table;
 
+pub use packs::{pack_overview_with, pack_sweep, pack_sweep_with};
 pub use runner::ExperimentRunner;
 pub use spec::{Axis, Cell, SweepSpec};
 pub use table::FigureTable;

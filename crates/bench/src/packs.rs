@@ -1,0 +1,249 @@
+//! Scenario-pack and multi-datacenter sweeps: [`SweepSpec`] axes over
+//! packs, pack variants and site counts, executed by an
+//! [`ExperimentRunner`] and settled through
+//! [`MultiSiteEngine::couple`] — so every table is byte-identical for any
+//! `--threads` value and any site-execution order.
+
+use dpss_sim::{Engine, MultiSiteEngine, MultiSiteReport, RunReport, SimParams};
+use dpss_traces::ScenarioPack;
+use dpss_units::{Energy, SlotClock};
+
+use crate::{run_smart, Axis, ExperimentRunner, FigureTable, SweepSpec};
+use dpss_core::SmartDpssConfig;
+
+/// Default interconnect-coupling knob for pack sweeps: a modest 2 MWh of
+/// inter-site transfer per coarse frame (the paper's site peaks at
+/// 2 MW × 24 h = 48 MWh per frame, so this is ~4% of interconnect scale).
+#[must_use]
+pub fn default_transfer_cap() -> Energy {
+    Energy::from_mwh(2.0)
+}
+
+/// Looks `name` up in the built-in pack registry, with the canonical
+/// error message. The single source of that wording: the CLI parser, the
+/// sweep entry points and the artifact binary all route through here
+/// (CI greps the exact prefix).
+///
+/// # Errors
+///
+/// `unknown scenario pack: <name> (expected <the known names>)`.
+pub fn lookup_builtin(name: &str) -> Result<ScenarioPack, String> {
+    ScenarioPack::builtin(name).ok_or_else(|| {
+        format!(
+            "unknown scenario pack: {name} (expected {})",
+            ScenarioPack::builtin_names().join("|")
+        )
+    })
+}
+
+/// [`pack_sweep_with`] on the default runner and transfer cap, looking
+/// the pack up in the built-in registry.
+///
+/// # Errors
+///
+/// Returns a message naming the known packs if `pack_name` is not a
+/// built-in.
+pub fn pack_sweep(seed: u64, pack_name: &str, sites: usize) -> Result<FigureTable, String> {
+    let pack = lookup_builtin(pack_name)?;
+    Ok(pack_sweep_with(
+        &ExperimentRunner::default(),
+        seed,
+        &pack,
+        sites,
+        default_transfer_cap(),
+    ))
+}
+
+/// The cross-site aggregation table for one scenario pack: SmartDPSS runs
+/// every `(variant, site)` cell of the sweep grid on the paper's one-month
+/// calendar (per-site seeds and shared markets from the pack's schedule),
+/// then each variant's sites are settled into a fleet row through the
+/// interconnect-coupling knob.
+///
+/// Rows: one per site, then one `fleet` aggregate row per variant carrying
+/// the transfer settlement.
+///
+/// # Panics
+///
+/// Panics if `sites == 0`, the pack is empty, or a built-in model
+/// misbehaves (harness contract: programming errors, not outcomes).
+#[must_use]
+pub fn pack_sweep_with(
+    runner: &ExperimentRunner,
+    seed: u64,
+    pack: &ScenarioPack,
+    sites: usize,
+    transfer_cap: Energy,
+) -> FigureTable {
+    assert!(sites >= 1, "a pack sweep needs at least one site");
+    assert!(!pack.is_empty(), "a pack sweep needs at least one variant");
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+
+    // Engines are built up front (cheap next to the runs) so the sweep
+    // cells — the expensive part — can fan out across workers while the
+    // settlement stays a deterministic per-variant fold.
+    let fleets: Vec<MultiSiteEngine> = (0..pack.len())
+        .map(|v| {
+            let engines: Vec<Engine> = (0..sites)
+                .map(|s| {
+                    let traces = pack
+                        .generate_site(&clock, seed, v, s)
+                        .expect("built-in pack generates valid traces");
+                    Engine::new(params, traces).expect("valid engine")
+                })
+                .collect();
+            MultiSiteEngine::new(engines)
+                .expect("sites share the calendar")
+                .with_transfer_cap(transfer_cap)
+                .expect("valid transfer cap")
+        })
+        .collect();
+
+    let spec = SweepSpec::new(&format!("pack-{}", pack.name()), seed)
+        .with_axis(Axis::new("variant", pack.labels()))
+        .with_axis(Axis::new(
+            "site",
+            (0..sites).map(|s| s.to_string()).collect::<Vec<_>>(),
+        ));
+    let results = runner.run_cells(&spec, |cell| {
+        let (v, s) = (cell.coords[0], cell.coords[1]);
+        run_smart(&fleets[v].sites()[s], params, SmartDpssConfig::icdcs13())
+    });
+
+    let mut table = FigureTable::new(
+        &format!(
+            "Pack {}: cross-site aggregation ({} site{}, cap {} MWh/frame)",
+            pack.name(),
+            sites,
+            if sites == 1 { "" } else { "s" },
+            transfer_cap.mwh(),
+        ),
+        &[
+            "variant",
+            "site",
+            "$/slot",
+            "delay",
+            "rt MWh",
+            "waste MWh",
+            "xfer MWh",
+            "saved $",
+        ],
+    );
+    let mut it = results.into_iter();
+    for (v, fleet_engine) in fleets.iter().enumerate() {
+        let reports: Vec<RunReport> = it.by_ref().take(sites).collect();
+        let label = pack.variant(v).0.to_owned();
+        for (s, r) in reports.iter().enumerate() {
+            table.push_owned(vec![
+                label.clone(),
+                s.to_string(),
+                format!("{:.3}", r.time_average_cost().dollars()),
+                format!("{:.2}", r.average_delay_slots),
+                format!("{:.1}", r.energy_rt.mwh()),
+                format!("{:.1}", r.energy_wasted.mwh()),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        let fleet: MultiSiteReport = fleet_engine
+            .couple(reports)
+            .expect("reports match the fleet roster");
+        table.push_owned(vec![
+            label,
+            "fleet".into(),
+            format!("{:.3}", fleet.time_average_cost().dollars()),
+            format!("{:.2}", fleet.average_delay_slots()),
+            format!(
+                "{:.1}",
+                fleet.sites.iter().map(|r| r.energy_rt.mwh()).sum::<f64>()
+            ),
+            format!("{:.1}", fleet.total_energy_wasted().mwh()),
+            format!("{:.2}", fleet.energy_transferred.mwh()),
+            format!("{:.2}", fleet.transfer_savings.dollars()),
+        ]);
+    }
+    table
+}
+
+/// Overview sweep across *all* built-in packs: a `pack × variant` cell
+/// grid, one single-site SmartDPSS month per cell. The quick regime
+/// comparison the README's pack catalogue quotes.
+#[must_use]
+pub fn pack_overview_with(runner: &ExperimentRunner, seed: u64) -> FigureTable {
+    let packs: Vec<ScenarioPack> = ScenarioPack::builtin_names()
+        .iter()
+        .map(|n| ScenarioPack::builtin(n).expect("registry is consistent"))
+        .collect();
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let widest = packs.iter().map(ScenarioPack::len).max().unwrap_or(0);
+
+    let spec = SweepSpec::new("pack-overview", seed)
+        .with_axis(Axis::new(
+            "pack",
+            packs
+                .iter()
+                .map(|p| p.name().to_owned())
+                .collect::<Vec<_>>(),
+        ))
+        .with_axis(Axis::new(
+            "variant",
+            (0..widest).map(|v| v.to_string()).collect::<Vec<_>>(),
+        ));
+    runner.run_table(
+        &spec,
+        "Scenario packs: single-site cost overview",
+        &["pack", "variant", "$/slot", "delay", "waste MWh"],
+        |cell| {
+            let (p, v) = (cell.coords[0], cell.coords[1]);
+            let pack = &packs[p];
+            if v >= pack.len() {
+                return Vec::new(); // ragged grid: this pack is narrower
+            }
+            let traces = pack
+                .generate(&clock, seed, v)
+                .expect("built-in pack generates valid traces");
+            let engine = Engine::new(params, traces).expect("valid engine");
+            let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
+            vec![vec![
+                pack.name().to_owned(),
+                pack.variant(v).0.to_owned(),
+                format!("{:.3}", r.time_average_cost().dollars()),
+                format!("{:.2}", r.average_delay_slots),
+                format!("{:.1}", r.energy_wasted.mwh()),
+            ]]
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_sweep_rejects_unknown_names() {
+        let err = pack_sweep(42, "nonexistent", 1).unwrap_err();
+        assert!(err.contains("unknown scenario pack"), "{err}");
+        assert!(err.contains("seasonal-calendar"), "{err}");
+    }
+
+    #[test]
+    fn pack_sweep_table_shape() {
+        // Two sites over the 4-variant price-spike pack: 4 × (2 + fleet).
+        let pack = ScenarioPack::builtin("price-spike").unwrap();
+        let t = pack_sweep_with(
+            &ExperimentRunner::serial(),
+            7,
+            &pack,
+            2,
+            default_transfer_cap(),
+        );
+        assert_eq!(t.rows.len(), 4 * 3);
+        assert_eq!(t.rows[0][0], "calm");
+        assert_eq!(t.rows[2][1], "fleet");
+        // Fleet rows carry the settlement columns, site rows do not.
+        assert_eq!(t.rows[0][6], "-");
+        assert_ne!(t.rows[2][6], "-");
+    }
+}

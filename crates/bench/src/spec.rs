@@ -185,32 +185,21 @@ impl SweepSpec {
 
     /// Deterministic per-cell seed: a `splitmix64` chain over the base
     /// seed, an FNV-1a hash of the spec name, and each axis coordinate
-    /// in turn. Deriving from *coordinates* rather than the flat cell
-    /// index is what makes axis appends non-perturbing: an existing
-    /// cell keeps its coordinates — hence its seed — when any axis
-    /// grows, while every new coordinate combination gets a fresh,
-    /// well-spread seed.
+    /// in turn (the shared [`dpss_traces::seed`] primitives — the exact
+    /// scheme `ScenarioPack` uses for variant/site seeds). Deriving from
+    /// *coordinates* rather than the flat cell index is what makes axis
+    /// appends non-perturbing: an existing cell keeps its coordinates —
+    /// hence its seed — when any axis grows, while every new coordinate
+    /// combination gets a fresh, well-spread seed.
     #[must_use]
     pub fn coords_seed(&self, coords: &[usize]) -> u64 {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
-        for b in self.name.bytes() {
-            h ^= u64::from(b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        let mut z = splitmix64(self.seed ^ h);
+        use dpss_traces::seed::{fnv1a, splitmix64};
+        let mut z = splitmix64(self.seed ^ fnv1a(&self.name));
         for &c in coords {
             z = splitmix64(z ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
         }
         z
     }
-}
-
-/// The splitmix64 finalizer — a cheap, high-quality 64-bit mix.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]

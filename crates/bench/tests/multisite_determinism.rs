@@ -1,0 +1,116 @@
+//! Multi-site determinism contracts, run in release mode by CI next to
+//! the sweep-determinism job:
+//!
+//! * pack sweeps (the `dpss sweep --pack` tables) are byte-identical for
+//!   `--threads 1` vs `8`;
+//! * the fleet settlement is independent of site-execution order — the
+//!   per-site runs can be computed in any order (or on any thread) and
+//!   [`MultiSiteEngine::couple`] still produces the identical aggregate;
+//! * one fleet row of the canonical `seasonal-calendar --sites 3` sweep
+//!   is pinned byte-for-byte, so the new workload class has a golden of
+//!   its own next to the Fig. 6 one.
+
+use dpss_bench::{packs, ExperimentRunner, PAPER_SEED};
+use dpss_core::SmartDpssConfig;
+use dpss_sim::{Engine, MultiSiteEngine, RunReport, SimParams};
+use dpss_traces::ScenarioPack;
+use dpss_units::{Energy, SlotClock};
+
+#[test]
+fn pack_sweep_threads_1_and_8_are_identical() {
+    let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+    let serial = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        packs::default_transfer_cap(),
+    );
+    let threaded = packs::pack_sweep_with(
+        &ExperimentRunner::new(8),
+        PAPER_SEED,
+        &pack,
+        3,
+        packs::default_transfer_cap(),
+    );
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn pack_overview_threads_1_and_8_are_identical() {
+    let serial = packs::pack_overview_with(&ExperimentRunner::serial(), PAPER_SEED);
+    let threaded = packs::pack_overview_with(&ExperimentRunner::new(8), PAPER_SEED);
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn fleet_settlement_is_independent_of_site_execution_order() {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("renewable-drought").unwrap();
+    let sites = 3usize;
+    let engines: Vec<Engine> = (0..sites)
+        .map(|s| {
+            Engine::new(
+                params,
+                pack.generate_site(&clock, PAPER_SEED, 1, s).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let multi = MultiSiteEngine::new(engines)
+        .unwrap()
+        .with_transfer_cap(Energy::from_mwh(2.0))
+        .unwrap();
+
+    let run_site = |s: usize| -> RunReport {
+        let engine = &multi.sites()[s];
+        let mut ctl =
+            dpss_core::SmartDpss::new(SmartDpssConfig::icdcs13(), params, engine.truth().clock)
+                .unwrap();
+        engine.run(&mut ctl).unwrap()
+    };
+
+    // Three execution orders, one settlement each: all must agree.
+    let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 1, 0], [1, 2, 0]];
+    let mut fleets = Vec::new();
+    for order in orders {
+        let mut reports: Vec<Option<RunReport>> = vec![None, None, None];
+        for s in order {
+            reports[s] = Some(run_site(s));
+        }
+        let reports: Vec<RunReport> = reports.into_iter().map(Option::unwrap).collect();
+        fleets.push(multi.couple(reports).unwrap());
+    }
+    assert_eq!(fleets[0], fleets[1]);
+    assert_eq!(fleets[0], fleets[2]);
+}
+
+/// The golden bytes of the canonical multi-site artifact: the first
+/// variant's site and fleet rows of `dpss sweep --pack seasonal-calendar
+/// --sites 3` at seed 42. Any drift in the pack seed schedule, the shared
+/// market split, the controller or the settlement shows up here by name.
+#[test]
+fn seasonal_calendar_fleet_rows_match_golden_bytes() {
+    let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+    let table = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        packs::default_transfer_cap(),
+    );
+    // 4 variants × (3 sites + 1 fleet row).
+    assert_eq!(table.rows.len(), 16);
+    let golden: [[&str; 8]; 4] = [
+        ["winter", "0", "33.304", "22.94", "120.5", "19.9", "-", "-"],
+        ["winter", "1", "34.374", "24.88", "127.7", "6.7", "-", "-"],
+        ["winter", "2", "35.517", "23.92", "128.8", "22.0", "-", "-"],
+        [
+            "winter", "fleet", "102.407", "23.94", "377.1", "48.6", "12.49", "586.36",
+        ],
+    ];
+    for (row, want) in table.rows.iter().take(4).zip(&golden) {
+        assert_eq!(row, want, "seasonal-calendar golden bytes drifted");
+    }
+}

@@ -35,6 +35,14 @@ pub enum SimError {
     },
     /// The observed trace set does not share the true trace set's calendar.
     ObservationMismatch,
+    /// Multi-site composition failed: the sites disagree on something they
+    /// must share (calendar), or a per-site input is missing or misshapen.
+    SiteMismatch {
+        /// Which site (index into the engine roster).
+        site: usize,
+        /// What disagreed or was missing.
+        what: &'static str,
+    },
     /// An underlying trace error.
     Trace(TraceError),
     /// An underlying units/calendar error.
@@ -60,6 +68,9 @@ impl fmt::Display for SimError {
             }
             SimError::ObservationMismatch => {
                 write!(f, "observed traces use a different calendar than the truth")
+            }
+            SimError::SiteMismatch { site, what } => {
+                write!(f, "site {site}: {what}")
             }
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Units(e) => write!(f, "units error: {e}"),

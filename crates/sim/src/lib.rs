@@ -24,6 +24,9 @@
 //!   (what the plant experiences) and *observed* traces (what the
 //!   controller sees — the Fig. 9 robustness experiment), and produces a
 //!   [`RunReport`];
+//! * [`MultiSiteEngine`] — N per-site engines on one calendar with a
+//!   capped per-frame inter-site transfer settlement, producing per-site
+//!   plus fleet-aggregate metrics ([`MultiSiteReport`]);
 //! * [`SimParams`] — the paper's §VI-A parameter set via
 //!   [`SimParams::icdcs13`].
 //!
@@ -74,6 +77,7 @@ mod engine;
 mod error;
 mod forecast;
 mod metrics;
+mod multisite;
 mod params;
 mod plant;
 mod queue;
@@ -87,5 +91,6 @@ pub use engine::Engine;
 pub use error::SimError;
 pub use forecast::ForecastPolicy;
 pub use metrics::{RunReport, SlotCost, SlotOutcome};
+pub use multisite::{MultiSiteEngine, MultiSiteReport};
 pub use params::SimParams;
 pub use queue::DemandQueue;

@@ -1,0 +1,518 @@
+//! Multi-datacenter composition: N per-site [`Engine`]s sharing a
+//! calendar, with a simple interconnect-coupling knob.
+//!
+//! Each site is a full DPSS plant running its own traces and controller;
+//! the only cross-site physics is an optional *inter-site transfer*
+//! settlement applied per coarse frame: energy one site curtailed
+//! (`W(τ)`) may displace real-time purchases at another site, up to a
+//! configured cap per frame. The settlement is a deterministic fold over
+//! the per-site reports in site-index order, so aggregate results are
+//! byte-identical no matter how (or on how many threads) the site runs
+//! were executed.
+//!
+//! The model is deliberately a knob, not a grid simulation: transfers are
+//! settled after the fact at the recipient's frame-average real-time
+//! price, donors still pay their waste penalty (the credit is netted at
+//! the fleet level), and transmission is lossless. `cap = 0` decouples
+//! the sites entirely while still producing fleet-level aggregates.
+
+use dpss_units::{Energy, Money};
+
+use crate::{Controller, Engine, RunReport, SimError};
+
+/// N per-site [`Engine`]s plus the interconnect-coupling knob.
+///
+/// # Examples
+///
+/// ```
+/// use dpss_sim::{Controller, Engine, MultiSiteEngine, SimParams};
+/// use dpss_traces::ScenarioPack;
+/// use dpss_units::{Energy, SlotClock};
+/// # use dpss_sim::{FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView};
+/// # struct Eager;
+/// # impl Controller for Eager {
+/// #     fn name(&self) -> &str { "eager" }
+/// #     fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+/// #         FrameDecision::default()
+/// #     }
+/// #     fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+/// #         SlotDecision {
+/// #             purchase_rt: (obs.demand_ds + view.queue_backlog + obs.demand_dt - obs.renewable)
+/// #                 .positive_part(),
+/// #             serve_fraction: 1.0,
+/// #         }
+/// #     }
+/// # }
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let clock = SlotClock::new(2, 24, 1.0).unwrap();
+/// let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+/// let params = SimParams::icdcs13();
+/// let sites: Result<Vec<Engine>, _> = (0..3)
+///     .map(|s| Engine::new(params, pack.generate_site(&clock, 42, 0, s)?))
+///     .collect();
+/// let multi = MultiSiteEngine::new(sites?)?
+///     .with_transfer_cap(Energy::from_mwh(2.0))?;
+/// let mut ctls: Vec<Box<dyn Controller>> =
+///     (0..3).map(|_| Box::new(Eager) as Box<dyn Controller>).collect();
+/// let fleet = multi.run(&mut ctls)?;
+/// assert_eq!(fleet.site_count(), 3);
+/// assert!(fleet.total_cost() <= fleet.cost_before_transfers());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiSiteEngine {
+    sites: Vec<Engine>,
+    transfer_cap_per_frame: Energy,
+}
+
+impl MultiSiteEngine {
+    /// Composes per-site engines into a fleet. All sites must share one
+    /// calendar. Slot recording is enabled on every site (the coupling
+    /// settlement needs per-frame outcome breakdowns).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if `sites` is empty or a site's
+    /// calendar differs from site 0's.
+    pub fn new(sites: Vec<Engine>) -> Result<Self, SimError> {
+        let first = sites.first().ok_or(SimError::SiteMismatch {
+            site: 0,
+            what: "fleet needs at least one site",
+        })?;
+        let clock = first.truth().clock;
+        for (i, site) in sites.iter().enumerate() {
+            if site.truth().clock != clock {
+                return Err(SimError::SiteMismatch {
+                    site: i,
+                    what: "calendar differs from site 0",
+                });
+            }
+        }
+        Ok(MultiSiteEngine {
+            sites: sites
+                .into_iter()
+                .map(|s| s.with_slot_recording(true))
+                .collect(),
+            transfer_cap_per_frame: Energy::ZERO,
+        })
+    }
+
+    /// Sets the interconnect-coupling knob: the total inter-site energy
+    /// transfer allowed per coarse frame. `0` (the default) decouples the
+    /// sites.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for non-finite or negative caps.
+    pub fn with_transfer_cap(mut self, cap: Energy) -> Result<Self, SimError> {
+        if !(cap.is_finite() && cap.mwh() >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "transfer_cap_per_frame",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        self.transfer_cap_per_frame = cap;
+        Ok(self)
+    }
+
+    /// The per-site engines, in site-index order.
+    #[must_use]
+    pub fn sites(&self) -> &[Engine] {
+        &self.sites
+    }
+
+    /// Number of sites in the fleet.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// The configured per-frame transfer cap.
+    #[must_use]
+    pub fn transfer_cap_per_frame(&self) -> Energy {
+        self.transfer_cap_per_frame
+    }
+
+    /// Runs one controller per site (serially, in site order) and settles
+    /// the interconnect coupling.
+    ///
+    /// Parallel harnesses can instead run `self.sites()[i]` on worker
+    /// threads themselves and hand the collected reports (in site order)
+    /// to [`couple`](Self::couple) — the settlement is a deterministic
+    /// fold, so both paths produce identical fleet reports.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the controller roster length does not
+    /// match the site roster; propagates per-site run failures.
+    pub fn run(
+        &self,
+        controllers: &mut [Box<dyn Controller>],
+    ) -> Result<MultiSiteReport, SimError> {
+        if controllers.len() != self.sites.len() {
+            return Err(SimError::SiteMismatch {
+                site: controllers.len(),
+                what: "controller roster length differs from site roster",
+            });
+        }
+        let reports = self
+            .sites
+            .iter()
+            .zip(controllers.iter_mut())
+            .map(|(site, ctl)| site.run(ctl.as_mut()))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.couple(reports)
+    }
+
+    /// Settles the interconnect coupling over already-computed per-site
+    /// reports (in site-index order) and aggregates the fleet report.
+    ///
+    /// Per frame, each site's curtailed energy may displace real-time
+    /// purchases at *other* sites (never its own — transfers are strictly
+    /// inter-site), allocated to the most expensive recipients first
+    /// (frame-average real-time price, ties broken by site index), from
+    /// donors in site order, until the per-frame cap is spent. The fleet
+    /// is credited with the displaced cost. Pure arithmetic over the
+    /// reports — no RNG, no scheduling dependence.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the report roster length differs from
+    /// the site roster or a report lacks slot outcomes.
+    pub fn couple(&self, reports: Vec<RunReport>) -> Result<MultiSiteReport, SimError> {
+        if reports.len() != self.sites.len() {
+            return Err(SimError::SiteMismatch {
+                site: reports.len(),
+                what: "report roster length differs from site roster",
+            });
+        }
+        let clock = self.sites[0].truth().clock;
+        for (i, r) in reports.iter().enumerate() {
+            let Some(outcomes) = r.slot_outcomes.as_ref() else {
+                return Err(SimError::SiteMismatch {
+                    site: i,
+                    what: "report lacks slot outcomes (enable slot recording)",
+                });
+            };
+            if outcomes.len() != clock.total_slots() {
+                return Err(SimError::SiteMismatch {
+                    site: i,
+                    what: "report covers a different calendar than the fleet",
+                });
+            }
+        }
+
+        let t = clock.slots_per_frame();
+        let cap = self.transfer_cap_per_frame;
+        let mut transferred = Energy::ZERO;
+        let mut savings = Money::ZERO;
+        // A transfer is *inter*-site: a site's own curtailment can never
+        // displace its own purchases (that would grant free intra-frame
+        // storage), so single-site fleets settle nothing by construction.
+        if cap > Energy::ZERO && self.sites.len() > 1 {
+            for frame in 0..clock.frames() {
+                let range = frame * t..(frame + 1) * t;
+                // Per-site donatable curtailment, in site order.
+                let mut donors: Vec<Energy> = Vec::with_capacity(reports.len());
+                // (site, displaceable rt energy, frame-average rt price $/MWh)
+                let mut recipients: Vec<(usize, Energy, f64)> = Vec::new();
+                for (s, r) in reports.iter().enumerate() {
+                    let outcomes =
+                        &r.slot_outcomes.as_ref().expect("validated above")[range.clone()];
+                    let waste: Energy = outcomes.iter().map(|o| o.waste).sum();
+                    let rt: Energy = outcomes.iter().map(|o| o.purchase_rt).sum();
+                    let rt_cost: Money = outcomes.iter().map(|o| o.cost.real_time).sum();
+                    donors.push(waste);
+                    if rt > Energy::ZERO {
+                        recipients.push((s, rt, rt_cost.dollars() / rt.mwh()));
+                    }
+                }
+                // Most expensive recipients first; ties by site index.
+                recipients.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
+                let mut cap_left = cap;
+                for (r_site, mut need, price) in recipients {
+                    for (d_site, avail) in donors.iter_mut().enumerate() {
+                        if d_site == r_site {
+                            continue;
+                        }
+                        let moved = (*avail).min(need).min(cap_left);
+                        if moved <= Energy::ZERO {
+                            continue;
+                        }
+                        *avail -= moved;
+                        need -= moved;
+                        cap_left -= moved;
+                        transferred += moved;
+                        savings += Money::from_dollars(moved.mwh() * price);
+                    }
+                    if cap_left <= Energy::ZERO {
+                        break;
+                    }
+                }
+            }
+        }
+
+        Ok(MultiSiteReport {
+            frames: clock.frames(),
+            slots: clock.total_slots(),
+            transfer_cap_per_frame: cap,
+            energy_transferred: transferred,
+            transfer_savings: savings,
+            sites: reports,
+        })
+    }
+}
+
+/// Aggregated result of one fleet run: per-site [`RunReport`]s plus the
+/// interconnect settlement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSiteReport {
+    /// Per-site reports, in site-index order.
+    pub sites: Vec<RunReport>,
+    /// Coarse frames in the shared calendar.
+    pub frames: usize,
+    /// Fine slots in the shared calendar (per site).
+    pub slots: usize,
+    /// The coupling knob the settlement ran with.
+    pub transfer_cap_per_frame: Energy,
+    /// Total energy moved between sites over the horizon.
+    pub energy_transferred: Energy,
+    /// Real-time purchase cost displaced by the transfers.
+    pub transfer_savings: Money,
+}
+
+impl MultiSiteReport {
+    /// Number of sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Fleet cost with the sites fully decoupled (sum of site totals).
+    #[must_use]
+    pub fn cost_before_transfers(&self) -> Money {
+        self.sites.iter().map(RunReport::total_cost).sum()
+    }
+
+    /// Fleet cost after the interconnect settlement.
+    #[must_use]
+    pub fn total_cost(&self) -> Money {
+        self.cost_before_transfers() - self.transfer_savings
+    }
+
+    /// Fleet cost per fine slot of the shared calendar.
+    #[must_use]
+    pub fn time_average_cost(&self) -> Money {
+        self.total_cost() / self.slots as f64
+    }
+
+    /// Total curtailed energy across the fleet (before transfers).
+    #[must_use]
+    pub fn total_energy_wasted(&self) -> Energy {
+        self.sites.iter().map(|r| r.energy_wasted).sum()
+    }
+
+    /// Served-energy-weighted mean delay-tolerant service delay (slots).
+    #[must_use]
+    pub fn average_delay_slots(&self) -> f64 {
+        let served: f64 = self.sites.iter().map(|r| r.served_dt.mwh()).sum();
+        if served <= 0.0 {
+            return 0.0;
+        }
+        self.sites
+            .iter()
+            .map(|r| r.average_delay_slots * r.served_dt.mwh())
+            .sum::<f64>()
+            / served
+    }
+
+    /// One-line fleet summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} sites: ${:.2} total (${:.2} saved by {:.2} MWh transfers), \
+             ${:.4}/slot, delay {:.2} slots",
+            self.site_count(),
+            self.total_cost().dollars(),
+            self.transfer_savings.dollars(),
+            self.energy_transferred.mwh(),
+            self.time_average_cost().dollars(),
+            self.average_delay_slots(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation, SystemView,
+    };
+    use dpss_traces::ScenarioPack;
+    use dpss_units::SlotClock;
+
+    /// Serves everything eagerly from the real-time market.
+    struct Eager;
+    impl Controller for Eager {
+        fn name(&self) -> &str {
+            "eager"
+        }
+        fn plan_frame(&mut self, _: &FrameObservation, _: &SystemView) -> FrameDecision {
+            FrameDecision::default()
+        }
+        fn plan_slot(&mut self, obs: &SlotObservation, view: &SystemView) -> SlotDecision {
+            SlotDecision {
+                purchase_rt: (obs.demand_ds + view.queue_backlog + obs.demand_dt - obs.renewable)
+                    .positive_part(),
+                serve_fraction: 1.0,
+            }
+        }
+    }
+
+    fn fleet(sites: usize, cap: f64) -> MultiSiteEngine {
+        let clock = SlotClock::new(3, 24, 1.0).unwrap();
+        let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+        let engines: Vec<Engine> = (0..sites)
+            .map(|s| {
+                Engine::new(
+                    SimParams::icdcs13(),
+                    pack.generate_site(&clock, 42, 0, s).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        MultiSiteEngine::new(engines)
+            .unwrap()
+            .with_transfer_cap(Energy::from_mwh(cap))
+            .unwrap()
+    }
+
+    fn eager_boxes(n: usize) -> Vec<Box<dyn Controller>> {
+        (0..n)
+            .map(|_| Box::new(Eager) as Box<dyn Controller>)
+            .collect()
+    }
+
+    #[test]
+    fn rejects_empty_and_mismatched_fleets() {
+        assert!(matches!(
+            MultiSiteEngine::new(Vec::new()),
+            Err(SimError::SiteMismatch { site: 0, .. })
+        ));
+        let a = Engine::new(
+            SimParams::icdcs13(),
+            dpss_traces::Scenario::icdcs13()
+                .generate(&SlotClock::new(2, 24, 1.0).unwrap(), 1)
+                .unwrap(),
+        )
+        .unwrap();
+        let b = Engine::new(
+            SimParams::icdcs13(),
+            dpss_traces::Scenario::icdcs13()
+                .generate(&SlotClock::new(3, 24, 1.0).unwrap(), 1)
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            MultiSiteEngine::new(vec![a, b]),
+            Err(SimError::SiteMismatch { site: 1, .. })
+        ));
+        assert!(fleet(1, 0.0)
+            .with_transfer_cap(Energy::from_mwh(-1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn run_rejects_wrong_controller_roster() {
+        let multi = fleet(2, 0.0);
+        assert!(matches!(
+            multi.run(&mut eager_boxes(3)),
+            Err(SimError::SiteMismatch { site: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn couple_requires_slot_outcomes_in_reports() {
+        let multi = fleet(2, 1.0);
+        let mut reports: Vec<RunReport> = multi
+            .sites()
+            .iter()
+            .map(|s| s.run(&mut Eager).unwrap())
+            .collect();
+        reports[1].slot_outcomes = None;
+        assert!(matches!(
+            multi.couple(reports),
+            Err(SimError::SiteMismatch { site: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_cap_decouples_and_positive_cap_only_saves() {
+        let multi = fleet(3, 0.0);
+        let decoupled = multi.run(&mut eager_boxes(3)).unwrap();
+        assert_eq!(decoupled.energy_transferred, Energy::ZERO);
+        assert_eq!(decoupled.transfer_savings, Money::ZERO);
+        assert_eq!(decoupled.total_cost(), decoupled.cost_before_transfers());
+
+        let coupled = fleet(3, 2.0).run(&mut eager_boxes(3)).unwrap();
+        // Same sites, same runs: the settlement can only reduce cost.
+        assert_eq!(
+            coupled.cost_before_transfers(),
+            decoupled.cost_before_transfers()
+        );
+        assert!(coupled.total_cost() <= decoupled.total_cost());
+        // Per-frame cap bounds the total transfer.
+        assert!(coupled.energy_transferred.mwh() <= 2.0 * coupled.frames as f64 + 1e-9);
+    }
+
+    #[test]
+    fn couple_is_independent_of_site_execution_order() {
+        let multi = fleet(3, 1.5);
+        // Compute the per-site reports back to front, then settle in site
+        // order: must equal the serial in-order run exactly.
+        let mut reversed: Vec<RunReport> = multi
+            .sites()
+            .iter()
+            .rev()
+            .map(|s| s.run(&mut Eager).unwrap())
+            .collect();
+        reversed.reverse();
+        let via_couple = multi.couple(reversed).unwrap();
+        let serial = multi.run(&mut eager_boxes(3)).unwrap();
+        assert_eq!(via_couple, serial);
+    }
+
+    #[test]
+    fn transfers_are_bounded_by_fleet_waste() {
+        let report = fleet(3, 1e6).run(&mut eager_boxes(3)).unwrap();
+        assert!(report.energy_transferred <= report.total_energy_wasted());
+        assert!(report.transfer_savings.dollars() >= 0.0);
+    }
+
+    #[test]
+    fn single_site_fleets_never_transfer_to_themselves() {
+        // Transfers are strictly inter-site: one site with an unbounded
+        // cap must settle nothing, even when it both curtails and buys
+        // real-time energy within the same frame.
+        let report = fleet(1, 1e6).run(&mut eager_boxes(1)).unwrap();
+        assert!(report.total_energy_wasted() > Energy::ZERO, "test premise");
+        assert_eq!(report.energy_transferred, Energy::ZERO);
+        assert_eq!(report.transfer_savings, Money::ZERO);
+        assert_eq!(report.total_cost(), report.cost_before_transfers());
+    }
+
+    #[test]
+    fn report_aggregates_and_summary() {
+        let report = fleet(2, 1.0).run(&mut eager_boxes(2)).unwrap();
+        assert_eq!(report.site_count(), 2);
+        assert_eq!(report.frames, 3);
+        assert_eq!(report.slots, 72);
+        let per_slot = report.time_average_cost().dollars();
+        assert!(per_slot > 0.0);
+        assert!(report.average_delay_slots() > 0.0);
+        let s = report.summary();
+        assert!(s.contains("2 sites"), "{s}");
+    }
+}

@@ -19,6 +19,10 @@
 //!   delay-tolerant batch arrivals (compound Poisson), peaks clipped at the
 //!   grid interconnect `Pgrid` exactly as the paper scales its traces;
 //! * [`Scenario`] — one-stop generation of a consistent [`TraceSet`];
+//! * [`ScenarioPack`] — named bundles of scenario variants (seasonal
+//!   calendars, price-spike regimes, renewable droughts) with a
+//!   deterministic per-variant and per-site seed schedule for
+//!   multi-datacenter sweeps;
 //! * [`scaling`] — the Fig. 8 penetration/variation sweeps and the Fig. 10
 //!   system-expansion transform;
 //! * [`UniformError`] — the Fig. 9 uniform ±x% observation-error injection.
@@ -49,10 +53,12 @@
 mod demand;
 mod error;
 mod error_injection;
+mod pack;
 mod price;
 mod randutil;
 pub mod scaling;
 mod scenario;
+pub mod seed;
 mod solar;
 mod stats;
 mod trace;
@@ -61,9 +67,10 @@ mod wind;
 pub use demand::{DemandModel, DemandTraces};
 pub use error::TraceError;
 pub use error_injection::UniformError;
+pub use pack::ScenarioPack;
 pub use price::{PriceModel, PriceTraces};
 pub use scenario::{paper_ddt_max, paper_month_traces, Scenario};
 pub use solar::SolarModel;
-pub use stats::SeriesStats;
+pub use stats::{lag1_autocorrelation, SeriesStats};
 pub use trace::TraceSet;
 pub use wind::WindModel;

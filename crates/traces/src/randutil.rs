@@ -11,12 +11,10 @@ use rand::Rng;
 /// (splitmix64 finalizer — full avalanche, so per-component streams are
 /// decorrelated).
 pub(crate) fn subseed(master: u64, tag: u64) -> u64 {
-    let mut z = master ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    splitmix64(master ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
+
+use crate::seed::splitmix64;
 
 /// Standard gaussian via Box–Muller (one value per call; simple and fast
 /// enough for trace generation).

@@ -117,6 +117,28 @@ impl Scenario {
     ///
     /// Propagates any model misconfiguration and trace validation errors.
     pub fn generate(&self, clock: &SlotClock, seed: u64) -> Result<TraceSet, TraceError> {
+        self.generate_with_market_seed(clock, seed, seed)
+    }
+
+    /// [`Scenario::generate`] with the market price series seeded
+    /// independently of the site-local series.
+    ///
+    /// Multi-datacenter sweeps run every site on its own demand/renewable
+    /// realization but in *one* shared electricity market: passing the
+    /// same `market_seed` (and price model) to every site while varying
+    /// `seed` produces exactly that. `generate(clock, s)` is equivalent to
+    /// `generate_with_market_seed(clock, s, s)`, so single-site artifacts
+    /// are untouched by this split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any model misconfiguration and trace validation errors.
+    pub fn generate_with_market_seed(
+        &self,
+        clock: &SlotClock,
+        seed: u64,
+        market_seed: u64,
+    ) -> Result<TraceSet, TraceError> {
         let demand = self.demand.generate(clock, subseed(seed, 1))?;
         let mut renewable = self.solar.generate(clock, subseed(seed, 2))?;
         if let Some(wind) = &self.wind {
@@ -125,7 +147,7 @@ impl Scenario {
                 *r += w;
             }
         }
-        let prices = self.price.generate(clock, subseed(seed, 4))?;
+        let prices = self.price.generate(clock, subseed(market_seed, 4))?;
         TraceSet::new(
             *clock,
             demand.delay_sensitive,

@@ -80,6 +80,29 @@ impl SeriesStats {
     }
 }
 
+/// Lag-1 autocorrelation of a series (population moments): the temporal-
+/// structure fingerprint the golden-trace conformance suite pins alongside
+/// [`SeriesStats`]. Returns `0.0` for series shorter than two samples or
+/// with zero variance.
+#[must_use]
+pub fn lag1_autocorrelation(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let cov = values
+        .windows(2)
+        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .sum::<f64>()
+        / (n - 1.0);
+    cov / var
+}
+
 impl fmt::Display for SeriesStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -133,6 +156,22 @@ mod tests {
         let s = SeriesStats::from_values([1.0, 2.0]);
         let t = s.to_string();
         assert!(t.contains("mean") && t.contains("std") && t.contains("n=2"));
+    }
+
+    #[test]
+    fn lag1_autocorrelation_known_cases() {
+        // Alternating series: perfectly anti-correlated.
+        let alt: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        assert!((lag1_autocorrelation(&alt) + 1.0).abs() < 0.05);
+        // A slow ramp is strongly positively correlated.
+        let ramp: Vec<f64> = (0..100).map(f64::from).collect();
+        assert!(lag1_autocorrelation(&ramp) > 0.9);
+        // Degenerate inputs.
+        assert_eq!(lag1_autocorrelation(&[]), 0.0);
+        assert_eq!(lag1_autocorrelation(&[1.0]), 0.0);
+        assert_eq!(lag1_autocorrelation(&[2.0, 2.0, 2.0]), 0.0);
     }
 
     #[test]

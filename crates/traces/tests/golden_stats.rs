@@ -1,0 +1,372 @@
+//! Golden-trace conformance suite: pins the distributional fingerprint of
+//! every [`Scenario`] variant and every built-in [`ScenarioPack`] variant
+//! at the canonical seed (42) on the paper's one-month calendar.
+//!
+//! The fingerprint of a series is `mean std min max lag1-autocorrelation`
+//! at 9 decimal places — far below any modelling tolerance, so *any*
+//! drift in the vendored RNG, the seed-derivation chain or the generator
+//! code fails this suite loudly, naming the offending scenario and
+//! series. Published artifacts (figure tables, pack sweeps) are
+//! downstream of exactly these streams.
+//!
+//! To regenerate after an *intentional* distribution change:
+//!
+//! ```text
+//! cargo test -p dpss-traces --test golden_stats -- --ignored --nocapture \
+//!     print_snapshot
+//! ```
+//!
+//! and replace the body of `SNAPSHOT` with the printed rows.
+
+use dpss_traces::{lag1_autocorrelation, Scenario, ScenarioPack, SeriesStats, TraceSet};
+use dpss_units::SlotClock;
+
+/// Canonical master seed of every published artifact.
+const SEED: u64 = 42;
+
+/// The five series of a [`TraceSet`] that are pinned, in order.
+const SERIES: [&str; 5] = [
+    "demand_ds",
+    "demand_dt",
+    "renewable",
+    "price_lt",
+    "price_rt",
+];
+
+fn fingerprint(values: &[f64]) -> String {
+    let s = SeriesStats::from_values(values.iter().copied());
+    format!(
+        "{:.9} {:.9} {:.9} {:.9} {:.9}",
+        s.mean,
+        s.std,
+        s.min,
+        s.max,
+        lag1_autocorrelation(values)
+    )
+}
+
+fn fingerprints(t: &TraceSet) -> [String; 5] {
+    let e = |v: &[dpss_units::Energy]| v.iter().map(|x| x.mwh()).collect::<Vec<_>>();
+    let p = |v: &[dpss_units::Price]| v.iter().map(|x| x.dollars_per_mwh()).collect::<Vec<_>>();
+    [
+        fingerprint(&e(&t.demand_ds)),
+        fingerprint(&e(&t.demand_dt)),
+        fingerprint(&e(&t.renewable)),
+        fingerprint(&p(&t.price_lt)),
+        fingerprint(&p(&t.price_rt)),
+    ]
+}
+
+/// Every pinned trace stream: the standalone scenario constructors, every
+/// built-in pack variant at its derived seed, and one pack variant's
+/// first two *sites* (pinning the site-seed + shared-market path).
+fn entries() -> Vec<(String, TraceSet)> {
+    let clock = SlotClock::icdcs13_month();
+    let mut out = vec![
+        (
+            "scenario/icdcs13".to_owned(),
+            Scenario::icdcs13().generate(&clock, SEED).unwrap(),
+        ),
+        (
+            "scenario/windy-plains".to_owned(),
+            Scenario::windy_plains().generate(&clock, SEED).unwrap(),
+        ),
+    ];
+    for &name in ScenarioPack::builtin_names() {
+        let pack = ScenarioPack::builtin(name).unwrap();
+        for (i, (label, _)) in pack.variants().iter().enumerate() {
+            out.push((
+                format!("pack/{name}/{label}"),
+                pack.generate(&clock, SEED, i).unwrap(),
+            ));
+        }
+    }
+    let seasonal = ScenarioPack::seasonal_calendar();
+    for site in 0..2 {
+        out.push((
+            format!("pack/seasonal-calendar/winter/site{site}"),
+            seasonal.generate_site(&clock, SEED, 0, site).unwrap(),
+        ));
+    }
+    out
+}
+
+// SNAPSHOT-BEGIN
+#[rustfmt::skip]
+const SNAPSHOT: &[(&str, [&str; 5])] = &[
+    (
+        "scenario/icdcs13",
+        [
+            "0.702853605 0.143300409 0.399532422 1.122078198 0.919167793",
+            "0.504796258 0.308664760 0.000000000 0.800000000 0.067008715",
+            "0.371937946 0.664393344 0.000000000 3.757261864 0.849150087",
+            "34.643945655 2.370044722 29.750731100 38.642409646 0.480640365",
+            "48.170804580 10.849824289 27.297937300 100.000000000 0.413617432",
+        ],
+    ),
+    (
+        "scenario/windy-plains",
+        [
+            "0.702853605 0.143300409 0.399532422 1.122078198 0.919167793",
+            "0.504796258 0.308664760 0.000000000 0.800000000 0.067008715",
+            "0.579322660 0.518841716 0.000000000 2.435393195 0.896044642",
+            "34.643945655 2.370044722 29.750731100 38.642409646 0.480640365",
+            "48.170804580 10.849824289 27.297937300 100.000000000 0.413617432",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/winter",
+        [
+            "0.704205654 0.148390102 0.415075966 1.108033324 0.915465101",
+            "0.493478671 0.312068144 0.000000000 0.800000000 0.088861643",
+            "0.347603208 0.634245243 0.000000000 3.820142975 0.843513503",
+            "36.251783652 3.494583929 29.620430267 45.254520287 0.613415612",
+            "47.896047478 9.716273108 30.912721892 100.000000000 0.420745120",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/spring",
+        [
+            "0.700363326 0.144606452 0.403963490 1.178470087 0.919083266",
+            "0.495968073 0.323591366 0.000000000 0.800000000 0.015804726",
+            "0.554976390 0.823156804 0.000000000 3.645249793 0.890606336",
+            "32.559069185 2.197673388 28.798169685 36.361403964 0.047502045",
+            "47.502699530 9.371548223 28.293827014 100.000000000 0.391448803",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/summer",
+        [
+            "0.712637343 0.147880012 0.453474926 1.192293271 0.918810243",
+            "0.492834281 0.311445473 0.000000000 0.800000000 0.018709604",
+            "0.635919068 0.782877876 0.000000000 3.893366527 0.931539008",
+            "34.092045157 2.388269241 27.235523295 37.438669356 0.630040975",
+            "48.086694547 10.457791903 28.695721586 100.000000000 0.404832273",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/autumn-windy",
+        [
+            "0.714575842 0.149850895 0.424963166 1.161952730 0.920652142",
+            "0.512335940 0.306068738 0.000000000 0.800000000 0.021341129",
+            "0.746870050 0.732891553 0.000000000 3.781200137 0.848079977",
+            "34.813210859 3.186837563 27.506248179 40.717588987 0.422490215",
+            "47.006143135 10.071742762 27.631282650 100.000000000 0.353666798",
+        ],
+    ),
+    (
+        "pack/price-spike/calm",
+        [
+            "0.701525925 0.144101754 0.439208678 1.076903430 0.919132798",
+            "0.498687456 0.309968222 0.000000000 0.800000000 0.010793890",
+            "0.312534535 0.596399336 0.000000000 3.056231007 0.830993712",
+            "37.136571037 2.995372633 31.928956072 43.230190257 0.354420133",
+            "46.746148515 7.081468039 25.331048345 66.899825809 0.825828689",
+        ],
+    ),
+    (
+        "pack/price-spike/paper",
+        [
+            "0.708138251 0.143902359 0.430213266 1.142613265 0.916487802",
+            "0.493322602 0.316958083 0.000000000 0.800000000 -0.027897749",
+            "0.323763620 0.602627466 0.000000000 3.264518471 0.844877305",
+            "36.171685125 4.084500912 28.728301415 43.741635646 0.750687257",
+            "46.461795612 9.150942043 29.956559485 100.000000000 0.431223026",
+        ],
+    ),
+    (
+        "pack/price-spike/spiky",
+        [
+            "0.700646496 0.143306765 0.415250474 1.086952601 0.915870508",
+            "0.506617344 0.319223740 0.000000000 0.800000000 0.051977254",
+            "0.321620036 0.608094732 0.000000000 3.473485552 0.846034925",
+            "36.191012305 3.404947885 29.307666091 43.081984985 0.587003863",
+            "49.783903904 14.738036995 26.171085165 100.000000000 0.247843313",
+        ],
+    ),
+    (
+        "pack/price-spike/stressed",
+        [
+            "0.708949121 0.154360820 0.419626035 1.184354553 0.925372577",
+            "0.498795897 0.318133624 0.000000000 0.800000000 0.089858191",
+            "0.386164114 0.674705163 0.000000000 3.576550153 0.852914236",
+            "33.868273362 5.013572960 23.218395801 42.509211317 0.813473248",
+            "56.288588080 22.173747120 17.502499717 100.000000000 0.099667999",
+        ],
+    ),
+    (
+        "pack/renewable-drought/paper",
+        [
+            "0.701139306 0.147472316 0.401783776 1.146689766 0.921687285",
+            "0.495305231 0.309618704 0.000000000 0.800000000 0.051784791",
+            "0.384266244 0.711364249 0.000000000 3.828992938 0.870363802",
+            "32.879306570 3.385407147 25.777533304 40.360065104 0.663504126",
+            "46.547362708 9.328955464 30.305226002 100.000000000 0.416916945",
+        ],
+    ),
+    (
+        "pack/renewable-drought/dim",
+        [
+            "0.700495042 0.144419641 0.434975091 1.098099182 0.922893095",
+            "0.483151376 0.311789083 0.000000000 0.800000000 0.039226731",
+            "0.165584776 0.343668296 0.000000000 2.304898690 0.835184353",
+            "36.682467952 4.056572728 28.779266716 45.943520269 0.776558294",
+            "48.209716054 10.856889531 28.658726811 100.000000000 0.354969032",
+        ],
+    ),
+    (
+        "pack/renewable-drought/drought",
+        [
+            "0.700514333 0.146678993 0.440603015 1.176116685 0.918920064",
+            "0.510228188 0.308614656 0.000000000 0.800000000 0.025577599",
+            "0.067168872 0.155918482 0.000000000 1.112846731 0.822659771",
+            "34.098529203 2.492303440 26.553837465 38.969513818 0.323461338",
+            "47.227654386 9.401318251 29.896553448 100.000000000 0.466684561",
+        ],
+    ),
+    (
+        "pack/renewable-drought/near-dark",
+        [
+            "0.706880952 0.149392141 0.441340449 1.162974472 0.921811937",
+            "0.508028507 0.315520646 0.000000000 0.800000000 0.065908534",
+            "0.023629259 0.051466081 0.000000000 0.364709595 0.887466877",
+            "33.680055058 1.768608360 30.104725748 37.792493383 -0.071893101",
+            "47.854353361 9.377204045 28.980698511 100.000000000 0.400898108",
+        ],
+    ),
+    (
+        "pack/flat-baseline/paper",
+        [
+            "0.703740978 0.141848559 0.448874254 1.105187449 0.914475424",
+            "0.484232185 0.316320227 0.000000000 0.800000000 0.031694329",
+            "0.330547860 0.614047442 0.000000000 3.710900321 0.829794874",
+            "34.860229635 3.581854527 28.861912846 41.614502719 0.663018207",
+            "47.724620824 10.756289690 23.095693000 100.000000000 0.403425756",
+        ],
+    ),
+    (
+        "pack/flat-baseline/flat-demand",
+        [
+            "0.721580487 0.051329371 0.596116115 0.796496671 0.955747202",
+            "0.506149182 0.314746524 0.000000000 0.800000000 0.007314734",
+            "0.300768699 0.550951334 0.000000000 3.123056694 0.835814648",
+            "35.039076777 3.350548599 28.003303685 41.725493289 0.509516529",
+            "48.029172172 10.384453643 28.189289207 100.000000000 0.438379190",
+        ],
+    ),
+    (
+        "pack/flat-baseline/flat-prices",
+        [
+            "0.703940288 0.143082502 0.415072532 1.162014911 0.920440826",
+            "0.484627442 0.319797794 0.000000000 0.800000000 0.123732196",
+            "0.361899056 0.647713415 0.000000000 3.620642825 0.858175191",
+            "35.088362146 0.591271512 33.716005069 36.398414411 0.642433289",
+            "47.391965889 0.872578672 44.697396249 49.825554413 0.777938413",
+        ],
+    ),
+    (
+        "pack/flat-baseline/flat-both",
+        [
+            "0.721251394 0.050136807 0.614170942 0.805698293 0.951809291",
+            "0.502054665 0.314709503 0.000000000 0.800000000 0.066280619",
+            "0.422542160 0.760183685 0.000000000 3.818932844 0.858675250",
+            "35.020619949 0.625804273 33.576571184 35.932059714 0.337005865",
+            "47.155451548 0.893792808 44.024127987 50.117567680 0.787751824",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/winter/site0",
+        [
+            "0.704584424 0.152141432 0.429987765 1.168667194 0.920680530",
+            "0.487137223 0.320754822 0.000000000 0.800000000 0.036276534",
+            "0.329198683 0.573979299 0.000000000 2.919584528 0.838613859",
+            "36.251783652 3.494583929 29.620430267 45.254520287 0.613415612",
+            "47.896047478 9.716273108 30.912721892 100.000000000 0.420745120",
+        ],
+    ),
+    (
+        "pack/seasonal-calendar/winter/site1",
+        [
+            "0.706202272 0.147255729 0.391503325 1.156670582 0.920555269",
+            "0.523454392 0.307998566 0.000000000 0.800000000 -0.007912681",
+            "0.330804737 0.639142787 0.000000000 3.703889827 0.817024726",
+            "36.251783652 3.494583929 29.620430267 45.254520287 0.613415612",
+            "47.896047478 9.716273108 30.912721892 100.000000000 0.420745120",
+        ],
+    ),
+];
+// SNAPSHOT-END
+
+#[test]
+fn every_scenario_and_pack_variant_matches_its_golden_fingerprint() {
+    let entries = entries();
+    assert_eq!(
+        entries.len(),
+        SNAPSHOT.len(),
+        "pinned entry roster changed: every scenario and pack variant \
+         must have a golden fingerprint (regenerate with print_snapshot)"
+    );
+    let mut failures = Vec::new();
+    for ((key, traces), (want_key, want)) in entries.iter().zip(SNAPSHOT) {
+        assert_eq!(
+            key, want_key,
+            "pinned entry order changed (regenerate with print_snapshot)"
+        );
+        for (series, (got, want)) in SERIES.iter().zip(fingerprints(traces).iter().zip(*want)) {
+            if got != want {
+                failures.push(format!(
+                    "{key} {series}:\n  pinned   {want}\n  computed {got}"
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden trace fingerprint(s) drifted — the generator or RNG \
+         stream changed:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The golden snapshot as a machine-readable artifact: CI uploads
+/// `target/golden_stats.json` so published-artifact drift can be diffed
+/// across commits without re-running the suite.
+#[test]
+fn write_golden_stats_artifact() {
+    let mut json = String::from("{\n");
+    let entries = entries();
+    for (i, (key, traces)) in entries.iter().enumerate() {
+        json.push_str(&format!("  \"{key}\": {{\n"));
+        for (j, (series, fp)) in SERIES.iter().zip(fingerprints(traces)).enumerate() {
+            let comma = if j + 1 < SERIES.len() { "," } else { "" };
+            json.push_str(&format!("    \"{series}\": \"{fp}\"{comma}\n"));
+        }
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        json.push_str(&format!("  }}{comma}\n"));
+    }
+    json.push_str("}\n");
+    // Best-effort: the suite must pass on read-only filesystems too.
+    let dir = std::path::Path::new("../../target");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = std::fs::write(dir.join("golden_stats.json"), &json);
+    }
+    assert!(json.contains("pack/seasonal-calendar/winter"));
+}
+
+/// Regeneration helper: prints the `SNAPSHOT` rows in source form.
+#[test]
+#[ignore = "snapshot generator, run with --ignored --nocapture"]
+fn print_snapshot() {
+    for (key, traces) in entries() {
+        let [a, b, c, d, e] = fingerprints(&traces);
+        println!("    (");
+        println!("        \"{key}\",");
+        println!("        [");
+        for fp in [a, b, c, d, e] {
+            println!("            \"{fp}\",");
+        }
+        println!("        ],");
+        println!("    ),");
+    }
+}

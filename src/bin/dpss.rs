@@ -7,6 +7,7 @@
 //! dpss traces [--seed N] [--days N] [--out FILE]
 //! dpss sweep-v [--grid F,F,...] [--seed N] [--days N] [--threads N] [--json]
 //! dpss sweep  --figure NAME [--seed N] [--threads N] [--json]
+//! dpss sweep  --pack NAME [--sites N] [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! ```
 //!
@@ -17,7 +18,7 @@
 
 use std::process::ExitCode;
 
-use smartdpss::bench::figures;
+use smartdpss::bench::{figures, packs};
 use smartdpss::{
     Engine, ExperimentRunner, FigureTable, GreedyBattery, Impatient, MarketMode, OfflineOptimal,
     Price, RunReport, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig, TheoremBounds,
@@ -42,6 +43,8 @@ struct Cli {
     out: Option<String>,
     threads: usize,
     figure: String,
+    pack: String,
+    sites: usize,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +75,8 @@ impl Default for Cli {
             out: None,
             threads: 0,
             figure: String::new(),
+            pack: String::new(),
+            sites: 1,
         }
     }
 }
@@ -134,14 +139,36 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .map_err(|e| format!("--threads: {e}"))?;
             }
             "--figure" => cli.figure = value("--figure")?,
+            "--pack" => cli.pack = value("--pack")?,
+            "--sites" => {
+                cli.sites = value("--sites")?
+                    .parse()
+                    .map_err(|e| format!("--sites: {e}"))?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
     if cli.days == 0 || cli.t == 0 {
         return Err("--days and --t must be at least 1".into());
     }
-    if cli.command == Command::Sweep && cli.figure.is_empty() {
-        return Err("sweep needs --figure (see usage for the figure names)".into());
+    if cli.sites == 0 {
+        return Err("--sites must be at least 1".into());
+    }
+    if cli.command == Command::Sweep {
+        match (cli.figure.is_empty(), cli.pack.is_empty()) {
+            (true, true) => {
+                return Err("sweep needs --figure or --pack (see usage for the known names)".into())
+            }
+            (false, false) => {
+                return Err("sweep takes --figure or --pack, not both".into());
+            }
+            _ => {}
+        }
+        // Pack names are a closed registry, so a typo is a usage error
+        // (exit 2), unlike runtime failures inside a sweep (exit 1).
+        if !cli.pack.is_empty() {
+            packs::lookup_builtin(&cli.pack)?;
+        }
     }
     Ok(cli)
 }
@@ -167,6 +194,9 @@ USAGE:
   dpss sweep   --figure NAME [--seed N] [--threads N] [--json]
                NAME: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|
                      ablations|forecast|baselines
+  dpss sweep   --pack NAME [--sites N] [--seed N] [--threads N] [--json]
+               NAME: seasonal-calendar|price-spike|renewable-drought|
+                     flat-baseline (multi-site cross-aggregation table)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
 
 Sweeps fan their cells out over --threads workers (0 = all cores) and
@@ -296,6 +326,22 @@ fn execute(cli: &Cli) -> Result<String, String> {
         Command::Sweep => {
             let runner = ExperimentRunner::new(cli.threads);
             let seed = cli.seed;
+            if !cli.pack.is_empty() {
+                // Validated at parse time; unknown packs never get here.
+                let pack = packs::lookup_builtin(&cli.pack)?;
+                let table = packs::pack_sweep_with(
+                    &runner,
+                    seed,
+                    &pack,
+                    cli.sites,
+                    packs::default_transfer_cap(),
+                );
+                return if cli.json {
+                    serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
+                } else {
+                    Ok(table.render())
+                };
+            }
             let tables: Vec<FigureTable> = match cli.figure.as_str() {
                 "fig5" => vec![figures::fig5_with(&runner, seed).0],
                 "fig6v" => vec![figures::fig6_v_with(
@@ -555,6 +601,29 @@ mod tests {
         assert_eq!(table.columns[0], "V");
         // The JSON rows carry the same cells the CSV prints.
         assert!(text.contains(&table.rows[0][1]));
+    }
+
+    #[test]
+    fn parses_pack_sweep_flags() {
+        let cli = parse_args(args("sweep --pack price-spike --sites 3 --json")).unwrap();
+        assert_eq!(cli.command, Command::Sweep);
+        assert_eq!(cli.pack, "price-spike");
+        assert_eq!(cli.sites, 3);
+        assert!(cli.json);
+        // Exactly one of --figure / --pack.
+        assert!(parse_args(args("sweep")).is_err());
+        assert!(parse_args(args("sweep --figure fig5 --pack price-spike")).is_err());
+        assert!(parse_args(args("sweep --pack price-spike --sites 0")).is_err());
+    }
+
+    #[test]
+    fn unknown_pack_is_a_usage_error_with_the_known_names() {
+        let err = run_cli(args("sweep --pack nonexistent")).unwrap_err();
+        assert!(err.usage_error, "closed registry → usage error, exit 2");
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+        let shown = err.render();
+        assert!(shown.starts_with("dpss: error: unknown scenario pack: nonexistent"));
+        assert!(shown.contains("seasonal-calendar"), "{shown}");
     }
 
     #[test]

@@ -12,10 +12,12 @@
 //!   ([`SlotClock`]);
 //! * [`lp`] (`dpss-lp`) — the two-phase simplex LP substrate;
 //! * [`traces`] (`dpss-traces`) — synthetic solar/wind/price/demand trace
-//!   generators with error injection and scaling transforms;
+//!   generators with error injection, scaling transforms and the
+//!   [`ScenarioPack`] registry of named input regimes;
 //! * [`sim`] (`dpss-sim`) — the discrete-time DPSS plant: UPS battery,
 //!   demand queue with an exact FIFO delay ledger, the [`Controller`]
-//!   trait and the simulation [`Engine`];
+//!   trait, the simulation [`Engine`] and the [`MultiSiteEngine`]
+//!   fleet composition;
 //! * [`core`] (`dpss-core`) — the [`SmartDpss`] controller itself plus the
 //!   [`OfflineOptimal`] benchmark, the [`Impatient`] baseline and the
 //!   Theorem 2 bound calculators;
@@ -62,8 +64,8 @@ pub use dpss_core::{
 };
 pub use dpss_sim::{
     Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, ForecastPolicy,
-    FrameDecision, FrameObservation, RunReport, SimParams, SlotDecision, SlotObservation,
-    SystemView,
+    FrameDecision, FrameObservation, MultiSiteEngine, MultiSiteReport, RunReport, SimParams,
+    SlotDecision, SlotObservation, SystemView,
 };
-pub use dpss_traces::{Scenario, TraceSet, UniformError};
+pub use dpss_traces::{Scenario, ScenarioPack, TraceSet, UniformError};
 pub use dpss_units::{Energy, Money, Power, Price, SlotClock};

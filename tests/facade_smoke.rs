@@ -5,14 +5,58 @@
 //! price, so a cost-aware online policy must not lose to it).
 
 use smartdpss::{
-    Engine, Impatient, OfflineOptimal, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig,
+    Engine, Impatient, OfflineOptimal, RunReport, Scenario, SimParams, SlotClock, SmartDpss,
+    SmartDpssConfig,
 };
+
+/// The horizon-edge-backlog invariant. The cost ordering is only
+/// meaningful if no controller "wins" by parking served-never-paid demand
+/// past the horizon edge, so the edge behaviour is asserted, not assumed:
+///
+/// * every controller's parked backlog is FIFO-consistent — it cannot
+///   exceed one `Ddtmax` arrival per slot of its oldest pending age;
+/// * the *online* policies drain: whatever remains at horizon end arrived
+///   within the last few slots (the service-latency floor of Eq. (2)'s
+///   pre-arrival semantics, which makes even eager service one slot
+///   late);
+/// * the *offline benchmark* is the documented exception: its frame LP
+///   enforces an intra-frame service deadline but may relax it (or have
+///   its plan clipped by the plant), so it can defer up to one coarse
+///   frame of arrivals past the edge — never more. This slack is cost it
+///   never pays, which is why the ordering below is checked on a horizon
+///   long enough (6 days) for it to be strict anyway.
+fn assert_horizon_edge_invariant(name: &str, r: &RunReport, slots_per_frame: usize) {
+    let ddt_max = smartdpss::traces::paper_ddt_max().mwh();
+    let age_slots = r.oldest_pending_age.map_or(0, |a| a + 1);
+    assert!(
+        r.final_backlog.mwh() <= age_slots as f64 * ddt_max + 1e-9,
+        "{name}: parked backlog {} MWh exceeds {} slots of Ddtmax arrivals",
+        r.final_backlog.mwh(),
+        age_slots,
+    );
+    let drain_slots = if name == "offline" {
+        slots_per_frame // the documented horizon-edge exception
+    } else {
+        3 // online service-latency floor
+    };
+    assert!(
+        age_slots <= drain_slots,
+        "{name}: oldest parked backlog is {age_slots} slots old \
+         (allowed {drain_slots}) — horizon-edge draining regressed",
+    );
+    assert!(
+        r.final_backlog.mwh() <= drain_slots as f64 * ddt_max + 1e-9,
+        "{name}: parked backlog {} MWh exceeds the {drain_slots}-slot \
+         horizon-edge allowance",
+        r.final_backlog.mwh(),
+    );
+}
 
 #[test]
 fn theorem_2_cost_ordering_on_a_tiny_trace() {
-    // Six days: the shortest horizon on which the ordering is strict.
-    // Shorter runs let SmartDPSS park backlog past the horizon edge (cost
-    // it never pays), which can place it nominally below offline.
+    // Six days: the shortest horizon on which the ordering is strict
+    // (see `assert_horizon_edge_invariant` for why short horizons are
+    // delicate at the edge).
     let clock = SlotClock::new(6, 24, 1.0).unwrap();
     let traces = Scenario::icdcs13().generate(&clock, 42).unwrap();
     let params = SimParams::icdcs13();
@@ -26,7 +70,8 @@ fn theorem_2_cost_ordering_on_a_tiny_trace() {
     let offline_run = engine.run(&mut offline).unwrap();
     let impatient_run = engine.run(&mut impatient).unwrap();
 
-    // Every controller must keep the datacenter up.
+    // Every controller must keep the datacenter up, and none may escape
+    // the horizon-edge backlog invariant.
     for (name, r) in [
         ("smart", &smart_run),
         ("offline", &offline_run),
@@ -34,6 +79,7 @@ fn theorem_2_cost_ordering_on_a_tiny_trace() {
     ] {
         assert_eq!(r.availability_violations, 0, "{name} caused a blackout");
         assert_eq!(r.unserved_ds.mwh(), 0.0, "{name} dropped DS demand");
+        assert_horizon_edge_invariant(name, r, clock.slots_per_frame());
     }
 
     let (off, smart, imp) = (
