@@ -10,6 +10,11 @@
 //!    persistent [`LpWorkspace`] vs fresh cold solves.
 //! 3. **Warm vs cold offline controller**: the full-month offline
 //!    benchmark with frame-to-frame warm starts on vs off.
+//! 4. **Offline benchmark at scale**: the Fig. 6(c,d) `T = 144` cell
+//!    (frame LPs of ~1k rows) with `warm_start: true` and a revised
+//!    pivot budget — the column the default figure skips. The binary
+//!    asserts the offline column actually populates and records its
+//!    wall time.
 //!
 //! ```text
 //! bench_sweep [--out PATH] [--threads N] [--iters K]
@@ -53,6 +58,15 @@ struct BenchSweepReport {
     offline_cold_ms: f64,
     offline_warm_ms: f64,
     offline_warm_speedup: f64,
+    /// Wall time of the whole Fig. 6(c,d) `T = 144` cell (SmartDPSS +
+    /// the offline benchmark on the 5-frame calendar) with warm starts
+    /// and the revised pivot budget below. The offline column of that
+    /// row is asserted populated before this is recorded.
+    offline_t144_warm_ms: f64,
+    /// The revised per-frame pivot budget the `T = 144` run used.
+    offline_t144_pivot_budget: usize,
+    /// The populated offline `$/slot` cell of the `T = 144` row.
+    offline_t144_cost_per_slot: f64,
 }
 
 fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -151,6 +165,29 @@ fn main() -> ExitCode {
     let offline_cold_s = offline_time(false);
     let offline_warm_s = offline_time(true);
 
+    // ---- 4. Offline benchmark at scale: the T = 144 column. -------------
+    // Warm starts carry the ~1k-row frame basis across the 5 frames; the
+    // revised budget is ~6× a measured clean solve, so a pathological
+    // frame fails fast into the controller's fallback instead of burning
+    // the ~500k-pivot solver default.
+    let t144_budget = 40_000usize;
+    let t144_config = OfflineConfig {
+        warm_start: true,
+        frame_pivot_budget: Some(t144_budget),
+        ..OfflineConfig::default()
+    };
+    let t144_start = Instant::now();
+    let t144_table = figures::fig6_t_offline_with(&serial, PAPER_SEED, &[144], 144, t144_config);
+    let t144_s = t144_start.elapsed().as_secs_f64();
+    let offline_cell = &t144_table.rows[0][4];
+    let t144_cost: f64 = match offline_cell.parse() {
+        Ok(cost) => cost,
+        Err(_) => {
+            eprintln!("bench_sweep: error: T=144 offline column not populated: {offline_cell:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let report = BenchSweepReport {
         generated_by: "dpss-bench/bench_sweep",
         threads,
@@ -171,6 +208,9 @@ fn main() -> ExitCode {
         offline_cold_ms: offline_cold_s * 1e3,
         offline_warm_ms: offline_warm_s * 1e3,
         offline_warm_speedup: offline_cold_s / offline_warm_s,
+        offline_t144_warm_ms: t144_s * 1e3,
+        offline_t144_pivot_budget: t144_budget,
+        offline_t144_cost_per_slot: t144_cost,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");

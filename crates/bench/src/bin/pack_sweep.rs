@@ -1,18 +1,22 @@
 //! Regenerates the scenario-pack artifacts: the cross-site aggregation
-//! table for one pack (default `seasonal-calendar`, 3 sites) plus the
-//! all-packs single-site overview. CI uploads the persisted JSON.
+//! table for one pack (default `seasonal-calendar`, 3 sites) in both
+//! settlement modes — post-hoc and planned — plus the all-packs
+//! single-site overview. CI uploads the persisted JSON.
 //!
 //! ```text
 //! pack_sweep [--pack NAME] [--sites N] [--threads N]
+//!            [--interconnect post-hoc|planned|both]
 //! ```
 
 use std::process::ExitCode;
 
-use dpss_bench::{packs, persist, PAPER_SEED};
+use dpss_bench::{packs, persist, InterconnectMode, PAPER_SEED};
 
 fn main() -> ExitCode {
     let mut pack_name = "seasonal-calendar".to_owned();
     let mut sites = 3usize;
+    let mut modes: Vec<InterconnectMode> =
+        vec![InterconnectMode::PostHoc, InterconnectMode::Planned];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -23,6 +27,21 @@ fn main() -> ExitCode {
                     Ok(n) if n >= 1 => sites = n,
                     _ => {
                         eprintln!("pack_sweep: --sites needs a positive integer, got {v:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--interconnect" => {
+                let v = args.next().unwrap_or_default();
+                if v == "both" {
+                    // Last flag wins, same as a single mode would.
+                    modes = vec![InterconnectMode::PostHoc, InterconnectMode::Planned];
+                    continue;
+                }
+                match InterconnectMode::parse(&v) {
+                    Ok(mode) => modes = vec![mode],
+                    Err(message) => {
+                        eprintln!("pack_sweep: {message}");
                         return ExitCode::FAILURE;
                     }
                 }
@@ -39,15 +58,16 @@ fn main() -> ExitCode {
     };
 
     let runner = dpss_bench::runner_from_env_args();
-    let table = packs::pack_sweep_with(
-        &runner,
-        PAPER_SEED,
-        &pack,
-        sites,
-        packs::default_transfer_cap(),
-    );
-    table.print();
-    persist(&table, "pack_sweep");
+    let interconnect = packs::default_interconnect(sites);
+    for mode in modes {
+        let table = packs::pack_sweep_with(&runner, PAPER_SEED, &pack, sites, &interconnect, mode);
+        table.print();
+        let artifact = match mode {
+            InterconnectMode::PostHoc => "pack_sweep",
+            InterconnectMode::Planned => "pack_sweep_planned",
+        };
+        persist(&table, artifact);
+    }
 
     let overview = packs::pack_overview_with(&runner, PAPER_SEED);
     overview.print();

@@ -8,7 +8,7 @@
 //! runner (all available cores). Results are assembled in cell order, so
 //! the tables are byte-identical for every thread count.
 
-use dpss_core::{MarketMode, SmartDpssConfig};
+use dpss_core::{MarketMode, OfflineConfig, SmartDpssConfig};
 use dpss_sim::{Engine, SimParams};
 use dpss_traces::{scaling, UniformError};
 use dpss_units::SlotClock;
@@ -180,13 +180,31 @@ pub fn fig6_t(seed: u64, ts: &[usize], offline_max_t: usize) -> FigureTable {
 }
 
 /// [`fig6_t`] on an explicit runner (one cell per `T`; each cell builds
-/// its own calendar, trace set and engine).
+/// its own calendar, trace set and engine). Offline cells solve cold for
+/// bit-reproducibility of the published table.
 #[must_use]
 pub fn fig6_t_with(
     runner: &ExperimentRunner,
     seed: u64,
     ts: &[usize],
     offline_max_t: usize,
+) -> FigureTable {
+    fig6_t_offline_with(runner, seed, ts, offline_max_t, OfflineConfig::default())
+}
+
+/// [`fig6_t_with`] with an explicit [`OfflineConfig`] for the offline
+/// cells. This is how the `T = 144` column gets populated at all:
+/// `warm_start: true` lets frames 2…K reuse the previous optimal basis of
+/// the ~1k-row frame LP, and a revised `frame_pivot_budget` bounds the
+/// worst case (`bench_sweep` measures and records the wall time in
+/// `BENCH_sweep.json`).
+#[must_use]
+pub fn fig6_t_offline_with(
+    runner: &ExperimentRunner,
+    seed: u64,
+    ts: &[usize],
+    offline_max_t: usize,
+    offline: OfflineConfig,
 ) -> FigureTable {
     let params = SimParams::icdcs13();
     let labels: Vec<String> = ts.iter().map(|t| t.to_string()).collect();
@@ -209,7 +227,7 @@ pub fn fig6_t_with(
             let engine = Engine::new(params, traces_on(&clock, seed)).expect("valid engine");
             let r = run_smart(&engine, params, SmartDpssConfig::icdcs13());
             let (oc, od) = if t <= offline_max_t {
-                let o = run_offline(&engine, params);
+                let o = crate::run_offline_with(&engine, params, offline);
                 (
                     format!("{:.3}", o.time_average_cost().dollars()),
                     format!("{:.2}", o.average_delay_slots),

@@ -17,12 +17,12 @@ mod runner;
 mod spec;
 mod table;
 
-pub use packs::{pack_overview_with, pack_sweep, pack_sweep_with};
+pub use packs::{pack_overview_with, pack_sweep, pack_sweep_with, InterconnectMode};
 pub use runner::ExperimentRunner;
 pub use spec::{Axis, Cell, SweepSpec};
 pub use table::FigureTable;
 
-use dpss_core::{Impatient, OfflineOptimal, SmartDpss, SmartDpssConfig};
+use dpss_core::{Impatient, OfflineConfig, OfflineOptimal, SmartDpss, SmartDpssConfig};
 use dpss_sim::{Engine, RunReport, SimParams};
 use dpss_traces::{Scenario, TraceSet};
 use dpss_units::SlotClock;
@@ -96,7 +96,21 @@ pub fn run_smart(engine: &Engine, params: SimParams, config: SmartDpssConfig) ->
 /// Panics if the run fails.
 #[must_use]
 pub fn run_offline(engine: &Engine, params: SimParams) -> RunReport {
-    let mut ctl = OfflineOptimal::new(params, engine.truth().clone()).expect("valid configuration");
+    run_offline_with(engine, params, OfflineConfig::default())
+}
+
+/// [`run_offline`] with an explicit [`OfflineConfig`] — the long-frame
+/// entry point: `T = 144` is only tractable with `warm_start: true` (and
+/// a pivot budget), which the default config keeps off for
+/// bit-reproducibility of the published tables.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid or the run fails.
+#[must_use]
+pub fn run_offline_with(engine: &Engine, params: SimParams, config: OfflineConfig) -> RunReport {
+    let mut ctl = OfflineOptimal::with_config(params, engine.truth().clone(), config)
+        .expect("valid configuration");
     engine.run(&mut ctl).expect("run succeeds")
 }
 

@@ -1,15 +1,63 @@
 //! Scenario-pack and multi-datacenter sweeps: [`SweepSpec`] axes over
 //! packs, pack variants and site counts, executed by an
-//! [`ExperimentRunner`] and settled through
-//! [`MultiSiteEngine::couple`] — so every table is byte-identical for any
-//! `--threads` value and any site-execution order.
+//! [`ExperimentRunner`] and settled over an [`Interconnect`] topology —
+//! post-hoc (greedy fold) or planned (`FleetPlanner` flow LPs) — so every
+//! table is byte-identical for any `--threads` value and any
+//! site-execution order.
 
-use dpss_sim::{Engine, MultiSiteEngine, MultiSiteReport, RunReport, SimParams};
+use std::fmt;
+
+use dpss_sim::{Engine, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams};
 use dpss_traces::ScenarioPack;
 use dpss_units::{Energy, SlotClock};
 
 use crate::{run_smart, Axis, ExperimentRunner, FigureTable, SweepSpec};
-use dpss_core::SmartDpssConfig;
+use dpss_core::{FleetPlanner, SmartDpssConfig};
+
+/// How a pack sweep settles inter-site transfers over its
+/// [`Interconnect`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterconnectMode {
+    /// Settle realized curtailment after the fact with the greedy
+    /// per-frame fold ([`Interconnect::settle_greedy`]).
+    #[default]
+    PostHoc,
+    /// Plan each frame's export flows as a linear program
+    /// ([`FleetPlanner`]), warm-started frame to frame.
+    Planned,
+}
+
+impl InterconnectMode {
+    /// The CLI spellings, in display order.
+    pub const NAMES: [&'static str; 2] = ["post-hoc", "planned"];
+
+    /// Parses a CLI spelling, with the canonical error message (the
+    /// mode roster is closed, so a typo is a *usage* error — the CLI
+    /// exits 2 through `CliFailure`).
+    ///
+    /// # Errors
+    ///
+    /// `unknown interconnect mode: <name> (expected post-hoc|planned)`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "post-hoc" => Ok(InterconnectMode::PostHoc),
+            "planned" => Ok(InterconnectMode::Planned),
+            other => Err(format!(
+                "unknown interconnect mode: {other} (expected {})",
+                Self::NAMES.join("|")
+            )),
+        }
+    }
+}
+
+impl fmt::Display for InterconnectMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InterconnectMode::PostHoc => "post-hoc",
+            InterconnectMode::Planned => "planned",
+        })
+    }
+}
 
 /// Default interconnect-coupling knob for pack sweeps: a modest 2 MWh of
 /// inter-site transfer per coarse frame (the paper's site peaks at
@@ -17,6 +65,18 @@ use dpss_core::SmartDpssConfig;
 #[must_use]
 pub fn default_transfer_cap() -> Energy {
     Energy::from_mwh(2.0)
+}
+
+/// The default topology for an `n`-site pack sweep: the
+/// [`default_transfer_cap`] as a lossless, free, fleet-pooled
+/// [`Interconnect`] — exactly the legacy knob.
+///
+/// # Panics
+///
+/// Panics if `sites == 0` (the sweep entry points assert this first).
+#[must_use]
+pub fn default_interconnect(sites: usize) -> Interconnect {
+    Interconnect::pooled(sites, default_transfer_cap()).expect("default cap is valid")
 }
 
 /// Looks `name` up in the built-in pack registry, with the canonical
@@ -36,8 +96,8 @@ pub fn lookup_builtin(name: &str) -> Result<ScenarioPack, String> {
     })
 }
 
-/// [`pack_sweep_with`] on the default runner and transfer cap, looking
-/// the pack up in the built-in registry.
+/// [`pack_sweep_with`] on the default runner, topology and (post-hoc)
+/// settlement mode, looking the pack up in the built-in registry.
 ///
 /// # Errors
 ///
@@ -50,33 +110,43 @@ pub fn pack_sweep(seed: u64, pack_name: &str, sites: usize) -> Result<FigureTabl
         seed,
         &pack,
         sites,
-        default_transfer_cap(),
+        &default_interconnect(sites),
+        InterconnectMode::PostHoc,
     ))
 }
 
 /// The cross-site aggregation table for one scenario pack: SmartDPSS runs
 /// every `(variant, site)` cell of the sweep grid on the paper's one-month
 /// calendar (per-site seeds and shared markets from the pack's schedule),
-/// then each variant's sites are settled into a fleet row through the
-/// interconnect-coupling knob.
+/// then each variant's sites are settled into a fleet row over the
+/// interconnect topology — post-hoc greedily, or planned through a fresh
+/// per-variant [`FleetPlanner`] (so warm starts chain across a variant's
+/// frames but variants stay independent of sweep order).
 ///
 /// Rows: one per site, then one `fleet` aggregate row per variant carrying
-/// the transfer settlement.
+/// the transfer settlement (sent MWh, displaced $, wheeling $).
 ///
 /// # Panics
 ///
-/// Panics if `sites == 0`, the pack is empty, or a built-in model
-/// misbehaves (harness contract: programming errors, not outcomes).
+/// Panics if `sites == 0`, the pack is empty, the topology spans a
+/// different site count, or a built-in model misbehaves (harness
+/// contract: programming errors, not outcomes).
 #[must_use]
 pub fn pack_sweep_with(
     runner: &ExperimentRunner,
     seed: u64,
     pack: &ScenarioPack,
     sites: usize,
-    transfer_cap: Energy,
+    interconnect: &Interconnect,
+    mode: InterconnectMode,
 ) -> FigureTable {
     assert!(sites >= 1, "a pack sweep needs at least one site");
     assert!(!pack.is_empty(), "a pack sweep needs at least one variant");
+    assert_eq!(
+        interconnect.sites(),
+        sites,
+        "the interconnect must span the sweep's site roster"
+    );
     let clock = SlotClock::icdcs13_month();
     let params = SimParams::icdcs13();
 
@@ -95,8 +165,8 @@ pub fn pack_sweep_with(
                 .collect();
             MultiSiteEngine::new(engines)
                 .expect("sites share the calendar")
-                .with_transfer_cap(transfer_cap)
-                .expect("valid transfer cap")
+                .with_interconnect(interconnect.clone())
+                .expect("topology spans the roster")
         })
         .collect();
 
@@ -111,13 +181,18 @@ pub fn pack_sweep_with(
         run_smart(&fleets[v].sites()[s], params, SmartDpssConfig::icdcs13())
     });
 
+    let mode_tag = match mode {
+        InterconnectMode::PostHoc => String::new(),
+        InterconnectMode::Planned => ", planned".to_owned(),
+    };
     let mut table = FigureTable::new(
         &format!(
-            "Pack {}: cross-site aggregation ({} site{}, cap {} MWh/frame)",
+            "Pack {}: cross-site aggregation ({} site{}, {}{})",
             pack.name(),
             sites,
             if sites == 1 { "" } else { "s" },
-            transfer_cap.mwh(),
+            interconnect.describe(),
+            mode_tag,
         ),
         &[
             "variant",
@@ -146,9 +221,14 @@ pub fn pack_sweep_with(
                 "-".into(),
             ]);
         }
-        let fleet: MultiSiteReport = fleet_engine
-            .couple(reports)
-            .expect("reports match the fleet roster");
+        let fleet: MultiSiteReport = match mode {
+            InterconnectMode::PostHoc => fleet_engine
+                .couple(reports)
+                .expect("reports match the fleet roster"),
+            InterconnectMode::Planned => FleetPlanner::for_engine(fleet_engine)
+                .couple(fleet_engine, reports)
+                .expect("reports match the fleet roster"),
+        };
         table.push_owned(vec![
             label,
             "fleet".into(),
@@ -229,6 +309,22 @@ mod tests {
     }
 
     #[test]
+    fn interconnect_mode_parses_the_closed_roster() {
+        assert_eq!(
+            InterconnectMode::parse("post-hoc").unwrap(),
+            InterconnectMode::PostHoc
+        );
+        assert_eq!(
+            InterconnectMode::parse("planned").unwrap(),
+            InterconnectMode::Planned
+        );
+        let err = InterconnectMode::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown interconnect mode: bogus"), "{err}");
+        assert!(err.contains("post-hoc|planned"), "{err}");
+        assert_eq!(InterconnectMode::Planned.to_string(), "planned");
+    }
+
+    #[test]
     fn pack_sweep_table_shape() {
         // Two sites over the 4-variant price-spike pack: 4 × (2 + fleet).
         let pack = ScenarioPack::builtin("price-spike").unwrap();
@@ -237,7 +333,8 @@ mod tests {
             7,
             &pack,
             2,
-            default_transfer_cap(),
+            &default_interconnect(2),
+            InterconnectMode::PostHoc,
         );
         assert_eq!(t.rows.len(), 4 * 3);
         assert_eq!(t.rows[0][0], "calm");

@@ -2,16 +2,21 @@
 //! the sweep-determinism job:
 //!
 //! * pack sweeps (the `dpss sweep --pack` tables) are byte-identical for
-//!   `--threads 1` vs `8`;
+//!   `--threads 1` vs `8` — in both settlement modes (post-hoc and
+//!   planned);
 //! * the fleet settlement is independent of site-execution order — the
 //!   per-site runs can be computed in any order (or on any thread) and
-//!   [`MultiSiteEngine::couple`] still produces the identical aggregate;
+//!   [`MultiSiteEngine::couple`] (and the planner's
+//!   [`FleetPlanner::couple`]) still produce the identical aggregate;
 //! * one fleet row of the canonical `seasonal-calendar --sites 3` sweep
-//!   is pinned byte-for-byte, so the new workload class has a golden of
-//!   its own next to the Fig. 6 one.
+//!   is pinned byte-for-byte, and one variant of
+//!   `price-spike --sites 3 --interconnect planned` next to it, so both
+//!   settlement modes have goldens of their own next to the Fig. 6 one
+//!   (CI uploads the corresponding `pack_sweep{,_planned}.json`
+//!   artifacts).
 
-use dpss_bench::{packs, ExperimentRunner, PAPER_SEED};
-use dpss_core::SmartDpssConfig;
+use dpss_bench::{packs, ExperimentRunner, InterconnectMode, PAPER_SEED};
+use dpss_core::{FleetPlanner, SmartDpssConfig};
 use dpss_sim::{Engine, MultiSiteEngine, RunReport, SimParams};
 use dpss_traces::ScenarioPack;
 use dpss_units::{Energy, SlotClock};
@@ -19,19 +24,45 @@ use dpss_units::{Energy, SlotClock};
 #[test]
 fn pack_sweep_threads_1_and_8_are_identical() {
     let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+    let ic = packs::default_interconnect(3);
     let serial = packs::pack_sweep_with(
         &ExperimentRunner::serial(),
         PAPER_SEED,
         &pack,
         3,
-        packs::default_transfer_cap(),
+        &ic,
+        InterconnectMode::PostHoc,
     );
     let threaded = packs::pack_sweep_with(
         &ExperimentRunner::new(8),
         PAPER_SEED,
         &pack,
         3,
-        packs::default_transfer_cap(),
+        &ic,
+        InterconnectMode::PostHoc,
+    );
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn planned_pack_sweep_threads_1_and_8_are_identical() {
+    let pack = ScenarioPack::builtin("seasonal-calendar").unwrap();
+    let ic = packs::default_interconnect(3);
+    let serial = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        &ic,
+        InterconnectMode::Planned,
+    );
+    let threaded = packs::pack_sweep_with(
+        &ExperimentRunner::new(8),
+        PAPER_SEED,
+        &pack,
+        3,
+        &ic,
+        InterconnectMode::Planned,
     );
     assert_eq!(serial, threaded);
 }
@@ -43,8 +74,9 @@ fn pack_overview_threads_1_and_8_are_identical() {
     assert_eq!(serial, threaded);
 }
 
-#[test]
-fn fleet_settlement_is_independent_of_site_execution_order() {
+/// Builds the 3-site renewable-drought fleet and a closure that runs one
+/// site — the harness both settlement-order tests share.
+fn drought_fleet() -> (MultiSiteEngine, impl Fn(usize) -> RunReport) {
     let clock = SlotClock::icdcs13_month();
     let params = SimParams::icdcs13();
     let pack = ScenarioPack::builtin("renewable-drought").unwrap();
@@ -62,15 +94,20 @@ fn fleet_settlement_is_independent_of_site_execution_order() {
         .unwrap()
         .with_transfer_cap(Energy::from_mwh(2.0))
         .unwrap();
-
-    let run_site = |s: usize| -> RunReport {
+    let run_site = move |multi: &MultiSiteEngine, s: usize| -> RunReport {
         let engine = &multi.sites()[s];
         let mut ctl =
             dpss_core::SmartDpss::new(SmartDpssConfig::icdcs13(), params, engine.truth().clock)
                 .unwrap();
         engine.run(&mut ctl).unwrap()
     };
+    let multi_for_closure = multi.clone();
+    (multi, move |s| run_site(&multi_for_closure, s))
+}
 
+#[test]
+fn fleet_settlement_is_independent_of_site_execution_order() {
+    let (multi, run_site) = drought_fleet();
     // Three execution orders, one settlement each: all must agree.
     let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 1, 0], [1, 2, 0]];
     let mut fleets = Vec::new();
@@ -86,6 +123,35 @@ fn fleet_settlement_is_independent_of_site_execution_order() {
     assert_eq!(fleets[0], fleets[2]);
 }
 
+#[test]
+fn planned_settlement_is_independent_of_site_execution_order() {
+    let (multi, run_site) = drought_fleet();
+    let orders: [[usize; 3]; 3] = [[0, 1, 2], [2, 1, 0], [1, 2, 0]];
+    let mut fleets = Vec::new();
+    for order in orders {
+        let mut reports: Vec<Option<RunReport>> = vec![None, None, None];
+        for s in order {
+            reports[s] = Some(run_site(s));
+        }
+        let reports: Vec<RunReport> = reports.into_iter().map(Option::unwrap).collect();
+        // A fresh planner per settlement: the warm-start chain must not
+        // leak state across orders either.
+        fleets.push(
+            FleetPlanner::for_engine(&multi)
+                .couple(&multi, reports)
+                .unwrap(),
+        );
+    }
+    assert_eq!(fleets[0], fleets[1]);
+    assert_eq!(fleets[0], fleets[2]);
+    // And the planned fleet is never worse than the greedy one.
+    let posthoc = {
+        let reports: Vec<RunReport> = (0..3).map(run_site).collect();
+        multi.couple(reports).unwrap()
+    };
+    assert!(fleets[0].total_cost() <= posthoc.total_cost() + dpss_units::Money::from_dollars(1e-9));
+}
+
 /// The golden bytes of the canonical multi-site artifact: the first
 /// variant's site and fleet rows of `dpss sweep --pack seasonal-calendar
 /// --sites 3` at seed 42. Any drift in the pack seed schedule, the shared
@@ -98,7 +164,8 @@ fn seasonal_calendar_fleet_rows_match_golden_bytes() {
         PAPER_SEED,
         &pack,
         3,
-        packs::default_transfer_cap(),
+        &packs::default_interconnect(3),
+        InterconnectMode::PostHoc,
     );
     // 4 variants × (3 sites + 1 fleet row).
     assert_eq!(table.rows.len(), 16);
@@ -112,5 +179,34 @@ fn seasonal_calendar_fleet_rows_match_golden_bytes() {
     ];
     for (row, want) in table.rows.iter().take(4).zip(&golden) {
         assert_eq!(row, want, "seasonal-calendar golden bytes drifted");
+    }
+}
+
+/// The planned-mode golden next to the post-hoc one: the first variant of
+/// `dpss sweep --pack price-spike --sites 3 --interconnect planned` at
+/// seed 42. Pins the planner's flow LP end to end (site seeds → SmartDPSS
+/// → frame exchanges → warm-started settlement).
+#[test]
+fn price_spike_planned_fleet_rows_match_golden_bytes() {
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let table = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        &packs::default_interconnect(3),
+        InterconnectMode::Planned,
+    );
+    assert_eq!(table.rows.len(), 16);
+    let golden: [[&str; 8]; 4] = [
+        ["calm", "0", "32.843", "23.07", "146.1", "10.5", "-", "-"],
+        ["calm", "1", "33.984", "20.00", "171.6", "34.3", "-", "-"],
+        ["calm", "2", "35.093", "23.16", "112.8", "26.2", "-", "-"],
+        [
+            "calm", "fleet", "100.217", "22.06", "430.4", "70.9", "25.95", "1266.45",
+        ],
+    ];
+    for (row, want) in table.rows.iter().take(4).zip(&golden) {
+        assert_eq!(row, want, "price-spike planned golden bytes drifted");
     }
 }

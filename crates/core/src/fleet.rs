@@ -1,0 +1,398 @@
+//! The fleet export planner: per-coarse-frame linear programs over the
+//! interconnect topology.
+//!
+//! The post-hoc settlement in `dpss-sim`
+//! ([`Interconnect::settle_greedy`]) matches curtailment to expensive
+//! real-time purchases link by link — a myopic fold that is optimal for
+//! the legacy pooled lossless topology but not in general: with per-pair
+//! caps, line losses or wheeling prices, serving the most expensive
+//! recipient first can strand cheap capacity that a joint plan would
+//! route differently. [`FleetPlanner`] closes that gap by *planning* each
+//! frame's exports as a linear program:
+//!
+//! * one flow variable per open directed link `i → j`, bounded by the
+//!   pair cap (tightened each frame to the donor's curtailment — the
+//!   frame-to-frame bound edits the warm-start layer's dual phase was
+//!   built for);
+//! * per-site donor rows (`Σⱼ f(i,j) ≤` curtailed `i`) and recipient
+//!   rows (`Σᵢ (1−loss)·f(i,j) ≤` real-time need `j`), plus the pooled
+//!   cap row when the topology has one;
+//! * objective: maximize delivered value minus wheeling
+//!   (`min Σ f·(wheel − p_rt·(1−loss))`).
+//!
+//! Consecutive frames share the constraint structure, so the planner
+//! edits objective, bounds and right-hand sides in place
+//! ([`Problem::set_objective`] / [`set_bounds`](Problem::set_bounds) /
+//! [`set_rhs`](Problem::set_rhs)) and re-solves through one
+//! [`LpWorkspace`], warm-starting from the previous frame's basis.
+//!
+//! The greedy settlement is always a feasible point of this LP, so the
+//! planned fleet cost is never worse than the post-hoc one — the
+//! acceptance property `interconnect_physics.rs` pins across every
+//! built-in scenario pack.
+
+use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
+use dpss_sim::{
+    FrameExchange, FrameSettlement, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport,
+    SimError,
+};
+use dpss_units::{Energy, Money};
+
+/// Plans each coarse frame's inter-site export flows as an LP over an
+/// [`Interconnect`] topology (see the module docs for the formulation).
+///
+/// # Examples
+///
+/// ```
+/// use dpss_core::FleetPlanner;
+/// use dpss_sim::{FrameExchange, Interconnect};
+/// use dpss_units::Energy;
+///
+/// # fn main() -> Result<(), dpss_sim::SimError> {
+/// let ic = Interconnect::uniform(2, Energy::from_mwh(5.0))?;
+/// let mut planner = FleetPlanner::new(ic);
+/// let s = planner.plan(&FrameExchange {
+///     frame: 0,
+///     curtailed: vec![Energy::from_mwh(3.0), Energy::ZERO],
+///     rt_energy: vec![Energy::ZERO, Energy::from_mwh(2.0)],
+///     rt_price: vec![0.0, 60.0],
+/// });
+/// assert!((s.delivered.mwh() - 2.0).abs() < 1e-9);
+/// assert!((s.savings.dollars() - 120.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FleetPlanner {
+    ic: Interconnect,
+    /// The flow LP template; only objective, bounds and right-hand sides
+    /// change between frames.
+    problem: Problem,
+    /// `(from, to, flow variable)` per open link, donor-major.
+    flows: Vec<(usize, usize, Variable)>,
+    /// Donor budget row per site (`None` when the site has no open
+    /// outgoing link).
+    donor_rows: Vec<Option<ConstraintId>>,
+    /// Recipient need row per site (`None` without open incoming links).
+    need_rows: Vec<Option<ConstraintId>>,
+    workspace: LpWorkspace,
+}
+
+impl FleetPlanner {
+    /// Builds the planner (and its LP template) for a topology.
+    #[must_use]
+    pub fn new(ic: Interconnect) -> Self {
+        let n = ic.sites();
+        let mut problem = Problem::new(Sense::Minimize);
+        let flows: Vec<(usize, usize, Variable)> = ic
+            .open_links()
+            .map(|(i, j)| {
+                let var = problem
+                    .add_var(format!("f{i}_{j}"), 0.0, ic.cap(i, j).mwh(), 0.0)
+                    .expect("caps are validated finite");
+                (i, j, var)
+            })
+            .collect();
+        let mut donor_rows = vec![None; n];
+        let mut need_rows = vec![None; n];
+        if !flows.is_empty() {
+            for s in 0..n {
+                let outgoing: Vec<(Variable, f64)> = flows
+                    .iter()
+                    .filter(|&&(i, _, _)| i == s)
+                    .map(|&(_, _, v)| (v, 1.0))
+                    .collect();
+                if !outgoing.is_empty() {
+                    donor_rows[s] = Some(
+                        problem
+                            .add_constraint(&outgoing, Relation::Le, 0.0)
+                            .expect("template rows are well-formed"),
+                    );
+                }
+                let incoming: Vec<(Variable, f64)> = flows
+                    .iter()
+                    .filter(|&&(_, j, _)| j == s)
+                    .map(|&(i, _, v)| (v, 1.0 - ic.loss(i, s)))
+                    .collect();
+                if !incoming.is_empty() {
+                    need_rows[s] = Some(
+                        problem
+                            .add_constraint(&incoming, Relation::Le, 0.0)
+                            .expect("template rows are well-formed"),
+                    );
+                }
+            }
+            if let Some(pool) = ic.pool_cap() {
+                let all: Vec<(Variable, f64)> = flows.iter().map(|&(_, _, v)| (v, 1.0)).collect();
+                problem
+                    .add_constraint(&all, Relation::Le, pool.mwh())
+                    .expect("template rows are well-formed");
+            }
+        }
+        FleetPlanner {
+            ic,
+            problem,
+            flows,
+            donor_rows,
+            need_rows,
+            workspace: LpWorkspace::new(),
+        }
+    }
+
+    /// The planner built for a fleet's configured topology.
+    #[must_use]
+    pub fn for_engine(engine: &MultiSiteEngine) -> Self {
+        FleetPlanner::new(engine.interconnect().clone())
+    }
+
+    /// The topology the planner routes over.
+    #[must_use]
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.ic
+    }
+
+    /// Plans one frame's export flows and returns the settlement they
+    /// realize. Deterministic in the planner's *history*: the same
+    /// sequence of exchanges through the same planner always yields the
+    /// same settlements. The net value (`savings − wheeling`) is the LP
+    /// optimum regardless of history, but on degenerate frames (two
+    /// links of equal net value) a warm solve can land on a different
+    /// optimal vertex than a cold one, splitting `sent`/`savings`
+    /// differently — so callers that publish tables settle each variant
+    /// through a *fresh* planner (as `pack_sweep_with` does) rather than
+    /// sharing one across unrelated frame sequences.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exchange's site rosters do not match the topology
+    /// (a programming error — `couple` validates rosters up front).
+    #[must_use]
+    pub fn plan(&mut self, ex: &FrameExchange) -> FrameSettlement {
+        let n = self.ic.sites();
+        assert!(
+            ex.curtailed.len() == n && ex.rt_energy.len() == n && ex.rt_price.len() == n,
+            "exchange covers a different site roster than the topology"
+        );
+        let mut out = FrameSettlement::default();
+        if self.flows.is_empty() || self.ic.is_silent() {
+            return out;
+        }
+        for &(i, j, var) in &self.flows {
+            let loss = self.ic.loss(i, j);
+            let value = ex.rt_price[j] * (1.0 - loss) - self.ic.wheeling(i, j).dollars_per_mwh();
+            self.problem
+                .set_objective(var, -value)
+                .expect("template variables stay valid");
+            // The frame-to-frame cap update: a pair can never carry more
+            // than its donor curtailed this frame.
+            let ub = self.ic.cap(i, j).min(ex.curtailed[i]).mwh();
+            self.problem
+                .set_bounds(var, 0.0, ub.max(0.0))
+                .expect("caps and curtailment are non-negative");
+        }
+        for s in 0..n {
+            if let Some(row) = self.donor_rows[s] {
+                self.problem
+                    .set_rhs(row, ex.curtailed[s].mwh().max(0.0))
+                    .expect("template rows stay valid");
+            }
+            if let Some(row) = self.need_rows[s] {
+                self.problem
+                    .set_rhs(row, ex.rt_energy[s].mwh().max(0.0))
+                    .expect("template rows stay valid");
+            }
+        }
+        let sol = self
+            .problem
+            .solve_with(&mut self.workspace)
+            .expect("the flow LP is feasible (zero flow) and box-bounded");
+        for &(i, j, var) in &self.flows {
+            let sent = sol.value(var).max(0.0);
+            if sent <= 0.0 {
+                continue;
+            }
+            let loss = self.ic.loss(i, j);
+            let delivered = sent * (1.0 - loss);
+            out.sent += Energy::from_mwh(sent);
+            out.delivered += Energy::from_mwh(delivered);
+            out.savings += Money::from_dollars(delivered * ex.rt_price[j]);
+            out.wheeling += Money::from_dollars(sent * self.ic.wheeling(i, j).dollars_per_mwh());
+        }
+        out
+    }
+
+    /// Settles already-computed per-site reports through the planner:
+    /// [`MultiSiteEngine::couple_with`] with [`plan`](Self::plan) as the
+    /// per-frame settlement. The planner's topology must equal the
+    /// fleet's.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the planner and fleet topologies
+    /// differ, the report roster is misshapen, or a report lacks slot
+    /// outcomes.
+    pub fn couple(
+        &mut self,
+        engine: &MultiSiteEngine,
+        reports: Vec<RunReport>,
+    ) -> Result<MultiSiteReport, SimError> {
+        if engine.interconnect() != &self.ic {
+            return Err(SimError::SiteMismatch {
+                site: self.ic.sites(),
+                what: "planner topology differs from the fleet's interconnect",
+            });
+        }
+        engine.couple_with(reports, |ex| self.plan(ex))
+    }
+
+    /// Warm-start diagnostics of the underlying workspace: `(warm, cold)`
+    /// solve counts so far.
+    #[must_use]
+    pub fn solve_counts(&self) -> (u64, u64) {
+        (self.workspace.warm_solves(), self.workspace.cold_solves())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpss_units::Price;
+
+    fn exchange(curtailed: &[f64], rt: &[f64], price: &[f64]) -> FrameExchange {
+        FrameExchange {
+            frame: 0,
+            curtailed: curtailed.iter().map(|&e| Energy::from_mwh(e)).collect(),
+            rt_energy: rt.iter().map(|&e| Energy::from_mwh(e)).collect(),
+            rt_price: price.to_vec(),
+        }
+    }
+
+    #[test]
+    fn decoupled_topologies_plan_nothing() {
+        let mut p = FleetPlanner::new(Interconnect::decoupled(3).unwrap());
+        let ex = exchange(&[5.0, 5.0, 0.0], &[0.0, 0.0, 9.0], &[0.0, 0.0, 80.0]);
+        assert_eq!(p.plan(&ex), FrameSettlement::default());
+    }
+
+    #[test]
+    fn planner_matches_greedy_on_pooled_lossless_topologies() {
+        // The pooled lossless case is where greedy is optimal: the LP must
+        // find the same value.
+        let ic = Interconnect::pooled(3, Energy::from_mwh(2.0)).unwrap();
+        let mut p = FleetPlanner::new(ic.clone());
+        let ex = exchange(&[3.0, 0.0, 0.5], &[0.0, 1.5, 2.0], &[0.0, 80.0, 40.0]);
+        let planned = p.plan(&ex);
+        let greedy = ic.settle_greedy(&ex);
+        assert!(
+            (planned.savings.dollars() - greedy.savings.dollars()).abs() < 1e-9,
+            "planned {} vs greedy {}",
+            planned.savings.dollars(),
+            greedy.savings.dollars()
+        );
+        assert_eq!(planned.wheeling, Money::ZERO);
+    }
+
+    #[test]
+    fn planner_beats_greedy_when_pair_caps_constrain_routing() {
+        // Donor 0 can only reach the expensive site 1 through a thin line,
+        // while donor 2 reaches it at full width. Greedy spends donor 0's
+        // thin line first and donor 2's width on the *expensive* site too,
+        // leaving site 2's need unmet; the planner routes donor 2 to
+        // site 1 and keeps donor 0 for the cheap site it can still reach.
+        let ic = Interconnect::decoupled(4)
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(0.5))
+            .unwrap()
+            .with_link(0, 3, Energy::from_mwh(2.0))
+            .unwrap()
+            .with_link(2, 1, Energy::from_mwh(2.0))
+            .unwrap();
+        let ex = exchange(
+            &[2.0, 0.0, 1.0, 0.0],
+            &[0.0, 1.0, 0.0, 2.0],
+            &[0.0, 80.0, 0.0, 40.0],
+        );
+        let greedy = ic.settle_greedy(&ex);
+        let planned = FleetPlanner::new(ic).plan(&ex);
+        // Greedy: site 1 takes 0.5 from donor 0 + 0.5 from donor 2
+        //         (thin line spent), site 3 takes 1.5 from donor 0.
+        assert!((greedy.savings.dollars() - (80.0 + 1.5 * 40.0)).abs() < 1e-9);
+        // Planner: donor 2 covers site 1 alone; donor 0 sends 2.0 to
+        //          site 3 — strictly more displaced cost.
+        assert!((planned.savings.dollars() - (80.0 + 2.0 * 40.0)).abs() < 1e-9);
+        assert!(planned.savings > greedy.savings);
+    }
+
+    #[test]
+    fn planner_never_routes_uneconomic_flows() {
+        let ic = Interconnect::uniform(2, Energy::from_mwh(10.0))
+            .unwrap()
+            .with_uniform_loss(0.5)
+            .unwrap()
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(30.0))
+            .unwrap();
+        let ex = exchange(&[4.0, 0.0], &[0.0, 2.0], &[0.0, 50.0]);
+        let s = FleetPlanner::new(ic).plan(&ex);
+        assert_eq!(s, FrameSettlement::default());
+    }
+
+    #[test]
+    fn frame_chain_reuses_the_warm_path() {
+        let ic = Interconnect::uniform(3, Energy::from_mwh(2.0)).unwrap();
+        let mut p = FleetPlanner::new(ic);
+        for k in 0..6 {
+            let bump = 0.1 * f64::from(k);
+            let ex = exchange(
+                &[2.0 + bump, 0.3, 0.0],
+                &[0.0, 1.0, 1.5 + bump],
+                &[0.0, 55.0 + bump, 70.0],
+            );
+            let s = p.plan(&ex);
+            assert!(s.savings.dollars() > 0.0);
+        }
+        let (warm, cold) = p.solve_counts();
+        assert_eq!(warm + cold, 6);
+        assert!(
+            warm >= 3,
+            "frame-to-frame re-solves must warm-start: {warm} warm / {cold} cold"
+        );
+    }
+
+    #[test]
+    fn couple_rejects_mismatched_topologies() {
+        use dpss_sim::{Engine, SimParams};
+        use dpss_units::SlotClock;
+        let clock = SlotClock::new(2, 24, 1.0).unwrap();
+        let engines: Vec<Engine> = (0..2)
+            .map(|s| {
+                Engine::new(
+                    SimParams::icdcs13(),
+                    dpss_traces::Scenario::icdcs13()
+                        .generate(&clock, 10 + s)
+                        .unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let multi = MultiSiteEngine::new(engines)
+            .unwrap()
+            .with_transfer_cap(Energy::from_mwh(1.0))
+            .unwrap();
+        let mut planner =
+            FleetPlanner::new(Interconnect::pooled(2, Energy::from_mwh(9.0)).unwrap());
+        let reports: Vec<RunReport> = multi
+            .sites()
+            .iter()
+            .map(|s| s.run(&mut crate::Impatient::two_markets()).unwrap())
+            .collect();
+        assert!(matches!(
+            planner.couple(&multi, reports.clone()),
+            Err(SimError::SiteMismatch { .. })
+        ));
+        // The matching planner settles at least as well as the greedy fold.
+        let mut matching = FleetPlanner::for_engine(&multi);
+        let planned = matching.couple(&multi, reports.clone()).unwrap();
+        let posthoc = multi.couple(reports).unwrap();
+        assert!(planned.total_cost() <= posthoc.total_cost() + Money::from_dollars(1e-9));
+    }
+}

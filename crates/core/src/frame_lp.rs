@@ -42,6 +42,10 @@ pub(crate) struct FrameLpInputs<'a> {
     pub deadline: Option<usize>,
     /// Whether real-time purchasing is permitted.
     pub allow_rt: bool,
+    /// Explicit simplex pivot budget; `None` uses the solver default
+    /// (`200·(rows + cols) + 2000`). Long frames (`T = 144` is ~1k rows)
+    /// set this to fail fast instead of grinding on pathological bases.
+    pub max_pivots: Option<usize>,
 }
 
 /// The solved plan: long-term per-slot rate, and per-slot real-time
@@ -88,6 +92,9 @@ pub(crate) fn solve(inp: &FrameLpInputs<'_>, ws: &mut LpWorkspace) -> Result<Fra
     };
 
     let mut p = Problem::new(Sense::Minimize);
+    if let Some(budget) = inp.max_pivots {
+        p.set_max_pivots(budget);
+    }
     let g_slot = p.add_var("g_slot", 0.0, inp.slot_cap, inp.p_lt * t as f64)?;
     let mut grt: Vec<Variable> = Vec::with_capacity(t);
     let mut sdt: Vec<Variable> = Vec::with_capacity(t);
@@ -220,6 +227,7 @@ mod tests {
             q0: 0.5,
             deadline: Some(4),
             allow_rt: true,
+            max_pivots: None,
         }
     }
 

@@ -22,6 +22,11 @@
 //!   prices, solved with the `dpss-lp` simplex.
 //! * [`Impatient`] — the §VI-A baseline that serves all demand immediately
 //!   regardless of prices or renewable availability.
+//! * [`FleetPlanner`] — the multi-site export planner: per-coarse-frame
+//!   linear programs with inter-site flow variables over a
+//!   [`dpss_sim::Interconnect`] topology, warm-started frame to frame —
+//!   the *planned* alternative to `dpss-sim`'s post-hoc greedy
+//!   settlement.
 //! * [`TheoremBounds`] — the closed-form bounds of Theorem 2 (`Qmax`,
 //!   `Ymax`, `Umax`, `λmax`, `Vmax`, the `X(t)` window and the `H1`/`H2`
 //!   constants), which the integration tests verify empirically.
@@ -62,6 +67,7 @@
 mod bounds;
 mod config;
 mod error;
+mod fleet;
 mod frame_lp;
 mod greedy;
 mod impatient;
@@ -75,6 +81,7 @@ mod smart_dpss;
 pub use bounds::TheoremBounds;
 pub use config::{MarketMode, P4Variant, P5Objective, SmartDpssConfig};
 pub use error::CoreError;
+pub use fleet::FleetPlanner;
 pub use greedy::GreedyBattery;
 pub use impatient::Impatient;
 pub use lower_bound::cheapest_window_bound;

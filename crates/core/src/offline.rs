@@ -33,6 +33,13 @@ pub struct OfflineConfig {
     /// benchmark bit-reproducible against the cold solver; flip it on
     /// when throughput matters more than bit-stability.
     pub warm_start: bool,
+    /// Explicit simplex pivot budget per frame LP; `None` keeps the
+    /// solver default. The `T = 144` offline benchmark (frame LPs of
+    /// ~1k rows) pairs this with `warm_start` so a pathological frame
+    /// fails fast into the controller's fallback instead of burning the
+    /// full default budget (`bench_sweep` records the measured pivots
+    /// and wall time).
+    pub frame_pivot_budget: Option<usize>,
 }
 
 impl Default for OfflineConfig {
@@ -41,6 +48,7 @@ impl Default for OfflineConfig {
             deadline_slots: None,
             allow_real_time: true,
             warm_start: false,
+            frame_pivot_budget: None,
         }
     }
 }
@@ -160,6 +168,7 @@ impl OfflineOptimal {
                 q0,
                 deadline,
                 allow_rt: self.config.allow_real_time,
+                max_pivots: self.config.frame_pivot_budget,
             },
             &mut self.workspace,
         )

@@ -152,6 +152,7 @@ impl Controller for RecedingHorizon {
             q0: view.queue_backlog.mwh(),
             deadline,
             allow_rt: true,
+            max_pivots: None,
         };
         let solved = frame_lp::solve(&inputs, &mut self.workspace).or_else(|_| {
             frame_lp::solve(

@@ -32,6 +32,12 @@ pub enum LpError {
         /// The out-of-range index carried by the handle.
         var: usize,
     },
+    /// A [`ConstraintId`](crate::ConstraintId) handle from a different or
+    /// newer model was used.
+    UnknownConstraint {
+        /// The out-of-range index carried by the handle.
+        constraint: usize,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -48,6 +54,12 @@ impl fmt::Display for LpError {
             }
             LpError::UnknownVariable { var } => {
                 write!(f, "variable handle {var} does not belong to this problem")
+            }
+            LpError::UnknownConstraint { constraint } => {
+                write!(
+                    f,
+                    "constraint handle {constraint} does not belong to this problem"
+                )
             }
         }
     }
@@ -70,6 +82,9 @@ mod tests {
         assert!(LpError::UnknownVariable { var: 9 }
             .to_string()
             .contains('9'));
+        assert!(LpError::UnknownConstraint { constraint: 5 }
+            .to_string()
+            .contains('5'));
         assert!(LpError::NotFinite { what: "rhs" }
             .to_string()
             .contains("rhs"));

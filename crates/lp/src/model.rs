@@ -224,6 +224,51 @@ impl Problem {
         Ok(())
     }
 
+    /// Replaces the bounds of an existing variable — the re-solve edit
+    /// behind rolling-horizon cap updates (e.g. tightening an interconnect
+    /// pair cap between frames). The problem's shape is unchanged, so a
+    /// held [`LpWorkspace`](crate::LpWorkspace) basis stays eligible for a
+    /// warm start on the next [`solve_with`](Self::solve_with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`], [`LpError::NotFinite`] (NaN
+    /// bound) or [`LpError::EmptyBounds`] if `lo > up`.
+    pub fn set_bounds(&mut self, var: Variable, lo: f64, up: f64) -> Result<(), LpError> {
+        if var.0 >= self.vars.len() {
+            return Err(LpError::UnknownVariable { var: var.0 });
+        }
+        if lo.is_nan() || up.is_nan() {
+            return Err(LpError::NotFinite { what: "bound" });
+        }
+        if lo > up {
+            return Err(LpError::EmptyBounds { var: var.0 });
+        }
+        self.vars[var.0].lo = lo;
+        self.vars[var.0].up = up;
+        Ok(())
+    }
+
+    /// Replaces the right-hand side of an existing constraint (the other
+    /// half of a frame-to-frame re-solve edit: demands and availabilities
+    /// move, the constraint structure does not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownConstraint`] or [`LpError::NotFinite`].
+    pub fn set_rhs(&mut self, constraint: ConstraintId, rhs: f64) -> Result<(), LpError> {
+        if constraint.0 >= self.constraints.len() {
+            return Err(LpError::UnknownConstraint {
+                constraint: constraint.0,
+            });
+        }
+        if !rhs.is_finite() {
+            return Err(LpError::NotFinite { what: "rhs" });
+        }
+        self.constraints[constraint.0].rhs = rhs;
+        Ok(())
+    }
+
     /// Caps the number of simplex pivots (both phases combined). The default
     /// budget is `200·(rows + columns) + 2000`, far above what well-posed
     /// DPSS problems need.
@@ -399,6 +444,46 @@ mod tests {
         assert!((sol.value(x) - 2.0).abs() < 1e-9);
         assert!(p.set_objective(Variable(9), 1.0).is_err());
         assert!(p.set_objective(x, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn set_bounds_replaces_and_validates() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 5.0, 1.0).unwrap();
+        p.set_bounds(x, 2.0, 3.0).unwrap();
+        let sol = p.solve().unwrap();
+        // Minimizing x within the tightened box lands on the new floor.
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+        assert!(matches!(
+            p.set_bounds(Variable(9), 0.0, 1.0),
+            Err(LpError::UnknownVariable { var: 9 })
+        ));
+        assert!(matches!(
+            p.set_bounds(x, f64::NAN, 1.0),
+            Err(LpError::NotFinite { .. })
+        ));
+        assert!(matches!(
+            p.set_bounds(x, 2.0, 1.0),
+            Err(LpError::EmptyBounds { var: 0 })
+        ));
+    }
+
+    #[test]
+    fn set_rhs_replaces_and_validates() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0, 1.0).unwrap();
+        let c = p.add_constraint(&[(x, 1.0)], Relation::Ge, 1.0).unwrap();
+        p.set_rhs(c, 4.0).unwrap();
+        let sol = p.solve().unwrap();
+        assert!((sol.value(x) - 4.0).abs() < 1e-9);
+        assert!(matches!(
+            p.set_rhs(ConstraintId(3), 1.0),
+            Err(LpError::UnknownConstraint { constraint: 3 })
+        ));
+        assert!(matches!(
+            p.set_rhs(c, f64::INFINITY),
+            Err(LpError::NotFinite { .. })
+        ));
     }
 
     #[test]

@@ -156,8 +156,121 @@ fn assert_warm_matches_cold(primer: &FrameInstance, target: &FrameInstance) {
     }
 }
 
+/// A fleet-flow LP: one variable per directed site pair (energy sent,
+/// bounded by the pair cap), per-site donor-budget and recipient-need
+/// rows, and a delivered-value objective — the exact shape of
+/// `dpss-core`'s per-frame `FleetPlanner` problem.
+#[derive(Debug, Clone)]
+struct FlowInstance {
+    sites: usize,
+    /// Pair cap per ordered pair, row-major with unused diagonal.
+    caps: Vec<f64>,
+    donors: Vec<f64>,
+    needs: Vec<f64>,
+    prices: Vec<f64>,
+}
+
+impl FlowInstance {
+    fn build(&self) -> (Problem, Vec<Variable>) {
+        let n = self.sites;
+        let mut p = Problem::new(Sense::Minimize);
+        let mut flows = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let f = p
+                    .add_var(
+                        format!("f{i}_{j}"),
+                        0.0,
+                        self.caps[i * n + j],
+                        -self.prices[j],
+                    )
+                    .unwrap();
+                flows.push(f);
+            }
+        }
+        let var = |i: usize, j: usize| {
+            let k = i * (n - 1) + if j > i { j - 1 } else { j };
+            flows[k]
+        };
+        for i in 0..n {
+            let terms: Vec<(Variable, f64)> = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| (var(i, j), 1.0))
+                .collect();
+            p.add_constraint(&terms, Relation::Le, self.donors[i])
+                .unwrap();
+        }
+        for j in 0..n {
+            let terms: Vec<(Variable, f64)> = (0..n)
+                .filter(|&i| i != j)
+                .map(|i| (var(i, j), 1.0))
+                .collect();
+            p.add_constraint(&terms, Relation::Le, self.needs[j])
+                .unwrap();
+        }
+        (p, flows)
+    }
+}
+
+fn flow_instance(sites: usize) -> impl Strategy<Value = FlowInstance> {
+    let pairs = sites * sites;
+    (
+        proptest::collection::vec(0.0..3.0f64, pairs),
+        proptest::collection::vec(0.0..4.0f64, sites),
+        proptest::collection::vec(0.0..4.0f64, sites),
+        proptest::collection::vec(1.0..90.0f64, sites),
+    )
+        .prop_map(move |(caps, donors, needs, prices)| FlowInstance {
+            sites,
+            caps,
+            donors,
+            needs,
+            prices,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The planner's frame-to-frame cap update: after a *single pair-cap
+    /// bound edit* on an already-solved flow LP, a warm `solve_with` from
+    /// the previous optimal basis must match a cold solve exactly
+    /// (objective to 1e-9, status by discriminant). This is the
+    /// dual-simplex bound-tightening path: the shape is unchanged, so the
+    /// saved basis is reused and feasibility is restored dually.
+    #[test]
+    fn warm_resolve_after_single_cap_edit_matches_cold(
+        inst in flow_instance(3),
+        pair in 0usize..6,
+        new_cap in 0.0..3.0f64,
+    ) {
+        let (mut p, flows) = inst.build();
+        let mut ws = LpWorkspace::new();
+        p.solve_with(&mut ws).expect("flow LPs are always feasible");
+
+        p.set_bounds(flows[pair], 0.0, new_cap).unwrap();
+        let warm = p.solve_with(&mut ws);
+        let cold = p.solve();
+        match (&cold, &warm) {
+            (Ok(c), Ok(w)) => {
+                let tol = 1e-9 * (1.0 + c.objective().abs());
+                prop_assert!(
+                    (c.objective() - w.objective()).abs() <= tol,
+                    "cold {} vs warm {} after cap edit (warm path: {})",
+                    c.objective(),
+                    w.objective(),
+                    ws.last_was_warm()
+                );
+                prop_assert!(p.is_feasible(w.values(), 1e-6));
+            }
+            (Err(ce), Err(we)) => prop_assert_eq!(
+                std::mem::discriminant(ce), std::mem::discriminant(we)),
+            _ => prop_assert!(false, "status mismatch: {:?} vs {:?}", cold, warm),
+        }
+    }
 
     /// Warm-started solves of randomized frame LPs return the same
     /// objective (within 1e-9) and feasibility status as cold solves.
@@ -228,6 +341,41 @@ fn warm_path_engages_on_consecutive_frames() {
         "warm path must engage on repeated frame shapes: {} warm / {} cold",
         ws.warm_solves(),
         ws.cold_solves()
+    );
+}
+
+#[test]
+fn warm_path_engages_after_bound_edits() {
+    // The re-solve edits keep the standard-form shape, so the saved basis
+    // must actually be reused — not silently rejected — on a chain of
+    // tightening/relaxing cap updates.
+    let inst = FlowInstance {
+        sites: 3,
+        caps: vec![0.0, 2.0, 1.5, 1.0, 0.0, 2.0, 0.5, 1.0, 0.0],
+        donors: vec![2.0, 1.0, 3.0],
+        needs: vec![1.5, 2.5, 0.5],
+        prices: vec![45.0, 60.0, 30.0],
+    };
+    let (mut p, flows) = inst.build();
+    let mut ws = LpWorkspace::new();
+    p.solve_with(&mut ws).unwrap();
+    for (k, cap) in [(0usize, 0.5), (3, 2.0), (5, 0.0), (0, 2.0)] {
+        p.set_bounds(flows[k], 0.0, cap).unwrap();
+        let warm = p.solve_with(&mut ws).unwrap();
+        let cold = p.solve().unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() <= 1e-9 * (1.0 + cold.objective().abs()),
+            "cap edit {k}->{cap}: warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+    }
+    assert!(
+        ws.warm_solves() >= 2,
+        "bound edits must keep the warm path eligible: {} warm / {} cold / {} rejects",
+        ws.warm_solves(),
+        ws.cold_solves(),
+        ws.warm_rejects()
     );
 }
 

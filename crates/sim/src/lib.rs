@@ -24,9 +24,10 @@
 //!   (what the plant experiences) and *observed* traces (what the
 //!   controller sees — the Fig. 9 robustness experiment), and produces a
 //!   [`RunReport`];
-//! * [`MultiSiteEngine`] — N per-site engines on one calendar with a
-//!   capped per-frame inter-site transfer settlement, producing per-site
-//!   plus fleet-aggregate metrics ([`MultiSiteReport`]);
+//! * [`MultiSiteEngine`] — N per-site engines on one calendar coupled
+//!   through an [`Interconnect`] topology (per-pair directed caps, line
+//!   losses, wheeling prices) whose per-frame settlement produces
+//!   per-site plus fleet-aggregate metrics ([`MultiSiteReport`]);
 //! * [`SimParams`] — the paper's §VI-A parameter set via
 //!   [`SimParams::icdcs13`].
 //!
@@ -76,6 +77,7 @@ mod delay;
 mod engine;
 mod error;
 mod forecast;
+mod interconnect;
 mod metrics;
 mod multisite;
 mod params;
@@ -90,6 +92,7 @@ pub use delay::DelayLedger;
 pub use engine::Engine;
 pub use error::SimError;
 pub use forecast::ForecastPolicy;
+pub use interconnect::{FrameExchange, FrameSettlement, Interconnect};
 pub use metrics::{RunReport, SlotCost, SlotOutcome};
 pub use multisite::{MultiSiteEngine, MultiSiteReport};
 pub use params::SimParams;

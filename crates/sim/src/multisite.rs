@@ -1,31 +1,36 @@
 //! Multi-datacenter composition: N per-site [`Engine`]s sharing a
-//! calendar, with a simple interconnect-coupling knob.
+//! calendar, coupled through an [`Interconnect`] topology.
 //!
 //! Each site is a full DPSS plant running its own traces and controller;
-//! the only cross-site physics is an optional *inter-site transfer*
-//! settlement applied per coarse frame: energy one site curtailed
-//! (`W(τ)`) may displace real-time purchases at another site, up to a
-//! configured cap per frame. The settlement is a deterministic fold over
+//! the only cross-site physics is the inter-site transfer settlement
+//! applied per coarse frame over the configured [`Interconnect`]: energy
+//! one site curtailed (`W(τ)`) may displace real-time purchases at
+//! another site, bounded by directed per-pair caps (plus an optional
+//! fleet-pooled cap), shrunk by line losses and billed per MWh sent at
+//! the line's wheeling price. The settlement is a deterministic fold over
 //! the per-site reports in site-index order, so aggregate results are
 //! byte-identical no matter how (or on how many threads) the site runs
 //! were executed.
 //!
-//! The model is deliberately a knob, not a grid simulation: transfers are
-//! settled after the fact at the recipient's frame-average real-time
-//! price, donors still pay their waste penalty (the credit is netted at
-//! the fleet level), and transmission is lossless. `cap = 0` decouples
-//! the sites entirely while still producing fleet-level aggregates.
+//! Two settlement modes share the extraction and aggregation here:
+//! [`MultiSiteEngine::couple`] settles post-hoc with the greedy fold
+//! ([`Interconnect::settle_greedy`]); [`MultiSiteEngine::couple_with`]
+//! lets a caller substitute a planner — `dpss-core`'s `FleetPlanner`
+//! solves each frame's export flows as a linear program over the same
+//! [`FrameExchange`]s.
 
 use dpss_units::{Energy, Money};
 
-use crate::{Controller, Engine, RunReport, SimError};
+use crate::{
+    Controller, Engine, FrameExchange, FrameSettlement, Interconnect, RunReport, SimError,
+};
 
-/// N per-site [`Engine`]s plus the interconnect-coupling knob.
+/// N per-site [`Engine`]s plus the interconnect topology they settle over.
 ///
 /// # Examples
 ///
 /// ```
-/// use dpss_sim::{Controller, Engine, MultiSiteEngine, SimParams};
+/// use dpss_sim::{Controller, Engine, Interconnect, MultiSiteEngine, SimParams};
 /// use dpss_traces::ScenarioPack;
 /// use dpss_units::{Energy, SlotClock};
 /// # use dpss_sim::{FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView};
@@ -52,7 +57,7 @@ use crate::{Controller, Engine, RunReport, SimError};
 ///     .map(|s| Engine::new(params, pack.generate_site(&clock, 42, 0, s)?))
 ///     .collect();
 /// let multi = MultiSiteEngine::new(sites?)?
-///     .with_transfer_cap(Energy::from_mwh(2.0))?;
+///     .with_interconnect(Interconnect::uniform(3, Energy::from_mwh(1.0))?)?;
 /// let mut ctls: Vec<Box<dyn Controller>> =
 ///     (0..3).map(|_| Box::new(Eager) as Box<dyn Controller>).collect();
 /// let fleet = multi.run(&mut ctls)?;
@@ -64,13 +69,14 @@ use crate::{Controller, Engine, RunReport, SimError};
 #[derive(Debug, Clone)]
 pub struct MultiSiteEngine {
     sites: Vec<Engine>,
-    transfer_cap_per_frame: Energy,
+    interconnect: Interconnect,
 }
 
 impl MultiSiteEngine {
     /// Composes per-site engines into a fleet. All sites must share one
     /// calendar. Slot recording is enabled on every site (the coupling
-    /// settlement needs per-frame outcome breakdowns).
+    /// settlement needs per-frame outcome breakdowns). The fleet starts
+    /// decoupled ([`Interconnect::decoupled`]).
     ///
     /// # Errors
     ///
@@ -90,31 +96,43 @@ impl MultiSiteEngine {
                 });
             }
         }
+        let interconnect = Interconnect::decoupled(sites.len())?;
         Ok(MultiSiteEngine {
             sites: sites
                 .into_iter()
                 .map(|s| s.with_slot_recording(true))
                 .collect(),
-            transfer_cap_per_frame: Energy::ZERO,
+            interconnect,
         })
     }
 
-    /// Sets the interconnect-coupling knob: the total inter-site energy
-    /// transfer allowed per coarse frame. `0` (the default) decouples the
-    /// sites.
+    /// Replaces the interconnect topology.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the topology spans a different
+    /// number of sites than the fleet roster.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Result<Self, SimError> {
+        if interconnect.sites() != self.sites.len() {
+            return Err(SimError::SiteMismatch {
+                site: interconnect.sites(),
+                what: "interconnect spans a different number of sites than the fleet",
+            });
+        }
+        self.interconnect = interconnect;
+        Ok(self)
+    }
+
+    /// The legacy coupling knob: the total inter-site energy transfer
+    /// allowed per coarse frame, as a lossless, free, fleet-pooled
+    /// topology ([`Interconnect::pooled`]). `0` decouples the sites.
     ///
     /// # Errors
     ///
     /// [`SimError::InvalidParameter`] for non-finite or negative caps.
-    pub fn with_transfer_cap(mut self, cap: Energy) -> Result<Self, SimError> {
-        if !(cap.is_finite() && cap.mwh() >= 0.0) {
-            return Err(SimError::InvalidParameter {
-                what: "transfer_cap_per_frame",
-                requirement: "must be finite and non-negative",
-            });
-        }
-        self.transfer_cap_per_frame = cap;
-        Ok(self)
+    pub fn with_transfer_cap(self, cap: Energy) -> Result<Self, SimError> {
+        let n = self.sites.len();
+        self.with_interconnect(Interconnect::pooled(n, cap)?)
     }
 
     /// The per-site engines, in site-index order.
@@ -129,10 +147,10 @@ impl MultiSiteEngine {
         self.sites.len()
     }
 
-    /// The configured per-frame transfer cap.
+    /// The configured interconnect topology.
     #[must_use]
-    pub fn transfer_cap_per_frame(&self) -> Energy {
-        self.transfer_cap_per_frame
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
     }
 
     /// Runs one controller per site (serially, in site order) and settles
@@ -166,22 +184,44 @@ impl MultiSiteEngine {
         self.couple(reports)
     }
 
-    /// Settles the interconnect coupling over already-computed per-site
-    /// reports (in site-index order) and aggregates the fleet report.
-    ///
-    /// Per frame, each site's curtailed energy may displace real-time
-    /// purchases at *other* sites (never its own — transfers are strictly
-    /// inter-site), allocated to the most expensive recipients first
-    /// (frame-average real-time price, ties broken by site index), from
-    /// donors in site order, until the per-frame cap is spent. The fleet
-    /// is credited with the displaced cost. Pure arithmetic over the
-    /// reports — no RNG, no scheduling dependence.
+    /// Settles the interconnect coupling post-hoc over already-computed
+    /// per-site reports (in site-index order) and aggregates the fleet
+    /// report, using the greedy per-frame fold
+    /// ([`Interconnect::settle_greedy`]): most expensive recipients
+    /// first, donors in site order, per-link caps/losses/wheeling
+    /// respected. Pure arithmetic over the reports — no RNG, no
+    /// scheduling dependence.
     ///
     /// # Errors
     ///
     /// [`SimError::SiteMismatch`] if the report roster length differs from
     /// the site roster or a report lacks slot outcomes.
     pub fn couple(&self, reports: Vec<RunReport>) -> Result<MultiSiteReport, SimError> {
+        self.couple_with(reports, |ex| self.interconnect.settle_greedy(ex))
+    }
+
+    /// [`couple`](Self::couple) with a caller-supplied settlement: `settle`
+    /// receives each coarse frame's [`FrameExchange`] in frame order and
+    /// returns what moved. This is the planner hook — `dpss-core`'s
+    /// `FleetPlanner` solves each frame's export flows as an LP over the
+    /// same topology instead of folding greedily.
+    ///
+    /// Determinism contract: the exchanges depend only on the reports (in
+    /// site order), so any deterministic `settle` yields fleet aggregates
+    /// independent of site-execution order and thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the report roster length differs from
+    /// the site roster or a report lacks slot outcomes.
+    pub fn couple_with<F>(
+        &self,
+        reports: Vec<RunReport>,
+        mut settle: F,
+    ) -> Result<MultiSiteReport, SimError>
+    where
+        F: FnMut(&FrameExchange) -> FrameSettlement,
+    {
         if reports.len() != self.sites.len() {
             return Err(SimError::SiteMismatch {
                 site: reports.len(),
@@ -205,61 +245,49 @@ impl MultiSiteEngine {
         }
 
         let t = clock.slots_per_frame();
-        let cap = self.transfer_cap_per_frame;
-        let mut transferred = Energy::ZERO;
-        let mut savings = Money::ZERO;
+        let mut total = FrameSettlement::default();
         // A transfer is *inter*-site: a site's own curtailment can never
         // displace its own purchases (that would grant free intra-frame
-        // storage), so single-site fleets settle nothing by construction.
-        if cap > Energy::ZERO && self.sites.len() > 1 {
+        // storage), so single-site and silent fleets settle nothing.
+        if !self.interconnect.is_silent() {
             for frame in 0..clock.frames() {
                 let range = frame * t..(frame + 1) * t;
-                // Per-site donatable curtailment, in site order.
-                let mut donors: Vec<Energy> = Vec::with_capacity(reports.len());
-                // (site, displaceable rt energy, frame-average rt price $/MWh)
-                let mut recipients: Vec<(usize, Energy, f64)> = Vec::new();
-                for (s, r) in reports.iter().enumerate() {
+                let mut ex = FrameExchange {
+                    frame,
+                    curtailed: Vec::with_capacity(reports.len()),
+                    rt_energy: Vec::with_capacity(reports.len()),
+                    rt_price: Vec::with_capacity(reports.len()),
+                };
+                for r in &reports {
                     let outcomes =
                         &r.slot_outcomes.as_ref().expect("validated above")[range.clone()];
                     let waste: Energy = outcomes.iter().map(|o| o.waste).sum();
                     let rt: Energy = outcomes.iter().map(|o| o.purchase_rt).sum();
                     let rt_cost: Money = outcomes.iter().map(|o| o.cost.real_time).sum();
-                    donors.push(waste);
-                    if rt > Energy::ZERO {
-                        recipients.push((s, rt, rt_cost.dollars() / rt.mwh()));
-                    }
+                    ex.curtailed.push(waste);
+                    ex.rt_energy.push(rt);
+                    ex.rt_price.push(if rt > Energy::ZERO {
+                        rt_cost.dollars() / rt.mwh()
+                    } else {
+                        0.0
+                    });
                 }
-                // Most expensive recipients first; ties by site index.
-                recipients.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
-                let mut cap_left = cap;
-                for (r_site, mut need, price) in recipients {
-                    for (d_site, avail) in donors.iter_mut().enumerate() {
-                        if d_site == r_site {
-                            continue;
-                        }
-                        let moved = (*avail).min(need).min(cap_left);
-                        if moved <= Energy::ZERO {
-                            continue;
-                        }
-                        *avail -= moved;
-                        need -= moved;
-                        cap_left -= moved;
-                        transferred += moved;
-                        savings += Money::from_dollars(moved.mwh() * price);
-                    }
-                    if cap_left <= Energy::ZERO {
-                        break;
-                    }
-                }
+                let s = settle(&ex);
+                total.sent += s.sent;
+                total.delivered += s.delivered;
+                total.savings += s.savings;
+                total.wheeling += s.wheeling;
             }
         }
 
         Ok(MultiSiteReport {
             frames: clock.frames(),
             slots: clock.total_slots(),
-            transfer_cap_per_frame: cap,
-            energy_transferred: transferred,
-            transfer_savings: savings,
+            interconnect: self.interconnect.clone(),
+            energy_transferred: total.sent,
+            energy_delivered: total.delivered,
+            transfer_savings: total.savings,
+            wheeling_cost: total.wheeling,
             sites: reports,
         })
     }
@@ -275,12 +303,16 @@ pub struct MultiSiteReport {
     pub frames: usize,
     /// Fine slots in the shared calendar (per site).
     pub slots: usize,
-    /// The coupling knob the settlement ran with.
-    pub transfer_cap_per_frame: Energy,
-    /// Total energy moved between sites over the horizon.
+    /// The topology the settlement ran over.
+    pub interconnect: Interconnect,
+    /// Total energy sent by donors over the horizon (before line losses).
     pub energy_transferred: Energy,
-    /// Real-time purchase cost displaced by the transfers.
+    /// Total energy delivered to recipients (after line losses).
+    pub energy_delivered: Energy,
+    /// Real-time purchase cost displaced by the delivered energy.
     pub transfer_savings: Money,
+    /// Wheeling charges on the energy sent, billed to the fleet row.
+    pub wheeling_cost: Money,
 }
 
 impl MultiSiteReport {
@@ -290,16 +322,23 @@ impl MultiSiteReport {
         self.sites.len()
     }
 
+    /// Energy lost on the lines (sent − delivered).
+    #[must_use]
+    pub fn energy_lost(&self) -> Energy {
+        self.energy_transferred - self.energy_delivered
+    }
+
     /// Fleet cost with the sites fully decoupled (sum of site totals).
     #[must_use]
     pub fn cost_before_transfers(&self) -> Money {
         self.sites.iter().map(RunReport::total_cost).sum()
     }
 
-    /// Fleet cost after the interconnect settlement.
+    /// Fleet cost after the interconnect settlement: the decoupled sum,
+    /// minus the displaced real-time cost, plus the wheeling bill.
     #[must_use]
     pub fn total_cost(&self) -> Money {
-        self.cost_before_transfers() - self.transfer_savings
+        self.cost_before_transfers() - self.transfer_savings + self.wheeling_cost
     }
 
     /// Fleet cost per fine slot of the shared calendar.
@@ -332,12 +371,14 @@ impl MultiSiteReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} sites: ${:.2} total (${:.2} saved by {:.2} MWh transfers), \
-             ${:.4}/slot, delay {:.2} slots",
+            "{} sites: ${:.2} total (${:.2} saved by {:.2} MWh sent, \
+             {:.2} MWh lost, ${:.2} wheeling), ${:.4}/slot, delay {:.2} slots",
             self.site_count(),
             self.total_cost().dollars(),
             self.transfer_savings.dollars(),
             self.energy_transferred.mwh(),
+            self.energy_lost().mwh(),
+            self.wheeling_cost.dollars(),
             self.time_average_cost().dollars(),
             self.average_delay_slots(),
         )
@@ -351,7 +392,7 @@ mod tests {
         FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation, SystemView,
     };
     use dpss_traces::ScenarioPack;
-    use dpss_units::SlotClock;
+    use dpss_units::{Price, SlotClock};
 
     /// Serves everything eagerly from the real-time market.
     struct Eager;
@@ -422,6 +463,11 @@ mod tests {
         assert!(fleet(1, 0.0)
             .with_transfer_cap(Energy::from_mwh(-1.0))
             .is_err());
+        // A topology for the wrong roster size is rejected.
+        assert!(matches!(
+            fleet(2, 0.0).with_interconnect(Interconnect::decoupled(3).unwrap()),
+            Err(SimError::SiteMismatch { site: 3, .. })
+        ));
     }
 
     #[test]
@@ -457,7 +503,8 @@ mod tests {
         assert_eq!(decoupled.total_cost(), decoupled.cost_before_transfers());
 
         let coupled = fleet(3, 2.0).run(&mut eager_boxes(3)).unwrap();
-        // Same sites, same runs: the settlement can only reduce cost.
+        // Same sites, same runs: the lossless free settlement can only
+        // reduce cost.
         assert_eq!(
             coupled.cost_before_transfers(),
             decoupled.cost_before_transfers()
@@ -500,6 +547,66 @@ mod tests {
         assert!(report.total_energy_wasted() > Energy::ZERO, "test premise");
         assert_eq!(report.energy_transferred, Energy::ZERO);
         assert_eq!(report.transfer_savings, Money::ZERO);
+        assert_eq!(report.total_cost(), report.cost_before_transfers());
+    }
+
+    #[test]
+    fn lossy_lines_deliver_less_and_wheeling_charges_the_fleet() {
+        let lossless = fleet(3, 2.0).run(&mut eager_boxes(3)).unwrap();
+        assert!(lossless.energy_transferred > Energy::ZERO, "test premise");
+        assert_eq!(lossless.energy_lost(), Energy::ZERO);
+        assert_eq!(lossless.wheeling_cost, Money::ZERO);
+
+        let lossy_ic = Interconnect::pooled(3, Energy::from_mwh(2.0))
+            .unwrap()
+            .with_uniform_loss(0.25)
+            .unwrap()
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(1.5))
+            .unwrap();
+        let lossy = fleet(3, 0.0)
+            .with_interconnect(lossy_ic)
+            .unwrap()
+            .run(&mut eager_boxes(3))
+            .unwrap();
+        // delivered = sent × (1 − loss), exactly.
+        let expected = lossy.energy_transferred.mwh() * 0.75;
+        assert!(
+            (lossy.energy_delivered.mwh() - expected).abs() < 1e-9,
+            "delivered {} vs sent {}",
+            lossy.energy_delivered,
+            lossy.energy_transferred
+        );
+        assert!(
+            (lossy.wheeling_cost.dollars() - lossy.energy_transferred.mwh() * 1.5).abs() < 1e-9
+        );
+        // Per-site physics identical; only the settlement differs.
+        assert_eq!(
+            lossy.cost_before_transfers(),
+            lossless.cost_before_transfers()
+        );
+        assert!(lossy.transfer_savings <= lossless.transfer_savings);
+        // Economics guard: settling never costs more than decoupling.
+        assert!(lossy.total_cost() <= lossy.cost_before_transfers());
+    }
+
+    #[test]
+    fn couple_with_substitutes_the_settlement() {
+        let multi = fleet(2, 1.0);
+        let reports: Vec<RunReport> = multi
+            .sites()
+            .iter()
+            .map(|s| s.run(&mut Eager).unwrap())
+            .collect();
+        let mut frames_seen = Vec::new();
+        let report = multi
+            .couple_with(reports, |ex| {
+                frames_seen.push(ex.frame);
+                assert_eq!(ex.curtailed.len(), 2);
+                FrameSettlement::default()
+            })
+            .unwrap();
+        assert_eq!(frames_seen, vec![0, 1, 2]);
+        assert_eq!(report.energy_transferred, Energy::ZERO);
         assert_eq!(report.total_cost(), report.cost_before_transfers());
     }
 

@@ -7,7 +7,8 @@
 //! dpss traces [--seed N] [--days N] [--out FILE]
 //! dpss sweep-v [--grid F,F,...] [--seed N] [--days N] [--threads N] [--json]
 //! dpss sweep  --figure NAME [--seed N] [--threads N] [--json]
-//! dpss sweep  --pack NAME [--sites N] [--seed N] [--threads N] [--json]
+//! dpss sweep  --pack NAME [--sites N] [--interconnect post-hoc|planned]
+//!             [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! ```
 //!
@@ -45,6 +46,7 @@ struct Cli {
     figure: String,
     pack: String,
     sites: usize,
+    interconnect: packs::InterconnectMode,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +79,7 @@ impl Default for Cli {
             figure: String::new(),
             pack: String::new(),
             sites: 1,
+            interconnect: packs::InterconnectMode::PostHoc,
         }
     }
 }
@@ -145,6 +148,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .parse()
                     .map_err(|e| format!("--sites: {e}"))?;
             }
+            // The mode roster is closed, so a typo is a usage error
+            // (exit 2) just like an unknown pack name.
+            "--interconnect" => {
+                cli.interconnect = packs::InterconnectMode::parse(&value("--interconnect")?)?;
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -194,9 +202,11 @@ USAGE:
   dpss sweep   --figure NAME [--seed N] [--threads N] [--json]
                NAME: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|
                      ablations|forecast|baselines
-  dpss sweep   --pack NAME [--sites N] [--seed N] [--threads N] [--json]
+  dpss sweep   --pack NAME [--sites N] [--interconnect post-hoc|planned]
+               [--seed N] [--threads N] [--json]
                NAME: seasonal-calendar|price-spike|renewable-drought|
-                     flat-baseline (multi-site cross-aggregation table)
+                     flat-baseline (multi-site cross-aggregation table;
+                     planned mode routes exports with per-frame flow LPs)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
 
 Sweeps fan their cells out over --threads workers (0 = all cores) and
@@ -334,7 +344,8 @@ fn execute(cli: &Cli) -> Result<String, String> {
                     seed,
                     &pack,
                     cli.sites,
-                    packs::default_transfer_cap(),
+                    &packs::default_interconnect(cli.sites),
+                    cli.interconnect,
                 );
                 return if cli.json {
                     serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
@@ -614,6 +625,30 @@ mod tests {
         assert!(parse_args(args("sweep")).is_err());
         assert!(parse_args(args("sweep --figure fig5 --pack price-spike")).is_err());
         assert!(parse_args(args("sweep --pack price-spike --sites 0")).is_err());
+    }
+
+    #[test]
+    fn parses_interconnect_mode() {
+        let cli = parse_args(args(
+            "sweep --pack price-spike --sites 2 --interconnect planned",
+        ))
+        .unwrap();
+        assert_eq!(cli.interconnect, packs::InterconnectMode::Planned);
+        let cli = parse_args(args("sweep --pack price-spike --interconnect post-hoc")).unwrap();
+        assert_eq!(cli.interconnect, packs::InterconnectMode::PostHoc);
+    }
+
+    #[test]
+    fn unknown_interconnect_mode_is_a_usage_error() {
+        let err = run_cli(args("sweep --pack price-spike --interconnect bogus")).unwrap_err();
+        assert!(err.usage_error, "closed mode roster → usage error, exit 2");
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+        let shown = err.render();
+        assert!(
+            shown.starts_with("dpss: error: unknown interconnect mode: bogus"),
+            "{shown}"
+        );
+        assert!(shown.contains("post-hoc|planned"), "{shown}");
     }
 
     #[test]
