@@ -67,6 +67,18 @@ struct BenchSweepReport {
     offline_t144_pivot_budget: usize,
     /// The populated offline `$/slot` cell of the `T = 144` row.
     offline_t144_cost_per_slot: f64,
+    /// Wall time of one 3-site price-spike/stressed month in each
+    /// dispatch mode (lossy ring): post-hoc = run + greedy settle,
+    /// planned = run + per-frame flow LPs, coordinated = the
+    /// frame-synchronous lockstep loop with prospective directives. The
+    /// coordinated premium over planned is the price of closing the
+    /// loop.
+    dispatch_posthoc_ms: f64,
+    dispatch_planned_ms: f64,
+    dispatch_coordinated_ms: f64,
+    /// Fleet dollars the coordinated run saved against the planned
+    /// settlement on that month (positive = coordination won).
+    dispatch_coordinated_saving: f64,
 }
 
 fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -188,6 +200,76 @@ fn main() -> ExitCode {
         }
     };
 
+    // ---- 5. Dispatch modes: the frame-synchronous loop's price tag. -----
+    // One contention month (price-spike/stressed, 3 sites, lossy ring)
+    // through all three dispatch modes.
+    use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
+    use dpss_sim::{Controller, Interconnect, MultiSiteEngine};
+    use dpss_units::{Energy, Price, SlotClock};
+    let clock = SlotClock::icdcs13_month();
+    let pack = dpss_traces::ScenarioPack::builtin("price-spike").expect("built-in pack");
+    let stressed = 3usize; // variant index of "stressed"
+    let engines: Vec<Engine> = (0..3)
+        .map(|s| {
+            Engine::new(
+                params,
+                pack.generate_site(&clock, PAPER_SEED, stressed, s)
+                    .expect("built-in pack generates valid traces"),
+            )
+            .expect("valid engine")
+        })
+        .collect();
+    let ring = Interconnect::ring(3, Energy::from_mwh(2.0))
+        .expect("valid ring")
+        .with_uniform_loss(0.05)
+        .expect("valid loss")
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+        .expect("valid wheeling");
+    let fleet = MultiSiteEngine::new(engines)
+        .expect("sites share the calendar")
+        .with_interconnect(ring)
+        .expect("ring spans the roster");
+    let smart_boxes = || -> Vec<Box<dyn Controller>> {
+        (0..3)
+            .map(|_| {
+                Box::new(
+                    SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                        .expect("valid configuration"),
+                ) as Box<dyn Controller>
+            })
+            .collect()
+    };
+    let timed_iters = iters.clamp(2, 3);
+    let dispatch_posthoc_s = best_of(timed_iters, || {
+        let _ = fleet.run(&mut smart_boxes()).expect("fleet run succeeds");
+    });
+    let dispatch_planned_s = best_of(timed_iters, || {
+        let mut planner = FleetPlanner::for_engine(&fleet);
+        let _ = fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds");
+    });
+    let dispatch_coordinated_s = best_of(timed_iters, || {
+        let mut planner = FleetPlanner::for_engine(&fleet).with_coordination(true);
+        let _ = fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds");
+    });
+    let planned_cost = {
+        let mut planner = FleetPlanner::for_engine(&fleet);
+        fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds")
+            .total_cost()
+    };
+    let coordinated_cost = {
+        let mut planner = FleetPlanner::for_engine(&fleet).with_coordination(true);
+        fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds")
+            .total_cost()
+    };
+
     let report = BenchSweepReport {
         generated_by: "dpss-bench/bench_sweep",
         threads,
@@ -211,6 +293,10 @@ fn main() -> ExitCode {
         offline_t144_warm_ms: t144_s * 1e3,
         offline_t144_pivot_budget: t144_budget,
         offline_t144_cost_per_slot: t144_cost,
+        dispatch_posthoc_ms: dispatch_posthoc_s * 1e3,
+        dispatch_planned_ms: dispatch_planned_s * 1e3,
+        dispatch_coordinated_ms: dispatch_coordinated_s * 1e3,
+        dispatch_coordinated_saving: (planned_cost - coordinated_cost).dollars(),
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");

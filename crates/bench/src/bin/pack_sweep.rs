@@ -1,22 +1,30 @@
 //! Regenerates the scenario-pack artifacts: the cross-site aggregation
-//! table for one pack (default `seasonal-calendar`, 3 sites) in both
-//! settlement modes — post-hoc and planned — plus the all-packs
-//! single-site overview. CI uploads the persisted JSON.
+//! table for one pack (default `seasonal-calendar`, 3 sites) in all
+//! three dispatch modes — post-hoc, planned and coordinated — plus the
+//! all-packs single-site overview and the topology sweep
+//! (packs × {pooled, mesh, ring, severed}, 4 sites so the ring is a real
+//! ring). CI uploads the persisted JSON.
 //!
 //! ```text
 //! pack_sweep [--pack NAME] [--sites N] [--threads N]
-//!            [--interconnect post-hoc|planned|both]
+//!            [--dispatch post-hoc|planned|coordinated|all]
 //! ```
+//!
+//! (`--interconnect` is accepted as the legacy spelling of
+//! `--dispatch`.)
 
 use std::process::ExitCode;
 
-use dpss_bench::{packs, persist, InterconnectMode, PAPER_SEED};
+use dpss_bench::{packs, persist, DispatchMode, PAPER_SEED};
 
 fn main() -> ExitCode {
     let mut pack_name = "seasonal-calendar".to_owned();
     let mut sites = 3usize;
-    let mut modes: Vec<InterconnectMode> =
-        vec![InterconnectMode::PostHoc, InterconnectMode::Planned];
+    let mut modes: Vec<DispatchMode> = vec![
+        DispatchMode::PostHoc,
+        DispatchMode::Planned,
+        DispatchMode::Coordinated,
+    ];
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,14 +39,18 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "--interconnect" => {
+            "--dispatch" | "--interconnect" => {
                 let v = args.next().unwrap_or_default();
-                if v == "both" {
-                    // Last flag wins, same as a single mode would.
-                    modes = vec![InterconnectMode::PostHoc, InterconnectMode::Planned];
+                if v == "all" || v == "both" {
+                    // The full roster, same as the default.
+                    modes = vec![
+                        DispatchMode::PostHoc,
+                        DispatchMode::Planned,
+                        DispatchMode::Coordinated,
+                    ];
                     continue;
                 }
-                match InterconnectMode::parse(&v) {
+                match DispatchMode::parse(&v) {
                     Ok(mode) => modes = vec![mode],
                     Err(message) => {
                         eprintln!("pack_sweep: {message}");
@@ -63,8 +75,9 @@ fn main() -> ExitCode {
         let table = packs::pack_sweep_with(&runner, PAPER_SEED, &pack, sites, &interconnect, mode);
         table.print();
         let artifact = match mode {
-            InterconnectMode::PostHoc => "pack_sweep",
-            InterconnectMode::Planned => "pack_sweep_planned",
+            DispatchMode::PostHoc => "pack_sweep",
+            DispatchMode::Planned => "pack_sweep_planned",
+            DispatchMode::Coordinated => "pack_sweep_coordinated",
         };
         persist(&table, artifact);
     }
@@ -72,5 +85,10 @@ fn main() -> ExitCode {
     let overview = packs::pack_overview_with(&runner, PAPER_SEED);
     overview.print();
     persist(&overview, "pack_overview");
+
+    // Topology as a sweep axis: 4 sites so the ring is not the mesh.
+    let topology = packs::topology_sweep_with(&runner, PAPER_SEED, 4);
+    topology.print();
+    persist(&topology, "topology_sweep");
     ExitCode::SUCCESS
 }

@@ -17,7 +17,10 @@ mod runner;
 mod spec;
 mod table;
 
-pub use packs::{pack_overview_with, pack_sweep, pack_sweep_with, InterconnectMode};
+pub use packs::{
+    pack_overview_with, pack_sweep, pack_sweep_with, topology_roster, topology_sweep_with,
+    DispatchMode, InterconnectMode,
+};
 pub use runner::ExperimentRunner;
 pub use spec::{Axis, Cell, SweepSpec};
 pub use table::FigureTable;

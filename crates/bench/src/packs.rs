@@ -1,35 +1,49 @@
 //! Scenario-pack and multi-datacenter sweeps: [`SweepSpec`] axes over
-//! packs, pack variants and site counts, executed by an
-//! [`ExperimentRunner`] and settled over an [`Interconnect`] topology —
-//! post-hoc (greedy fold) or planned (`FleetPlanner` flow LPs) — so every
-//! table is byte-identical for any `--threads` value and any
-//! site-execution order.
+//! packs, pack variants, site counts and transmission topologies,
+//! executed by an [`ExperimentRunner`] and dispatched over an
+//! [`Interconnect`] — post-hoc (greedy fold), planned (`FleetPlanner`
+//! flow LPs) or coordinated (frame-synchronous fleet dispatch with
+//! buy-to-export directives) — so every table is byte-identical for any
+//! `--threads` value and any site-execution order.
 
 use std::fmt;
 
-use dpss_sim::{Engine, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams};
+use dpss_sim::{
+    Controller, Engine, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams,
+};
 use dpss_traces::ScenarioPack;
-use dpss_units::{Energy, SlotClock};
+use dpss_units::{Energy, Price, SlotClock};
 
 use crate::{run_smart, Axis, ExperimentRunner, FigureTable, SweepSpec};
-use dpss_core::{FleetPlanner, SmartDpssConfig};
+use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
 
-/// How a pack sweep settles inter-site transfers over its
-/// [`Interconnect`].
+/// How a pack sweep dispatches and settles inter-site transfers over
+/// its [`Interconnect`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum InterconnectMode {
+pub enum DispatchMode {
     /// Settle realized curtailment after the fact with the greedy
     /// per-frame fold ([`Interconnect::settle_greedy`]).
     #[default]
     PostHoc,
     /// Plan each frame's export flows as a linear program
-    /// ([`FleetPlanner`]), warm-started frame to frame.
+    /// ([`FleetPlanner`]), warm-started frame to frame. Settlement only:
+    /// the plan never feeds back into what the sites do.
     Planned,
+    /// Frame-synchronous fleet dispatch: sites run in lockstep over
+    /// coarse frames; between frames the planner forecasts the fleet's
+    /// exchange and hands every site a `FrameDirective` (buy-to-export
+    /// when a neighbour's delivered price beats the local long-term
+    /// cost), then settles each realized frame with the flow LP.
+    Coordinated,
 }
 
-impl InterconnectMode {
+/// The pre-PR-5 name of [`DispatchMode`], kept for downstream callers of
+/// the `--interconnect` era.
+pub type InterconnectMode = DispatchMode;
+
+impl DispatchMode {
     /// The CLI spellings, in display order.
-    pub const NAMES: [&'static str; 2] = ["post-hoc", "planned"];
+    pub const NAMES: [&'static str; 3] = ["post-hoc", "planned", "coordinated"];
 
     /// Parses a CLI spelling, with the canonical error message (the
     /// mode roster is closed, so a typo is a *usage* error — the CLI
@@ -37,24 +51,27 @@ impl InterconnectMode {
     ///
     /// # Errors
     ///
-    /// `unknown interconnect mode: <name> (expected post-hoc|planned)`.
+    /// `unknown dispatch mode: <name> (expected
+    /// post-hoc|planned|coordinated)`.
     pub fn parse(name: &str) -> Result<Self, String> {
         match name {
-            "post-hoc" => Ok(InterconnectMode::PostHoc),
-            "planned" => Ok(InterconnectMode::Planned),
+            "post-hoc" => Ok(DispatchMode::PostHoc),
+            "planned" => Ok(DispatchMode::Planned),
+            "coordinated" => Ok(DispatchMode::Coordinated),
             other => Err(format!(
-                "unknown interconnect mode: {other} (expected {})",
+                "unknown dispatch mode: {other} (expected {})",
                 Self::NAMES.join("|")
             )),
         }
     }
 }
 
-impl fmt::Display for InterconnectMode {
+impl fmt::Display for DispatchMode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
-            InterconnectMode::PostHoc => "post-hoc",
-            InterconnectMode::Planned => "planned",
+            DispatchMode::PostHoc => "post-hoc",
+            DispatchMode::Planned => "planned",
+            DispatchMode::Coordinated => "coordinated",
         })
     }
 }
@@ -111,17 +128,26 @@ pub fn pack_sweep(seed: u64, pack_name: &str, sites: usize) -> Result<FigureTabl
         &pack,
         sites,
         &default_interconnect(sites),
-        InterconnectMode::PostHoc,
+        DispatchMode::PostHoc,
     ))
 }
 
-/// The cross-site aggregation table for one scenario pack: SmartDPSS runs
-/// every `(variant, site)` cell of the sweep grid on the paper's one-month
-/// calendar (per-site seeds and shared markets from the pack's schedule),
-/// then each variant's sites are settled into a fleet row over the
-/// interconnect topology — post-hoc greedily, or planned through a fresh
-/// per-variant [`FleetPlanner`] (so warm starts chain across a variant's
-/// frames but variants stay independent of sweep order).
+/// The cross-site aggregation table for one scenario pack, in the chosen
+/// [`DispatchMode`]:
+///
+/// * **post-hoc / planned** — SmartDPSS runs every `(variant, site)`
+///   cell of the sweep grid on the paper's one-month calendar (per-site
+///   seeds and shared markets from the pack's schedule), then each
+///   variant's sites are settled into a fleet row over the interconnect
+///   topology — greedily, or through a fresh per-variant
+///   [`FleetPlanner`] (so warm starts chain across a variant's frames
+///   but variants stay independent of sweep order);
+/// * **coordinated** — sites are coupled through directives, so a
+///   *variant* is the smallest independent cell: each cell runs its
+///   whole fleet frame-synchronously (serially, in site order) with a
+///   coordinating planner, and variants fan out across workers. Tables
+///   stay byte-identical at any `--threads` because every cell is
+///   deterministic in isolation.
 ///
 /// Rows: one per site, then one `fleet` aggregate row per variant carrying
 /// the transfer settlement (sent MWh, displaced $, wheeling $).
@@ -138,7 +164,7 @@ pub fn pack_sweep_with(
     pack: &ScenarioPack,
     sites: usize,
     interconnect: &Interconnect,
-    mode: InterconnectMode,
+    mode: DispatchMode,
 ) -> FigureTable {
     assert!(sites >= 1, "a pack sweep needs at least one site");
     assert!(!pack.is_empty(), "a pack sweep needs at least one variant");
@@ -170,20 +196,59 @@ pub fn pack_sweep_with(
         })
         .collect();
 
-    let spec = SweepSpec::new(&format!("pack-{}", pack.name()), seed)
-        .with_axis(Axis::new("variant", pack.labels()))
-        .with_axis(Axis::new(
-            "site",
-            (0..sites).map(|s| s.to_string()).collect::<Vec<_>>(),
-        ));
-    let results = runner.run_cells(&spec, |cell| {
-        let (v, s) = (cell.coords[0], cell.coords[1]);
-        run_smart(&fleets[v].sites()[s], params, SmartDpssConfig::icdcs13())
-    });
+    let variant_fleets: Vec<MultiSiteReport> = match mode {
+        DispatchMode::PostHoc | DispatchMode::Planned => {
+            let spec = SweepSpec::new(&format!("pack-{}", pack.name()), seed)
+                .with_axis(Axis::new("variant", pack.labels()))
+                .with_axis(Axis::new(
+                    "site",
+                    (0..sites).map(|s| s.to_string()).collect::<Vec<_>>(),
+                ));
+            let results = runner.run_cells(&spec, |cell| {
+                let (v, s) = (cell.coords[0], cell.coords[1]);
+                run_smart(&fleets[v].sites()[s], params, SmartDpssConfig::icdcs13())
+            });
+            let mut it = results.into_iter();
+            fleets
+                .iter()
+                .map(|fleet_engine| {
+                    let reports: Vec<RunReport> = it.by_ref().take(sites).collect();
+                    match mode {
+                        DispatchMode::PostHoc => fleet_engine
+                            .couple(reports)
+                            .expect("reports match the fleet roster"),
+                        _ => FleetPlanner::for_engine(fleet_engine)
+                            .couple(fleet_engine, reports)
+                            .expect("reports match the fleet roster"),
+                    }
+                })
+                .collect()
+        }
+        DispatchMode::Coordinated => {
+            let spec = SweepSpec::new(&format!("pack-{}-coordinated", pack.name()), seed)
+                .with_axis(Axis::new("variant", pack.labels()));
+            runner.run_cells(&spec, |cell| {
+                let fleet_engine = &fleets[cell.coords[0]];
+                let mut controllers: Vec<Box<dyn Controller>> = (0..sites)
+                    .map(|_| {
+                        Box::new(
+                            SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                                .expect("valid configuration"),
+                        ) as Box<dyn Controller>
+                    })
+                    .collect();
+                let mut dispatcher = FleetPlanner::for_engine(fleet_engine).with_coordination(true);
+                fleet_engine
+                    .run_with(&mut controllers, &mut dispatcher)
+                    .expect("fleet run succeeds")
+            })
+        }
+    };
 
     let mode_tag = match mode {
-        InterconnectMode::PostHoc => String::new(),
-        InterconnectMode::Planned => ", planned".to_owned(),
+        DispatchMode::PostHoc => String::new(),
+        DispatchMode::Planned => ", planned".to_owned(),
+        DispatchMode::Coordinated => ", coordinated".to_owned(),
     };
     let mut table = FigureTable::new(
         &format!(
@@ -205,11 +270,9 @@ pub fn pack_sweep_with(
             "saved $",
         ],
     );
-    let mut it = results.into_iter();
-    for (v, fleet_engine) in fleets.iter().enumerate() {
-        let reports: Vec<RunReport> = it.by_ref().take(sites).collect();
+    for (v, fleet) in variant_fleets.iter().enumerate() {
         let label = pack.variant(v).0.to_owned();
-        for (s, r) in reports.iter().enumerate() {
+        for (s, r) in fleet.sites.iter().enumerate() {
             table.push_owned(vec![
                 label.clone(),
                 s.to_string(),
@@ -221,14 +284,6 @@ pub fn pack_sweep_with(
                 "-".into(),
             ]);
         }
-        let fleet: MultiSiteReport = match mode {
-            InterconnectMode::PostHoc => fleet_engine
-                .couple(reports)
-                .expect("reports match the fleet roster"),
-            InterconnectMode::Planned => FleetPlanner::for_engine(fleet_engine)
-                .couple(fleet_engine, reports)
-                .expect("reports match the fleet roster"),
-        };
         table.push_owned(vec![
             label,
             "fleet".into(),
@@ -242,6 +297,156 @@ pub fn pack_sweep_with(
             format!("{:.2}", fleet.energy_transferred.mwh()),
             format!("{:.2}", fleet.transfer_savings.dollars()),
         ]);
+    }
+    table
+}
+
+/// The named transmission-structure roster the topology sweep crosses
+/// with the scenario packs: `pooled` is the legacy frictionless knob
+/// ([`default_interconnect`]); `mesh` and `ring` are *physical*
+/// structures at the same per-pair scale with 5% line loss and $2/MWh
+/// wheeling; `severed` cuts every line. On a 3-site fleet the ring is
+/// the mesh (every pair is adjacent); from 4 sites up they separate.
+///
+/// # Panics
+///
+/// Panics if `sites == 0`.
+#[must_use]
+pub fn topology_roster(sites: usize) -> Vec<(&'static str, Interconnect)> {
+    let cap = default_transfer_cap();
+    let physical = |ic: Interconnect| {
+        ic.with_uniform_loss(0.05)
+            .expect("valid loss")
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+            .expect("valid wheeling")
+    };
+    vec![
+        ("pooled", default_interconnect(sites)),
+        (
+            "mesh",
+            physical(Interconnect::mesh(sites, cap).expect("valid roster")),
+        ),
+        (
+            "ring",
+            physical(Interconnect::ring(sites, cap).expect("valid roster")),
+        ),
+        (
+            "severed",
+            Interconnect::severed(sites).expect("valid roster"),
+        ),
+    ]
+}
+
+/// Topology as a sweep axis: every built-in pack variant crossed with
+/// the [`topology_roster`], settled through a fresh per-cell
+/// [`FleetPlanner`] (planned mode — routing is what distinguishes the
+/// structures). Site runs are topology-independent, so each
+/// `(pack, variant, site)` cell runs once and settles under all four
+/// topologies in the fold. Persisted by the `pack_sweep` binary as
+/// `target/figures/topology_sweep.json`.
+///
+/// # Panics
+///
+/// Panics if `sites == 0` or a built-in model misbehaves.
+#[must_use]
+pub fn topology_sweep_with(runner: &ExperimentRunner, seed: u64, sites: usize) -> FigureTable {
+    assert!(sites >= 1, "a topology sweep needs at least one site");
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let packs: Vec<ScenarioPack> = ScenarioPack::builtin_names()
+        .iter()
+        .map(|n| ScenarioPack::builtin(n).expect("registry is consistent"))
+        .collect();
+    let widest = packs.iter().map(ScenarioPack::len).max().unwrap_or(0);
+    let fleets: Vec<Vec<MultiSiteEngine>> = packs
+        .iter()
+        .map(|pack| {
+            (0..pack.len())
+                .map(|v| {
+                    let engines: Vec<Engine> = (0..sites)
+                        .map(|s| {
+                            let traces = pack
+                                .generate_site(&clock, seed, v, s)
+                                .expect("built-in pack generates valid traces");
+                            Engine::new(params, traces).expect("valid engine")
+                        })
+                        .collect();
+                    MultiSiteEngine::new(engines).expect("sites share the calendar")
+                })
+                .collect()
+        })
+        .collect();
+
+    let spec = SweepSpec::new("topology-sweep", seed)
+        .with_axis(Axis::new(
+            "pack",
+            packs
+                .iter()
+                .map(|p| p.name().to_owned())
+                .collect::<Vec<_>>(),
+        ))
+        .with_axis(Axis::new(
+            "variant",
+            (0..widest).map(|v| v.to_string()).collect::<Vec<_>>(),
+        ))
+        .with_axis(Axis::new(
+            "site",
+            (0..sites).map(|s| s.to_string()).collect::<Vec<_>>(),
+        ));
+    let results: Vec<Option<RunReport>> = runner.run_cells(&spec, |cell| {
+        let (p, v, s) = (cell.coords[0], cell.coords[1], cell.coords[2]);
+        if v >= packs[p].len() {
+            return None; // ragged grid: this pack is narrower
+        }
+        Some(run_smart(
+            &fleets[p][v].sites()[s],
+            params,
+            SmartDpssConfig::icdcs13(),
+        ))
+    });
+
+    let roster = topology_roster(sites);
+    let mut table = FigureTable::new(
+        &format!(
+            "Topology sweep: packs x {{pooled, mesh, ring, severed}} \
+             ({sites} sites, planned settlement)"
+        ),
+        &[
+            "pack", "variant", "topology", "$/slot", "xfer MWh", "saved $", "wheel $",
+        ],
+    );
+    let mut it = results.into_iter();
+    for (p, pack) in packs.iter().enumerate() {
+        for v in 0..widest {
+            // Ragged grid: drain this variant's cells even when the pack
+            // is narrower than the widest one.
+            let cell_reports: Vec<Option<RunReport>> = it.by_ref().take(sites).collect();
+            let Some(base_fleet) = fleets[p].get(v) else {
+                continue;
+            };
+            let reports: Vec<RunReport> = cell_reports
+                .into_iter()
+                .map(|r| r.expect("real variants produce reports"))
+                .collect();
+            for (name, topology) in &roster {
+                let fleet_engine = base_fleet
+                    .clone()
+                    .with_interconnect(topology.clone())
+                    .expect("roster spans the sweep's sites");
+                let settled = FleetPlanner::for_engine(&fleet_engine)
+                    .couple(&fleet_engine, reports.clone())
+                    .expect("reports match the fleet roster");
+                table.push_owned(vec![
+                    pack.name().to_owned(),
+                    pack.variant(v).0.to_owned(),
+                    (*name).to_owned(),
+                    format!("{:.3}", settled.time_average_cost().dollars()),
+                    format!("{:.2}", settled.energy_transferred.mwh()),
+                    format!("{:.2}", settled.transfer_savings.dollars()),
+                    format!("{:.2}", settled.wheeling_cost.dollars()),
+                ]);
+            }
+        }
     }
     table
 }
@@ -309,19 +514,24 @@ mod tests {
     }
 
     #[test]
-    fn interconnect_mode_parses_the_closed_roster() {
+    fn dispatch_mode_parses_the_closed_roster() {
         assert_eq!(
-            InterconnectMode::parse("post-hoc").unwrap(),
-            InterconnectMode::PostHoc
+            DispatchMode::parse("post-hoc").unwrap(),
+            DispatchMode::PostHoc
         );
         assert_eq!(
-            InterconnectMode::parse("planned").unwrap(),
-            InterconnectMode::Planned
+            DispatchMode::parse("planned").unwrap(),
+            DispatchMode::Planned
         );
-        let err = InterconnectMode::parse("bogus").unwrap_err();
-        assert!(err.contains("unknown interconnect mode: bogus"), "{err}");
-        assert!(err.contains("post-hoc|planned"), "{err}");
-        assert_eq!(InterconnectMode::Planned.to_string(), "planned");
+        assert_eq!(
+            DispatchMode::parse("coordinated").unwrap(),
+            DispatchMode::Coordinated
+        );
+        let err = DispatchMode::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown dispatch mode: bogus"), "{err}");
+        assert!(err.contains("post-hoc|planned|coordinated"), "{err}");
+        assert_eq!(DispatchMode::Planned.to_string(), "planned");
+        assert_eq!(DispatchMode::Coordinated.to_string(), "coordinated");
     }
 
     #[test]
@@ -334,7 +544,7 @@ mod tests {
             &pack,
             2,
             &default_interconnect(2),
-            InterconnectMode::PostHoc,
+            DispatchMode::PostHoc,
         );
         assert_eq!(t.rows.len(), 4 * 3);
         assert_eq!(t.rows[0][0], "calm");
@@ -342,5 +552,30 @@ mod tests {
         // Fleet rows carry the settlement columns, site rows do not.
         assert_eq!(t.rows[0][6], "-");
         assert_ne!(t.rows[2][6], "-");
+        // The coordinated table has the same shape and titles its mode.
+        let c = pack_sweep_with(
+            &ExperimentRunner::serial(),
+            7,
+            &pack,
+            2,
+            &default_interconnect(2),
+            DispatchMode::Coordinated,
+        );
+        assert_eq!(c.rows.len(), 4 * 3);
+        assert!(c.title.contains(", coordinated"), "{}", c.title);
+        assert_eq!(c.rows[2][1], "fleet");
+    }
+
+    #[test]
+    fn topology_roster_names_the_four_structures() {
+        let roster = topology_roster(4);
+        let names: Vec<&str> = roster.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["pooled", "mesh", "ring", "severed"]);
+        let mesh = &roster[1].1;
+        let ring = &roster[2].1;
+        assert_eq!(mesh.open_links().count(), 12);
+        assert_eq!(ring.open_links().count(), 8);
+        assert!(roster[3].1.is_silent());
+        assert!((mesh.loss(0, 1) - 0.05).abs() < 1e-12);
     }
 }

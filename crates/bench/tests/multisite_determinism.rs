@@ -15,11 +15,14 @@
 //!   (CI uploads the corresponding `pack_sweep{,_planned}.json`
 //!   artifacts).
 
-use dpss_bench::{packs, ExperimentRunner, InterconnectMode, PAPER_SEED};
-use dpss_core::{FleetPlanner, SmartDpssConfig};
-use dpss_sim::{Engine, MultiSiteEngine, RunReport, SimParams};
+use dpss_bench::{packs, DispatchMode, ExperimentRunner, InterconnectMode, PAPER_SEED};
+use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
+use dpss_sim::{
+    Controller, Engine, FleetDispatcher, FrameSettlement, Interconnect, MultiSiteEngine, RunReport,
+    SimParams,
+};
 use dpss_traces::ScenarioPack;
-use dpss_units::{Energy, SlotClock};
+use dpss_units::{Energy, Price, SlotClock};
 
 #[test]
 fn pack_sweep_threads_1_and_8_are_identical() {
@@ -63,6 +66,31 @@ fn planned_pack_sweep_threads_1_and_8_are_identical() {
         3,
         &ic,
         InterconnectMode::Planned,
+    );
+    assert_eq!(serial, threaded);
+}
+
+#[test]
+fn coordinated_pack_sweep_threads_1_and_8_are_identical() {
+    // Coordinated cells are whole-fleet lockstep runs (one per variant),
+    // so worker scheduling must not move a byte of the table.
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let ic = packs::default_interconnect(3);
+    let serial = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        &ic,
+        DispatchMode::Coordinated,
+    );
+    let threaded = packs::pack_sweep_with(
+        &ExperimentRunner::new(8),
+        PAPER_SEED,
+        &pack,
+        3,
+        &ic,
+        DispatchMode::Coordinated,
     );
     assert_eq!(serial, threaded);
 }
@@ -180,6 +208,123 @@ fn seasonal_calendar_fleet_rows_match_golden_bytes() {
     for (row, want) in table.rows.iter().take(4).zip(&golden) {
         assert_eq!(row, want, "seasonal-calendar golden bytes drifted");
     }
+}
+
+/// Coordinated dispatch couples the sites through directives, but only
+/// *between* frames: within a frame the sites are independent, so the
+/// order in which they step through a frame is immaterial. This test
+/// drives the lockstep loop by hand through the public stepping API
+/// (`Engine::begin` / `outlook_at` / `step_frame` / `exchange_at`) with
+/// a scrambled within-frame site order and must reproduce
+/// `MultiSiteEngine::run_with` exactly — reports, settlement totals and
+/// all. Runs on the acceptance scenario (stressed price-spike over the
+/// lossy ring), where directives demonstrably fire.
+#[test]
+fn coordinated_run_is_invariant_to_within_frame_site_order() {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let stressed = 3usize;
+    let engines: Vec<Engine> = (0..3)
+        .map(|s| {
+            Engine::new(
+                params,
+                pack.generate_site(&clock, PAPER_SEED, stressed, s).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let ring = Interconnect::ring(3, Energy::from_mwh(2.0))
+        .unwrap()
+        .with_uniform_loss(0.05)
+        .unwrap()
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+        .unwrap();
+    let multi = MultiSiteEngine::new(engines)
+        .unwrap()
+        .with_interconnect(ring)
+        .unwrap();
+
+    // Canonical: the engine's own lockstep loop (site order 0, 1, 2).
+    let mut canonical_ctls: Vec<Box<dyn Controller>> = (0..3)
+        .map(|_| {
+            Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+                as Box<dyn Controller>
+        })
+        .collect();
+    let mut canonical_dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
+    let canonical = multi
+        .run_with(&mut canonical_ctls, &mut canonical_dispatcher)
+        .unwrap();
+    assert!(
+        canonical.energy_transferred > Energy::ZERO,
+        "test premise: the acceptance scenario settles energy"
+    );
+
+    // Manual: same loop, sites stepped 2, 0, 1 within every frame.
+    let mut ctls: Vec<SmartDpss> = (0..3)
+        .map(|_| SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+        .collect();
+    let mut planner = FleetPlanner::for_engine(&multi).with_coordination(true);
+    let mut runs: Vec<_> = multi.sites().iter().map(|s| s.begin().unwrap()).collect();
+    let mut total = FrameSettlement::default();
+    for frame in 0..clock.frames() {
+        let outlook = multi.outlook_at(frame, &runs);
+        let directives = planner.direct(&outlook);
+        assert_eq!(directives.len(), 3);
+        for &s in &[2usize, 0, 1] {
+            ctls[s].receive_directive(&directives[s]);
+            runs[s].step_frame(&mut ctls[s]).unwrap();
+        }
+        let ex = multi.exchange_at(frame, &runs).unwrap();
+        let settled = planner.settle(&ex);
+        total.sent += settled.sent;
+        total.delivered += settled.delivered;
+        total.savings += settled.savings;
+        total.wheeling += settled.wheeling;
+    }
+    let manual: Vec<RunReport> = runs.into_iter().map(|r| r.finish().unwrap()).collect();
+    assert_eq!(manual, canonical.sites);
+    assert_eq!(total.sent, canonical.energy_transferred);
+    assert_eq!(total.delivered, canonical.energy_delivered);
+    assert_eq!(total.savings, canonical.transfer_savings);
+    assert_eq!(total.wheeling, canonical.wheeling_cost);
+}
+
+/// The coordinated-mode goldens next to the planned one: the `calm` and
+/// `stressed` fleet rows of `dpss sweep --pack price-spike --sites 3
+/// --dispatch coordinated` at seed 42. On the frictionless pooled
+/// default, calm's running-average price never clears the procure
+/// margin, so its directives stay inert and the row is byte-identical
+/// to the planned golden — pinning inertness is the point. Stressed
+/// clears it: the directives fire and its fleet row *moves* relative to
+/// planned (more energy transferred, more displaced cost).
+#[test]
+fn price_spike_coordinated_fleet_rows_match_golden_bytes() {
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let table = packs::pack_sweep_with(
+        &ExperimentRunner::serial(),
+        PAPER_SEED,
+        &pack,
+        3,
+        &packs::default_interconnect(3),
+        DispatchMode::Coordinated,
+    );
+    assert_eq!(table.rows.len(), 16);
+    let calm_fleet: [&str; 8] = [
+        "calm", "fleet", "100.217", "22.06", "430.4", "70.9", "25.95", "1266.45",
+    ];
+    assert_eq!(
+        table.rows[3], calm_fleet,
+        "calm coordinated golden bytes drifted (should equal the planned golden: inert directives)"
+    );
+    let stressed_fleet: [&str; 8] = [
+        "stressed", "fleet", "100.971", "20.65", "484.9", "114.6", "31.96", "1748.91",
+    ];
+    assert_eq!(
+        table.rows[15], stressed_fleet,
+        "stressed coordinated golden bytes drifted"
+    );
 }
 
 /// The planned-mode golden next to the post-hoc one: the first variant of

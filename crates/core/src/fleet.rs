@@ -33,8 +33,8 @@
 
 use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
 use dpss_sim::{
-    FrameExchange, FrameSettlement, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport,
-    SimError,
+    FleetDispatcher, FrameDirective, FrameExchange, FrameOutlook, FrameSettlement, Interconnect,
+    MultiSiteEngine, MultiSiteReport, RunReport, SimError,
 };
 use dpss_units::{Energy, Money};
 
@@ -74,6 +74,38 @@ pub struct FleetPlanner {
     /// outgoing link).
     donor_rows: Vec<Option<ConstraintId>>,
     /// Recipient need row per site (`None` without open incoming links).
+    need_rows: Vec<Option<ConstraintId>>,
+    workspace: LpWorkspace,
+    /// Whether [`FleetDispatcher::direct`] plans prospective directives
+    /// (coordinated mode) or stays silent (planned mode).
+    coordinate: bool,
+    /// Safety margin on the buy-to-export economics: a prospective buy
+    /// flow must clear `procure_cost × (1 + margin)`, so forecast error
+    /// has to be this large before a directed purchase can lose money.
+    procure_margin: f64,
+    /// The prospective dispatch LP, built on first use (coordinated
+    /// runs only).
+    prospective: Option<ProspectiveLp>,
+}
+
+/// The buy-aware prospective flow LP of coordinated dispatch: two
+/// variables per open link — `f_free` (export of forecast curtailment,
+/// costless) and `f_buy` (deliberately procured export energy, costed at
+/// the donor's long-term price plus waste penalty) — sharing the link
+/// cap. Same template/edit/re-solve shape as the settlement LP, with its
+/// own warm-started workspace.
+#[derive(Debug, Clone)]
+struct ProspectiveLp {
+    problem: Problem,
+    /// `(from, to, f_free, f_buy)` per open link, donor-major.
+    flows: Vec<(usize, usize, Variable, Variable)>,
+    /// Shared pair-cap row per open link (`f_free + f_buy ≤ cap_at`).
+    link_rows: Vec<ConstraintId>,
+    /// Donor surplus budget row per site.
+    free_rows: Vec<Option<ConstraintId>>,
+    /// Donor procurable budget row per site.
+    buy_rows: Vec<Option<ConstraintId>>,
+    /// Recipient forecast-need row per site.
     need_rows: Vec<Option<ConstraintId>>,
     workspace: LpWorkspace,
 }
@@ -136,7 +168,43 @@ impl FleetPlanner {
             donor_rows,
             need_rows,
             workspace: LpWorkspace::new(),
+            coordinate: false,
+            procure_margin: 0.6,
+            prospective: None,
         }
+    }
+
+    /// Enables (or disables) coordinated dispatch: when on, the planner's
+    /// [`FleetDispatcher::direct`] plans prospective export flows between
+    /// frames and hands every site a [`FrameDirective`]; when off (the
+    /// default) it stays silent and the planner is the *planned*
+    /// settlement mode.
+    #[must_use]
+    pub fn with_coordination(mut self, coordinate: bool) -> Self {
+        self.coordinate = coordinate;
+        self
+    }
+
+    /// Sets the buy-to-export safety margin (default `0.6`, measured as the robust point on the built-in packs): a
+    /// prospective procured flow must clear
+    /// `procure_cost × (1 + margin)` in forecast delivered value before
+    /// the planner directs it, so the one-frame-back forecast has to be
+    /// off by more than the margin before a directed purchase can lose
+    /// money.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for a non-finite or negative
+    /// margin.
+    pub fn with_procure_margin(mut self, margin: f64) -> Result<Self, SimError> {
+        if !(margin.is_finite() && margin >= 0.0) {
+            return Err(SimError::InvalidParameter {
+                what: "procure_margin",
+                requirement: "must be finite and non-negative",
+            });
+        }
+        self.procure_margin = margin;
+        Ok(self)
     }
 
     /// The planner built for a fleet's configured topology.
@@ -184,8 +252,9 @@ impl FleetPlanner {
                 .set_objective(var, -value)
                 .expect("template variables stay valid");
             // The frame-to-frame cap update: a pair can never carry more
-            // than its donor curtailed this frame.
-            let ub = self.ic.cap(i, j).min(ex.curtailed[i]).mwh();
+            // than its donor curtailed this frame, nor more than the
+            // link's cap *for this frame* (cap schedules bind here).
+            let ub = self.ic.cap_at(i, j, ex.frame).min(ex.curtailed[i]).mwh();
             self.problem
                 .set_bounds(var, 0.0, ub.max(0.0))
                 .expect("caps and curtailment are non-negative");
@@ -221,6 +290,121 @@ impl FleetPlanner {
         out
     }
 
+    /// Plans the coming frame's *prospective* export flows from the
+    /// fleet's causal outlook and returns one [`FrameDirective`] per
+    /// site — the coordinated-dispatch step that runs *before* the sites
+    /// commit their long-term purchases.
+    ///
+    /// The LP routes two kinds of export per open link: the donor's
+    /// forecast curtailment (free — it would be wasted anyway) and
+    /// *procured* energy (buy-to-export: costed at the donor's observed
+    /// long-term price plus waste penalty, padded by the safety margin,
+    /// and bounded by the donor's remaining grid budget after the
+    /// battery top-off). Flows are bounded by the per-frame link cap
+    /// (schedules bind), the recipient's forecast real-time need and the
+    /// pool cap. Like the settlement LP, the template is built once and
+    /// re-solved through one warm-started workspace via
+    /// `set_objective`/`set_bounds`/`set_rhs` edits.
+    ///
+    /// Frame 0 (no history) and silent topologies yield inert
+    /// directives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outlook's site roster does not match the topology.
+    #[must_use]
+    pub fn plan_prospective(&mut self, outlook: &FrameOutlook) -> Vec<FrameDirective> {
+        let n = self.ic.sites();
+        assert!(
+            outlook.sites.len() == n,
+            "outlook covers a different site roster than the topology"
+        );
+        let mut directives = vec![FrameDirective::inert(outlook.frame); n];
+        if self.flows.is_empty() || self.ic.is_silent() {
+            return directives;
+        }
+        let margin = 1.0 + self.procure_margin;
+        let lp = self
+            .prospective
+            .get_or_insert_with(|| ProspectiveLp::for_topology(&self.ic));
+        for (k, &(i, j, free, buy)) in lp.flows.iter().enumerate() {
+            let loss = self.ic.loss(i, j);
+            let wheel = self.ic.wheeling(i, j).dollars_per_mwh();
+            let value = outlook.sites[j].expected_price * (1.0 - loss) - wheel;
+            let cap = self.ic.cap_at(i, j, outlook.frame).mwh();
+            lp.problem
+                .set_objective(free, -value)
+                .expect("template variables stay valid");
+            lp.problem
+                .set_objective(buy, -(value - outlook.sites[i].procure_cost * margin))
+                .expect("template variables stay valid");
+            let surplus = outlook.sites[i].expected_surplus.mwh().max(0.0);
+            let procurable = (outlook.sites[i].export_headroom - outlook.sites[i].battery_headroom)
+                .positive_part()
+                .mwh();
+            lp.problem
+                .set_bounds(free, 0.0, cap.min(surplus))
+                .expect("caps and budgets are non-negative");
+            lp.problem
+                .set_bounds(buy, 0.0, cap.min(procurable))
+                .expect("caps and budgets are non-negative");
+            lp.problem
+                .set_rhs(lp.link_rows[k], cap)
+                .expect("template rows stay valid");
+        }
+        for (s, site) in outlook.sites.iter().enumerate() {
+            if let Some(row) = lp.free_rows[s] {
+                lp.problem
+                    .set_rhs(row, site.expected_surplus.mwh().max(0.0))
+                    .expect("template rows stay valid");
+            }
+            if let Some(row) = lp.buy_rows[s] {
+                let procurable = (site.export_headroom - site.battery_headroom)
+                    .positive_part()
+                    .mwh();
+                lp.problem
+                    .set_rhs(row, procurable)
+                    .expect("template rows stay valid");
+            }
+            if let Some(row) = lp.need_rows[s] {
+                lp.problem
+                    .set_rhs(row, site.expected_need.mwh().max(0.0))
+                    .expect("template rows stay valid");
+            }
+        }
+        let sol = lp
+            .problem
+            .solve_with(&mut lp.workspace)
+            .expect("the prospective flow LP is feasible (zero flow) and box-bounded");
+        const TOL: f64 = 1e-9;
+        for &(i, j, free, buy) in &lp.flows {
+            let f_free = sol.value(free).max(0.0);
+            let f_buy = sol.value(buy).max(0.0);
+            let sent = f_free + f_buy;
+            if sent <= TOL {
+                continue;
+            }
+            let loss = self.ic.loss(i, j);
+            let value = outlook.sites[j].expected_price * (1.0 - loss)
+                - self.ic.wheeling(i, j).dollars_per_mwh();
+            directives[i].export_quota += Energy::from_mwh(sent);
+            directives[i].export_value = directives[i].export_value.max(value);
+            directives[j].import_expectation += Energy::from_mwh(sent * (1.0 - loss));
+            if f_buy > TOL {
+                directives[i].procure_for_export += Energy::from_mwh(f_buy);
+            }
+        }
+        // The plant charges surplus before curtailing it, so a site that
+        // was directed to buy must also top its battery off or the
+        // planned waste (and hence the export) never materializes.
+        for (s, d) in directives.iter_mut().enumerate() {
+            if d.procure_for_export > Energy::ZERO {
+                d.procure_for_export += outlook.sites[s].battery_headroom;
+            }
+        }
+        directives
+    }
+
     /// Settles already-computed per-site reports through the planner:
     /// [`MultiSiteEngine::couple_with`] with [`plan`](Self::plan) as the
     /// per-frame settlement. The planner's topology must equal the
@@ -250,6 +434,136 @@ impl FleetPlanner {
     #[must_use]
     pub fn solve_counts(&self) -> (u64, u64) {
         (self.workspace.warm_solves(), self.workspace.cold_solves())
+    }
+
+    /// Warm-start diagnostics of the prospective-dispatch workspace:
+    /// `(warm, cold)` solve counts so far (zeros until the first
+    /// coordinated frame is planned).
+    #[must_use]
+    pub fn prospective_solve_counts(&self) -> (u64, u64) {
+        self.prospective.as_ref().map_or((0, 0), |lp| {
+            (lp.workspace.warm_solves(), lp.workspace.cold_solves())
+        })
+    }
+}
+
+impl ProspectiveLp {
+    /// Builds the buy-aware template for a topology. Bounds and
+    /// right-hand sides are placeholders (the cap ceiling); every
+    /// [`FleetPlanner::plan_prospective`] call edits them to the frame's
+    /// caps and budgets before re-solving.
+    fn for_topology(ic: &Interconnect) -> Self {
+        let n = ic.sites();
+        let mut problem = Problem::new(Sense::Minimize);
+        let flows: Vec<(usize, usize, Variable, Variable)> = ic
+            .open_links()
+            .map(|(i, j)| {
+                let ceiling = ic.cap_ceiling(i, j).mwh();
+                let free = problem
+                    .add_var(format!("x{i}_{j}"), 0.0, ceiling, 0.0)
+                    .expect("caps are validated finite");
+                let buy = problem
+                    .add_var(format!("y{i}_{j}"), 0.0, ceiling, 0.0)
+                    .expect("caps are validated finite");
+                (i, j, free, buy)
+            })
+            .collect();
+        let link_rows: Vec<ConstraintId> = flows
+            .iter()
+            .map(|&(i, j, free, buy)| {
+                problem
+                    .add_constraint(
+                        &[(free, 1.0), (buy, 1.0)],
+                        Relation::Le,
+                        ic.cap_ceiling(i, j).mwh(),
+                    )
+                    .expect("template rows are well-formed")
+            })
+            .collect();
+        let mut free_rows = vec![None; n];
+        let mut buy_rows = vec![None; n];
+        let mut need_rows = vec![None; n];
+        for s in 0..n {
+            let outgoing_free: Vec<(Variable, f64)> = flows
+                .iter()
+                .filter(|&&(i, _, _, _)| i == s)
+                .map(|&(_, _, free, _)| (free, 1.0))
+                .collect();
+            if !outgoing_free.is_empty() {
+                free_rows[s] = Some(
+                    problem
+                        .add_constraint(&outgoing_free, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+                let outgoing_buy: Vec<(Variable, f64)> = flows
+                    .iter()
+                    .filter(|&&(i, _, _, _)| i == s)
+                    .map(|&(_, _, _, buy)| (buy, 1.0))
+                    .collect();
+                buy_rows[s] = Some(
+                    problem
+                        .add_constraint(&outgoing_buy, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+            }
+            let incoming: Vec<(Variable, f64)> = flows
+                .iter()
+                .filter(|&&(_, j, _, _)| j == s)
+                .flat_map(|&(i, _, free, buy)| {
+                    let carry = 1.0 - ic.loss(i, s);
+                    [(free, carry), (buy, carry)]
+                })
+                .collect();
+            if !incoming.is_empty() {
+                need_rows[s] = Some(
+                    problem
+                        .add_constraint(&incoming, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+            }
+        }
+        if let Some(pool) = ic.pool_cap() {
+            let all: Vec<(Variable, f64)> = flows
+                .iter()
+                .flat_map(|&(_, _, free, buy)| [(free, 1.0), (buy, 1.0)])
+                .collect();
+            problem
+                .add_constraint(&all, Relation::Le, pool.mwh())
+                .expect("template rows are well-formed");
+        }
+        ProspectiveLp {
+            problem,
+            flows,
+            link_rows,
+            free_rows,
+            buy_rows,
+            need_rows,
+            workspace: LpWorkspace::new(),
+        }
+    }
+}
+
+/// The planner as a fleet dispatcher: settle every realized frame with
+/// the flow LP ([`FleetPlanner::plan`]); with
+/// [`with_coordination`](FleetPlanner::with_coordination) enabled, also
+/// direct the sites between frames
+/// ([`FleetPlanner::plan_prospective`]) — the *coordinated* dispatch
+/// mode.
+impl FleetDispatcher for FleetPlanner {
+    fn topology(&self) -> Option<&Interconnect> {
+        Some(&self.ic)
+    }
+
+    fn direct(&mut self, outlook: &FrameOutlook) -> Vec<FrameDirective> {
+        if self.coordinate {
+            self.plan_prospective(outlook)
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn settle(&mut self, ex: &FrameExchange) -> FrameSettlement {
+        self.plan(ex)
     }
 }
 
@@ -356,6 +670,93 @@ mod tests {
             warm >= 3,
             "frame-to-frame re-solves must warm-start: {warm} warm / {cold} cold"
         );
+    }
+
+    fn outlook(frame: usize, sites: &[(f64, f64, f64, f64, f64, f64)]) -> dpss_sim::FrameOutlook {
+        dpss_sim::FrameOutlook {
+            frame,
+            sites: sites
+                .iter()
+                .map(
+                    |&(surplus, need, price, headroom, battery, cost)| dpss_sim::SiteOutlook {
+                        expected_surplus: Energy::from_mwh(surplus),
+                        expected_need: Energy::from_mwh(need),
+                        expected_price: price,
+                        export_headroom: Energy::from_mwh(headroom),
+                        battery_headroom: Energy::from_mwh(battery),
+                        procure_cost: cost,
+                    },
+                )
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn prospective_plan_is_inert_without_links_or_history() {
+        let mut p = FleetPlanner::new(Interconnect::decoupled(3).unwrap()).with_coordination(true);
+        let ds = p.plan_prospective(&outlook(2, &[(5.0, 0.0, 0.0, 3.0, 0.5, 31.0); 3]));
+        assert_eq!(ds.len(), 3);
+        assert!(ds.iter().all(FrameDirective::is_inert));
+        // Frame 0 (zero outlook everywhere) is inert on a live topology.
+        let ic = Interconnect::uniform(2, Energy::from_mwh(5.0)).unwrap();
+        let mut p = FleetPlanner::new(ic);
+        let ds = p.plan_prospective(&outlook(0, &[(0.0, 0.0, 0.0, 0.0, 0.5, 31.0); 2]));
+        assert!(ds.iter().all(FrameDirective::is_inert));
+    }
+
+    #[test]
+    fn prospective_plan_directs_buy_to_export_when_value_clears_the_margin() {
+        let ic = Interconnect::decoupled(2)
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(5.0))
+            .unwrap();
+        let mut p = FleetPlanner::new(ic);
+        // Site 1 pays $80 for ~2 MWh; site 0 has 1 MWh of forecast
+        // surplus, 3 MWh of grid slack, 0.5 MWh of battery headroom and
+        // procures at $31/MWh. $80 clears 31 × 1.6 easily.
+        let ds = p.plan_prospective(&outlook(
+            3,
+            &[
+                (1.0, 0.0, 0.0, 3.0, 0.5, 31.0),
+                (0.0, 2.0, 80.0, 0.0, 0.0, 31.0),
+            ],
+        ));
+        assert_eq!(ds[0].frame, 3);
+        // Recipient need bounds the plan: 1 free + 1 bought.
+        assert!((ds[0].export_quota.mwh() - 2.0).abs() < 1e-9, "{ds:?}");
+        // The buy-to-export order includes the battery top-off.
+        assert!(
+            (ds[0].procure_for_export.mwh() - 1.5).abs() < 1e-9,
+            "{ds:?}"
+        );
+        assert!((ds[0].export_value - 80.0).abs() < 1e-9);
+        assert!((ds[1].import_expectation.mwh() - 2.0).abs() < 1e-9);
+        assert_eq!(ds[1].export_quota, Energy::ZERO);
+        let (warm, cold) = p.prospective_solve_counts();
+        assert_eq!(warm + cold, 1);
+
+        // Below the margin ($40 < $31 × 1.6) only the free surplus moves:
+        // nothing is procured.
+        let ds = p.plan_prospective(&outlook(
+            4,
+            &[
+                (1.0, 0.0, 0.0, 3.0, 0.5, 31.0),
+                (0.0, 2.0, 40.0, 0.0, 0.0, 31.0),
+            ],
+        ));
+        assert!((ds[0].export_quota.mwh() - 1.0).abs() < 1e-9, "{ds:?}");
+        assert_eq!(ds[0].procure_for_export, Energy::ZERO);
+        // Frame-to-frame re-solves stay on the warm path.
+        let (warm, cold) = p.prospective_solve_counts();
+        assert_eq!((warm + cold, cold), (2, 1));
+    }
+
+    #[test]
+    fn prospective_margin_validates() {
+        let p = FleetPlanner::new(Interconnect::decoupled(2).unwrap());
+        assert!(p.clone().with_procure_margin(f64::NAN).is_err());
+        assert!(p.clone().with_procure_margin(-0.1).is_err());
+        assert!(p.with_procure_margin(0.0).is_ok());
     }
 
     #[test]

@@ -26,7 +26,10 @@
 //!   linear programs with inter-site flow variables over a
 //!   [`dpss_sim::Interconnect`] topology, warm-started frame to frame —
 //!   the *planned* alternative to `dpss-sim`'s post-hoc greedy
-//!   settlement.
+//!   settlement, and (with
+//!   [`with_coordination`](FleetPlanner::with_coordination)) the
+//!   *coordinated* fleet dispatcher that plans prospective flows between
+//!   frames and directs sites to buy-to-export.
 //! * [`TheoremBounds`] — the closed-form bounds of Theorem 2 (`Qmax`,
 //!   `Ymax`, `Umax`, `λmax`, `Vmax`, the `X(t)` window and the `H1`/`H2`
 //!   constants), which the integration tests verify empirically.

@@ -1,6 +1,6 @@
 use dpss_sim::{
-    Controller, FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation,
-    SystemView,
+    Controller, FrameDecision, FrameDirective, FrameObservation, SimParams, SlotDecision,
+    SlotObservation, SystemView,
 };
 use dpss_units::Energy;
 
@@ -58,6 +58,9 @@ pub struct RecedingHorizon {
     /// [`with_warm_start`](Self::with_warm_start) enabled it.
     workspace: dpss_lp::LpWorkspace,
     warm_start: bool,
+    /// Fleet dispatch directive for the coming frame, if a coordinated
+    /// [`MultiSiteEngine`](dpss_sim::MultiSiteEngine) run delivered one.
+    directive: Option<FrameDirective>,
 }
 
 impl RecedingHorizon {
@@ -103,6 +106,7 @@ impl RecedingHorizon {
             plan_sdt: Vec::new(),
             workspace: dpss_lp::LpWorkspace::new(),
             warm_start: false,
+            directive: None,
         })
     }
 
@@ -125,6 +129,10 @@ impl RecedingHorizon {
 impl Controller for RecedingHorizon {
     fn name(&self) -> &str {
         "receding-horizon"
+    }
+
+    fn receive_directive(&mut self, directive: &FrameDirective) {
+        self.directive = Some(*directive);
     }
 
     fn plan_frame(&mut self, obs: &FrameObservation, view: &SystemView) -> FrameDecision {
@@ -163,20 +171,27 @@ impl Controller for RecedingHorizon {
                 &mut self.workspace,
             )
         });
+        // Buy-to-export: a coordinated fleet directive tops the hedge off
+        // with energy destined for a neighbour (re-checked against the
+        // actual quoted p_lt by `economic_top_off`; the engine clamps
+        // the sum to the *grid* frame cap `T·Pgrid·Δh`).
+        let top_off = self.directive.map_or(Energy::ZERO, |d| {
+            d.economic_top_off(obs.frame, obs.price_lt, self.params.waste_price)
+        });
         match solved {
             Ok(plan) => {
                 let total = plan.g_slot * t as f64;
                 self.plan_grt = plan.grt;
                 self.plan_sdt = plan.sdt;
                 FrameDecision {
-                    purchase_lt: Energy::from_mwh(total.max(0.0)),
+                    purchase_lt: Energy::from_mwh(total.max(0.0)) + top_off,
                 }
             }
             Err(_) => {
                 self.plan_grt = vec![0.0; t];
                 self.plan_sdt = vec![0.0; t];
                 FrameDecision {
-                    purchase_lt: Energy::ZERO,
+                    purchase_lt: top_off,
                 }
             }
         }

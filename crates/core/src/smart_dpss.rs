@@ -1,6 +1,6 @@
 use dpss_sim::{
-    Controller, FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation,
-    SlotOutcome, SystemView,
+    Controller, FrameDecision, FrameDirective, FrameObservation, SimParams, SlotDecision,
+    SlotObservation, SlotOutcome, SystemView,
 };
 use dpss_units::{Energy, SlotClock};
 
@@ -64,6 +64,9 @@ pub struct SmartDpss {
     planned_backlog: f64,
     /// Largest `Y(t)` seen (for bound audits).
     y_max_seen: f64,
+    /// Fleet dispatch directive for the coming frame, if a coordinated
+    /// [`MultiSiteEngine`](dpss_sim::MultiSiteEngine) run delivered one.
+    directive: Option<FrameDirective>,
 }
 
 impl SmartDpss {
@@ -88,6 +91,7 @@ impl SmartDpss {
             y: 0.0,
             planned_backlog: 0.0,
             y_max_seen: 0.0,
+            directive: None,
         })
     }
 
@@ -101,6 +105,7 @@ impl SmartDpss {
         self.y = 0.0;
         self.planned_backlog = 0.0;
         self.y_max_seen = 0.0;
+        self.directive = None;
     }
 
     /// The configuration in force.
@@ -169,6 +174,10 @@ impl Controller for SmartDpss {
         "smart-dpss"
     }
 
+    fn receive_directive(&mut self, directive: &FrameDirective) {
+        self.directive = Some(*directive);
+    }
+
     fn plan_frame(&mut self, obs: &FrameObservation, view: &SystemView) -> FrameDecision {
         if self.config.market == MarketMode::RealTimeOnly {
             return FrameDecision {
@@ -213,8 +222,17 @@ impl Controller for SmartDpss {
         } else {
             p4::solve_closed_form(&inputs)
         };
+        // Buy-to-export: a coordinated fleet directive can top the frame
+        // purchase off with energy destined for a neighbour (re-checked
+        // against the actual quoted p_lt by `economic_top_off`); the
+        // engine clamps the sum to the *grid* frame cap `T·Pgrid·Δh` —
+        // link caps only bound it indirectly, through the planner's
+        // export-headroom input.
+        let top_off = self.directive.map_or(Energy::ZERO, |d| {
+            d.economic_top_off(obs.frame, obs.price_lt, self.params.waste_price)
+        });
         FrameDecision {
-            purchase_lt: Energy::from_mwh(total.max(0.0)),
+            purchase_lt: Energy::from_mwh(total.max(0.0)) + top_off,
         }
     }
 
@@ -394,6 +412,74 @@ mod tests {
             lt_allocation: Energy::ZERO,
             rt_purchase_cap: Energy::ZERO,
         }
+    }
+
+    #[test]
+    fn directives_top_off_the_frame_purchase_only_when_economic() {
+        let clock = SlotClock::new(2, 4, 1.0).unwrap();
+        let params = SimParams::icdcs13();
+        let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let obs = FrameObservation {
+            frame: 0,
+            slot: 0,
+            slots_in_frame: 4,
+            slot_hours: 1.0,
+            price_lt: dpss_units::Price::from_dollars_per_mwh(30.0),
+            demand_ds: Energy::from_mwh(0.5),
+            demand_dt: Energy::from_mwh(0.2),
+            renewable: Energy::from_mwh(0.1),
+        };
+        let base = ctl.plan_frame(&obs, &fake_view()).purchase_lt;
+
+        // A profitable export directive (delivered value beats
+        // p_lt + waste penalty) tops the purchase off by exactly the
+        // procure amount.
+        ctl.receive_directive(&FrameDirective {
+            frame: 0,
+            procure_for_export: Energy::from_mwh(2.0),
+            export_quota: Energy::from_mwh(2.0),
+            import_expectation: Energy::ZERO,
+            export_value: 60.0,
+        });
+        let directed = ctl.plan_frame(&obs, &fake_view()).purchase_lt;
+        assert!((directed.mwh() - base.mwh() - 2.0).abs() < 1e-12);
+
+        // Uneconomic value ($30 < $30 + $1 waste): ignored.
+        ctl.receive_directive(&FrameDirective {
+            export_value: 30.0,
+            ..FrameDirective {
+                frame: 0,
+                procure_for_export: Energy::from_mwh(2.0),
+                export_quota: Energy::from_mwh(2.0),
+                import_expectation: Energy::ZERO,
+                export_value: 0.0,
+            }
+        });
+        assert_eq!(ctl.plan_frame(&obs, &fake_view()).purchase_lt, base);
+
+        // Stale directive (wrong frame): ignored.
+        ctl.receive_directive(&FrameDirective {
+            frame: 1,
+            procure_for_export: Energy::from_mwh(2.0),
+            export_quota: Energy::from_mwh(2.0),
+            import_expectation: Energy::ZERO,
+            export_value: 60.0,
+        });
+        assert_eq!(ctl.plan_frame(&obs, &fake_view()).purchase_lt, base);
+
+        // Inert directives never change the decision, and reset clears
+        // any stored one.
+        ctl.receive_directive(&FrameDirective::inert(0));
+        assert_eq!(ctl.plan_frame(&obs, &fake_view()).purchase_lt, base);
+        ctl.receive_directive(&FrameDirective {
+            frame: 0,
+            procure_for_export: Energy::from_mwh(2.0),
+            export_quota: Energy::from_mwh(2.0),
+            import_expectation: Energy::ZERO,
+            export_value: 60.0,
+        });
+        ctl.reset();
+        assert_eq!(ctl.plan_frame(&obs, &fake_view()).purchase_lt, base);
     }
 
     #[test]

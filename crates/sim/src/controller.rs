@@ -1,6 +1,6 @@
 use dpss_units::{Energy, Price, SlotId};
 
-use crate::SlotOutcome;
+use crate::{FrameDirective, SlotOutcome};
 
 /// What a controller sees at the start of a coarse frame (`t = kT`), when
 /// the long-term-ahead purchase `g_bef(t)` must be committed.
@@ -105,6 +105,19 @@ pub trait Controller {
     /// Short machine-friendly policy name used in reports (e.g.
     /// `"smart-dpss"`, `"offline"`, `"impatient"`).
     fn name(&self) -> &str;
+
+    /// Receives a fleet dispatch directive for the coming coarse frame
+    /// (default: ignored). A coordinated
+    /// [`MultiSiteEngine`](crate::MultiSiteEngine) run delivers one
+    /// directive per site immediately before the frame's
+    /// [`plan_frame`](Self::plan_frame); export-aware controllers store
+    /// it and fold it into that decision (e.g. buy-to-export when the
+    /// directive's delivered value beats the local long-term price).
+    /// Controllers that never see a directive must behave bit-identically
+    /// to ones that only ever see inert directives.
+    fn receive_directive(&mut self, directive: &FrameDirective) {
+        let _ = directive;
+    }
 
     /// Chooses the long-term-ahead purchase at a frame start.
     fn plan_frame(&mut self, obs: &FrameObservation, view: &SystemView) -> FrameDecision;

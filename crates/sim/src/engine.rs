@@ -4,7 +4,7 @@ use dpss_units::Energy;
 use crate::plant::{self, SlotInputs};
 use crate::{
     Battery, Controller, DemandQueue, FrameObservation, RunReport, SimError, SimParams,
-    SlotObservation, SystemView,
+    SlotObservation, SlotOutcome, SystemView,
 };
 
 /// The two-timescale simulation driver.
@@ -118,38 +118,151 @@ impl Engine {
 
     /// Runs one controller over the whole horizon and aggregates a report.
     ///
+    /// Implemented on top of the resumable stepping API — exactly
+    /// [`begin`](Self::begin), [`EngineRun::step_frame`] for every coarse
+    /// frame, then [`EngineRun::finish`] — and bit-identical to stepping
+    /// by hand (`tests/stepping_equivalence.rs` pins the report JSON).
+    ///
     /// # Errors
     ///
     /// [`SimError::InvalidDecision`] if the controller emits NaN/negative
     /// decisions; battery errors cannot escape the plant's clamping.
     pub fn run(&self, controller: &mut dyn Controller) -> Result<RunReport, SimError> {
+        let mut run = self.begin()?;
+        while !run.is_done() {
+            run.step_frame(controller)?;
+        }
+        run.finish()
+    }
+
+    /// Starts a resumable run: the returned [`EngineRun`] owns the plant
+    /// state (battery, queue, partial report) and advances one coarse
+    /// frame at a time through [`EngineRun::step_frame`]. This is the
+    /// frame-synchronous entry point
+    /// [`MultiSiteEngine`](crate::MultiSiteEngine) uses to run a fleet in
+    /// lockstep, delivering a `FrameDirective` to each site's controller
+    /// between frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates battery-construction failures (invalid parameters are
+    /// normally caught at [`Engine::new`]).
+    pub fn begin(&self) -> Result<EngineRun<'_>, SimError> {
         let clock = self.truth.clock;
-        let obs_traces = self.observed.as_ref().unwrap_or(&self.truth);
+        Ok(EngineRun {
+            engine: self,
+            battery: Battery::new(self.params.battery)?,
+            queue: DemandQueue::new(),
+            lt_alloc: Energy::ZERO,
+            report: empty_report("", clock.total_slots()),
+            recorded: if self.record_slots {
+                Some(Vec::with_capacity(clock.total_slots()))
+            } else {
+                None
+            },
+            next_frame: 0,
+        })
+    }
+
+    /// The observed trace set (what controllers see): the injected
+    /// observation set when one was supplied, the truth otherwise.
+    pub(crate) fn observed_traces(&self) -> &TraceSet {
+        self.observed.as_ref().unwrap_or(&self.truth)
+    }
+}
+
+/// An in-flight [`Engine`] run: plant state plus the partially aggregated
+/// report, advanced one coarse frame at a time.
+///
+/// Produced by [`Engine::begin`]; [`Engine::run`] is exactly
+/// `begin` + [`step_frame`](EngineRun::step_frame) × `frames` +
+/// [`finish`](EngineRun::finish). Within a frame nothing is externally
+/// observable; between frames the accessors expose what a fleet
+/// dispatcher needs (recorded outcomes so far, battery headroom).
+#[derive(Debug, Clone)]
+pub struct EngineRun<'a> {
+    engine: &'a Engine,
+    battery: Battery,
+    queue: DemandQueue,
+    lt_alloc: Energy,
+    report: RunReport,
+    recorded: Option<Vec<SlotOutcome>>,
+    next_frame: usize,
+}
+
+impl EngineRun<'_> {
+    /// The engine this run steps.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Coarse frames completed so far (also the index of the next frame
+    /// to step).
+    #[must_use]
+    pub fn frames_completed(&self) -> usize {
+        self.next_frame
+    }
+
+    /// Whether every coarse frame of the calendar has been stepped.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_frame >= self.engine.truth.clock.frames()
+    }
+
+    /// Per-slot outcomes recorded so far (empty unless the engine has
+    /// slot recording enabled).
+    #[must_use]
+    pub fn outcomes(&self) -> &[SlotOutcome] {
+        self.recorded.as_deref().unwrap_or(&[])
+    }
+
+    /// Grid-side charge the battery currently accepts in one slot — the
+    /// export-dispatch planner's "held for a planned send" input.
+    #[must_use]
+    pub fn battery_headroom(&self) -> Energy {
+        self.battery.headroom()
+    }
+
+    /// Advances the run by one coarse frame: one `plan_frame` decision,
+    /// then `plan_slot` / plant step / `end_slot` for each of the frame's
+    /// fine slots. No-op when the run [`is_done`](Self::is_done).
+    ///
+    /// The first call stamps the controller's name into the report; a
+    /// fleet harness must keep handing the same controller to the same
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidDecision`] if the controller emits NaN/negative
+    /// decisions.
+    pub fn step_frame(&mut self, controller: &mut dyn Controller) -> Result<(), SimError> {
+        if self.is_done() {
+            return Ok(());
+        }
+        let engine = self.engine;
+        let clock = engine.truth.clock;
+        let obs_traces = engine.observed_traces();
         let slot_hours = clock.slot_hours();
         let t = clock.slots_per_frame();
-        let grid_slot_cap = self.params.grid_slot_cap(slot_hours);
+        let grid_slot_cap = engine.params.grid_slot_cap(slot_hours);
+        if self.report.controller.is_empty() {
+            self.report.controller = controller.name().to_owned();
+        }
 
-        let mut battery = Battery::new(self.params.battery)?;
-        let mut queue = DemandQueue::new();
-        let mut lt_alloc = Energy::ZERO;
-
-        let mut report = empty_report(controller.name(), clock.total_slots());
-        let mut recorded = if self.record_slots {
-            Some(Vec::with_capacity(clock.total_slots()))
-        } else {
-            None
+        let frame = self.next_frame;
+        let view = |battery: &Battery, queue: &DemandQueue, lt_alloc: Energy| SystemView {
+            battery_level: battery.level(),
+            battery_headroom: battery.headroom(),
+            battery_available: battery.available(),
+            battery_ops_remaining: battery.operations_remaining(),
+            queue_backlog: queue.backlog(),
+            lt_allocation: lt_alloc,
+            rt_purchase_cap: (grid_slot_cap - lt_alloc).positive_part(),
         };
 
-        for id in clock.slots() {
-            let view = |battery: &Battery, queue: &DemandQueue, lt_alloc: Energy| SystemView {
-                battery_level: battery.level(),
-                battery_headroom: battery.headroom(),
-                battery_available: battery.available(),
-                battery_ops_remaining: battery.operations_remaining(),
-                queue_backlog: queue.backlog(),
-                lt_allocation: lt_alloc,
-                rt_purchase_cap: (grid_slot_cap - lt_alloc).positive_part(),
-            };
+        for index in frame * t..(frame + 1) * t {
+            let id = clock.slot_id(index);
 
             // ---- Long-term-ahead planning at frame starts. ----------------
             if id.is_frame_start() {
@@ -159,7 +272,7 @@ impl Engine {
                 // (frame 0 sees its first slot's values). The forecast
                 // policy can substitute (noisy) coming-frame oracles.
                 let avg = |series: &[Energy], component: u64| -> Energy {
-                    match self.forecast {
+                    match engine.forecast {
                         crate::ForecastPolicy::PrevFrameAverage => {
                             if id.frame == 0 {
                                 series[id.index]
@@ -172,7 +285,7 @@ impl Engine {
                         | crate::ForecastPolicy::NoisyOracle { .. } => {
                             let start = id.frame * t;
                             let mean = series[start..start + t].iter().sum::<Energy>() / t as f64;
-                            mean * self.forecast.noise_factor(id.frame, component)
+                            mean * engine.forecast.noise_factor(id.frame, component)
                         }
                     }
                 };
@@ -186,7 +299,7 @@ impl Engine {
                     demand_dt: avg(&obs_traces.demand_dt, 1),
                     renewable: avg(&obs_traces.renewable, 2),
                 };
-                let v = view(&battery, &queue, Energy::ZERO);
+                let v = view(&self.battery, &self.queue, Energy::ZERO);
                 let decision = controller.plan_frame(&fobs, &v);
                 if !decision.purchase_lt.is_finite() || decision.purchase_lt.mwh() < 0.0 {
                     return Err(SimError::InvalidDecision {
@@ -195,7 +308,7 @@ impl Engine {
                     });
                 }
                 let frame_cap = grid_slot_cap * t as f64;
-                lt_alloc = decision.purchase_lt.min(frame_cap) / t as f64;
+                self.lt_alloc = decision.purchase_lt.min(frame_cap) / t as f64;
             }
 
             // ---- Real-time balancing. --------------------------------------
@@ -208,22 +321,29 @@ impl Engine {
                 demand_dt: obs_traces.demand_dt[id.index],
                 renewable: obs_traces.renewable[id.index],
             };
-            let v = view(&battery, &queue, lt_alloc);
+            let v = view(&self.battery, &self.queue, self.lt_alloc);
             let decision = controller.plan_slot(&sobs, &v);
 
             let inputs = SlotInputs {
                 slot: id,
                 slot_hours,
-                demand_ds: self.truth.demand_ds[id.index],
-                demand_dt: self.truth.demand_dt[id.index],
-                renewable: self.truth.renewable[id.index],
-                price_rt: self.truth.price_rt[id.index],
-                price_lt: self.truth.price_lt[id.frame],
-                lt_alloc,
+                demand_ds: engine.truth.demand_ds[id.index],
+                demand_dt: engine.truth.demand_dt[id.index],
+                renewable: engine.truth.renewable[id.index],
+                price_rt: engine.truth.price_rt[id.index],
+                price_lt: engine.truth.price_lt[id.frame],
+                lt_alloc: self.lt_alloc,
             };
-            let outcome = plant::step(&self.params, &inputs, &decision, &mut battery, &mut queue)?;
+            let outcome = plant::step(
+                &engine.params,
+                &inputs,
+                &decision,
+                &mut self.battery,
+                &mut self.queue,
+            )?;
 
             // ---- Aggregate metrics. ----------------------------------------
+            let report = &mut self.report;
             report.cost_lt += outcome.cost.long_term;
             report.cost_rt += outcome.cost.real_time;
             report.cost_battery += outcome.cost.battery;
@@ -241,32 +361,52 @@ impl Engine {
             }
             report.peak_grid_draw = report.peak_grid_draw.max(outcome.grid_draw());
 
-            let v_after = view(&battery, &queue, lt_alloc);
+            let v_after = view(&self.battery, &self.queue, self.lt_alloc);
             controller.end_slot(&outcome, &v_after);
-            if let Some(rec) = recorded.as_mut() {
+            if let Some(rec) = self.recorded.as_mut() {
                 rec.push(outcome);
             }
         }
+        self.next_frame = frame + 1;
+        Ok(())
+    }
+
+    /// Seals the run and produces the final [`RunReport`] (peak demand
+    /// charge, queue/battery statistics, recorded outcomes).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::RunIncomplete`] unless every coarse frame has been
+    /// stepped — a partial run has no meaningful horizon statistics.
+    pub fn finish(mut self) -> Result<RunReport, SimError> {
+        let clock = self.engine.truth.clock;
+        if !self.is_done() {
+            return Err(SimError::RunIncomplete {
+                frames_done: self.next_frame,
+                frames_total: clock.frames(),
+            });
+        }
+        let slot_hours = clock.slot_hours();
 
         // ---- Peak demand charge (extension; off by default). -----------------
-        if self.params.peak_charge_per_mw > 0.0 {
-            let peak_mw = report.peak_grid_draw.mwh() / slot_hours;
-            report.cost_peak =
-                dpss_units::Money::from_dollars(peak_mw * self.params.peak_charge_per_mw);
+        if self.engine.params.peak_charge_per_mw > 0.0 {
+            let peak_mw = self.report.peak_grid_draw.mwh() / slot_hours;
+            self.report.cost_peak =
+                dpss_units::Money::from_dollars(peak_mw * self.engine.params.peak_charge_per_mw);
         }
 
         // ---- Final queue/battery statistics. --------------------------------
         let last = clock.total_slots() - 1;
-        report.average_delay_slots = queue.ledger().average_delay_slots();
-        report.max_delay_slots = queue.ledger().max_delay_slots();
-        report.oldest_pending_age = queue.ledger().oldest_pending_age(last);
-        report.final_backlog = queue.backlog();
-        report.max_backlog = queue.max_backlog_seen();
-        report.battery_ops = battery.operations();
-        report.battery_min = battery.min_level_seen();
-        report.battery_max = battery.max_level_seen();
-        report.slot_outcomes = recorded;
-        Ok(report)
+        self.report.average_delay_slots = self.queue.ledger().average_delay_slots();
+        self.report.max_delay_slots = self.queue.ledger().max_delay_slots();
+        self.report.oldest_pending_age = self.queue.ledger().oldest_pending_age(last);
+        self.report.final_backlog = self.queue.backlog();
+        self.report.max_backlog = self.queue.max_backlog_seen();
+        self.report.battery_ops = self.battery.operations();
+        self.report.battery_min = self.battery.min_level_seen();
+        self.report.battery_max = self.battery.max_level_seen();
+        self.report.slot_outcomes = self.recorded;
+        Ok(self.report)
     }
 }
 

@@ -43,6 +43,14 @@ pub enum SimError {
         /// What disagreed or was missing.
         what: &'static str,
     },
+    /// A resumable run was finished before every coarse frame was
+    /// stepped ([`EngineRun::finish`](crate::EngineRun::finish)).
+    RunIncomplete {
+        /// Coarse frames stepped so far.
+        frames_done: usize,
+        /// Coarse frames in the calendar.
+        frames_total: usize,
+    },
     /// An underlying trace error.
     Trace(TraceError),
     /// An underlying units/calendar error.
@@ -72,6 +80,13 @@ impl fmt::Display for SimError {
             SimError::SiteMismatch { site, what } => {
                 write!(f, "site {site}: {what}")
             }
+            SimError::RunIncomplete {
+                frames_done,
+                frames_total,
+            } => write!(
+                f,
+                "run finished after only {frames_done} of {frames_total} frames"
+            ),
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Units(e) => write!(f, "units error: {e}"),
         }

@@ -9,7 +9,7 @@
 //! fleet-pooled cap on top bounds the total energy moved per frame — the
 //! legacy knob is exactly a pooled topology with lossless, free links.
 //!
-//! Two settlement modes consume the topology:
+//! Three dispatch modes consume the topology:
 //!
 //! * [`Interconnect::settle_greedy`] — the *post-hoc* mode: per frame,
 //!   realized curtailment is matched to the most expensive realized
@@ -21,6 +21,12 @@
 //!   linear program over the same [`FrameExchange`] chooses export flows
 //!   jointly across all links (bounded by the pair caps), which with
 //!   per-pair caps, losses or wheeling prices can beat the greedy fold.
+//! * The same planner with coordination enabled — the *coordinated*
+//!   mode: between frames of a lockstep
+//!   [`MultiSiteEngine::run_with`](crate::MultiSiteEngine::run_with)
+//!   fleet run it also plans *prospective* flows and hands each site a
+//!   [`FrameDirective`](crate::FrameDirective) (buy-to-export), closing
+//!   the loop from settlement back to physical dispatch.
 //!
 //! Both settle the same per-frame exchange, so their results are directly
 //! comparable and the physics property suite
@@ -62,6 +68,10 @@ pub struct Interconnect {
     loss: Vec<f64>,
     /// Wheeling price per MWh *sent*, same layout.
     wheel: Vec<Price>,
+    /// Optional per-frame cap schedules, same layout: when set for a
+    /// link, frame `k` uses `schedule[k % len]` instead of the static
+    /// cap (maintenance windows, congestion pricing).
+    schedule: Vec<Option<Vec<Energy>>>,
     /// Optional fleet-pooled cap on total energy sent per frame.
     pool_cap: Option<Energy>,
 }
@@ -80,6 +90,7 @@ impl Interconnect {
             cap: vec![cap; sites * sites],
             loss: vec![0.0; sites * sites],
             wheel: vec![Price::from_dollars_per_mwh(0.0); sites * sites],
+            schedule: vec![None; sites * sites],
             pool_cap,
         };
         for s in 0..sites {
@@ -120,6 +131,51 @@ impl Interconnect {
     /// [`SimError::InvalidParameter`] for a non-finite or negative cap.
     pub fn uniform(sites: usize, pair_cap: Energy) -> Result<Self, SimError> {
         Interconnect::filled(sites, pair_cap, None)
+    }
+
+    /// The full-mesh roster name for [`Interconnect::uniform`]: every
+    /// ordered pair gets its own directed line with `pair_cap` per frame.
+    /// (`mesh` is the spelling the topology sweep axis uses.)
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if `sites == 0`;
+    /// [`SimError::InvalidParameter`] for a non-finite or negative cap.
+    pub fn mesh(sites: usize, pair_cap: Energy) -> Result<Self, SimError> {
+        Interconnect::uniform(sites, pair_cap)
+    }
+
+    /// A bidirectional ring: site `i` is linked to its calendar
+    /// neighbours `(i + 1) mod n` and `(i − 1) mod n` only, each directed
+    /// line capped at `pair_cap` per frame. With fewer than three sites
+    /// this degenerates to the full mesh (two sites have only one pair).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if `sites == 0`;
+    /// [`SimError::InvalidParameter`] for a non-finite or negative cap.
+    pub fn ring(sites: usize, pair_cap: Energy) -> Result<Self, SimError> {
+        validate_cap(pair_cap)?;
+        let mut ic = Interconnect::decoupled(sites)?;
+        if sites >= 2 {
+            for i in 0..sites {
+                let next = (i + 1) % sites;
+                ic = ic.with_link(i, next, pair_cap)?;
+                ic = ic.with_link(next, i, pair_cap)?;
+            }
+        }
+        Ok(ic)
+    }
+
+    /// The topology-roster name for [`Interconnect::decoupled`]: every
+    /// line severed, so the fleet settles nothing and behaves exactly
+    /// like independent sites.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if `sites == 0`.
+    pub fn severed(sites: usize) -> Result<Self, SimError> {
+        Interconnect::decoupled(sites)
     }
 
     /// Sets the directed cap of the `from → to` line.
@@ -201,13 +257,46 @@ impl Interconnect {
         Ok(self)
     }
 
+    /// Gives the `from → to` line a per-frame cap schedule: frame `k`
+    /// is capped at `caps[k % caps.len()]` (the schedule cycles), which
+    /// overrides the static cap — maintenance windows and congestion
+    /// pricing as cheap per-frame bound edits. An all-equal schedule
+    /// settles bit-identically to the equivalent static cap.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidParameter`] for an empty schedule, a
+    /// non-finite or negative entry, or a diagonal / out-of-range pair.
+    pub fn with_cap_schedule(
+        mut self,
+        from: usize,
+        to: usize,
+        caps: Vec<Energy>,
+    ) -> Result<Self, SimError> {
+        if caps.is_empty() {
+            return Err(SimError::InvalidParameter {
+                what: "interconnect cap schedule",
+                requirement: "must contain at least one frame cap",
+            });
+        }
+        for &c in &caps {
+            validate_cap(c)?;
+        }
+        let k = self.pair_index(from, to)?;
+        self.schedule[k] = Some(caps);
+        Ok(self)
+    }
+
     /// Number of sites the topology spans.
     #[must_use]
     pub fn sites(&self) -> usize {
         self.sites
     }
 
-    /// Directed cap of the `from → to` line (zero for the diagonal).
+    /// Static directed cap of the `from → to` line (zero for the
+    /// diagonal). When the link carries a cap schedule this is only the
+    /// template value — use [`cap_at`](Self::cap_at) for the cap that
+    /// actually binds a given frame.
     ///
     /// # Panics
     ///
@@ -216,6 +305,44 @@ impl Interconnect {
     pub fn cap(&self, from: usize, to: usize) -> Energy {
         assert!(from < self.sites && to < self.sites, "site out of range");
         self.cap[from * self.sites + to]
+    }
+
+    /// Directed cap of the `from → to` line *for frame `frame`*: the
+    /// schedule entry `frame % len` when the link is scheduled, the
+    /// static cap otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site index is out of range.
+    #[must_use]
+    pub fn cap_at(&self, from: usize, to: usize, frame: usize) -> Energy {
+        assert!(from < self.sites && to < self.sites, "site out of range");
+        let k = from * self.sites + to;
+        match &self.schedule[k] {
+            Some(caps) => caps[frame % caps.len()],
+            None => self.cap[k],
+        }
+    }
+
+    /// The largest cap the `from → to` line can ever carry: the
+    /// schedule's maximum when scheduled, the static cap otherwise.
+    /// This is what decides whether a link belongs to
+    /// [`open_links`](Self::open_links).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a site index is out of range.
+    #[must_use]
+    pub fn cap_ceiling(&self, from: usize, to: usize) -> Energy {
+        assert!(from < self.sites && to < self.sites, "site out of range");
+        self.ceiling_of(from * self.sites + to)
+    }
+
+    fn ceiling_of(&self, k: usize) -> Energy {
+        match &self.schedule[k] {
+            Some(caps) => caps.iter().fold(Energy::ZERO, |a, &c| a.max(c)),
+            None => self.cap[k],
+        }
     }
 
     /// Multiplicative loss of the `from → to` line.
@@ -246,50 +373,103 @@ impl Interconnect {
         self.pool_cap
     }
 
-    /// Whether no energy can ever move: every pair cap is zero, or the
-    /// pool cap is zero, or there is only one site.
+    /// Whether no energy can ever move: every pair cap (including every
+    /// schedule entry) is zero, or the pool cap is zero, or there is
+    /// only one site.
     #[must_use]
     pub fn is_silent(&self) -> bool {
         self.sites < 2
             || self.pool_cap == Some(Energy::ZERO)
-            || self.cap.iter().all(|&c| c <= Energy::ZERO)
+            || (0..self.cap.len()).all(|k| self.ceiling_of(k) <= Energy::ZERO)
     }
 
-    /// The ordered pairs with a usable line (`cap > 0`), in row-major
+    /// The ordered pairs with a usable line (cap ceiling `> 0`, i.e. the
+    /// static cap, or any schedule entry, is positive), in row-major
     /// (donor-major) order — the deterministic link roster both
     /// settlement modes iterate.
     pub fn open_links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         let n = self.sites;
         (0..n * n).filter_map(move |k| {
             let (i, j) = (k / n, k % n);
-            (i != j && self.cap[k] > Energy::ZERO).then_some((i, j))
+            (i != j && self.ceiling_of(k) > Energy::ZERO).then_some((i, j))
         })
     }
 
     /// One-line human description, used in table titles. A pooled legacy
-    /// topology renders exactly as the old knob did.
+    /// topology renders exactly as the old knob did; a uniform mesh gets
+    /// one compact line; anything mixed (per-link caps, losses, wheeling
+    /// or schedules) is spelled out link by link in sorted (row-major)
+    /// order, so sweep table titles are deterministic and reviewable.
     #[must_use]
     pub fn describe(&self) -> String {
+        let no_schedules = self.schedule.iter().all(Option::is_none);
         let lossless = self.loss.iter().all(|&l| l == 0.0);
         let free = self.wheel.iter().all(|&w| w.dollars_per_mwh() == 0.0);
-        if let Some(pool) = self.pool_cap {
-            let pooled_caps = (0..self.sites * self.sites).all(|k| {
-                let (i, j) = (k / self.sites, k % self.sites);
-                self.cap[k] == if i == j { Energy::ZERO } else { pool }
-            });
-            if lossless && free && pooled_caps {
-                return format!("cap {} MWh/frame", pool.mwh());
+        if no_schedules {
+            if let Some(pool) = self.pool_cap {
+                let pooled_caps = (0..self.sites * self.sites).all(|k| {
+                    let (i, j) = (k / self.sites, k % self.sites);
+                    self.cap[k] == if i == j { Energy::ZERO } else { pool }
+                });
+                if lossless && free && pooled_caps {
+                    return format!("cap {} MWh/frame", pool.mwh());
+                }
             }
         }
-        let max_cap = self.cap.iter().fold(Energy::ZERO, |a, &c| a.max(c)).mwh();
-        let max_loss = self.loss.iter().fold(0.0f64, |a, &l| a.max(l));
-        let max_wheel = self
-            .wheel
+        let links: Vec<(usize, usize)> = self.open_links().collect();
+        if links.is_empty() {
+            return "severed (no open links)".to_owned();
+        }
+        let pool_suffix = match self.pool_cap {
+            Some(p) => format!(", pool cap {} MWh/frame", p.mwh()),
+            None => String::new(),
+        };
+        // Uniform mesh: every ordered pair open with one shared
+        // (cap, loss, wheeling) triple and no schedule.
+        let (i0, j0) = links[0];
+        let full_mesh = links.len() == self.sites * (self.sites - 1);
+        let shared = no_schedules
+            && links.iter().all(|&(i, j)| {
+                self.cap(i, j) == self.cap(i0, j0)
+                    && self.loss(i, j) == self.loss(i0, j0)
+                    && self.wheeling(i, j) == self.wheeling(i0, j0)
+            });
+        if full_mesh && shared {
+            return format!(
+                "mesh cap {} MWh/frame{}{}{}",
+                self.cap(i0, j0).mwh(),
+                describe_loss(self.loss(i0, j0)),
+                describe_wheel(self.wheeling(i0, j0)),
+                pool_suffix,
+            );
+        }
+        let per_link: Vec<String> = links
             .iter()
-            .fold(0.0f64, |a, &w| a.max(w.dollars_per_mwh()));
-        format!(
-            "per-pair caps <= {max_cap} MWh/frame, loss <= {max_loss}, wheeling <= ${max_wheel}/MWh"
-        )
+            .map(|&(i, j)| {
+                let k = i * self.sites + j;
+                let cap = match &self.schedule[k] {
+                    Some(caps) => {
+                        let lo = caps
+                            .iter()
+                            .fold(Energy::from_mwh(f64::MAX), |a, &c| a.min(c));
+                        let hi = self.ceiling_of(k);
+                        format!(
+                            "cap {}..{} MWh/frame ({}-frame sched)",
+                            lo.mwh(),
+                            hi.mwh(),
+                            caps.len()
+                        )
+                    }
+                    None => format!("cap {} MWh/frame", self.cap[k].mwh()),
+                };
+                format!(
+                    "{i}->{j} {cap}{}{}",
+                    describe_loss(self.loss[k]),
+                    describe_wheel(self.wheel[k]),
+                )
+            })
+            .collect();
+        format!("links {}{}", per_link.join("; "), pool_suffix)
     }
 
     /// The post-hoc greedy settlement of one frame's exchange: donated
@@ -314,7 +494,14 @@ impl Interconnect {
             return out;
         }
         let mut donors = ex.curtailed.clone();
-        let mut pair_left = self.cap.clone();
+        // Per-frame caps: a scheduled link binds at its entry for this
+        // exchange's frame, everything else at the static cap.
+        let mut pair_left: Vec<Energy> = (0..n * n)
+            .map(|k| match &self.schedule[k] {
+                Some(caps) => caps[ex.frame % caps.len()],
+                None => self.cap[k],
+            })
+            .collect();
         let mut pool_left = self.pool_cap.unwrap_or(Energy::from_mwh(f64::INFINITY));
         // (site, displaceable rt energy, frame-average rt price $/MWh),
         // most expensive first, ties by site index.
@@ -370,6 +557,22 @@ impl Interconnect {
             });
         }
         Ok(from * self.sites + to)
+    }
+}
+
+fn describe_loss(loss: f64) -> String {
+    if loss == 0.0 {
+        String::new()
+    } else {
+        format!(" loss {loss}")
+    }
+}
+
+fn describe_wheel(wheel: Price) -> String {
+    if wheel.dollars_per_mwh() == 0.0 {
+        String::new()
+    } else {
+        format!(" wheel ${}/MWh", wheel.dollars_per_mwh())
     }
 }
 
@@ -490,11 +693,123 @@ mod tests {
         let ic = Interconnect::pooled(3, Energy::from_mwh(2.0)).unwrap();
         assert_eq!(ic.describe(), "cap 2 MWh/frame");
         let lossy = ic.with_uniform_loss(0.1).unwrap();
-        assert!(
-            lossy.describe().contains("loss <= 0.1"),
-            "{}",
-            lossy.describe()
+        assert_eq!(
+            lossy.describe(),
+            "mesh cap 2 MWh/frame loss 0.1, pool cap 2 MWh/frame"
         );
+    }
+
+    #[test]
+    fn describe_spells_out_mixed_meshes_link_by_link() {
+        // The old wording collapsed mixed topologies into one "<=" line;
+        // now every open link is listed in sorted (row-major) order so
+        // sweep table titles are stable and reviewable.
+        let ic = Interconnect::decoupled(3)
+            .unwrap()
+            .with_link(2, 0, Energy::from_mwh(1.5))
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(0.5))
+            .unwrap()
+            .with_loss(0, 1, 0.05)
+            .unwrap()
+            .with_wheeling(2, 0, Price::from_dollars_per_mwh(2.0))
+            .unwrap();
+        assert_eq!(
+            ic.describe(),
+            "links 0->1 cap 0.5 MWh/frame loss 0.05; 2->0 cap 1.5 MWh/frame wheel $2/MWh"
+        );
+        assert_eq!(
+            Interconnect::severed(4).unwrap().describe(),
+            "severed (no open links)"
+        );
+        let sched = Interconnect::decoupled(2)
+            .unwrap()
+            .with_cap_schedule(
+                0,
+                1,
+                vec![Energy::from_mwh(1.0), Energy::ZERO, Energy::from_mwh(3.0)],
+            )
+            .unwrap();
+        assert_eq!(
+            sched.describe(),
+            "links 0->1 cap 0..3 MWh/frame (3-frame sched)"
+        );
+        // The uniform compact form still names the mesh in one line.
+        let mesh = Interconnect::mesh(3, Energy::from_mwh(1.0))
+            .unwrap()
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+            .unwrap();
+        assert_eq!(mesh.describe(), "mesh cap 1 MWh/frame wheel $2/MWh");
+    }
+
+    #[test]
+    fn ring_links_only_neighbours() {
+        let ic = Interconnect::ring(4, Energy::from_mwh(1.0)).unwrap();
+        let links: Vec<(usize, usize)> = ic.open_links().collect();
+        assert_eq!(
+            links,
+            vec![
+                (0, 1),
+                (0, 3),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (2, 3),
+                (3, 0),
+                (3, 2)
+            ]
+        );
+        assert_eq!(ic.cap(0, 2), Energy::ZERO);
+        // Degenerate rosters still construct.
+        assert!(Interconnect::ring(1, Energy::from_mwh(1.0))
+            .unwrap()
+            .is_silent());
+        assert_eq!(
+            Interconnect::ring(2, Energy::from_mwh(1.0))
+                .unwrap()
+                .open_links()
+                .count(),
+            2
+        );
+        assert!(Interconnect::ring(0, Energy::from_mwh(1.0)).is_err());
+        assert!(Interconnect::ring(3, Energy::from_mwh(-1.0)).is_err());
+    }
+
+    #[test]
+    fn cap_schedules_cycle_and_validate() {
+        let ic = Interconnect::decoupled(2)
+            .unwrap()
+            .with_cap_schedule(0, 1, vec![Energy::from_mwh(2.0), Energy::ZERO])
+            .unwrap();
+        assert_eq!(ic.cap_at(0, 1, 0), Energy::from_mwh(2.0));
+        assert_eq!(ic.cap_at(0, 1, 1), Energy::ZERO);
+        assert_eq!(ic.cap_at(0, 1, 2), Energy::from_mwh(2.0), "cycles");
+        assert_eq!(ic.cap_ceiling(0, 1), Energy::from_mwh(2.0));
+        // The schedule overrides the static cap, which stays the
+        // template value.
+        assert_eq!(ic.cap(0, 1), Energy::ZERO);
+        assert!(
+            !ic.is_silent(),
+            "a schedule with a positive entry opens the link"
+        );
+        assert_eq!(ic.open_links().collect::<Vec<_>>(), vec![(0, 1)]);
+        // Frame 1 is a maintenance window: the greedy settlement moves
+        // nothing there but settles frame 0 normally.
+        let mut ex = exchange(&[3.0, 0.0], &[0.0, 2.0], &[0.0, 60.0]);
+        let open = ic.settle_greedy(&ex);
+        assert!((open.sent.mwh() - 2.0).abs() < 1e-12);
+        ex.frame = 1;
+        assert_eq!(ic.settle_greedy(&ex), FrameSettlement::default());
+
+        let base = Interconnect::decoupled(2).unwrap();
+        assert!(base.clone().with_cap_schedule(0, 1, vec![]).is_err());
+        assert!(base
+            .clone()
+            .with_cap_schedule(0, 0, vec![Energy::from_mwh(1.0)])
+            .is_err());
+        assert!(base
+            .with_cap_schedule(0, 1, vec![Energy::from_mwh(-1.0)])
+            .is_err());
     }
 
     #[test]

@@ -26,8 +26,12 @@
 //!   [`RunReport`];
 //! * [`MultiSiteEngine`] — N per-site engines on one calendar coupled
 //!   through an [`Interconnect`] topology (per-pair directed caps, line
-//!   losses, wheeling prices) whose per-frame settlement produces
-//!   per-site plus fleet-aggregate metrics ([`MultiSiteReport`]);
+//!   losses, wheeling prices, per-frame cap schedules), run
+//!   *frame-synchronously*: every site steps coarse frame `k` before any
+//!   site starts `k + 1`, a [`FleetDispatcher`] settles each realized
+//!   frame, and in coordinated mode it hands every site a
+//!   [`FrameDirective`] between frames (buy-to-export); per-site plus
+//!   fleet-aggregate metrics land in a [`MultiSiteReport`];
 //! * [`SimParams`] — the paper's §VI-A parameter set via
 //!   [`SimParams::icdcs13`].
 //!
@@ -74,6 +78,7 @@
 mod battery;
 mod controller;
 mod delay;
+mod dispatch;
 mod engine;
 mod error;
 mod forecast;
@@ -89,7 +94,8 @@ pub use controller::{
     Controller, FrameDecision, FrameObservation, SlotDecision, SlotObservation, SystemView,
 };
 pub use delay::DelayLedger;
-pub use engine::Engine;
+pub use dispatch::{FleetDispatcher, FrameDirective, FrameOutlook, SiteOutlook};
+pub use engine::{Engine, EngineRun};
 pub use error::SimError;
 pub use forecast::ForecastPolicy;
 pub use interconnect::{FrameExchange, FrameSettlement, Interconnect};

@@ -22,7 +22,8 @@
 use dpss_units::{Energy, Money};
 
 use crate::{
-    Controller, Engine, FrameExchange, FrameSettlement, Interconnect, RunReport, SimError,
+    Controller, Engine, EngineRun, FleetDispatcher, FrameExchange, FrameOutlook, FrameSettlement,
+    Interconnect, RunReport, SimError, SiteOutlook, SlotOutcome,
 };
 
 /// N per-site [`Engine`]s plus the interconnect topology they settle over.
@@ -153,13 +154,15 @@ impl MultiSiteEngine {
         &self.interconnect
     }
 
-    /// Runs one controller per site (serially, in site order) and settles
-    /// the interconnect coupling.
-    ///
-    /// Parallel harnesses can instead run `self.sites()[i]` on worker
-    /// threads themselves and hand the collected reports (in site order)
-    /// to [`couple`](Self::couple) — the settlement is a deterministic
-    /// fold, so both paths produce identical fleet reports.
+    /// Runs one controller per site and settles the interconnect
+    /// coupling — the fleet runs *frame-synchronously*: every site steps
+    /// coarse frame `k` (in site order) before any site starts frame
+    /// `k + 1`, and each frame's exchange is settled greedily as soon as
+    /// it completes. Sites never interact within a frame, so this is
+    /// bit-identical to running every site to completion and settling
+    /// post-hoc with [`couple`](Self::couple) — which is still what
+    /// parallel harnesses do: run `self.sites()[i]` on worker threads and
+    /// hand the collected reports (in site order) to `couple`.
     ///
     /// # Errors
     ///
@@ -169,19 +172,207 @@ impl MultiSiteEngine {
         &self,
         controllers: &mut [Box<dyn Controller>],
     ) -> Result<MultiSiteReport, SimError> {
+        let mut greedy = self.interconnect.clone();
+        self.run_with(controllers, &mut greedy)
+    }
+
+    /// The frame-synchronous dispatch loop: steps every site through one
+    /// coarse frame at a time, letting `dispatcher` direct the sites
+    /// between frames and settle each frame's realized exchange.
+    ///
+    /// Per coarse frame `k`:
+    ///
+    /// 1. the dispatcher sees the fleet's [`FrameOutlook`] (causal:
+    ///    frame `k − 1`'s realization plus current battery state) and
+    ///    returns directives — one per site, or none at all;
+    /// 2. each site's controller receives its directive
+    ///    ([`Controller::receive_directive`]), then the site steps the
+    ///    frame ([`EngineRun::step_frame`]), in site-index order (the
+    ///    order is immaterial: sites do not interact within a frame);
+    /// 3. the realized [`FrameExchange`] is extracted and settled
+    ///    ([`FleetDispatcher::settle`]).
+    ///
+    /// With a dispatcher that never directs (e.g. the topology itself,
+    /// or a plain planner) this is exactly the post-hoc/planned
+    /// settlement of a conventional run; with a coordinating dispatcher
+    /// the directives feed the flow plan back into the sites' physical
+    /// dispatch. On a silent topology steps 1 and 3 are skipped
+    /// entirely.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if the controller roster length does
+    /// not match the site roster, the dispatcher's declared topology
+    /// differs from the fleet's interconnect, or the dispatcher returns
+    /// a directive roster of the wrong length; propagates per-site step
+    /// failures.
+    pub fn run_with(
+        &self,
+        controllers: &mut [Box<dyn Controller>],
+        dispatcher: &mut dyn FleetDispatcher,
+    ) -> Result<MultiSiteReport, SimError> {
         if controllers.len() != self.sites.len() {
             return Err(SimError::SiteMismatch {
                 site: controllers.len(),
                 what: "controller roster length differs from site roster",
             });
         }
-        let reports = self
+        if let Some(topology) = dispatcher.topology() {
+            if topology != &self.interconnect {
+                return Err(SimError::SiteMismatch {
+                    site: topology.sites(),
+                    what: "dispatcher topology differs from the fleet's interconnect",
+                });
+            }
+        }
+        let clock = self.sites[0].truth().clock;
+        let silent = self.interconnect.is_silent();
+        let mut runs = self
             .sites
             .iter()
-            .zip(controllers.iter_mut())
-            .map(|(site, ctl)| site.run(ctl.as_mut()))
+            .map(Engine::begin)
             .collect::<Result<Vec<_>, _>>()?;
-        self.couple(reports)
+        let mut total = FrameSettlement::default();
+        for frame in 0..clock.frames() {
+            if !silent {
+                let outlook = self.outlook_at(frame, &runs);
+                let directives = dispatcher.direct(&outlook);
+                if !directives.is_empty() {
+                    if directives.len() != self.sites.len() {
+                        return Err(SimError::SiteMismatch {
+                            site: directives.len(),
+                            what: "directive roster length differs from site roster",
+                        });
+                    }
+                    for (ctl, directive) in controllers.iter_mut().zip(&directives) {
+                        ctl.receive_directive(directive);
+                    }
+                }
+            }
+            for (run, ctl) in runs.iter_mut().zip(controllers.iter_mut()) {
+                run.step_frame(ctl.as_mut())?;
+            }
+            if !silent {
+                let ex = self.exchange_at(frame, &runs)?;
+                let s = dispatcher.settle(&ex);
+                total.sent += s.sent;
+                total.delivered += s.delivered;
+                total.savings += s.savings;
+                total.wheeling += s.wheeling;
+            }
+        }
+        let reports = runs
+            .into_iter()
+            .map(EngineRun::finish)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.assemble(reports, total))
+    }
+
+    /// The fleet's causal outlook for coarse frame `frame`, built from
+    /// the sites' in-flight runs: frame `frame − 1`'s realization
+    /// (curtailment, real-time need and average price, grid draw) plus
+    /// each site's current battery headroom and the coming frame's
+    /// *observed* long-term price. Frame 0 forecasts zeros. Public so
+    /// custom harnesses can drive the lockstep loop by hand — the
+    /// determinism suite does, to prove within-frame site order is
+    /// immaterial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs` does not cover the site roster or has not
+    /// completed exactly the frames before `frame`.
+    #[must_use]
+    pub fn outlook_at(&self, frame: usize, runs: &[EngineRun<'_>]) -> FrameOutlook {
+        assert_eq!(runs.len(), self.sites.len(), "run roster mismatch");
+        let clock = self.sites[0].truth().clock;
+        let t = clock.slots_per_frame();
+        let sites = self
+            .sites
+            .iter()
+            .zip(runs)
+            .map(|(site, run)| {
+                assert!(
+                    run.frames_completed() >= frame,
+                    "outlook for frame {frame} needs the previous frames stepped"
+                );
+                let params = site.params();
+                let frame_budget = params.grid_slot_cap(clock.slot_hours()) * t as f64;
+                let procure_cost = site.observed_traces().price_lt[frame].dollars_per_mwh()
+                    + params.waste_price.dollars_per_mwh();
+                if frame == 0 {
+                    return SiteOutlook {
+                        expected_surplus: Energy::ZERO,
+                        expected_need: Energy::ZERO,
+                        expected_price: 0.0,
+                        export_headroom: Energy::ZERO,
+                        battery_headroom: run.battery_headroom(),
+                        procure_cost,
+                    };
+                }
+                let prev = &run.outcomes()[(frame - 1) * t..frame * t];
+                let (rt, _) = realized_rt(prev);
+                // Price forecast: the realized average over *all* past
+                // frames, not just the last one — real-time spikes are
+                // short and mean-reverting, so chasing the previous
+                // frame's price buys high after every spike, while the
+                // running average prices the regime the settlement will
+                // actually book savings at.
+                let (_, avg_price) = realized_rt(&run.outcomes()[..frame * t]);
+                let draw: Energy = prev.iter().map(SlotOutcome::grid_draw).sum();
+                SiteOutlook {
+                    expected_surplus: prev.iter().map(|o| o.waste).sum(),
+                    expected_need: rt,
+                    expected_price: avg_price,
+                    export_headroom: (frame_budget - draw).positive_part(),
+                    battery_headroom: run.battery_headroom(),
+                    procure_cost,
+                }
+            })
+            .collect();
+        FrameOutlook { frame, sites }
+    }
+
+    /// The realized [`FrameExchange`] of coarse frame `frame`, extracted
+    /// from the sites' in-flight runs — the same extraction
+    /// [`couple_with`](Self::couple_with) applies to finished reports,
+    /// available mid-run for frame-synchronous settlement.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SiteMismatch`] if a run has not completed `frame` yet
+    /// (or is not recording slot outcomes).
+    pub fn exchange_at(
+        &self,
+        frame: usize,
+        runs: &[EngineRun<'_>],
+    ) -> Result<FrameExchange, SimError> {
+        let t = self.sites[0].truth().clock.slots_per_frame();
+        let mut ex = empty_exchange(frame, runs.len());
+        for (i, run) in runs.iter().enumerate() {
+            let outcomes = run.outcomes();
+            if outcomes.len() < (frame + 1) * t {
+                return Err(SimError::SiteMismatch {
+                    site: i,
+                    what: "run has not recorded the requested frame yet",
+                });
+            }
+            push_site_exchange(&mut ex, &outcomes[frame * t..(frame + 1) * t]);
+        }
+        Ok(ex)
+    }
+
+    fn assemble(&self, reports: Vec<RunReport>, total: FrameSettlement) -> MultiSiteReport {
+        let clock = self.sites[0].truth().clock;
+        MultiSiteReport {
+            frames: clock.frames(),
+            slots: clock.total_slots(),
+            interconnect: self.interconnect.clone(),
+            energy_transferred: total.sent,
+            energy_delivered: total.delivered,
+            transfer_savings: total.savings,
+            wheeling_cost: total.wheeling,
+            sites: reports,
+        }
     }
 
     /// Settles the interconnect coupling post-hoc over already-computed
@@ -252,25 +443,12 @@ impl MultiSiteEngine {
         if !self.interconnect.is_silent() {
             for frame in 0..clock.frames() {
                 let range = frame * t..(frame + 1) * t;
-                let mut ex = FrameExchange {
-                    frame,
-                    curtailed: Vec::with_capacity(reports.len()),
-                    rt_energy: Vec::with_capacity(reports.len()),
-                    rt_price: Vec::with_capacity(reports.len()),
-                };
+                let mut ex = empty_exchange(frame, reports.len());
                 for r in &reports {
-                    let outcomes =
-                        &r.slot_outcomes.as_ref().expect("validated above")[range.clone()];
-                    let waste: Energy = outcomes.iter().map(|o| o.waste).sum();
-                    let rt: Energy = outcomes.iter().map(|o| o.purchase_rt).sum();
-                    let rt_cost: Money = outcomes.iter().map(|o| o.cost.real_time).sum();
-                    ex.curtailed.push(waste);
-                    ex.rt_energy.push(rt);
-                    ex.rt_price.push(if rt > Energy::ZERO {
-                        rt_cost.dollars() / rt.mwh()
-                    } else {
-                        0.0
-                    });
+                    push_site_exchange(
+                        &mut ex,
+                        &r.slot_outcomes.as_ref().expect("validated above")[range.clone()],
+                    );
                 }
                 let s = settle(&ex);
                 total.sent += s.sent;
@@ -280,17 +458,45 @@ impl MultiSiteEngine {
             }
         }
 
-        Ok(MultiSiteReport {
-            frames: clock.frames(),
-            slots: clock.total_slots(),
-            interconnect: self.interconnect.clone(),
-            energy_transferred: total.sent,
-            energy_delivered: total.delivered,
-            transfer_savings: total.savings,
-            wheeling_cost: total.wheeling,
-            sites: reports,
-        })
+        Ok(self.assemble(reports, total))
     }
+}
+
+/// Realized real-time totals of one frame's outcomes: energy purchased
+/// and the frame-average realized price (zero when nothing was bought).
+fn realized_rt(outcomes: &[SlotOutcome]) -> (Energy, f64) {
+    let rt: Energy = outcomes.iter().map(|o| o.purchase_rt).sum();
+    let rt_cost: Money = outcomes.iter().map(|o| o.cost.real_time).sum();
+    let price = if rt > Energy::ZERO {
+        rt_cost.dollars() / rt.mwh()
+    } else {
+        0.0
+    };
+    (rt, price)
+}
+
+fn empty_exchange(frame: usize, sites: usize) -> FrameExchange {
+    FrameExchange {
+        frame,
+        curtailed: Vec::with_capacity(sites),
+        rt_energy: Vec::with_capacity(sites),
+        rt_price: Vec::with_capacity(sites),
+    }
+}
+
+/// Appends one site's frame realization to an exchange — the single
+/// extraction both settlement paths (post-hoc [`couple_with`] over
+/// finished reports, frame-synchronous [`exchange_at`] mid-run) share,
+/// so the two are arithmetically identical by construction.
+///
+/// [`couple_with`]: MultiSiteEngine::couple_with
+/// [`exchange_at`]: MultiSiteEngine::exchange_at
+fn push_site_exchange(ex: &mut FrameExchange, outcomes: &[SlotOutcome]) {
+    let waste: Energy = outcomes.iter().map(|o| o.waste).sum();
+    let (rt, price) = realized_rt(outcomes);
+    ex.curtailed.push(waste);
+    ex.rt_energy.push(rt);
+    ex.rt_price.push(price);
 }
 
 /// Aggregated result of one fleet run: per-site [`RunReport`]s plus the
@@ -477,6 +683,27 @@ mod tests {
             multi.run(&mut eager_boxes(3)),
             Err(SimError::SiteMismatch { site: 3, .. })
         ));
+    }
+
+    #[test]
+    fn run_with_rejects_mismatched_dispatcher_topology() {
+        // A dispatcher that declares a topology must declare the
+        // fleet's — settling frames under different lines than the
+        // report records would be silently wrong.
+        let multi = fleet(2, 1.0);
+        let mut wrong_cap = Interconnect::pooled(2, Energy::from_mwh(9.0)).unwrap();
+        assert!(matches!(
+            multi.run_with(&mut eager_boxes(2), &mut wrong_cap),
+            Err(SimError::SiteMismatch { site: 2, .. })
+        ));
+        let mut wrong_sites = Interconnect::pooled(3, Energy::from_mwh(1.0)).unwrap();
+        assert!(matches!(
+            multi.run_with(&mut eager_boxes(2), &mut wrong_sites),
+            Err(SimError::SiteMismatch { site: 3, .. })
+        ));
+        // The fleet's own topology passes the guard.
+        let mut right = multi.interconnect().clone();
+        assert!(multi.run_with(&mut eager_boxes(2), &mut right).is_ok());
     }
 
     #[test]

@@ -11,9 +11,17 @@
 //! * **planned ≤ post-hoc** — the `FleetPlanner` LP settles at least as
 //!   well as the greedy fold on random topologies, and — with zero loss
 //!   and zero wheeling — on every built-in scenario-pack variant at
-//!   seed 42 (the acceptance property of the planned mode).
+//!   seed 42 (the acceptance property of the planned mode);
+//! * **coordinated ≤ planned ≤ post-hoc** — on the contention scenario
+//!   (price-spike pack, 3 sites, lossy ring) the frame-synchronous
+//!   dispatch loop's buy-to-export directives *measurably* beat the
+//!   planned post-hoc settlement (documented dollar margin, not just
+//!   `≤ +1e-9`);
+//! * **cap-schedule identity** — an all-equal per-frame cap schedule
+//!   settles bit-identically to the equivalent static cap, in both
+//!   settlement modes.
 
-use dpss_core::FleetPlanner;
+use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
 use dpss_sim::{
     Controller, Engine, FrameDecision, FrameObservation, Interconnect, MultiSiteEngine,
     MultiSiteReport, RunReport, SimParams, SlotDecision, SlotObservation, SystemView,
@@ -207,6 +215,45 @@ proptest! {
         }
     }
 
+    /// An all-equal per-frame cap schedule is the static cap: the
+    /// settlement is bit-identical through every frame, in both modes.
+    #[test]
+    fn all_equal_cap_schedule_settles_bit_identically_to_static_cap(
+        sites in 2usize..4,
+        seed in 0u64..1_000,
+        cap in 0.1..3.0f64,
+        loss in 0.0..0.5f64,
+        schedule_len in 1usize..5,
+    ) {
+        let (multi, reports) = fleet_reports(sites, seed);
+        let static_ic = Interconnect::uniform(sites, Energy::from_mwh(cap))
+            .unwrap()
+            .with_uniform_loss(loss)
+            .unwrap();
+        let mut scheduled_ic = static_ic.clone();
+        for i in 0..sites {
+            for j in 0..sites {
+                if i != j {
+                    scheduled_ic = scheduled_ic
+                        .with_cap_schedule(i, j, vec![Energy::from_mwh(cap); schedule_len])
+                        .unwrap();
+                }
+            }
+        }
+        let a = settle(&multi, &reports, static_ic.clone());
+        let b = settle(&multi, &reports, scheduled_ic.clone());
+        prop_assert_eq!(a.energy_transferred, b.energy_transferred);
+        prop_assert_eq!(a.energy_delivered, b.energy_delivered);
+        prop_assert_eq!(a.transfer_savings, b.transfer_savings);
+        prop_assert_eq!(a.wheeling_cost, b.wheeling_cost);
+        prop_assert_eq!(a.total_cost(), b.total_cost());
+        let pa = settle_planned(&multi, &reports, static_ic);
+        let pb = settle_planned(&multi, &reports, scheduled_ic);
+        prop_assert_eq!(pa.energy_transferred, pb.energy_transferred);
+        prop_assert_eq!(pa.transfer_savings, pb.transfer_savings);
+        prop_assert_eq!(pa.total_cost(), pb.total_cost());
+    }
+
     /// The planner's LP is never worse than the greedy fold — on fully
     /// random topologies (directed caps, losses, wheeling, pool caps).
     #[test]
@@ -314,6 +361,91 @@ fn sampled_fleets_actually_exchange_energy() {
         settled >= 8,
         "only {settled}/24 sampled fleets settled energy — the property \
          suite would be near-vacuous"
+    );
+}
+
+/// The acceptance property of coordinated dispatch: on the contention
+/// scenario — the price-spike pack at seed 42, 3 SmartDPSS sites, a
+/// lossy ring (5% line loss, $2/MWh wheeling, 2 MWh/frame pair caps) —
+/// the frame-synchronous loop's buy-to-export directives beat the
+/// planned post-hoc settlement *measurably* on the stressed variant
+/// (persistent real-time elevation, where the causal price forecast is
+/// reliable): **at least $500 of fleet cost over the month** (measured
+/// ≈ $1236, ~1.7% of fleet cost, at the 0.6 default procure margin).
+/// On the calmer variants the running-average forecast never clears the
+/// margin, the directives stay inert, and coordinated must not lose to
+/// planned anywhere. Planned ≤ post-hoc stays a theorem throughout.
+#[test]
+fn coordinated_dispatch_measurably_beats_planned_on_the_contention_pack() {
+    /// The documented margin: how many dollars of fleet cost coordination
+    /// must save on the stressed month for this suite to stay green.
+    const COORDINATION_MARGIN: f64 = 500.0;
+
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let sites = 3usize;
+    let ring = Interconnect::ring(sites, Energy::from_mwh(2.0))
+        .unwrap()
+        .with_uniform_loss(0.05)
+        .unwrap()
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+        .unwrap();
+    let smart_boxes = || -> Vec<Box<dyn Controller>> {
+        (0..sites)
+            .map(|_| {
+                Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+                    as Box<dyn Controller>
+            })
+            .collect()
+    };
+
+    let mut stressed_gap = None;
+    for v in 0..pack.len() {
+        let engines: Vec<Engine> = (0..sites)
+            .map(|s| Engine::new(params, pack.generate_site(&clock, 42, v, s).unwrap()).unwrap())
+            .collect();
+        let multi = MultiSiteEngine::new(engines)
+            .unwrap()
+            .with_interconnect(ring.clone())
+            .unwrap();
+
+        // Post-hoc and planned share the sites' physics; only the
+        // settlement differs.
+        let posthoc = multi.run(&mut smart_boxes()).unwrap();
+        let planned = FleetPlanner::for_engine(&multi)
+            .couple(&multi, posthoc.sites.clone())
+            .unwrap();
+        // Coordinated re-dispatches the sites frame-synchronously.
+        let mut dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
+        let coordinated = multi.run_with(&mut smart_boxes(), &mut dispatcher).unwrap();
+
+        let name = pack.variant(v).0;
+        // Theorem: the greedy settlement is a feasible LP point.
+        assert!(
+            planned.total_cost() <= posthoc.total_cost() + Money::from_dollars(1e-9),
+            "{name}: planned ${} vs post-hoc ${}",
+            planned.total_cost().dollars(),
+            posthoc.total_cost().dollars()
+        );
+        // Coordination never loses to planned on any variant of the
+        // contention pack at the default margin.
+        assert!(
+            coordinated.total_cost() <= planned.total_cost() + Money::from_dollars(1e-9),
+            "{name}: coordinated ${} vs planned ${}",
+            coordinated.total_cost().dollars(),
+            planned.total_cost().dollars()
+        );
+        if name == "stressed" {
+            stressed_gap =
+                Some(planned.total_cost().dollars() - coordinated.total_cost().dollars());
+        }
+    }
+    let gap = stressed_gap.expect("the pack has a stressed variant");
+    assert!(
+        gap >= COORDINATION_MARGIN,
+        "coordinated dispatch must beat planned settlement by ≥ ${COORDINATION_MARGIN} \
+         on the stressed month (measured gap: ${gap:.2})"
     );
 }
 

@@ -1,0 +1,84 @@
+//! Frame-synchronous fleet dispatch on a price-spike fleet: the three
+//! dispatch modes side by side.
+//!
+//! Three SmartDPSS sites share one spiky real-time market over a lossy
+//! ring (5% line loss, $2/MWh wheeling). Post-hoc settlement can only
+//! route the curtailment the sites happened to realize; the planned LP
+//! routes the same curtailment optimally; *coordinated* dispatch closes
+//! the loop — between frames the planner forecasts each site's
+//! curtailment and its neighbours' real-time exposure, and directs
+//! sites to buy-to-export when a neighbour's delivered price (after
+//! loss and wheeling) beats the local long-term price plus waste
+//! penalty. On spiky variants that arbitrage is worth real money; on
+//! calm ones the directives stay inert and coordinated collapses to
+//! planned.
+//!
+//! ```sh
+//! cargo run --release --example coordinated_dispatch
+//! ```
+
+use smartdpss::bench::PAPER_SEED;
+use smartdpss::{
+    Controller, Energy, Engine, FleetPlanner, Interconnect, MultiSiteEngine, Price, RunReport,
+    ScenarioPack, SimParams, SlotClock, SmartDpss, SmartDpssConfig,
+};
+
+fn smart_boxes(params: SimParams, clock: SlotClock, n: usize) -> Vec<Box<dyn Controller>> {
+    (0..n)
+        .map(|_| {
+            Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+                as Box<dyn Controller>
+        })
+        .collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("price-spike").expect("built-in pack");
+    let sites = 3usize;
+    let ring = Interconnect::ring(sites, Energy::from_mwh(2.0))?
+        .with_uniform_loss(0.05)?
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))?;
+    println!("price-spike fleet, 3 SmartDPSS sites, {}", ring.describe());
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>14} {:>12}",
+        "variant", "post-hoc $", "planned $", "coord $", "coord - plan", "xfer MWh"
+    );
+
+    for v in 0..pack.len() {
+        let engines: Vec<Engine> = (0..sites)
+            .map(|s| {
+                Engine::new(
+                    params,
+                    pack.generate_site(&clock, PAPER_SEED, v, s).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let multi = MultiSiteEngine::new(engines)?.with_interconnect(ring.clone())?;
+
+        // Post-hoc: run to completion, settle greedily after the fact.
+        let posthoc = multi.run(&mut smart_boxes(params, clock, sites))?;
+
+        // Planned: identical site runs, settled by the flow LP.
+        let reports: Vec<RunReport> = posthoc.sites.clone();
+        let planned = FleetPlanner::for_engine(&multi).couple(&multi, reports)?;
+
+        // Coordinated: the planner directs the sites between frames.
+        let mut dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
+        let coordinated =
+            multi.run_with(&mut smart_boxes(params, clock, sites), &mut dispatcher)?;
+
+        println!(
+            "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>14.2} {:>12.2}",
+            pack.variant(v).0,
+            posthoc.total_cost().dollars(),
+            planned.total_cost().dollars(),
+            coordinated.total_cost().dollars(),
+            coordinated.total_cost().dollars() - planned.total_cost().dollars(),
+            coordinated.energy_transferred.mwh(),
+        );
+    }
+    Ok(())
+}

@@ -7,7 +7,8 @@
 //! dpss traces [--seed N] [--days N] [--out FILE]
 //! dpss sweep-v [--grid F,F,...] [--seed N] [--days N] [--threads N] [--json]
 //! dpss sweep  --figure NAME [--seed N] [--threads N] [--json]
-//! dpss sweep  --pack NAME [--sites N] [--interconnect post-hoc|planned]
+//! dpss sweep  --pack NAME [--sites N]
+//!             [--dispatch post-hoc|planned|coordinated]
 //!             [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! ```
@@ -46,7 +47,7 @@ struct Cli {
     figure: String,
     pack: String,
     sites: usize,
-    interconnect: packs::InterconnectMode,
+    dispatch: packs::DispatchMode,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,7 +80,7 @@ impl Default for Cli {
             figure: String::new(),
             pack: String::new(),
             sites: 1,
-            interconnect: packs::InterconnectMode::PostHoc,
+            dispatch: packs::DispatchMode::PostHoc,
         }
     }
 }
@@ -149,9 +150,10 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
                     .map_err(|e| format!("--sites: {e}"))?;
             }
             // The mode roster is closed, so a typo is a usage error
-            // (exit 2) just like an unknown pack name.
-            "--interconnect" => {
-                cli.interconnect = packs::InterconnectMode::parse(&value("--interconnect")?)?;
+            // (exit 2) just like an unknown pack name. `--interconnect`
+            // is the legacy spelling of `--dispatch`.
+            "--dispatch" | "--interconnect" => {
+                cli.dispatch = packs::DispatchMode::parse(&value(&flag)?)?;
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -202,11 +204,14 @@ USAGE:
   dpss sweep   --figure NAME [--seed N] [--threads N] [--json]
                NAME: fig5|fig6v|fig6t|fig7|fig8|fig9|fig10|
                      ablations|forecast|baselines
-  dpss sweep   --pack NAME [--sites N] [--interconnect post-hoc|planned]
+  dpss sweep   --pack NAME [--sites N]
+               [--dispatch post-hoc|planned|coordinated]
                [--seed N] [--threads N] [--json]
                NAME: seasonal-calendar|price-spike|renewable-drought|
                      flat-baseline (multi-site cross-aggregation table;
-                     planned mode routes exports with per-frame flow LPs)
+                     planned mode routes exports with per-frame flow LPs,
+                     coordinated mode feeds the plan back into the sites'
+                     dispatch as buy-to-export directives)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
 
 Sweeps fan their cells out over --threads workers (0 = all cores) and
@@ -345,7 +350,7 @@ fn execute(cli: &Cli) -> Result<String, String> {
                     &pack,
                     cli.sites,
                     &packs::default_interconnect(cli.sites),
-                    cli.interconnect,
+                    cli.dispatch,
                 );
                 return if cli.json {
                     serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
@@ -628,27 +633,36 @@ mod tests {
     }
 
     #[test]
-    fn parses_interconnect_mode() {
+    fn parses_dispatch_mode() {
         let cli = parse_args(args(
-            "sweep --pack price-spike --sites 2 --interconnect planned",
+            "sweep --pack price-spike --sites 2 --dispatch planned",
         ))
         .unwrap();
-        assert_eq!(cli.interconnect, packs::InterconnectMode::Planned);
+        assert_eq!(cli.dispatch, packs::DispatchMode::Planned);
+        let cli = parse_args(args("sweep --pack price-spike --dispatch coordinated")).unwrap();
+        assert_eq!(cli.dispatch, packs::DispatchMode::Coordinated);
+        // The legacy spelling keeps working.
         let cli = parse_args(args("sweep --pack price-spike --interconnect post-hoc")).unwrap();
-        assert_eq!(cli.interconnect, packs::InterconnectMode::PostHoc);
+        assert_eq!(cli.dispatch, packs::DispatchMode::PostHoc);
     }
 
     #[test]
-    fn unknown_interconnect_mode_is_a_usage_error() {
-        let err = run_cli(args("sweep --pack price-spike --interconnect bogus")).unwrap_err();
+    fn unknown_dispatch_mode_is_a_usage_error() {
+        let err = run_cli(args("sweep --pack price-spike --dispatch bogus")).unwrap_err();
         assert!(err.usage_error, "closed mode roster → usage error, exit 2");
         assert_eq!(err.exit_code(), ExitCode::from(2));
         let shown = err.render();
         assert!(
-            shown.starts_with("dpss: error: unknown interconnect mode: bogus"),
+            shown.starts_with("dpss: error: unknown dispatch mode: bogus"),
             "{shown}"
         );
-        assert!(shown.contains("post-hoc|planned"), "{shown}");
+        assert!(shown.contains("post-hoc|planned|coordinated"), "{shown}");
+        // The legacy flag routes through the same parser and formatter.
+        let err = run_cli(args("sweep --pack price-spike --interconnect bogus")).unwrap_err();
+        assert!(err.usage_error);
+        assert!(err
+            .render()
+            .starts_with("dpss: error: unknown dispatch mode: bogus"));
     }
 
     #[test]

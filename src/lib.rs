@@ -58,16 +58,17 @@ pub use dpss_units as units;
 pub use dpss_bench::{Axis, ExperimentRunner, FigureTable, SweepSpec};
 pub use dpss_lp::LpWorkspace;
 
-pub use dpss_bench::InterconnectMode;
+pub use dpss_bench::{DispatchMode, InterconnectMode};
 pub use dpss_core::{
     cheapest_window_bound, FleetPlanner, GreedyBattery, Impatient, MarketMode, OfflineConfig,
     OfflineOptimal, P4Variant, P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig,
     TheoremBounds,
 };
 pub use dpss_sim::{
-    Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, ForecastPolicy,
-    FrameDecision, FrameObservation, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport,
-    SimParams, SlotDecision, SlotObservation, SystemView,
+    Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, EngineRun,
+    FleetDispatcher, ForecastPolicy, FrameDecision, FrameDirective, FrameObservation, FrameOutlook,
+    Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams, SiteOutlook,
+    SlotDecision, SlotObservation, SystemView,
 };
 pub use dpss_traces::{Scenario, ScenarioPack, TraceSet, UniformError};
 pub use dpss_units::{Energy, Money, Power, Price, SlotClock};
