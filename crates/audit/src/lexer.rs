@@ -1,0 +1,579 @@
+//! A small hand-rolled lexer for the audit pass.
+//!
+//! The auditor never needs a full Rust parse — every lint in the roster
+//! keys off tokens that survive a much cheaper transformation:
+//!
+//! 1. **Scrubbing** — comments, string/char literals and attributes are
+//!    blanked out (replaced by spaces, newlines preserved), so `"panic!"`
+//!    inside a string or `#[doc = "…unwrap()…"]` can never trip a lint.
+//!    Rust's nesting block comments, raw strings (`r#"…"#`), byte strings
+//!    and the char-literal/lifetime ambiguity (`'a'` vs `'a`) are handled.
+//! 2. **Pragma capture** — `// audit:allow(<lint>): <reason>` comments are
+//!    parsed *before* they are blanked and reported with their position,
+//!    so the driver can suppress findings (and police missing reasons).
+//! 3. **Test-region marking** — every item annotated `#[cfg(test)]` (the
+//!    trailing `mod tests { … }` block, but also single fields or
+//!    functions) is mapped to a per-line `is_test` mask; content lints
+//!    skip those lines entirely.
+//!
+//! The scrub is byte-for-byte length-preserving, so every column/line in
+//! the scrubbed text maps 1:1 onto the original source.
+
+// Byte-scanner: every `bytes[i]` sits under an `i < bytes.len()` loop
+// condition or a helper whose return is clamped to the buffer length, and
+// the scrub is length-preserving so parallel masks share those bounds.
+// audit:allow-file(slice-index): scanner indices are loop-guarded against the buffer length; masks share it via the length-preserving scrub
+
+/// One `// audit:allow(...)` (or `audit:allow-file(...)`) pragma comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 1-based source line the comment sits on.
+    pub line: usize,
+    /// Lint name between the parens (empty when malformed).
+    pub lint: String,
+    /// Reason text after the closing `):` (trimmed; may be empty).
+    pub reason: String,
+    /// `audit:allow-file` — applies to the whole file.
+    pub file_wide: bool,
+    /// The comment is alone on its line (suppresses the *next* code
+    /// line); otherwise it trails code and suppresses its own line.
+    pub whole_line: bool,
+    /// Comment looked like a pragma but did not parse as
+    /// `audit:allow(<lint>): <reason>`.
+    pub malformed: bool,
+}
+
+/// The scrubbed view of one source file.
+#[derive(Debug, Clone)]
+pub struct Scrubbed {
+    /// Scrubbed source lines (comments/strings/attributes blanked).
+    pub lines: Vec<String>,
+    /// Original source lines (for snippets).
+    pub raw_lines: Vec<String>,
+    /// Per-line flag: line belongs to a `#[cfg(test)]` item.
+    pub is_test: Vec<bool>,
+    /// All `audit:allow` pragmas found in line comments.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl Scrubbed {
+    /// Line count of the file.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when the file has no lines at all.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+/// Scrubs `source`, capturing pragmas and test regions along the way.
+pub fn scrub(source: &str) -> Scrubbed {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut pragmas = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let end = line_end(bytes, i);
+                if let Some(p) = parse_pragma(source, bytes, i, end) {
+                    pragmas.push(p);
+                }
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let end = block_comment_end(bytes, i);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'"' => {
+                let end = string_end(bytes, i + 1);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'r' | b'b' if raw_string_hashes(bytes, i).is_some() => {
+                // `r"…"`, `r#"…"#`, `br##"…"##` — the helper returns the
+                // hash count and the index of the opening quote.
+                let (hashes, open) = match raw_string_hashes(bytes, i) {
+                    Some(v) => v,
+                    None => break, // unreachable: guarded above
+                };
+                let end = raw_string_end(bytes, open + 1, hashes);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') => {
+                let end = string_end(bytes, i + 2);
+                blank(&mut out, i, end);
+                i = end;
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    blank(&mut out, i, end);
+                    i = end;
+                } else {
+                    // A lifetime (`'a`) — skip the quote, keep going.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    // Mark `#[cfg(test)]` items *before* attributes are blanked, then
+    // blank every attribute so `#[derive(…)]` tokens can't trip lints.
+    let test_mask = test_byte_mask(&out);
+    blank_attributes(&mut out);
+
+    let scrubbed = String::from_utf8_lossy(&out).into_owned();
+    let lines: Vec<String> = scrubbed.split('\n').map(str::to_owned).collect();
+    let raw_lines: Vec<String> = source.split('\n').map(str::to_owned).collect();
+    let mut is_test = vec![false; lines.len()];
+    let mut line = 0;
+    for (idx, &b) in out.iter().enumerate() {
+        if test_mask[idx] && line < is_test.len() {
+            is_test[line] = true;
+        }
+        if b == b'\n' {
+            line += 1;
+        }
+    }
+    Scrubbed {
+        lines,
+        raw_lines,
+        is_test,
+        pragmas,
+    }
+}
+
+fn line_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() && bytes[i] != b'\n' {
+        i += 1;
+    }
+    i
+}
+
+fn block_comment_end(bytes: &[u8], mut i: usize) -> usize {
+    // Rust block comments nest.
+    let mut depth = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+fn string_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If position `i` starts a raw-string prefix (`r`/`br` + hashes +
+/// quote), returns `(hash_count, index_of_opening_quote)`.
+fn raw_string_hashes(bytes: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    // Raw strings only start a literal when the `r` is not part of a
+    // longer identifier (`for`, `ptr`, …).
+    if i > 0 && is_ident_byte(bytes[i - 1]) {
+        return None;
+    }
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if bytes.get(i) != Some(&b'r') {
+        return None;
+    }
+    i += 1;
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if bytes.get(i) == Some(&b'"') {
+        Some((hashes, i))
+    } else {
+        None
+    }
+}
+
+fn raw_string_end(bytes: &[u8], mut i: usize, hashes: usize) -> usize {
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while seen < hashes && bytes.get(j) == Some(&b'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Distinguishes `'a'` / `'\n'` (char literals — returns the end index)
+/// from `'a` lifetimes (returns `None`).
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escape: scan to the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'\\' => j += 2,
+                b'\'' => return Some(j + 1),
+                b'\n' => return None,
+                _ => j += 1,
+            }
+        }
+        return None;
+    }
+    if is_ident_byte(next) {
+        // `'a'` is a literal, `'a` / `'static` are lifetimes: a literal
+        // has exactly one identifier byte before the closing quote.
+        if bytes.get(i + 2) == Some(&b'\'') {
+            return Some(i + 3);
+        }
+        return None;
+    }
+    // Non-identifier char (`'+'`, `'('`, multi-byte UTF-8): find the
+    // closing quote on the same line.
+    let mut j = i + 1;
+    while j < bytes.len() && bytes[j] != b'\n' && j - i < 8 {
+        if bytes[j] == b'\'' {
+            return Some(j + 1);
+        }
+        j += 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn blank(out: &mut [u8], from: usize, to: usize) {
+    for slot in out.iter_mut().take(to).skip(from) {
+        if *slot != b'\n' {
+            *slot = b' ';
+        }
+    }
+}
+
+/// Parses one `//` comment into a [`Pragma`] when it contains
+/// `audit:allow`. Returns `None` for ordinary comments.
+fn parse_pragma(source: &str, bytes: &[u8], start: usize, end: usize) -> Option<Pragma> {
+    let text = source.get(start + 2..end)?.trim();
+    let body = text.strip_prefix("audit:")?;
+    let line = 1 + bytes[..start].iter().filter(|&&b| b == b'\n').count();
+    // Whole-line pragmas: nothing but whitespace before the `//`.
+    let line_start = bytes[..start]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |p| p + 1);
+    let whole_line = bytes[line_start..start].iter().all(u8::is_ascii_whitespace);
+    let (file_wide, rest) = if let Some(r) = body.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = body.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Some(Pragma {
+            line,
+            lint: String::new(),
+            reason: String::new(),
+            file_wide: false,
+            whole_line,
+            malformed: true,
+        });
+    };
+    let malformed_at = |line| Pragma {
+        line,
+        lint: String::new(),
+        reason: String::new(),
+        file_wide,
+        whole_line,
+        malformed: true,
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Some(malformed_at(line));
+    };
+    let Some(close) = rest.find(')') else {
+        return Some(malformed_at(line));
+    };
+    let lint = rest[..close].trim().to_owned();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map_or("", str::trim).to_owned();
+    Some(Pragma {
+        line,
+        lint,
+        reason,
+        file_wide,
+        whole_line,
+        malformed: false,
+    })
+}
+
+/// Byte mask of every `#[cfg(test)]`-annotated item (attribute included).
+fn test_byte_mask(scrubbed: &[u8]) -> Vec<bool> {
+    let mut mask = vec![false; scrubbed.len()];
+    let mut i = 0;
+    while i < scrubbed.len() {
+        if scrubbed[i] == b'#' {
+            let (attr_end, is_cfg_test) = attribute_span(scrubbed, i);
+            if is_cfg_test {
+                let item_end = item_extent(scrubbed, attr_end).min(mask.len());
+                for slot in mask.iter_mut().take(item_end).skip(i) {
+                    *slot = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// From a `#` at `i`, returns `(end_of_attribute, is_cfg_test)`. When the
+/// `#` does not open an attribute, the span is `i + 1`.
+fn attribute_span(bytes: &[u8], i: usize) -> (usize, bool) {
+    let mut j = i + 1;
+    if bytes.get(j) == Some(&b'!') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'[') {
+        return (i + 1, false);
+    }
+    let mut depth = 0usize;
+    let open = j;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'[' => depth += 1,
+            b']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let content: String = bytes[open + 1..j]
+                        .iter()
+                        .map(|&b| b as char)
+                        .filter(|c| !c.is_whitespace())
+                        .collect();
+                    // `cfg(test)` plus combinators like `cfg(all(test,…))`.
+                    let is_test = content.starts_with("cfg(") && has_word(&content, "test");
+                    return (j + 1, is_test);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (bytes.len(), false)
+}
+
+fn has_word(haystack: &str, word: &str) -> bool {
+    let b = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(b[start - 1]);
+        let right_ok = end == b.len() || !is_ident_byte(b[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// The extent of the item that starts after a `#[cfg(test)]` attribute:
+/// skips any further attributes, then runs to the matching `}` of the
+/// item's first brace block, or to the first `;`/`,`/closing-`}` before
+/// any brace opens (fields, `use` items, type aliases).
+fn item_extent(bytes: &[u8], mut i: usize) -> usize {
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < bytes.len() && bytes[i] == b'#' {
+            let (end, _) = attribute_span(bytes, i);
+            if end == i + 1 {
+                break;
+            }
+            i = end;
+        } else {
+            break;
+        }
+    }
+    let mut brace = 0usize;
+    let mut paren = 0usize;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => brace += 1,
+            b'}' => {
+                if brace <= 1 {
+                    // Either the item's own block closes (brace == 1) or
+                    // the *enclosing* block closes first (brace == 0 —
+                    // a trailing field with no comma): stop here.
+                    return if brace == 1 { i + 1 } else { i };
+                }
+                brace -= 1;
+            }
+            b'(' | b'[' => paren += 1,
+            b')' | b']' => paren = paren.saturating_sub(1),
+            b';' | b',' if brace == 0 && paren == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Blanks every attribute (`#[…]` / `#![…]`) in the scrubbed bytes.
+fn blank_attributes(out: &mut [u8]) {
+    let mut i = 0;
+    while i < out.len() {
+        if out[i] == b'#' {
+            let (end, _) = attribute_span(out, i);
+            if end > i + 1 {
+                blank(out, i, end);
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_comments_strings_and_attributes() {
+        let src =
+            "let a = \"unwrap()\"; // has unwrap()\n#[doc = \"panic!\"]\nlet b = 1; /* panic! */\n";
+        let s = scrub(src);
+        let joined = s.lines.join("\n");
+        assert!(!joined.contains("unwrap"), "{joined}");
+        assert!(!joined.contains("panic"), "{joined}");
+        assert!(joined.contains("let a ="));
+        assert!(joined.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn preserves_line_structure() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e\n";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.split('\n').count());
+        assert_eq!(s.raw_lines.len(), s.lines.len());
+    }
+
+    #[test]
+    fn handles_raw_strings_and_nested_comments() {
+        let src = "let x = r#\"unwrap() \" still\"#; /* outer /* panic! */ still */ let y = 2;\n";
+        let s = scrub(src);
+        assert!(!s.lines[0].contains("unwrap"));
+        assert!(!s.lines[0].contains("panic"));
+        assert!(s.lines[0].contains("let y = 2;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'y';\nlet d = '\\n';\n";
+        let s = scrub(src);
+        assert!(s.lines[0].contains("fn f"), "{}", s.lines[0]);
+        assert!(s.lines[0].contains("str"), "lifetime scrub ate code");
+        assert!(
+            !s.lines[1].contains('y'),
+            "char literal kept: {}",
+            s.lines[1]
+        );
+    }
+
+    #[test]
+    fn ident_prefixed_r_is_not_a_raw_string() {
+        let src = "for x in pr {\n  let s = \"done\";\n}\n";
+        let s = scrub(src);
+        assert!(s.lines[0].contains("for x in pr {"));
+        assert!(s.lines[2].contains('}'));
+    }
+
+    #[test]
+    fn marks_cfg_test_mod_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn also_live() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test[0]);
+        assert!(s.is_test[1] && s.is_test[2] && s.is_test[3] && s.is_test[4]);
+        assert!(!s.is_test[5]);
+    }
+
+    #[test]
+    fn marks_cfg_test_fields_and_fns_only() {
+        let src = "struct S {\n    a: u32,\n    #[cfg(test)]\n    pivots: usize,\n    b: u32,\n}\n#[cfg(test)]\nfn helper() {\n    boom();\n}\nfn live() {}\n";
+        let s = scrub(src);
+        assert!(!s.is_test[1], "plain field");
+        assert!(s.is_test[3], "cfg(test) field");
+        assert!(!s.is_test[4], "field after");
+        assert!(s.is_test[7] && s.is_test[8], "cfg(test) fn body");
+        assert!(!s.is_test[10], "fn after");
+    }
+
+    #[test]
+    fn cfg_test_trailing_field_without_comma_stays_inside_struct() {
+        let src = "struct S {\n    #[cfg(test)]\n    pivots: usize\n}\nfn live() {}\n";
+        let s = scrub(src);
+        assert!(s.is_test[2]);
+        assert!(!s.is_test[4], "code after the struct is live");
+    }
+
+    #[test]
+    fn parses_pragmas() {
+        let src = "x(); // audit:allow(panic-unwrap): checked above\n// audit:allow-file(slice-index): dense kernel\n// audit:allow(slice-index)\n// audit:allowance\n";
+        let s = scrub(src);
+        assert_eq!(s.pragmas.len(), 4);
+        let p = &s.pragmas[0];
+        assert_eq!(
+            (p.line, p.lint.as_str(), p.reason.as_str()),
+            (1, "panic-unwrap", "checked above")
+        );
+        assert!(!p.whole_line && !p.file_wide && !p.malformed);
+        let p = &s.pragmas[1];
+        assert!(p.file_wide && p.whole_line && !p.malformed);
+        assert_eq!(p.reason, "dense kernel");
+        let p = &s.pragmas[2];
+        assert!(!p.malformed, "missing reason parses, reason is empty");
+        assert_eq!(p.reason, "");
+        assert!(s.pragmas[3].malformed, "audit:allowance is not a pragma");
+    }
+
+    #[test]
+    fn cfg_not_test_attributes_are_not_test_regions() {
+        let src = "#[cfg(feature = \"testing\")]\nfn live() { x.unwrap(); }\n";
+        let s = scrub(src);
+        assert!(!s.is_test[1], "cfg(feature=testing) is not cfg(test)");
+    }
+}

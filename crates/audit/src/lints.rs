@@ -1,0 +1,486 @@
+//! The lint roster: repo-specific determinism, panic-safety and hygiene
+//! rules, each a cheap token scan over a [`Scrubbed`] file.
+//!
+//! Every lint is deliberately *conservative*: a lexer cannot resolve
+//! types, so e.g. `hash-container` flags any `HashMap`/`HashSet` mention
+//! in result-producing crates rather than trying to prove a particular
+//! iteration is order-sensitive. False positives are resolved in review
+//! with an `// audit:allow(<lint>): <reason>` pragma — the reason is the
+//! artifact, a written invariant the next reader can check.
+
+// Same scanner discipline as `lexer`: indices come from enumerate(),
+// `windows(n)` views, or positions returned by `find` on the very string
+// being sliced.
+// audit:allow-file(slice-index): scan indices come from enumerate/windows/find over the same buffer
+
+use crate::lexer::Scrubbed;
+
+/// Which lint families apply to a file (decided from its workspace path
+/// by [`crate::classify`], or set explicitly by fixture tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Determinism lints: result-producing crates (`lp`, `traces`,
+    /// `sim`, `core`, `bench`), bins included.
+    pub determinism: bool,
+    /// Panic-safety lints: library code (all crates, bins excluded).
+    pub panic_safety: bool,
+    /// Unit hygiene (`unit-cast`): everywhere.
+    pub unit_hygiene: bool,
+    /// Crate-root hygiene (`crate-attrs`): `src/lib.rs` files only.
+    pub crate_root: bool,
+}
+
+impl FileClass {
+    /// All content lints on — the fixture-corpus configuration.
+    pub fn all() -> Self {
+        FileClass {
+            determinism: true,
+            panic_safety: true,
+            unit_hygiene: true,
+            crate_root: false,
+        }
+    }
+}
+
+/// One lint finding, keyed by the stable lint name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable kebab-case lint name.
+    pub lint: &'static str,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+/// Stable names of every lint the auditor knows, in report order.
+pub const LINT_NAMES: &[&str] = &[
+    "hash-container",
+    "wall-clock",
+    "unseeded-rng",
+    "unordered-float-sum",
+    "panic-unwrap",
+    "panic-explicit",
+    "slice-index",
+    "crate-attrs",
+    "unit-cast",
+    "pragma-missing-reason",
+    "pragma-unknown-lint",
+];
+
+/// True when `name` is a known content lint a pragma may suppress.
+/// The two pragma meta-lints police the pragmas themselves and are
+/// deliberately not suppressible.
+pub fn is_allowable(name: &str) -> bool {
+    LINT_NAMES.contains(&name) && name != "pragma-missing-reason" && name != "pragma-unknown-lint"
+}
+
+/// Runs every content lint selected by `class` over a scrubbed file.
+/// Lines inside `#[cfg(test)]` items are skipped. Pragma handling (and
+/// the crate-attrs check, which needs the raw source) live in the
+/// driver.
+pub fn scan(scrubbed: &Scrubbed, class: FileClass) -> Vec<RawFinding> {
+    let mut findings = Vec::new();
+    for (idx, line) in scrubbed.lines.iter().enumerate() {
+        if scrubbed.is_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        if class.determinism {
+            determinism_line(line, lineno, &mut findings);
+        }
+        if class.panic_safety {
+            panic_safety_line(line, lineno, &mut findings);
+        }
+        if class.unit_hygiene {
+            unit_cast_line(line, lineno, &mut findings);
+        }
+    }
+    if class.determinism {
+        unordered_float_sum(scrubbed, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.lint));
+    findings
+}
+
+fn determinism_line(line: &str, lineno: usize, out: &mut Vec<RawFinding>) {
+    for hash in ["HashMap", "HashSet"] {
+        if has_word(line, hash) {
+            out.push(RawFinding {
+                line: lineno,
+                lint: "hash-container",
+                message: format!(
+                    "{hash} iteration order is nondeterministic; use BTreeMap/BTreeSet \
+                     (or pragma a proven order-insensitive use)"
+                ),
+            });
+        }
+    }
+    let clock = has_path(line, &["std", "time"])
+        || has_word(line, "SystemTime")
+        || has_word(line, "Instant")
+        || has_word(line, "UNIX_EPOCH");
+    if clock {
+        out.push(RawFinding {
+            line: lineno,
+            lint: "wall-clock",
+            message: "wall-clock reads make runs irreproducible; thread time through \
+                      SlotClock or pass timings in from the caller"
+                .into(),
+        });
+    }
+    for rng in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+        if has_word(line, rng) {
+            out.push(RawFinding {
+                line: lineno,
+                lint: "unseeded-rng",
+                message: format!(
+                    "`{rng}` draws OS entropy; every RNG must be constructed from an \
+                     explicit seed (see dpss_traces::seed)"
+                ),
+            });
+        }
+    }
+    if has_path(line, &["rand", "random"]) {
+        out.push(RawFinding {
+            line: lineno,
+            lint: "unseeded-rng",
+            message: "`rand::random` uses the thread-local entropy RNG; construct a \
+                      seeded generator instead"
+                .into(),
+        });
+    }
+}
+
+fn panic_safety_line(line: &str, lineno: usize, out: &mut Vec<RawFinding>) {
+    for method in ["unwrap", "expect"] {
+        if has_method_call(line, method) {
+            out.push(RawFinding {
+                line: lineno,
+                lint: "panic-unwrap",
+                message: format!(
+                    "`.{method}()` panics on the error path; return a typed error or \
+                     document the invariant in a pragma reason"
+                ),
+            });
+        }
+    }
+    for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+        if has_macro(line, mac) {
+            out.push(RawFinding {
+                line: lineno,
+                lint: "panic-explicit",
+                message: format!(
+                    "`{mac}!` aborts the caller; library code should surface a typed \
+                     error (or justify the invariant in a pragma reason)"
+                ),
+            });
+        }
+    }
+    for col in index_sites(line) {
+        let _ = col;
+        out.push(RawFinding {
+            line: lineno,
+            lint: "slice-index",
+            message: "unguarded indexing panics out of bounds; prefer `.get()`/iterators, \
+                      or document the bound invariant in a pragma reason"
+                .into(),
+        });
+    }
+}
+
+fn unit_cast_line(line: &str, lineno: usize, out: &mut Vec<RawFinding>) {
+    let extractors = [
+        ".dollars(",
+        ".mwh(",
+        ".mw(",
+        ".dollars_per_mwh(",
+        ".per_mwh(",
+    ];
+    if !extractors.iter().any(|e| line.contains(e)) {
+        return;
+    }
+    const NUMERIC: &[&str] = &[
+        "f32", "f64", "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32",
+        "i64", "i128",
+    ];
+    let words: Vec<&str> = words_of(line).collect();
+    for pair in words.windows(2) {
+        if pair[0] == "as" && NUMERIC.contains(&pair[1]) {
+            out.push(RawFinding {
+                line: lineno,
+                lint: "unit-cast",
+                message: "raw `as` cast next to a unit extractor; keep the value in its \
+                          dpss-units newtype and use its arithmetic"
+                    .into(),
+            });
+            return;
+        }
+    }
+}
+
+/// `.values()` / `.keys()` chained straight into a float accumulator —
+/// the chain may cross line breaks, so this runs on the joined text.
+fn unordered_float_sum(scrubbed: &Scrubbed, out: &mut Vec<RawFinding>) {
+    let joined = scrubbed.lines.join("\n");
+    let bytes = joined.as_bytes();
+    for source in ["values", "keys", "into_values", "into_keys"] {
+        let mut from = 0;
+        while let Some(pos) = joined[from..].find(source) {
+            let start = from + pos;
+            from = start + source.len();
+            // Must be a method call: preceded by `.`, followed by `()`.
+            if start == 0 || bytes[start - 1] != b'.' {
+                continue;
+            }
+            let mut j = from;
+            if bytes.get(j) != Some(&b'(') {
+                continue;
+            }
+            j += 1;
+            if bytes.get(j) != Some(&b')') {
+                continue;
+            }
+            j += 1;
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if bytes.get(j) != Some(&b'.') {
+                continue;
+            }
+            j += 1;
+            let rest = &joined[j..];
+            if ["sum", "product", "fold", "reduce"]
+                .iter()
+                .any(|acc| rest.starts_with(acc))
+            {
+                let lineno = 1 + joined[..start].matches('\n').count();
+                let line_is_test = scrubbed.is_test.get(lineno - 1).copied().unwrap_or(false);
+                if !line_is_test {
+                    out.push(RawFinding {
+                        line: lineno,
+                        lint: "unordered-float-sum",
+                        message: format!(
+                            "float accumulation over `.{source}()` folds in hash order; \
+                             collect and sort, or use an ordered container"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Byte columns of indexing expressions on a scrubbed line: a `[` glued
+/// to an identifier, `)` or `]` — array literals (`[1, 2]`), slice types
+/// (`&[f64]`) and macro brackets (`vec![…]`) do not match.
+fn index_sites(line: &str) -> Vec<usize> {
+    let bytes = line.as_bytes();
+    let mut sites = Vec::new();
+    for i in 1..bytes.len() {
+        if bytes[i] != b'[' {
+            continue;
+        }
+        let prev = bytes[i - 1];
+        if is_ident_byte(prev) || prev == b')' || prev == b']' {
+            sites.push(i);
+        }
+    }
+    sites
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn words_of(line: &str) -> impl Iterator<Item = &str> {
+    line.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .filter(|w| !w.is_empty())
+}
+
+/// `.name(…)` — a real method call: `.` glued on the left, call parens on
+/// the right, so `unwrap_or`/`expect_err` and field accesses don't match.
+fn has_method_call(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        from = end;
+        if start == 0 || bytes[start - 1] != b'.' {
+            continue;
+        }
+        if end < bytes.len() && is_ident_byte(bytes[end]) {
+            continue;
+        }
+        if line[end..].trim_start().starts_with('(') {
+            return true;
+        }
+    }
+    false
+}
+
+/// `name!` macro invocation (path-qualified forms like `core::panic!`
+/// match too).
+fn has_macro(line: &str, name: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let start = from + pos;
+        let end = start + name.len();
+        from = end;
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue;
+        }
+        if bytes.get(end) == Some(&b'!') {
+            return true;
+        }
+    }
+    false
+}
+
+fn has_word(line: &str, word: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(word) {
+        let start = from + pos;
+        let end = start + word.len();
+        let left_ok = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident_byte(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// `a::b` path match tolerant of spaces around the `::`.
+fn has_path(line: &str, segments: &[&str]) -> bool {
+    let bytes = line.as_bytes();
+    let Some(first) = segments.first() else {
+        return false;
+    };
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(first) {
+        let start = from + pos;
+        let mut end = start + first.len();
+        from = end;
+        if start > 0 && is_ident_byte(bytes[start - 1]) {
+            continue;
+        }
+        let mut matched = true;
+        for seg in &segments[1..] {
+            let rest = &line[end..];
+            let trimmed = rest.trim_start();
+            let Some(after_sep) = trimmed.strip_prefix("::") else {
+                matched = false;
+                break;
+            };
+            let after_sep_trim = after_sep.trim_start();
+            if !after_sep_trim.starts_with(seg) {
+                matched = false;
+                break;
+            }
+            let seg_start = line.len() - after_sep_trim.len();
+            let seg_end = seg_start + seg.len();
+            if seg_end < bytes.len() && is_ident_byte(bytes[seg_end]) {
+                matched = false;
+                break;
+            }
+            end = seg_end;
+        }
+        if matched {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scrub;
+
+    fn lints_of(src: &str, class: FileClass) -> Vec<(usize, &'static str)> {
+        scan(&scrub(src), class)
+            .into_iter()
+            .map(|f| (f.line, f.lint))
+            .collect()
+    }
+
+    #[test]
+    fn flags_hash_containers_and_clocks() {
+        let src = "use std::collections::HashMap;\nlet t = std::time::Instant::now();\n";
+        let got = lints_of(src, FileClass::all());
+        assert!(got.contains(&(1, "hash-container")), "{got:?}");
+        assert!(got.contains(&(2, "wall-clock")), "{got:?}");
+    }
+
+    #[test]
+    fn flags_unwrap_but_not_unwrap_or() {
+        let src = "let a = x.unwrap();\nlet b = x.unwrap_or(0);\nlet c = x.unwrap_or_else(f);\n";
+        let got = lints_of(src, FileClass::all());
+        assert_eq!(got, vec![(1, "panic-unwrap")]);
+    }
+
+    #[test]
+    fn flags_indexing_but_not_literals_or_macros() {
+        let src = "let a = xs[i];\nlet b = [1, 2];\nlet c: &[f64] = &xs;\nlet d = vec![0; 3];\nlet e = grid[r][c];\n";
+        let got = lints_of(src, FileClass::all());
+        assert_eq!(
+            got,
+            vec![(1, "slice-index"), (5, "slice-index"), (5, "slice-index"),]
+        );
+    }
+
+    #[test]
+    fn flags_unordered_float_sum_across_lines() {
+        let src = "let s: f64 = m.values()\n    .sum();\nlet ok: f64 = v.iter().sum();\n";
+        let got = lints_of(src, FileClass::all());
+        assert_eq!(got, vec![(1, "unordered-float-sum")]);
+    }
+
+    #[test]
+    fn flags_unit_casts_only_next_to_extractors() {
+        let src = "let a = cost.dollars() as u64;\nlet b = t as f64;\nlet c = e.mwh() * 2.0;\n";
+        let got = lints_of(src, FileClass::all());
+        assert_eq!(got, vec![(1, "unit-cast")]);
+    }
+
+    #[test]
+    fn scoping_gates_lint_families() {
+        let src = "let a = x.unwrap();\nuse std::collections::HashSet;\n";
+        let only_det = FileClass {
+            determinism: true,
+            panic_safety: false,
+            unit_hygiene: false,
+            crate_root: false,
+        };
+        assert_eq!(lints_of(src, only_det), vec![(2, "hash-container")]);
+        let only_panic = FileClass {
+            determinism: false,
+            panic_safety: true,
+            unit_hygiene: false,
+            crate_root: false,
+        };
+        assert_eq!(lints_of(src, only_panic), vec![(1, "panic-unwrap")]);
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let got = lints_of(src, FileClass::all());
+        assert_eq!(got, vec![(1, "panic-unwrap")]);
+    }
+
+    #[test]
+    fn rng_and_macros() {
+        let src = "let r = thread_rng();\npanic!(\"boom\");\nlet x = rand::random();\n";
+        let got = lints_of(src, FileClass::all());
+        assert!(got.contains(&(1, "unseeded-rng")));
+        assert!(got.contains(&(2, "panic-explicit")));
+        assert!(got.contains(&(3, "unseeded-rng")), "{got:?}");
+    }
+}

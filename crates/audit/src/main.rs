@@ -1,0 +1,116 @@
+//! `dpss-audit` — run the workspace lint pass from the command line.
+//!
+//! ```text
+//! dpss-audit [--json] [--root DIR] [--path FILE_OR_DIR]...
+//! ```
+//!
+//! Exit codes follow the workspace CLI conventions: `0` clean, `1`
+//! findings, `2` usage error. `--json` prints the machine report and
+//! also writes it to `<root>/target/audit.json`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Default)]
+struct Args {
+    json: bool,
+    root: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn usage() -> String {
+    format!(
+        "dpss-audit — static determinism/panic-safety/hygiene lints for the \
+         SmartDPSS workspace\n\n\
+         USAGE:\n  dpss-audit [--json] [--root DIR] [--path FILE_OR_DIR]...\n\n\
+         Without --path, audits the workspace (crates/*/src + src/) with the\n\
+         scoped lint policy; --path audits explicit files/dirs with every\n\
+         content lint enabled (the fixture-corpus mode).\n\n\
+         Suppress a finding with `// audit:allow(<lint>): <reason>` (trailing\n\
+         or on the line above) or `// audit:allow-file(<lint>): <reason>`;\n\
+         the reason is mandatory and enforced.\n\n\
+         LINTS:\n  {}",
+        dpss_audit::LINT_NAMES.join("\n  ")
+    )
+}
+
+fn parse(args: Vec<String>) -> Result<Args, String> {
+    let mut parsed = Args::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--json" => parsed.json = true,
+            "--root" => {
+                let v = it.next().ok_or("--root needs a value")?;
+                parsed.root = Some(PathBuf::from(v));
+            }
+            "--path" => {
+                let v = it.next().ok_or("--path needs a value")?;
+                parsed.paths.push(PathBuf::from(v));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn run(args: Args) -> Result<dpss_audit::AuditReport, String> {
+    let root = match &args.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            dpss_audit::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory; pass --root")?
+        }
+    };
+    if !root.is_dir() {
+        return Err(format!("root is not a directory: {}", root.display()));
+    }
+    let report = if args.paths.is_empty() {
+        dpss_audit::audit_workspace(&root).map_err(|e| e.to_string())?
+    } else {
+        dpss_audit::audit_paths(&root, &args.paths).map_err(|e| e.to_string())?
+    };
+    if args.json {
+        let target = root.join("target");
+        let _ = std::fs::create_dir_all(&target);
+        std::fs::write(target.join("audit.json"), report.to_json())
+            .map_err(|e| format!("writing target/audit.json: {e}"))?;
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("dpss-audit: error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.json;
+    match run(args) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{}", report.render());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("dpss-audit: error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! Findings, the audit report, and its two renderings (human text and
+//! hand-rolled JSON — this crate is intentionally dependency-free, so it
+//! cannot use the workspace's vendored serde).
+
+use std::collections::BTreeMap;
+
+/// One confirmed finding: a lint that fired on a line and was not
+/// suppressed by a pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the workspace root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable kebab-case lint name.
+    pub lint: &'static str,
+    /// The offending source line, trimmed and truncated.
+    pub snippet: String,
+    /// What went wrong and what to do instead.
+    pub message: String,
+}
+
+/// The result of auditing a file set.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AuditReport {
+    /// All findings, sorted by `(file, line, lint)`.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Pragmas honored (suppressed at least one finding is not required
+    /// — this counts every well-formed, reason-carrying pragma seen).
+    pub pragmas_seen: usize,
+}
+
+impl AuditReport {
+    /// True when no lint fired.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per lint name, sorted by name.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for f in &self.findings {
+            *counts.entry(f.lint).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The human rendering: one block per finding plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{} {}: `{}`\n    {}\n",
+                f.file, f.line, f.lint, f.snippet, f.message
+            ));
+        }
+        if self.is_clean() {
+            out.push_str(&format!(
+                "dpss-audit: clean ({} files, {} pragmas honored)",
+                self.files_scanned, self.pragmas_seen
+            ));
+        } else {
+            let by_lint = self
+                .counts()
+                .into_iter()
+                .map(|(k, v)| format!("{k} x{v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "dpss-audit: {} finding(s) in {} file(s) scanned ({})",
+                self.findings.len(),
+                self.files_scanned,
+                by_lint
+            ));
+        }
+        out
+    }
+
+    /// The machine rendering written to `target/audit.json`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"clean\": ");
+        out.push_str(if self.is_clean() { "true" } else { "false" });
+        out.push_str(&format!(
+            ",\n  \"files_scanned\": {},\n  \"pragmas_seen\": {},\n  \"counts\": {{",
+            self.files_scanned, self.pragmas_seen
+        ));
+        let counts = self.counts();
+        for (i, (lint, n)) in counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {}", json_string(lint), n));
+        }
+        if !counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"lint\": {}, \"snippet\": {}, \
+                 \"message\": {}}}",
+                json_string(&f.file),
+                f.line,
+                json_string(f.lint),
+                json_string(&f.snippet),
+                json_string(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Trims and truncates a source line for display.
+pub fn snippet_of(raw_line: &str) -> String {
+    let trimmed = raw_line.trim();
+    if trimmed.chars().count() > 96 {
+        let cut: String = trimmed.chars().take(93).collect();
+        format!("{cut}...")
+    } else {
+        trimmed.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        AuditReport {
+            findings: vec![Finding {
+                file: "crates/lp/src/model.rs".into(),
+                line: 7,
+                lint: "panic-unwrap",
+                snippet: "let x = m.get(\"k\").unwrap();".into(),
+                message: "boom".into(),
+            }],
+            files_scanned: 3,
+            pragmas_seen: 2,
+        }
+    }
+
+    #[test]
+    fn renders_human_summary() {
+        let r = sample();
+        let text = r.render();
+        assert!(text.contains("crates/lp/src/model.rs:7 panic-unwrap"));
+        assert!(text.contains("1 finding(s) in 3 file(s)"));
+        assert!(text.contains("panic-unwrap x1"));
+        assert!(AuditReport {
+            findings: vec![],
+            files_scanned: 3,
+            pragmas_seen: 0
+        }
+        .render()
+        .contains("clean (3 files"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let json = sample().to_json();
+        assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\\\"k\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\"panic-unwrap\": 1"));
+        // Sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snippets_truncate() {
+        let long = "x".repeat(200);
+        assert_eq!(snippet_of(&long).chars().count(), 96);
+        assert_eq!(snippet_of("  let a = 1;  "), "let a = 1;");
+    }
+}

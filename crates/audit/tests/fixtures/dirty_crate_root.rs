@@ -1,0 +1,3 @@
+//! Crate-root fixture — missing both required hygiene attributes.
+
+pub fn nothing() {}

@@ -1,0 +1,18 @@
+//! Determinism fixture — every finding is pinned by `fixtures_audit`.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn wall() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_secs()
+}
+
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng();
+    rng.next() ^ rand::random::<u64>()
+}
+
+pub fn hash_sum(m: &HashMap<u32, f64>) -> f64 {
+    m.values().sum()
+}

@@ -1,0 +1,5 @@
+//! Unit-hygiene fixture — a raw `as` cast next to a unit extractor.
+
+pub fn leak(cost: Money, energy: Energy) -> (u64, f64) {
+    (cost.dollars() as u64, energy.mwh() as f64)
+}

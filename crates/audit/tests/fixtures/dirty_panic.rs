@@ -1,0 +1,24 @@
+//! Panic-safety fixture — unwrap/expect/panic!/indexing in library code.
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs[0]
+}
+
+pub fn loud(x: Option<f64>) -> f64 {
+    x.unwrap()
+}
+
+pub fn named(x: Option<f64>) -> f64 {
+    x.expect("present by fixture contract")
+}
+
+pub fn boom() -> ! {
+    panic!("fixture")
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn exempt(x: Option<f64>) -> f64 {
+        x.unwrap()
+    }
+}

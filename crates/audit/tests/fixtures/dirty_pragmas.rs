@@ -1,0 +1,18 @@
+//! Pragma fixture — suppression, the reason rule, and unknown lints.
+
+pub fn suppressed(xs: &[f64], i: usize) -> f64 {
+    xs[i] // audit:allow(slice-index): i is validated by the caller
+}
+
+pub fn covered(x: Option<f64>) -> f64 {
+    // audit:allow(panic-unwrap): fixture invariant covers the next line
+    x.unwrap()
+}
+
+pub fn reasonless(x: Option<f64>) -> f64 {
+    x.unwrap() // audit:allow(panic-unwrap)
+}
+
+pub fn typo(xs: &[f64]) -> f64 {
+    xs[0] // audit:allow(slice-indexing): the lint name is wrong
+}

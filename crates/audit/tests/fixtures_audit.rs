@@ -1,0 +1,132 @@
+//! The fixture corpus: one deliberately dirty file per lint family under
+//! `tests/fixtures/`, with every expected finding pinned exactly. These
+//! files are never compiled (cargo only builds top-level `tests/*.rs`)
+//! and never scanned by the workspace walk (which covers `src/` trees
+//! only) — they exist purely as the auditor's regression corpus.
+//!
+//! Also the self-check: the live workspace must audit clean under its own
+//! auditor, and the CLI must honor the documented exit-code contract
+//! (0 clean, 1 findings, 2 usage).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dpss_audit::{audit_paths, audit_source, find_workspace_root, FileClass};
+
+fn workspace_root() -> PathBuf {
+    find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace root exists")
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixture_corpus_findings_are_pinned_exactly() {
+    let root = workspace_root();
+    let report = audit_paths(&root, &[fixtures_dir()]).expect("fixtures readable");
+
+    let got: Vec<(&str, usize, &str)> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let name = f.file.rsplit('/').next().expect("non-empty label");
+            (name, f.line, f.lint)
+        })
+        .collect();
+    let expected = vec![
+        // dirty_crate_root.rs: nothing — `crate-attrs` needs the
+        // crate-root class, exercised separately below.
+        ("dirty_determinism.rs", 3, "hash-container"),
+        ("dirty_determinism.rs", 4, "hash-container"),
+        ("dirty_determinism.rs", 7, "wall-clock"),
+        ("dirty_determinism.rs", 12, "unseeded-rng"),
+        ("dirty_determinism.rs", 13, "unseeded-rng"),
+        ("dirty_determinism.rs", 16, "hash-container"),
+        ("dirty_determinism.rs", 17, "unordered-float-sum"),
+        ("dirty_hygiene.rs", 4, "unit-cast"),
+        ("dirty_panic.rs", 4, "slice-index"),
+        ("dirty_panic.rs", 8, "panic-unwrap"),
+        ("dirty_panic.rs", 12, "panic-unwrap"),
+        ("dirty_panic.rs", 16, "panic-explicit"),
+        // dirty_pragmas.rs: lines 4 and 9 are suppressed by reasoned
+        // pragmas; a reasonless pragma suppresses nothing and is itself
+        // flagged; an unknown lint name likewise.
+        ("dirty_pragmas.rs", 13, "panic-unwrap"),
+        ("dirty_pragmas.rs", 13, "pragma-missing-reason"),
+        ("dirty_pragmas.rs", 17, "pragma-unknown-lint"),
+        ("dirty_pragmas.rs", 17, "slice-index"),
+    ];
+    assert_eq!(got, expected, "full report:\n{}", report.render());
+    assert_eq!(report.files_scanned, 5);
+    assert_eq!(
+        report.pragmas_seen, 2,
+        "only the two reasoned pragmas are honored"
+    );
+}
+
+#[test]
+fn crate_root_fixture_is_missing_both_attributes() {
+    let src = std::fs::read_to_string(fixtures_dir().join("dirty_crate_root.rs"))
+        .expect("fixture exists");
+    let class = FileClass {
+        crate_root: true,
+        ..FileClass::all()
+    };
+    let (findings, _) = audit_source("dirty_crate_root.rs", &src, class);
+    let got: Vec<&str> = findings.iter().map(|f| f.lint).collect();
+    assert_eq!(got, vec!["crate-attrs", "crate-attrs"], "{findings:#?}");
+    assert!(findings[0].message.contains("forbid(unsafe_code)"));
+    assert!(findings[1]
+        .message
+        .contains("missing_debug_implementations"));
+}
+
+#[test]
+fn live_workspace_audits_clean() {
+    let root = workspace_root();
+    let report = dpss_audit::audit_workspace(&root).expect("workspace readable");
+    assert!(
+        report.is_clean(),
+        "the workspace must stay clean under its own auditor:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 50, "scope unexpectedly small");
+    assert!(report.pragmas_seen > 0, "known allows should be honored");
+}
+
+#[test]
+fn cli_exit_codes_follow_the_contract() {
+    let bin = env!("CARGO_BIN_EXE_dpss-audit");
+    let root = workspace_root();
+
+    // Clean workspace → exit 0.
+    let ok = Command::new(bin)
+        .args(["--root", &root.display().to_string()])
+        .output()
+        .expect("binary runs");
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("clean"));
+
+    // Dirty fixtures → exit 1, findings on stdout.
+    let dirty = Command::new(bin)
+        .args([
+            "--root",
+            &root.display().to_string(),
+            "--path",
+            &fixtures_dir().display().to_string(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert_eq!(dirty.status.code(), Some(1), "{dirty:?}");
+    let out = String::from_utf8_lossy(&dirty.stdout);
+    assert!(out.contains("pragma-missing-reason"), "{out}");
+
+    // Bad flag → exit 2, usage on stderr.
+    let usage = Command::new(bin)
+        .arg("--bogus")
+        .output()
+        .expect("binary runs");
+    assert_eq!(usage.status.code(), Some(2), "{usage:?}");
+    assert!(String::from_utf8_lossy(&usage.stderr).contains("USAGE"));
+}

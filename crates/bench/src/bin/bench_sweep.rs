@@ -20,6 +20,8 @@
 //! bench_sweep [--out PATH] [--threads N] [--iters K]
 //! ```
 
+// audit:allow-file(wall-clock): this binary exists to measure wall-clock performance; timings are reported, never fed back into results
+
 use std::process::ExitCode;
 use std::time::Instant;
 

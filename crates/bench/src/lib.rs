@@ -9,7 +9,13 @@
 //! `target/figures/` so downstream tooling can diff runs.
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
+
+// Bench policy: the harness only ever runs built-in worlds, so generator
+// or engine failure is a programming error, not an experiment outcome —
+// expects assert construction invariants and say which one.
+// audit:allow-file(panic-unwrap): bench treats misconfiguration of built-in worlds as a programming error; every expect states its invariant
 
 pub mod figures;
 pub mod packs;

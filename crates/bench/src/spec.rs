@@ -161,6 +161,7 @@ impl SweepSpec {
         let mut coords = vec![0usize; self.axes.len()];
         let mut rest = index;
         for (k, axis) in self.axes.iter().enumerate().rev() {
+            // audit:allow(slice-index): k comes from enumerate over the axes that sized coords
             coords[k] = rest % axis.len();
             rest /= axis.len();
         }

@@ -31,6 +31,14 @@
 //! acceptance property `interconnect_physics.rs` pins across every
 //! built-in scenario pack.
 
+// The fleet planner mints every LP variable/constraint id it later edits
+// or reads, in the same template build pass; site/pair vectors are sized
+// from the engine roster it plans for. Solver errors are propagated as
+// `CoreError` — expects here assert template invariants (finite caps,
+// well-formed rows), not runtime conditions.
+// audit:allow-file(panic-unwrap): expects assert invariants of the LP template this module itself builds; solver errors propagate as CoreError
+// audit:allow-file(slice-index): variable/constraint ids are minted by the same template build pass; rosters are sized from the engine fleet
+
 use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
 use dpss_sim::{
     FleetDispatcher, FrameDirective, FrameExchange, FrameOutlook, FrameSettlement, Interconnect,

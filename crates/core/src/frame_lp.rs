@@ -11,6 +11,11 @@
 //! recursion Eq. (2) with pre-arrival service limits, and an optional
 //! service deadline expressed on cumulative service.
 
+// The frame LP mints its variable ids in the same build pass that later
+// reads them back from the solution, and slot vectors are sized by the
+// `slots` input the whole frame shares.
+// audit:allow-file(slice-index): variable ids and slot vectors are minted/sized in the same frame-LP build pass
+
 use dpss_lp::{LpWorkspace, Problem, Relation, Sense, Variable};
 use dpss_sim::SimParams;
 

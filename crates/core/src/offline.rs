@@ -1,3 +1,8 @@
+// Slot/frame ranges here derive from the validated clock the truth traces
+// were constructed against, so `[start..start + t]` windows stay inside
+// every series by the TraceSet invariant.
+// audit:allow-file(slice-index): slot/frame windows derive from the clock the truth TraceSet was validated against
+
 use dpss_sim::{
     Controller, FrameDecision, FrameObservation, SimParams, SlotDecision, SlotObservation,
     SystemView,

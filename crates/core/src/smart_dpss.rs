@@ -206,6 +206,7 @@ impl Controller for SmartDpss {
                 // energy through ηc·ηd < 1 loses more than time-shifting
                 // gains; the battery fills from incidental surplus instead.
                 let per_slot_net = (obs.demand_ds + obs.demand_dt - obs.renewable).positive_part();
+                // audit:allow(unit-cast): slot count scales an Energy, it is not a unit conversion
                 (per_slot_net * obs.slots_in_frame as f64 + view.queue_backlog).mwh()
             }
         };

@@ -211,6 +211,7 @@ impl Problem {
     /// # Errors
     ///
     /// Returns [`LpError::UnknownVariable`] or [`LpError::NotFinite`].
+    #[allow(clippy::indexing_slicing)]
     pub fn set_objective(&mut self, var: Variable, obj: f64) -> Result<(), LpError> {
         if var.0 >= self.vars.len() {
             return Err(LpError::UnknownVariable { var: var.0 });
@@ -220,6 +221,7 @@ impl Problem {
                 what: "objective coefficient",
             });
         }
+        // audit:allow(slice-index): guarded by the UnknownVariable check above
         self.vars[var.0].obj = obj;
         Ok(())
     }
@@ -234,6 +236,7 @@ impl Problem {
     ///
     /// Returns [`LpError::UnknownVariable`], [`LpError::NotFinite`] (NaN
     /// bound) or [`LpError::EmptyBounds`] if `lo > up`.
+    #[allow(clippy::indexing_slicing)]
     pub fn set_bounds(&mut self, var: Variable, lo: f64, up: f64) -> Result<(), LpError> {
         if var.0 >= self.vars.len() {
             return Err(LpError::UnknownVariable { var: var.0 });
@@ -244,7 +247,9 @@ impl Problem {
         if lo > up {
             return Err(LpError::EmptyBounds { var: var.0 });
         }
+        // audit:allow(slice-index): guarded by the UnknownVariable check above
         self.vars[var.0].lo = lo;
+        // audit:allow(slice-index): guarded by the UnknownVariable check above
         self.vars[var.0].up = up;
         Ok(())
     }
@@ -256,6 +261,7 @@ impl Problem {
     /// # Errors
     ///
     /// Returns [`LpError::UnknownConstraint`] or [`LpError::NotFinite`].
+    #[allow(clippy::indexing_slicing)]
     pub fn set_rhs(&mut self, constraint: ConstraintId, rhs: f64) -> Result<(), LpError> {
         if constraint.0 >= self.constraints.len() {
             return Err(LpError::UnknownConstraint {
@@ -265,6 +271,7 @@ impl Problem {
         if !rhs.is_finite() {
             return Err(LpError::NotFinite { what: "rhs" });
         }
+        // audit:allow(slice-index): guarded by the UnknownConstraint check above
         self.constraints[constraint.0].rhs = rhs;
         Ok(())
     }
@@ -357,6 +364,7 @@ impl Problem {
     ///
     /// Panics if `values.len() != num_vars()`.
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
         assert_eq!(values.len(), self.vars.len(), "assignment length mismatch");
         for (v, &x) in self.vars.iter().zip(values) {
@@ -365,6 +373,7 @@ impl Problem {
             }
         }
         for c in &self.constraints {
+            // audit:allow(slice-index): term indices were validated by add_constraint; length asserted above
             let lhs: f64 = c.terms.iter().map(|&(j, a)| a * values[j]).sum();
             let ok = match c.relation {
                 Relation::Le => lhs <= c.rhs + tol,

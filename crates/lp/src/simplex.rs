@@ -5,6 +5,14 @@
 //! (most negative reduced cost) with an automatic switch to Bland's rule
 //! after a streak of degenerate pivots, which guarantees termination.
 
+// Dense kernel: every index is a row/column below the `rows`/`cols` the
+// tableau buffers were allocated with, and `basis` always holds exactly
+// `rows` in-range columns (established by `standard::build_tableau`,
+// preserved by every pivot). Runtime bound checks here would be pure
+// hot-loop overhead.
+// audit:allow-file(slice-index): tableau indices are bounded by rows/cols by construction; see module note
+#![allow(clippy::indexing_slicing)]
+
 use crate::{LpError, TOLERANCE};
 
 /// How many consecutive degenerate pivots trigger the Bland's-rule

@@ -45,7 +45,9 @@ impl Solution {
     /// Panics if `var` does not belong to the solved problem (index out of
     /// range).
     #[must_use]
+    #[allow(clippy::indexing_slicing)]
     pub fn value(&self, var: Variable) -> f64 {
+        // audit:allow(slice-index): documented # Panics contract for foreign Variable ids
         self.values[var.index()]
     }
 

@@ -13,6 +13,14 @@
 //! two-phase path below, so callers observe identical objectives and
 //! feasibility verdicts either way.
 
+// Dense kernel: the standard-form mapping allocates `phase2_costs`,
+// `placed`, `redundant` and the tableau buffers to the exact
+// rows/columns it then addresses; every `VarMap` column index is minted
+// here during the same construction pass. See the simplex module for the
+// same policy on the tableau itself.
+// audit:allow-file(slice-index): standard-form columns/rows are minted and addressed in one construction pass; see module note
+#![allow(clippy::indexing_slicing)]
+
 use crate::model::{Problem, Relation, Sense};
 use crate::simplex::{
     expel_artificials, run_dual_phase, run_phase, CostRow, DualOutcome, PhaseOutcome, Tableau,

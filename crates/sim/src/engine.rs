@@ -1,3 +1,8 @@
+// The run loop iterates the validated clock of the TraceSet it owns, so
+// every slot/frame index it hands out is in bounds for every series and
+// for the outcome vectors sized from the same clock.
+// audit:allow-file(slice-index): slot/frame indices come from the validated clock that sized every buffer in the run
+
 use dpss_traces::TraceSet;
 use dpss_units::Energy;
 

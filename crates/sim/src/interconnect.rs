@@ -33,6 +33,11 @@
 //! (`crates/sim/tests/interconnect_physics.rs`) pins conservation, loss
 //! monotonicity and the decoupling identity for both.
 
+// Site and pair indices are validated once by the topology constructor
+// (`add_pair` rejects out-of-range sites) and the per-pair vectors are
+// sized from that same roster, so later lookups are in bounds.
+// audit:allow-file(slice-index): site/pair indices are validated by the topology constructor that sized the vectors
+
 use dpss_units::{Energy, Money, Price};
 
 use crate::SimError;

@@ -19,6 +19,12 @@
 //! solves each frame's export flows as a linear program over the same
 //! [`FrameExchange`]s.
 
+// `MultiSiteEngine::new` rejects empty rosters and mismatched calendars,
+// so `sites[0]` exists and every site shares one validated clock; frame
+// slot ranges derive from that clock and the per-site outcome vectors it
+// sized.
+// audit:allow-file(slice-index): roster is non-empty and calendars match by construction; slot ranges derive from the shared validated clock
+
 use dpss_units::{Energy, Money};
 
 use crate::{
@@ -447,6 +453,7 @@ impl MultiSiteEngine {
                 for r in &reports {
                     push_site_exchange(
                         &mut ex,
+                        // audit:allow(panic-unwrap): couple() validated every report has recorded outcomes
                         &r.slot_outcomes.as_ref().expect("validated above")[range.clone()],
                     );
                 }

@@ -325,7 +325,7 @@ fn planned_mode_never_costs_more_than_post_hoc_on_builtin_packs() {
             assert!(
                 planned.total_cost() <= posthoc.total_cost() + Money::from_dollars(1e-9),
                 "{name}/{}: planned ${} vs post-hoc ${}",
-                pack.variant(v).0,
+                pack.variant(v).unwrap().0,
                 planned.total_cost().dollars(),
                 posthoc.total_cost().dollars()
             );
@@ -420,7 +420,7 @@ fn coordinated_dispatch_measurably_beats_planned_on_the_contention_pack() {
         let mut dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
         let coordinated = multi.run_with(&mut smart_boxes(), &mut dispatcher).unwrap();
 
-        let name = pack.variant(v).0;
+        let name = pack.variant(v).unwrap().0;
         // Theorem: the greedy settlement is a feasible LP point.
         assert!(
             planned.total_cost() <= posthoc.total_cost() + Money::from_dollars(1e-9),

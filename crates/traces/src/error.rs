@@ -38,6 +38,15 @@ pub enum TraceError {
         /// What went wrong.
         reason: String,
     },
+    /// A scenario-pack variant index is out of range.
+    UnknownVariant {
+        /// The pack's registry name.
+        pack: String,
+        /// The requested variant index.
+        index: usize,
+        /// Number of variants the pack actually has.
+        len: usize,
+    },
     /// An invalid calendar was supplied.
     Units(UnitsError),
 }
@@ -61,6 +70,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::Parse { line, reason } => {
                 write!(f, "csv parse error at line {line}: {reason}")
+            }
+            TraceError::UnknownVariant { pack, index, len } => {
+                write!(f, "pack {pack} has no variant {index} (only {len})")
             }
             TraceError::Units(e) => write!(f, "invalid calendar: {e}"),
         }

@@ -99,15 +99,13 @@ impl ScenarioPack {
         &self.variants
     }
 
-    /// Variant `index` as `(label, scenario)`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= self.len()`.
+    /// Variant `index` as `(label, scenario)`, or `None` past the end of
+    /// the roster.
     #[must_use]
-    pub fn variant(&self, index: usize) -> (&str, &Scenario) {
-        let (label, scenario) = &self.variants[index];
-        (label, scenario)
+    pub fn variant(&self, index: usize) -> Option<(&str, &Scenario)> {
+        self.variants
+            .get(index)
+            .map(|(label, scenario)| (label.as_str(), scenario))
     }
 
     /// Deterministic seed of variant `index` at `master`: a splitmix64
@@ -136,11 +134,8 @@ impl ScenarioPack {
     ///
     /// # Errors
     ///
-    /// Propagates generator misconfiguration and validation errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= self.len()`.
+    /// Returns [`TraceError::UnknownVariant`] if `index >= self.len()`,
+    /// and propagates generator misconfiguration and validation errors.
     pub fn generate(
         &self,
         clock: &SlotClock,
@@ -148,7 +143,12 @@ impl ScenarioPack {
         index: usize,
     ) -> Result<TraceSet, TraceError> {
         let seed = self.variant_seed(master, index);
-        self.variants[index].1.generate(clock, seed)
+        let (_, scenario) = self.variants.get(index).ok_or(TraceError::UnknownVariant {
+            pack: self.name.clone(),
+            index,
+            len: self.variants.len(),
+        })?;
+        scenario.generate(clock, seed)
     }
 
     /// Generates variant `index`'s traces for one site of a
@@ -158,11 +158,8 @@ impl ScenarioPack {
     ///
     /// # Errors
     ///
-    /// Propagates generator misconfiguration and validation errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `index >= self.len()`.
+    /// Returns [`TraceError::UnknownVariant`] if `index >= self.len()`,
+    /// and propagates generator misconfiguration and validation errors.
     pub fn generate_site(
         &self,
         clock: &SlotClock,
@@ -172,9 +169,12 @@ impl ScenarioPack {
     ) -> Result<TraceSet, TraceError> {
         let site_seed = self.site_seed(master, index, site);
         let market_seed = self.variant_seed(master, index);
-        self.variants[index]
-            .1
-            .generate_with_market_seed(clock, site_seed, market_seed)
+        let (_, scenario) = self.variants.get(index).ok_or(TraceError::UnknownVariant {
+            pack: self.name.clone(),
+            index,
+            len: self.variants.len(),
+        })?;
+        scenario.generate_with_market_seed(clock, site_seed, market_seed)
     }
 
     /// The names of the built-in packs, in registry order.
@@ -355,6 +355,21 @@ mod tests {
                 assert!(t.total_demand() > Energy::ZERO, "{name}[{i}] has no demand");
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_variant_is_a_typed_error() {
+        let clock = SlotClock::new(2, 24, 1.0).unwrap();
+        let pack = ScenarioPack::price_spike();
+        assert!(pack.variant(pack.len()).is_none());
+        assert!(matches!(
+            pack.generate(&clock, 42, pack.len()),
+            Err(TraceError::UnknownVariant { index, len, .. }) if index == len
+        ));
+        assert!(matches!(
+            pack.generate_site(&clock, 42, 99, 0),
+            Err(TraceError::UnknownVariant { index: 99, .. })
+        ));
     }
 
     #[test]

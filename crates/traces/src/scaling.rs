@@ -131,6 +131,7 @@ pub fn with_demand_variation(traces: &TraceSet, factor: f64) -> Result<TraceSet,
         let mean = if xs.is_empty() {
             0.0
         } else {
+            // audit:allow(unit-cast): usize length to f64 divisor, not a unit conversion
             xs.iter().map(|e| e.mwh()).sum::<f64>() / xs.len() as f64
         };
         xs.iter()

@@ -96,8 +96,9 @@ pub fn lag1_autocorrelation(values: &[f64]) -> f64 {
         return 0.0;
     }
     let cov = values
-        .windows(2)
-        .map(|w| (w[0] - mean) * (w[1] - mean))
+        .iter()
+        .zip(values.iter().skip(1))
+        .map(|(a, b)| (a - mean) * (b - mean))
         .sum::<f64>()
         / (n - 1.0);
     cov / var

@@ -1,3 +1,10 @@
+// Every series is length-validated against the calendar in `TraceSet::new`
+// and kept private thereafter; slot and frame indices below come from the
+// same `SlotClock` (its iterator, `frame_of`, or an explicit range check),
+// so they are in bounds by the struct invariant.
+// audit:allow-file(slice-index): series lengths are clock-validated at construction; slot/frame ids come from the same clock
+#![allow(clippy::indexing_slicing)]
+
 use dpss_units::{Energy, Price, SlotClock};
 use serde::{Deserialize, Serialize};
 
@@ -248,31 +255,31 @@ impl TraceSet {
                 continue; // header / trailing newline
             }
             let fields: Vec<&str> = line.split(',').collect();
-            if fields.len() != 8 {
+            let &[slot_s, _frame, _offset, ds_s, dt_s, rn_s, plt_s, prt_s] = fields.as_slice()
+            else {
                 return Err(TraceError::Parse {
                     line: lineno + 1,
                     reason: format!("expected 8 fields, found {}", fields.len()),
                 });
-            }
+            };
             let parse = |s: &str, what: &str| -> Result<f64, TraceError> {
                 s.trim().parse::<f64>().map_err(|e| TraceError::Parse {
                     line: lineno + 1,
                     reason: format!("bad {what}: {e}"),
                 })
             };
-            let slot = parse(fields[0], "slot")? as usize;
+            let slot = parse(slot_s, "slot")? as usize;
             if slot >= slots {
                 return Err(TraceError::Parse {
                     line: lineno + 1,
                     reason: format!("slot {slot} out of range for calendar"),
                 });
             }
-            demand_ds[slot] = Energy::from_mwh(parse(fields[3], "demand_ds")?);
-            demand_dt[slot] = Energy::from_mwh(parse(fields[4], "demand_dt")?);
-            renewable[slot] = Energy::from_mwh(parse(fields[5], "renewable")?);
-            price_lt[clock.frame_of(slot)] =
-                Price::from_dollars_per_mwh(parse(fields[6], "price_lt")?);
-            price_rt[slot] = Price::from_dollars_per_mwh(parse(fields[7], "price_rt")?);
+            demand_ds[slot] = Energy::from_mwh(parse(ds_s, "demand_ds")?);
+            demand_dt[slot] = Energy::from_mwh(parse(dt_s, "demand_dt")?);
+            renewable[slot] = Energy::from_mwh(parse(rn_s, "renewable")?);
+            price_lt[clock.frame_of(slot)] = Price::from_dollars_per_mwh(parse(plt_s, "price_lt")?);
+            price_rt[slot] = Price::from_dollars_per_mwh(parse(prt_s, "price_rt")?);
             seen[slot] = true;
         }
         if let Some(missing) = seen.iter().position(|&s| !s) {

@@ -70,6 +70,7 @@ impl SlotClock {
     /// hourly slots (`K = 31`, `T = 24`).
     #[must_use]
     pub fn icdcs13_month() -> Self {
+        // audit:allow(panic-unwrap): constant arguments satisfy every `new` precondition
         SlotClock::new(31, 24, 1.0).expect("static calendar is valid")
     }
 

@@ -72,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         println!(
             "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>14.2} {:>12.2}",
-            pack.variant(v).0,
+            pack.variant(v).expect("v ranges over 0..pack.len()").0,
             posthoc.total_cost().dollars(),
             planned.total_cost().dollars(),
             coordinated.total_cost().dollars(),

@@ -11,6 +11,7 @@
 //!             [--dispatch post-hoc|planned|coordinated]
 //!             [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
+//! dpss audit  [--json]
 //! ```
 //!
 //! Everything is deterministic in `--seed` (and independent of
@@ -57,6 +58,7 @@ enum Command {
     SweepV,
     Sweep,
     Bounds,
+    Audit,
     Help,
 }
 
@@ -94,6 +96,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
         Some("sweep-v") => Command::SweepV,
         Some("sweep") => Command::Sweep,
         Some("bounds") => Command::Bounds,
+        Some("audit") => Command::Audit,
         Some("help" | "--help" | "-h") | None => Command::Help,
         Some(other) => return Err(format!("unknown command: {other}")),
     };
@@ -213,6 +216,9 @@ USAGE:
                      coordinated mode feeds the plan back into the sites'
                      dispatch as buy-to-export directives)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
+  dpss audit   [--json]   run the workspace source lints (determinism,
+               panic-safety, hygiene); --json also writes target/audit.json.
+               Exit 0 clean, 1 findings. Same pass as `cargo run -p dpss-audit`.
 
 Sweeps fan their cells out over --threads workers (0 = all cores) and
 are deterministic: any thread count produces identical tables.
@@ -417,6 +423,29 @@ fn execute(cli: &Cli) -> Result<String, String> {
                     .join("\n"))
             }
         }
+        Command::Audit => {
+            let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+            let root = dpss_audit::find_workspace_root(&cwd)
+                .ok_or("no workspace root found above the current directory")?;
+            let report = dpss_audit::audit_workspace(&root).map_err(|e| e.to_string())?;
+            if cli.json {
+                let target = root.join("target");
+                std::fs::create_dir_all(&target).map_err(|e| e.to_string())?;
+                std::fs::write(target.join("audit.json"), report.to_json())
+                    .map_err(|e| format!("writing target/audit.json: {e}"))?;
+            }
+            if report.is_clean() {
+                Ok(if cli.json {
+                    report.to_json()
+                } else {
+                    report.render()
+                })
+            } else {
+                // Findings are an execution failure (exit 1), rendered
+                // through the same stderr funnel as every other error.
+                Err(report.render())
+            }
+        }
         Command::Bounds => {
             let params = SimParams::icdcs13_with_battery(cli.battery_min);
             let clock = SlotClock::new(cli.days, cli.t, 1.0).map_err(|e| e.to_string())?;
@@ -584,6 +613,19 @@ mod tests {
         let cli = parse_args(args("traces --days 1")).unwrap();
         let out = execute(&cli).unwrap();
         assert_eq!(out.lines().count(), 25); // header + 24 slots
+    }
+
+    #[test]
+    fn audit_subcommand_runs_clean_on_this_workspace() {
+        let cli = parse_args(args("audit")).unwrap();
+        assert_eq!(cli.command, Command::Audit);
+        let out = execute(&cli).unwrap();
+        assert!(out.contains("clean"), "{out}");
+
+        let cli = parse_args(args("audit --json")).unwrap();
+        let out = execute(&cli).unwrap();
+        assert!(out.contains("\"clean\": true"), "{out}");
+        assert!(out.contains("\"findings\": []"), "{out}");
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! * [`core`] (`dpss-core`) — the [`SmartDpss`] controller itself plus the
 //!   [`OfflineOptimal`] benchmark, the [`Impatient`] baseline and the
 //!   Theorem 2 bound calculators;
-//! * [`bench`] (`dpss-bench`) — the experiment-runner subsystem: declarative
+//! * [`mod@bench`] (`dpss-bench`) — the experiment-runner subsystem: declarative
 //!   [`SweepSpec`]s executed across threads by an [`ExperimentRunner`], one
 //!   computation function per paper figure.
 //!
@@ -46,6 +46,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub use dpss_bench as bench;

@@ -75,7 +75,7 @@ fn stepping_reproduces_run_on_every_builtin_pack_variant() {
         for v in 0..pack.len() {
             let traces = pack.generate(&clock, 42, v).unwrap();
             let engine = Engine::new(params, traces).unwrap();
-            let what = format!("{pack_name}/{}", pack.variant(v).0);
+            let what = format!("{pack_name}/{}", pack.variant(v).unwrap().0);
             assert_stepping_matches_run(&engine, params, &what);
         }
     }

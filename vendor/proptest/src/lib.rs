@@ -3,7 +3,7 @@
 //!
 //! * the [`proptest!`] macro with an optional
 //!   `#![proptest_config(ProptestConfig::with_cases(n))]` header;
-//! * range strategies over `f64` and integer types, [`Just`],
+//! * range strategies over `f64` and integer types, [`strategy::Just`],
 //!   [`prop_oneof!`] and [`collection::vec`];
 //! * [`prop_assert!`] / [`prop_assert_eq!`].
 //!
@@ -194,7 +194,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::Range;
 
-    /// Half-open length range for [`vec`]; built from a `usize` (exact
+    /// Half-open length range for [`vec()`]; built from a `usize` (exact
     /// length) or a `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
