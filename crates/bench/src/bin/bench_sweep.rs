@@ -15,6 +15,15 @@
 //!    pivot budget — the column the default figure skips. The binary
 //!    asserts the offline column actually populates and records its
 //!    wall time.
+//! 5. **Dispatch-mode price tags**: one contention month through
+//!    post-hoc, planned and coordinated dispatch.
+//! 6. **Fleet scaling curve**: the coordinated month at 8–100 ring
+//!    sites in three configurations — dense simplex + serial stepping,
+//!    network simplex + serial, network simplex + threaded — the
+//!    sites-vs-wall-clock evidence behind the fleet-scale work.
+//! 7. **Sweep cache**: a cold pass over a scratch `SweepCache` vs the
+//!    warm rerun; the binary exits nonzero unless warm is ≥5× faster
+//!    with byte-identical results.
 //!
 //! ```text
 //! bench_sweep [--out PATH] [--threads N] [--iters K]
@@ -81,6 +90,29 @@ struct BenchSweepReport {
     /// Fleet dollars the coordinated run saved against the planned
     /// settlement on that month (positive = coordination won).
     dispatch_coordinated_saving: f64,
+    /// Site counts of the fleet-scaling curve: one coordinated
+    /// price-spike/stressed month on the lossy ring per count, in three
+    /// configurations (the three `fleet_scaling_*_ms` series below).
+    fleet_scaling_sites: Vec<usize>,
+    /// Dense simplex settlement + serial site stepping — the pre-scaling
+    /// baseline.
+    fleet_scaling_serial_ms: Vec<f64>,
+    /// Sparse network simplex settlement, still serial stepping — the
+    /// solver win alone.
+    fleet_scaling_network_lp_ms: Vec<f64>,
+    /// Network simplex + `--threads N` within-frame stepping — the full
+    /// fleet-scale path.
+    fleet_scaling_parallel_ms: Vec<f64>,
+    /// Cells of the sweep-cache measurement (full month runs each).
+    sweep_cache_cells: usize,
+    /// First pass over an empty `target/sweep_cache_bench`: every cell
+    /// computes and is persisted.
+    sweep_cache_cold_ms: f64,
+    /// Second pass over the same cache: every cell loads from disk. The
+    /// binary exits nonzero unless this is ≥5× faster than cold and the
+    /// results are byte-identical.
+    sweep_cache_warm_ms: f64,
+    sweep_cache_speedup: f64,
 }
 
 fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -272,6 +304,104 @@ fn main() -> ExitCode {
             .total_cost()
     };
 
+    // ---- 6. Fleet scaling: sites vs wall-clock. -------------------------
+    // The same contention month as §5, scaled along the site axis on the
+    // lossy ring: dense simplex + serial stepping (the pre-scaling
+    // baseline), sparse network simplex + serial stepping (the solver
+    // win alone), and network simplex + threaded stepping (the full
+    // path). One timed run per point — the curve's shape is the
+    // artifact, not its microsecond precision.
+    use dpss_core::SolverPath;
+    let fleet_scaling_sites: Vec<usize> = vec![8, 16, 32, 64, 100];
+    let mut fleet_scaling_serial_ms = Vec::new();
+    let mut fleet_scaling_network_lp_ms = Vec::new();
+    let mut fleet_scaling_parallel_ms = Vec::new();
+    for &n in &fleet_scaling_sites {
+        let engines: Vec<Engine> = (0..n)
+            .map(|s| {
+                Engine::new(
+                    params,
+                    pack.generate_site(&clock, PAPER_SEED, stressed, s)
+                        .expect("built-in pack generates valid traces"),
+                )
+                .expect("valid engine")
+            })
+            .collect();
+        let ring_n = Interconnect::ring(n, Energy::from_mwh(2.0))
+            .expect("valid ring")
+            .with_uniform_loss(0.05)
+            .expect("valid loss")
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+            .expect("valid wheeling");
+        let fleet_n = MultiSiteEngine::new(engines)
+            .expect("sites share the calendar")
+            .with_interconnect(ring_n)
+            .expect("ring spans the roster");
+        let ctls_n = || -> Vec<Box<dyn Controller>> {
+            (0..n)
+                .map(|_| {
+                    Box::new(
+                        SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                            .expect("valid configuration"),
+                    ) as Box<dyn Controller>
+                })
+                .collect()
+        };
+        let timed_month = |fleet: &MultiSiteEngine, path: SolverPath| -> f64 {
+            let mut planner = FleetPlanner::for_engine(fleet)
+                .with_coordination(true)
+                .with_solver_path(path);
+            let start = Instant::now();
+            let _ = fleet
+                .run_with(&mut ctls_n(), &mut planner)
+                .expect("fleet run succeeds");
+            start.elapsed().as_secs_f64()
+        };
+        fleet_scaling_serial_ms.push(timed_month(&fleet_n, SolverPath::Dense) * 1e3);
+        fleet_scaling_network_lp_ms.push(timed_month(&fleet_n, SolverPath::Network) * 1e3);
+        let parallel_fleet = fleet_n.clone().with_threads(threads);
+        fleet_scaling_parallel_ms.push(timed_month(&parallel_fleet, SolverPath::Network) * 1e3);
+    }
+
+    // ---- 7. Sweep cache: cold first pass vs warm rerun. -----------------
+    // Eight full-month cells through `run_cells_cached` on a scratch
+    // cache: the cold pass computes and persists everything, the warm
+    // pass must come back from disk ≥5× faster with identical bytes.
+    use dpss_bench::{Axis, SweepCache, SweepSpec};
+    let cache_dir = std::path::Path::new("target/sweep_cache_bench");
+    let _ = std::fs::remove_dir_all(cache_dir);
+    let cache = SweepCache::open(cache_dir).expect("scratch cache dir under target/ is writable");
+    let cache_spec = SweepSpec::new("bench-cache", PAPER_SEED).with_axis(Axis::from_f64s(
+        "seed-slot",
+        &[0., 1., 2., 3., 4., 5., 6., 7.],
+    ));
+    let cache_cell = |cell: &dpss_bench::Cell| -> f64 {
+        let engine = dpss_bench::setup_with_params(cell.seed, params);
+        dpss_bench::run_smart(&engine, params, SmartDpssConfig::icdcs13())
+            .total_cost()
+            .dollars()
+    };
+    let cold_start = Instant::now();
+    let cold_costs = serial.run_cells_cached(&cache_spec, &cache, cache_cell);
+    let cache_cold_s = cold_start.elapsed().as_secs_f64();
+    let warm_start = Instant::now();
+    let warm_costs = serial.run_cells_cached(&cache_spec, &cache, cache_cell);
+    let cache_warm_s = warm_start.elapsed().as_secs_f64();
+    if warm_costs != cold_costs {
+        eprintln!("bench_sweep: error: warm cache rerun changed the sweep results");
+        return ExitCode::FAILURE;
+    }
+    let cache_speedup = cache_cold_s / cache_warm_s;
+    if cache_speedup < 5.0 {
+        eprintln!(
+            "bench_sweep: error: warm cache rerun only {cache_speedup:.1}x faster than cold \
+             (contract: >=5x; cold {:.1}ms, warm {:.1}ms)",
+            cache_cold_s * 1e3,
+            cache_warm_s * 1e3
+        );
+        return ExitCode::FAILURE;
+    }
+
     let report = BenchSweepReport {
         generated_by: "dpss-bench/bench_sweep",
         threads,
@@ -299,6 +429,14 @@ fn main() -> ExitCode {
         dispatch_planned_ms: dispatch_planned_s * 1e3,
         dispatch_coordinated_ms: dispatch_coordinated_s * 1e3,
         dispatch_coordinated_saving: (planned_cost - coordinated_cost).dollars(),
+        fleet_scaling_sites,
+        fleet_scaling_serial_ms,
+        fleet_scaling_network_lp_ms,
+        fleet_scaling_parallel_ms,
+        sweep_cache_cells: cache_spec.cells(),
+        sweep_cache_cold_ms: cache_cold_s * 1e3,
+        sweep_cache_warm_ms: cache_warm_s * 1e3,
+        sweep_cache_speedup: cache_speedup,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");

@@ -71,8 +71,13 @@ fn main() -> ExitCode {
 
     let runner = dpss_bench::runner_from_env_args();
     let interconnect = packs::default_interconnect(sites);
+    let mut lp_counts = dpss_bench::FigureTable::new(
+        "Fleet LP solve counts: warm/cold per dispatch mode",
+        &dpss_bench::LP_COUNTS_COLUMNS,
+    );
     for mode in modes {
-        let table = packs::pack_sweep_with(&runner, PAPER_SEED, &pack, sites, &interconnect, mode);
+        let (table, counts) =
+            packs::pack_sweep_with_counts(&runner, PAPER_SEED, &pack, sites, &interconnect, mode);
         table.print();
         let artifact = match mode {
             DispatchMode::PostHoc => "pack_sweep",
@@ -80,6 +85,13 @@ fn main() -> ExitCode {
             DispatchMode::Coordinated => "pack_sweep_coordinated",
         };
         persist(&table, artifact);
+        if mode != DispatchMode::PostHoc {
+            lp_counts.push_owned(dpss_bench::lp_counts_row(mode, &counts));
+        }
+    }
+    if !lp_counts.rows.is_empty() {
+        lp_counts.print();
+        persist(&lp_counts, "pack_sweep_lp_counts");
     }
 
     let overview = packs::pack_overview_with(&runner, PAPER_SEED);

@@ -1,0 +1,279 @@
+//! Content-keyed caching of sweep cell results under `target/sweep_cache/`.
+//!
+//! A sweep cell is a pure function of its [`SweepSpec`] (name, base seed,
+//! axes) and its coordinates — the runner derives everything else, so the
+//! pair *is* the cell's content identity. [`SweepCache`] hashes that
+//! identity (plus a code-version salt, so stale results never survive a
+//! semantics change) into a filename and stores each cell's JSON-encoded
+//! result as one file. A re-run of the same sweep then loads every cell
+//! it can and only computes the misses — cold correctness is untouched
+//! because a hit is byte-for-byte the value the closure returned when the
+//! file was written, and the cache never changes cell order.
+//!
+//! The cache is strictly opt-in ([`ExperimentRunner::run_cells_cached`]):
+//! the published figure tables and determinism suites keep calling the
+//! uncached paths, so goldens can never be satisfied by a stale file.
+//!
+//! [`ExperimentRunner::run_cells_cached`]: crate::ExperimentRunner::run_cells_cached
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dpss_traces::seed::{fnv1a, splitmix64};
+
+use crate::spec::SweepSpec;
+
+/// Version salt folded into every cache key. Bump it whenever the meaning
+/// of a cell result changes (new physics, different aggregation, changed
+/// serialization) so every previously cached file misses instead of
+/// serving stale data.
+pub const CACHE_SCHEMA_VERSION: u64 = 1;
+
+/// A directory of content-keyed sweep cell results.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dpss_bench::{Axis, ExperimentRunner, SweepCache, SweepSpec};
+///
+/// let spec = SweepSpec::new("squares", 42).with_axis(Axis::from_f64s("x", &[1.0, 2.0]));
+/// let cache = SweepCache::open("target/sweep_cache").unwrap();
+/// let cold = ExperimentRunner::serial().run_cells_cached(&spec, &cache, |c| c.index * c.index);
+/// let warm = ExperimentRunner::serial().run_cells_cached(&spec, &cache, |c| c.index * c.index);
+/// assert_eq!(cold, warm);
+/// assert_eq!(cache.hits(), 2); // second run served both cells from disk
+/// ```
+#[derive(Debug)]
+pub struct SweepCache {
+    dir: PathBuf,
+    salt: u64,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SweepCache {
+    /// Opens (creating if needed) a cache directory. The default salt
+    /// covers [`CACHE_SCHEMA_VERSION`] and the crate version, so rebuilt
+    /// harnesses with changed semantics start cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(SweepCache {
+            dir,
+            salt: splitmix64(CACHE_SCHEMA_VERSION ^ fnv1a(env!("CARGO_PKG_VERSION"))),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        })
+    }
+
+    /// The conventional cache location, `target/sweep_cache`.
+    #[must_use]
+    pub fn default_dir() -> PathBuf {
+        PathBuf::from("target/sweep_cache")
+    }
+
+    /// Folds an extra salt into every key — for callers whose cell
+    /// closures depend on inputs outside the spec (e.g. a config file),
+    /// so those inputs participate in content identity too.
+    #[must_use]
+    pub fn with_salt(mut self, salt: u64) -> Self {
+        self.salt = splitmix64(self.salt ^ salt);
+        self
+    }
+
+    /// Cells served from disk since this cache handle was opened.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cells that had to be computed since this handle was opened.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The content key of one cell: a `splitmix64` chain over the salt,
+    /// the spec name, base seed, every axis name and label, and the
+    /// cell's coordinates. Any change to any of those moves the key.
+    #[must_use]
+    pub fn cell_key(&self, spec: &SweepSpec, index: usize) -> u64 {
+        let mut z = splitmix64(self.salt ^ fnv1a(spec.name()));
+        z = splitmix64(z ^ spec.seed());
+        for axis in spec.axes() {
+            z = splitmix64(z ^ fnv1a(axis.name()));
+            for label in axis.labels() {
+                z = splitmix64(z ^ fnv1a(label));
+            }
+        }
+        for &c in &spec.cell(index).coords {
+            z = splitmix64(z ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        }
+        z
+    }
+
+    fn cell_path(&self, spec: &SweepSpec, index: usize) -> PathBuf {
+        let stem: String = spec
+            .name()
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect();
+        self.dir
+            .join(format!("{stem}-{:016x}.json", self.cell_key(spec, index)))
+    }
+
+    /// Loads one cell's cached result, or `None` on any miss (absent
+    /// file, unreadable file, undecodable JSON — all three just mean
+    /// "recompute").
+    pub fn load<R: serde::Deserialize>(&self, spec: &SweepSpec, index: usize) -> Option<R> {
+        let loaded = std::fs::read_to_string(self.cell_path(spec, index))
+            .ok()
+            .and_then(|text| serde_json::from_str(&text).ok());
+        if loaded.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        loaded
+    }
+
+    /// Stores one cell's result. Best-effort: a failed write only costs
+    /// the next run a recompute, so errors are swallowed. The write goes
+    /// through a per-key temp file and an atomic rename, so concurrent
+    /// writers (parallel workers, overlapping runs) can never leave a
+    /// torn file behind.
+    pub fn store<R: serde::Serialize>(&self, spec: &SweepSpec, index: usize, value: &R) {
+        let Ok(json) = serde_json::to_string(value) else {
+            return;
+        };
+        let path = self.cell_path(spec, index);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// The directory this cache reads and writes.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Axis, ExperimentRunner};
+    use std::sync::atomic::AtomicUsize;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = PathBuf::from("target/sweep_cache_test").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn spec() -> SweepSpec {
+        SweepSpec::new("cache-spec", 42)
+            .with_axis(Axis::from_f64s("v", &[0.5, 1.0, 2.0]))
+            .with_axis(Axis::new("market", ["tm", "rtm"]))
+    }
+
+    #[test]
+    fn warm_rerun_serves_every_cell_from_disk() {
+        let cache = SweepCache::open(scratch("warm")).unwrap();
+        let calls = AtomicUsize::new(0);
+        let f = |c: &crate::Cell| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (c.index, c.seed)
+        };
+        let cold = ExperimentRunner::serial().run_cells_cached(&spec(), &cache, f);
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(cache.misses(), 6);
+        let warm = ExperimentRunner::serial().run_cells_cached(&spec(), &cache, f);
+        assert_eq!(
+            calls.load(Ordering::Relaxed),
+            6,
+            "warm run must not recompute"
+        );
+        assert_eq!(cache.hits(), 6);
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn content_changes_move_every_key() {
+        let cache = SweepCache::open(scratch("keys")).unwrap();
+        let base = spec();
+        let k = cache.cell_key(&base, 0);
+        assert_eq!(k, cache.cell_key(&base, 0), "keys are deterministic");
+        let reseeded = SweepSpec::new("cache-spec", 43)
+            .with_axis(Axis::from_f64s("v", &[0.5, 1.0, 2.0]))
+            .with_axis(Axis::new("market", ["tm", "rtm"]));
+        assert_ne!(k, cache.cell_key(&reseeded, 0));
+        let renamed = SweepSpec::new("other-spec", 42)
+            .with_axis(Axis::from_f64s("v", &[0.5, 1.0, 2.0]))
+            .with_axis(Axis::new("market", ["tm", "rtm"]));
+        assert_ne!(k, cache.cell_key(&renamed, 0));
+        let relabeled = SweepSpec::new("cache-spec", 42)
+            .with_axis(Axis::from_f64s("v", &[0.5, 1.0, 3.0]))
+            .with_axis(Axis::new("market", ["tm", "rtm"]));
+        // Cell 0 has coords (0, 0): its own labels are unchanged, but the
+        // axis *content* moved, so the key must move with it.
+        assert_ne!(k, cache.cell_key(&relabeled, 0));
+        let salted = SweepCache::open(scratch("keys-salted"))
+            .unwrap()
+            .with_salt(7);
+        assert_ne!(k, salted.cell_key(&base, 0));
+    }
+
+    #[test]
+    fn corrupted_files_are_recomputed_and_healed() {
+        let cache = SweepCache::open(scratch("corrupt")).unwrap();
+        let s = spec();
+        let runner = ExperimentRunner::serial();
+        let first = runner.run_cells_cached(&s, &cache, |c| c.seed);
+        std::fs::write(cache.cell_path(&s, 2), "not json").unwrap();
+        let second = runner.run_cells_cached(&s, &cache, |c| c.seed);
+        assert_eq!(first, second);
+        // The corrupted cell healed: a third run is all hits.
+        let before = cache.hits();
+        let third = runner.run_cells_cached(&s, &cache, |c| c.seed);
+        assert_eq!(first, third);
+        assert_eq!(cache.hits() - before, s.cells());
+    }
+
+    #[test]
+    fn threaded_cached_runs_match_serial_in_order() {
+        let s = spec();
+        let plain = ExperimentRunner::serial().run_cells(&s, |c| (c.index, c.seed));
+        for threads in [1, 4] {
+            let cache = SweepCache::open(scratch(&format!("threaded-{threads}"))).unwrap();
+            let runner = ExperimentRunner::new(threads);
+            let cold = runner.run_cells_cached(&s, &cache, |c| (c.index, c.seed));
+            let warm = runner.run_cells_cached(&s, &cache, |c| (c.index, c.seed));
+            assert_eq!(plain, cold, "threads = {threads}");
+            assert_eq!(plain, warm, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn partial_caches_only_compute_the_misses() {
+        let s = spec();
+        let cache = SweepCache::open(scratch("partial")).unwrap();
+        let runner = ExperimentRunner::serial();
+        let full = runner.run_cells_cached(&s, &cache, |c| c.seed);
+        // Evict two cells; only those two recompute.
+        std::fs::remove_file(cache.cell_path(&s, 1)).unwrap();
+        std::fs::remove_file(cache.cell_path(&s, 4)).unwrap();
+        let calls = AtomicUsize::new(0);
+        let again = runner.run_cells_cached(&s, &cache, |c| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            c.seed
+        });
+        assert_eq!(full, again);
+        assert_eq!(calls.load(Ordering::Relaxed), 2);
+    }
+}

@@ -17,15 +17,18 @@
 // expects assert construction invariants and say which one.
 // audit:allow-file(panic-unwrap): bench treats misconfiguration of built-in worlds as a programming error; every expect states its invariant
 
+mod cache;
 pub mod figures;
 pub mod packs;
 mod runner;
 mod spec;
 mod table;
 
+pub use cache::{SweepCache, CACHE_SCHEMA_VERSION};
 pub use packs::{
-    pack_overview_with, pack_sweep, pack_sweep_with, topology_roster, topology_sweep_with,
-    DispatchMode, InterconnectMode,
+    lp_counts_row, pack_overview_with, pack_sweep, pack_sweep_with, pack_sweep_with_counts,
+    topology_roster, topology_sweep_with, DispatchMode, FleetLpCounts, InterconnectMode,
+    LP_COUNTS_COLUMNS,
 };
 pub use runner::ExperimentRunner;
 pub use spec::{Axis, Cell, SweepSpec};

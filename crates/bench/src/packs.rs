@@ -83,6 +83,47 @@ impl fmt::Display for DispatchMode {
     }
 }
 
+/// Warm/cold LP solve counts accumulated by a sweep's fleet planners,
+/// for the `pack_sweep_lp_counts` JSON artifact: settlement counts come
+/// from [`FleetPlanner::solve_counts`], prospective counts from
+/// [`FleetPlanner::prospective_solve_counts`] (zeros outside coordinated
+/// mode). Deterministic — the solve sequence is a pure function of the
+/// sweep inputs — so the artifact is byte-stable like every table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetLpCounts {
+    /// Warm-started settlement LP solves.
+    pub settlement_warm: u64,
+    /// Cold (from-scratch) settlement LP solves.
+    pub settlement_cold: u64,
+    /// Warm-started prospective-dispatch LP solves.
+    pub prospective_warm: u64,
+    /// Cold prospective-dispatch LP solves.
+    pub prospective_cold: u64,
+}
+
+impl FleetLpCounts {
+    /// Warm fraction of all settlement solves (0 when none ran).
+    #[must_use]
+    pub fn settlement_warm_ratio(&self) -> f64 {
+        ratio(self.settlement_warm, self.settlement_cold)
+    }
+
+    /// Warm fraction of all prospective solves (0 when none ran).
+    #[must_use]
+    pub fn prospective_warm_ratio(&self) -> f64 {
+        ratio(self.prospective_warm, self.prospective_cold)
+    }
+}
+
+fn ratio(warm: u64, cold: u64) -> f64 {
+    let total = warm + cold;
+    if total == 0 {
+        0.0
+    } else {
+        warm as f64 / total as f64
+    }
+}
+
 /// Default interconnect-coupling knob for pack sweeps: a modest 2 MWh of
 /// inter-site transfer per coarse frame (the paper's site peaks at
 /// 2 MW × 24 h = 48 MWh per frame, so this is ~4% of interconnect scale).
@@ -173,6 +214,27 @@ pub fn pack_sweep_with(
     interconnect: &Interconnect,
     mode: DispatchMode,
 ) -> FigureTable {
+    pack_sweep_with_counts(runner, seed, pack, sites, interconnect, mode).0
+}
+
+/// [`pack_sweep_with`] plus the fleet planners' warm/cold LP solve
+/// counts. The table bytes are identical to [`pack_sweep_with`]'s — in
+/// planned mode one planner (and its LP template) is reused across all
+/// variants with [`FleetPlanner::clear_basis`] between them, which every
+/// golden suite pins against the fresh-per-variant result.
+///
+/// # Panics
+///
+/// Same contract as [`pack_sweep_with`].
+#[must_use]
+pub fn pack_sweep_with_counts(
+    runner: &ExperimentRunner,
+    seed: u64,
+    pack: &ScenarioPack,
+    sites: usize,
+    interconnect: &Interconnect,
+    mode: DispatchMode,
+) -> (FigureTable, FleetLpCounts) {
     assert!(sites >= 1, "a pack sweep needs at least one site");
     assert!(!pack.is_empty(), "a pack sweep needs at least one variant");
     assert_eq!(
@@ -203,6 +265,7 @@ pub fn pack_sweep_with(
         })
         .collect();
 
+    let mut counts = FleetLpCounts::default();
     let variant_fleets: Vec<MultiSiteReport> = match mode {
         DispatchMode::PostHoc | DispatchMode::Planned => {
             let spec = SweepSpec::new(&format!("pack-{}", pack.name()), seed)
@@ -215,26 +278,40 @@ pub fn pack_sweep_with(
                 let (v, s) = (cell.coords[0], cell.coords[1]);
                 run_smart(&fleets[v].sites()[s], params, SmartDpssConfig::icdcs13())
             });
+            // Every variant settles over the same topology, so planned
+            // mode reuses one planner (one LP template, one workspace)
+            // for the whole sweep; `clear_basis` between variants keeps
+            // each variant byte-identical to a fresh planner while the
+            // workspace counters accumulate the sweep's warm/cold story.
+            let mut planner =
+                (mode == DispatchMode::Planned).then(|| FleetPlanner::for_engine(&fleets[0]));
             let mut it = results.into_iter();
-            fleets
+            let settled: Vec<MultiSiteReport> = fleets
                 .iter()
                 .map(|fleet_engine| {
                     let reports: Vec<RunReport> = it.by_ref().take(sites).collect();
-                    match mode {
-                        DispatchMode::PostHoc => fleet_engine
+                    match planner.as_mut() {
+                        None => fleet_engine
                             .couple(reports)
                             .expect("reports match the fleet roster"),
-                        _ => FleetPlanner::for_engine(fleet_engine)
-                            .couple(fleet_engine, reports)
-                            .expect("reports match the fleet roster"),
+                        Some(pl) => {
+                            pl.clear_basis();
+                            pl.couple(fleet_engine, reports)
+                                .expect("reports match the fleet roster")
+                        }
                     }
                 })
-                .collect()
+                .collect();
+            if let Some(pl) = &planner {
+                (counts.settlement_warm, counts.settlement_cold) = pl.solve_counts();
+                (counts.prospective_warm, counts.prospective_cold) = pl.prospective_solve_counts();
+            }
+            settled
         }
         DispatchMode::Coordinated => {
             let spec = SweepSpec::new(&format!("pack-{}-coordinated", pack.name()), seed)
                 .with_axis(Axis::new("variant", pack.labels()));
-            runner.run_cells(&spec, |cell| {
+            let cells = runner.run_cells(&spec, |cell| {
                 let fleet_engine = &fleets[cell.coords[0]];
                 let mut controllers: Vec<Box<dyn Controller>> = (0..sites)
                     .map(|_| {
@@ -245,10 +322,25 @@ pub fn pack_sweep_with(
                     })
                     .collect();
                 let mut dispatcher = FleetPlanner::for_engine(fleet_engine).with_coordination(true);
-                fleet_engine
+                let report = fleet_engine
                     .run_with(&mut controllers, &mut dispatcher)
-                    .expect("fleet run succeeds")
-            })
+                    .expect("fleet run succeeds");
+                (
+                    report,
+                    dispatcher.solve_counts(),
+                    dispatcher.prospective_solve_counts(),
+                )
+            });
+            cells
+                .into_iter()
+                .map(|(report, settle, prospective)| {
+                    counts.settlement_warm += settle.0;
+                    counts.settlement_cold += settle.1;
+                    counts.prospective_warm += prospective.0;
+                    counts.prospective_cold += prospective.1;
+                    report
+                })
+                .collect()
         }
     };
 
@@ -305,8 +397,35 @@ pub fn pack_sweep_with(
             format!("{:.2}", fleet.transfer_savings.dollars()),
         ]);
     }
-    table
+    (table, counts)
 }
+
+/// Renders a mode's [`FleetLpCounts`] as one row of the
+/// `pack_sweep_lp_counts` artifact table (built by the `pack_sweep`
+/// binary; tested here so the row shape stays stable).
+#[must_use]
+pub fn lp_counts_row(mode: DispatchMode, counts: &FleetLpCounts) -> Vec<String> {
+    vec![
+        mode.to_string(),
+        counts.settlement_warm.to_string(),
+        counts.settlement_cold.to_string(),
+        format!("{:.3}", counts.settlement_warm_ratio()),
+        counts.prospective_warm.to_string(),
+        counts.prospective_cold.to_string(),
+        format!("{:.3}", counts.prospective_warm_ratio()),
+    ]
+}
+
+/// Column headers matching [`lp_counts_row`].
+pub const LP_COUNTS_COLUMNS: [&str; 7] = [
+    "mode",
+    "settle warm",
+    "settle cold",
+    "settle warm ratio",
+    "prospective warm",
+    "prospective cold",
+    "prospective warm ratio",
+];
 
 /// The named transmission-structure roster the topology sweep crosses
 /// with the scenario packs: `pooled` is the legacy frictionless knob
@@ -571,6 +690,40 @@ mod tests {
         assert_eq!(c.rows.len(), 4 * 3);
         assert!(c.title.contains(", coordinated"), "{}", c.title);
         assert_eq!(c.rows[2][1], "fleet");
+    }
+
+    #[test]
+    fn planned_sweep_reuses_one_planner_and_reports_counts() {
+        let pack = ScenarioPack::builtin("price-spike").unwrap();
+        let (t, counts) = pack_sweep_with_counts(
+            &ExperimentRunner::serial(),
+            7,
+            &pack,
+            2,
+            &default_interconnect(2),
+            DispatchMode::Planned,
+        );
+        assert_eq!(t.rows.len(), 4 * 3);
+        // One planner serves all four variants: warm chains within each
+        // variant's frames, and clear_basis forces at least one cold
+        // start per variant (so variants stay order-independent).
+        assert!(counts.settlement_warm > 0, "{counts:?}");
+        assert!(counts.settlement_cold >= 4, "{counts:?}");
+        assert!(counts.settlement_warm_ratio() > 0.0);
+        assert_eq!(counts.prospective_warm + counts.prospective_cold, 0);
+        let row = lp_counts_row(DispatchMode::Planned, &counts);
+        assert_eq!(row.len(), LP_COUNTS_COLUMNS.len());
+        assert_eq!(row[0], "planned");
+        // Post-hoc settles greedily: no LP ever runs.
+        let (_, none) = pack_sweep_with_counts(
+            &ExperimentRunner::serial(),
+            7,
+            &pack,
+            2,
+            &default_interconnect(2),
+            DispatchMode::PostHoc,
+        );
+        assert_eq!(none, FleetLpCounts::default());
     }
 
     #[test]

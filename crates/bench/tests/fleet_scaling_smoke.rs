@@ -1,0 +1,74 @@
+//! The CI scaling smoke gate: a 64-site full-mesh coordinated month must
+//! complete inside a hard wall-clock budget in release mode. The mesh is
+//! the worst-case topology (64 × 63 = 4032 directed links in the
+//! settlement LP every frame), so this is the canary that keeps the
+//! fleet-scale path — sparse network simplex + threaded stepping —
+//! honest: a regression to dense-tableau cost or quadratic rebuild work
+//! blows the budget long before it blows anyone's laptop.
+//!
+//! The budget is deliberately loose (a shared CI runner is not a bench
+//! rig): the release run takes well under ten seconds on a warm
+//! container, the gate allows 120. In debug builds the test is ignored —
+//! a wall-clock contract on an unoptimized build measures the compiler,
+//! not the code.
+
+// audit:allow-file(wall-clock): this gate exists to bound wall-clock time; the timing is asserted against a budget, never fed into results
+
+use std::time::Instant;
+
+use dpss_bench::PAPER_SEED;
+use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
+use dpss_sim::{Controller, Engine, Interconnect, MultiSiteEngine, SimParams};
+use dpss_traces::ScenarioPack;
+use dpss_units::{Energy, Price, SlotClock};
+
+const SITES: usize = 64;
+const BUDGET_SECS: f64 = 120.0;
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock smoke gate is a release-mode contract"
+)]
+fn mesh_64_coordinated_month_fits_the_wall_clock_budget() {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let stressed = 3usize;
+    let engines: Vec<Engine> = (0..SITES)
+        .map(|s| {
+            Engine::new(
+                params,
+                pack.generate_site(&clock, PAPER_SEED, stressed, s).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let mesh = Interconnect::mesh(SITES, Energy::from_mwh(2.0))
+        .unwrap()
+        .with_uniform_loss(0.05)
+        .unwrap()
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+        .unwrap();
+    let multi = MultiSiteEngine::new(engines)
+        .unwrap()
+        .with_interconnect(mesh)
+        .unwrap()
+        .with_threads(8);
+    let mut ctls: Vec<Box<dyn Controller>> = (0..SITES)
+        .map(|_| {
+            Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+                as Box<dyn Controller>
+        })
+        .collect();
+    let mut dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
+    let start = Instant::now();
+    let report = multi.run_with(&mut ctls, &mut dispatcher).unwrap();
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(report.sites.len(), SITES);
+    assert!(
+        elapsed < BUDGET_SECS,
+        "64-site mesh coordinated month took {elapsed:.1}s (budget {BUDGET_SECS}s): \
+         the fleet-scale path has regressed"
+    );
+}

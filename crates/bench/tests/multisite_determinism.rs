@@ -291,6 +291,106 @@ fn coordinated_run_is_invariant_to_within_frame_site_order() {
     assert_eq!(total.wheeling, canonical.wheeling_cost);
 }
 
+/// The fleet-scale determinism contract of the parallel stepping path:
+/// a 100-site lossy ring, coordinated, over the paper month —
+///
+/// * serial (`threads = 1`, the default) vs `with_threads(8)` must be
+///   byte-identical: thread scheduling never moves a byte of any report
+///   or settlement aggregate;
+/// * a hand-driven lockstep loop stepping the sites in a scrambled
+///   within-frame order (a fixed 37-stride permutation) must reproduce
+///   `run_with` exactly — the PR-5 order-immateriality proof, now at the
+///   scale the parallel fan-out actually targets.
+///
+/// At 100 sites the planner's `Auto` solver path resolves to the sparse
+/// network simplex, so this also pins the network path end to end.
+#[test]
+fn fleet_scale_100_site_ring_is_deterministic_across_threads_and_order() {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let pack = ScenarioPack::builtin("price-spike").unwrap();
+    let stressed = 3usize;
+    let sites = 100usize;
+    let engines: Vec<Engine> = (0..sites)
+        .map(|s| {
+            Engine::new(
+                params,
+                pack.generate_site(&clock, PAPER_SEED, stressed, s).unwrap(),
+            )
+            .unwrap()
+        })
+        .collect();
+    let ring = Interconnect::ring(sites, Energy::from_mwh(2.0))
+        .unwrap()
+        .with_uniform_loss(0.05)
+        .unwrap()
+        .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+        .unwrap();
+    let multi = MultiSiteEngine::new(engines)
+        .unwrap()
+        .with_interconnect(ring)
+        .unwrap();
+    let fresh_ctls = || -> Vec<Box<dyn Controller>> {
+        (0..sites)
+            .map(|_| {
+                Box::new(SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+                    as Box<dyn Controller>
+            })
+            .collect()
+    };
+
+    let mut serial_ctls = fresh_ctls();
+    let mut serial_dispatcher = FleetPlanner::for_engine(&multi).with_coordination(true);
+    let serial = multi
+        .run_with(&mut serial_ctls, &mut serial_dispatcher)
+        .unwrap();
+    assert!(
+        serial.energy_transferred > Energy::ZERO,
+        "test premise: the stressed ring settles energy at scale"
+    );
+
+    let threaded_engine = multi.clone().with_threads(8);
+    let mut threaded_ctls = fresh_ctls();
+    let mut threaded_dispatcher =
+        FleetPlanner::for_engine(&threaded_engine).with_coordination(true);
+    let threaded = threaded_engine
+        .run_with(&mut threaded_ctls, &mut threaded_dispatcher)
+        .unwrap();
+    assert_eq!(serial, threaded, "threads = 8 must not move a byte");
+
+    // Scrambled within-frame order: site k steps in position (k·37 + 11)
+    // mod 100 (37 is coprime with 100, so this is a permutation).
+    let order: Vec<usize> = (0..sites).map(|k| (k * 37 + 11) % sites).collect();
+    let mut ctls: Vec<SmartDpss> = (0..sites)
+        .map(|_| SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap())
+        .collect();
+    let mut planner = FleetPlanner::for_engine(&multi).with_coordination(true);
+    let mut runs: Vec<_> = multi.sites().iter().map(|s| s.begin().unwrap()).collect();
+    let mut total = FrameSettlement::default();
+    for frame in 0..clock.frames() {
+        let outlook = multi.outlook_at(frame, &runs);
+        let directives = planner.direct(&outlook);
+        for &s in &order {
+            if !directives.is_empty() {
+                ctls[s].receive_directive(&directives[s]);
+            }
+            runs[s].step_frame(&mut ctls[s]).unwrap();
+        }
+        let ex = multi.exchange_at(frame, &runs).unwrap();
+        let settled = planner.settle(&ex);
+        total.sent += settled.sent;
+        total.delivered += settled.delivered;
+        total.savings += settled.savings;
+        total.wheeling += settled.wheeling;
+    }
+    let manual: Vec<RunReport> = runs.into_iter().map(|r| r.finish().unwrap()).collect();
+    assert_eq!(manual, serial.sites);
+    assert_eq!(total.sent, serial.energy_transferred);
+    assert_eq!(total.delivered, serial.energy_delivered);
+    assert_eq!(total.savings, serial.transfer_savings);
+    assert_eq!(total.wheeling, serial.wheeling_cost);
+}
+
 /// The coordinated-mode goldens next to the planned one: the `calm` and
 /// `stressed` fleet rows of `dpss sweep --pack price-spike --sites 3
 /// --dispatch coordinated` at seed 42. On the frictionless pooled

@@ -1,0 +1,88 @@
+//! Dense-vs-network solver-path parity across the whole builtin roster:
+//! for every variant of every builtin scenario pack, a 4-site lossy
+//! wheeled mesh settled with [`SolverPath::Dense`] and with
+//! [`SolverPath::Network`] must reach the same per-run net value
+//! (transfer savings minus wheeling — the settlement LP's objective) to
+//! 1e-9. The sent/savings split of a degenerate tie may differ by
+//! optimal vertex; the optimum itself may not. Together with the
+//! randomized flow property suite in `dpss-lp` this is the acceptance
+//! evidence that the sparse network simplex is a drop-in replacement for
+//! the dense tableau on fleet settlement work.
+
+use dpss_bench::PAPER_SEED;
+use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig, SolverPath};
+use dpss_sim::{Engine, Interconnect, MultiSiteEngine, RunReport, SimParams};
+use dpss_traces::ScenarioPack;
+use dpss_units::{Energy, Price, SlotClock};
+
+#[test]
+fn network_settlement_matches_dense_on_all_builtin_pack_variants() {
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let sites = 4usize;
+    let mut variants_checked = 0usize;
+    let mut transferred = Energy::ZERO;
+    for &name in ScenarioPack::builtin_names() {
+        let pack = ScenarioPack::builtin(name).unwrap();
+        for v in 0..pack.len() {
+            let label = pack.variant(v).unwrap().0.to_owned();
+            let engines: Vec<Engine> = (0..sites)
+                .map(|s| {
+                    Engine::new(
+                        params,
+                        pack.generate_site(&clock, PAPER_SEED, v, s).unwrap(),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mesh = Interconnect::mesh(sites, Energy::from_mwh(2.0))
+                .unwrap()
+                .with_uniform_loss(0.05)
+                .unwrap()
+                .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+                .unwrap();
+            let multi = MultiSiteEngine::new(engines)
+                .unwrap()
+                .with_interconnect(mesh)
+                .unwrap();
+            let reports: Vec<RunReport> = multi
+                .sites()
+                .iter()
+                .map(|engine| {
+                    let mut ctl =
+                        SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+                    engine.run(&mut ctl).unwrap()
+                })
+                .collect();
+            let dense = FleetPlanner::for_engine(&multi)
+                .with_solver_path(SolverPath::Dense)
+                .couple(&multi, reports.clone())
+                .unwrap();
+            let network = FleetPlanner::for_engine(&multi)
+                .with_solver_path(SolverPath::Network)
+                .couple(&multi, reports)
+                .unwrap();
+            let dense_net = dense.transfer_savings - dense.wheeling_cost;
+            let network_net = network.transfer_savings - network.wheeling_cost;
+            assert!(
+                (dense_net.dollars() - network_net.dollars()).abs() < 1e-9,
+                "{name}/{label}: dense net {} vs network net {}",
+                dense_net.dollars(),
+                network_net.dollars()
+            );
+            // The non-settlement aggregates never touch the LP, so the
+            // paths must agree on them byte for byte.
+            assert_eq!(dense.sites, network.sites, "{name}/{label}");
+            transferred += network.energy_transferred;
+            variants_checked += 1;
+        }
+    }
+    assert_eq!(
+        variants_checked, 16,
+        "the builtin roster is the 16-variant acceptance matrix"
+    );
+    assert!(
+        transferred > Energy::ZERO,
+        "test premise: the lossy mesh settles energy somewhere in the roster"
+    );
+}

@@ -30,6 +30,31 @@
 //! planned fleet cost is never worse than the post-hoc one — the
 //! acceptance property `interconnect_physics.rs` pins across every
 //! built-in scenario pack.
+//!
+//! # Solver paths
+//!
+//! Both planner LPs are *packing form* (every row `≤` with non-negative
+//! rhs, every variable in `[0, u]`), so they are eligible for `dpss-lp`'s
+//! sparse revised-simplex network path. The planner picks per
+//! [`SolverPath`]:
+//!
+//! * **`Dense`** — the historical dense-tableau route. Small fleets stay
+//!   here under `Auto` so published tables keep their exact bytes (warm
+//!   and cold dense solves can land on different optimal *vertices* of a
+//!   degenerate frame, and the network path has the same license — the
+//!   objective is pinned to 1e-9, the split of a tie is not).
+//! * **`Network`** — [`Problem::solve_network_with`] for the settlement
+//!   LP, plus an **aggregated** prospective template: the per-link
+//!   `f_free`/`f_buy` split is immaterial given each donor's totals
+//!   (the buy penalty depends only on the donor), so the network form
+//!   carries one total-flow variable per link and one bought-energy
+//!   variable per donor — `O(sites)` rows instead of `O(links)`, which
+//!   on an `n`-site mesh is the difference between a `3n+1`-row and an
+//!   `n² + 3n`-row system. Objective-equivalent to the split form by
+//!   construction (`tests/network_equivalence.rs` pins both shapes
+//!   against dense simplex).
+//! * **`Auto`** (default) — `Dense` up to
+//!   [`NETWORK_AUTO_SITE_THRESHOLD`] sites, `Network` above.
 
 // The fleet planner mints every LP variable/constraint id it later edits
 // or reads, in the same template build pass; site/pair vectors are sized
@@ -45,6 +70,69 @@ use dpss_sim::{
     MultiSiteEngine, MultiSiteReport, RunReport, SimError,
 };
 use dpss_units::{Energy, Money};
+
+/// Fleet size above which [`SolverPath::Auto`] switches the planner from
+/// the dense tableau to the sparse network path. Small fleets keep the
+/// dense route so published golden tables stay byte-identical; beyond
+/// this the dense prospective tableau grows as `O(links²)` memory and
+/// the network path wins outright.
+pub const NETWORK_AUTO_SITE_THRESHOLD: usize = 8;
+
+/// Which simplex route a [`FleetPlanner`] solves its frame LPs on (see
+/// the module docs for the trade-offs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverPath {
+    /// Dense up to [`NETWORK_AUTO_SITE_THRESHOLD`] sites, network above.
+    #[default]
+    Auto,
+    /// Always the dense two-phase tableau (the historical route).
+    Dense,
+    /// Always the sparse revised-simplex network path with the
+    /// aggregated prospective template.
+    Network,
+}
+
+impl SolverPath {
+    /// The CLI spellings, in display order.
+    pub const NAMES: [&'static str; 3] = ["auto", "dense", "network"];
+
+    /// Parses a CLI spelling, with the canonical error message.
+    ///
+    /// # Errors
+    ///
+    /// `unknown solver path: <name> (expected auto|dense|network)`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "auto" => Ok(SolverPath::Auto),
+            "dense" => Ok(SolverPath::Dense),
+            "network" => Ok(SolverPath::Network),
+            other => Err(format!(
+                "unknown solver path: {other} (expected {})",
+                Self::NAMES.join("|")
+            )),
+        }
+    }
+
+    /// Resolves `Auto` against a fleet size.
+    #[must_use]
+    fn resolve(self, sites: usize) -> SolverPath {
+        match self {
+            SolverPath::Auto if sites > NETWORK_AUTO_SITE_THRESHOLD => SolverPath::Network,
+            SolverPath::Auto => SolverPath::Dense,
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for SolverPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SolverPath::Auto => "auto",
+            SolverPath::Dense => "dense",
+            SolverPath::Network => "network",
+        })
+    }
+}
 
 /// Plans each coarse frame's inter-site export flows as an LP over an
 /// [`Interconnect`] topology (see the module docs for the formulation).
@@ -92,8 +180,13 @@ pub struct FleetPlanner {
     /// has to be this large before a directed purchase can lose money.
     procure_margin: f64,
     /// The prospective dispatch LP, built on first use (coordinated
-    /// runs only).
+    /// runs only, dense path).
     prospective: Option<ProspectiveLp>,
+    /// The aggregated prospective LP, built on first use (coordinated
+    /// runs only, network path).
+    prospective_net: Option<ProspectiveNetLp>,
+    /// Which simplex route the frame LPs solve on.
+    path: SolverPath,
 }
 
 /// The buy-aware prospective flow LP of coordinated dispatch: two
@@ -113,6 +206,36 @@ struct ProspectiveLp {
     free_rows: Vec<Option<ConstraintId>>,
     /// Donor procurable budget row per site.
     buy_rows: Vec<Option<ConstraintId>>,
+    /// Recipient forecast-need row per site.
+    need_rows: Vec<Option<ConstraintId>>,
+    workspace: LpWorkspace,
+}
+
+/// The network-path prospective template: the buy penalty depends only
+/// on the *donor*, so the per-link free/buy split is immaterial given
+/// each donor's totals. One total-flow variable per open link plus one
+/// bought-energy variable per donor reproduce the split form's optimum
+/// exactly, with `O(sites)` rows instead of `O(links)`:
+///
+/// * free-budget rows `Σ_l t_l − z_s ≤ surplus_s` (whatever exceeds the
+///   forecast surplus must be procured);
+/// * total-budget rows `Σ_l t_l ≤ surplus_s + procurable_s`;
+/// * recipient need rows `Σ (1−loss)·t_l ≤ need_j` and the pool row;
+/// * objective `min Σ −value_l·t_l + Σ procure_cost_s·(1+margin)·z_s`.
+///
+/// Per-frame link caps bind through the `t_l` bounds (no per-link rows
+/// at all). Solved via [`Problem::solve_network_with`].
+#[derive(Debug, Clone)]
+struct ProspectiveNetLp {
+    problem: Problem,
+    /// `(from, to, total-flow variable)` per open link, donor-major.
+    flows: Vec<(usize, usize, Variable)>,
+    /// Bought-energy variable per site (`None` without outgoing links).
+    bought: Vec<Option<Variable>>,
+    /// Donor free-budget row per site.
+    free_rows: Vec<Option<ConstraintId>>,
+    /// Donor total-budget row per site.
+    total_rows: Vec<Option<ConstraintId>>,
     /// Recipient forecast-need row per site.
     need_rows: Vec<Option<ConstraintId>>,
     workspace: LpWorkspace,
@@ -179,6 +302,45 @@ impl FleetPlanner {
             coordinate: false,
             procure_margin: 0.6,
             prospective: None,
+            prospective_net: None,
+            path: SolverPath::Auto,
+        }
+    }
+
+    /// Selects the simplex route the frame LPs solve on (default
+    /// [`SolverPath::Auto`]: dense for small fleets, network above
+    /// [`NETWORK_AUTO_SITE_THRESHOLD`] sites).
+    #[must_use]
+    pub fn with_solver_path(mut self, path: SolverPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// The configured (unresolved) solver path.
+    #[must_use]
+    pub fn solver_path(&self) -> SolverPath {
+        self.path
+    }
+
+    /// The path [`SolverPath::Auto`] resolves to for this topology.
+    #[must_use]
+    pub fn resolved_solver_path(&self) -> SolverPath {
+        self.path.resolve(self.ic.sites())
+    }
+
+    /// Drops every workspace's saved basis so the next solves start
+    /// cold, exactly as a freshly built planner would — the reuse hook
+    /// for sweeps that settle many independent variants over one
+    /// topology without letting warm-start history leak between them.
+    /// Warm/cold counters are preserved (they accumulate across the
+    /// sweep).
+    pub fn clear_basis(&mut self) {
+        self.workspace.clear_basis();
+        if let Some(lp) = &mut self.prospective {
+            lp.workspace.clear_basis();
+        }
+        if let Some(lp) = &mut self.prospective_net {
+            lp.workspace.clear_basis();
         }
     }
 
@@ -279,10 +441,16 @@ impl FleetPlanner {
                     .expect("template rows stay valid");
             }
         }
-        let sol = self
-            .problem
-            .solve_with(&mut self.workspace)
-            .expect("the flow LP is feasible (zero flow) and box-bounded");
+        let sol = match self.resolved_solver_path() {
+            SolverPath::Network => self
+                .problem
+                .solve_network_with(&mut self.workspace)
+                .expect("the flow LP is feasible (zero flow) and box-bounded"),
+            _ => self
+                .problem
+                .solve_with(&mut self.workspace)
+                .expect("the flow LP is feasible (zero flow) and box-bounded"),
+        };
         for &(i, j, var) in &self.flows {
             let sent = sol.value(var).max(0.0);
             if sent <= 0.0 {
@@ -329,6 +497,10 @@ impl FleetPlanner {
         );
         let mut directives = vec![FrameDirective::inert(outlook.frame); n];
         if self.flows.is_empty() || self.ic.is_silent() {
+            return directives;
+        }
+        if self.resolved_solver_path() == SolverPath::Network {
+            self.plan_prospective_network(outlook, &mut directives);
             return directives;
         }
         let margin = 1.0 + self.procure_margin;
@@ -413,6 +585,94 @@ impl FleetPlanner {
         directives
     }
 
+    /// The network-path body of [`plan_prospective`](Self::plan_prospective):
+    /// edits the aggregated template to the frame's caps and budgets,
+    /// solves on the sparse path, and folds per-donor directives from
+    /// link totals and the minimal procurement consistent with them
+    /// (`(T_s − surplus_s)₊` — row 1 guarantees the bought variable
+    /// covers it, and extracting the minimum keeps directives
+    /// independent of how a degenerate optimum splits its tie).
+    fn plan_prospective_network(
+        &mut self,
+        outlook: &FrameOutlook,
+        directives: &mut [FrameDirective],
+    ) {
+        let margin = 1.0 + self.procure_margin;
+        let lp = self
+            .prospective_net
+            .get_or_insert_with(|| ProspectiveNetLp::for_topology(&self.ic));
+        for &(i, j, total) in &lp.flows {
+            let loss = self.ic.loss(i, j);
+            let wheel = self.ic.wheeling(i, j).dollars_per_mwh();
+            let value = outlook.sites[j].expected_price * (1.0 - loss) - wheel;
+            let cap = self.ic.cap_at(i, j, outlook.frame).mwh();
+            lp.problem
+                .set_objective(total, -value)
+                .expect("template variables stay valid");
+            lp.problem
+                .set_bounds(total, 0.0, cap)
+                .expect("caps are non-negative");
+        }
+        for (s, site) in outlook.sites.iter().enumerate() {
+            let surplus = site.expected_surplus.mwh().max(0.0);
+            let procurable = (site.export_headroom - site.battery_headroom)
+                .positive_part()
+                .mwh();
+            if let Some(z) = lp.bought[s] {
+                lp.problem
+                    .set_bounds(z, 0.0, procurable)
+                    .expect("budgets are non-negative");
+                lp.problem
+                    .set_objective(z, site.procure_cost * margin)
+                    .expect("template variables stay valid");
+            }
+            if let Some(row) = lp.free_rows[s] {
+                lp.problem
+                    .set_rhs(row, surplus)
+                    .expect("template rows stay valid");
+            }
+            if let Some(row) = lp.total_rows[s] {
+                lp.problem
+                    .set_rhs(row, surplus + procurable)
+                    .expect("template rows stay valid");
+            }
+            if let Some(row) = lp.need_rows[s] {
+                lp.problem
+                    .set_rhs(row, site.expected_need.mwh().max(0.0))
+                    .expect("template rows stay valid");
+            }
+        }
+        let sol = lp
+            .problem
+            .solve_network_with(&mut lp.workspace)
+            .expect("the prospective flow LP is feasible (zero flow) and box-bounded");
+        const TOL: f64 = 1e-9;
+        let mut sent_totals = vec![0.0f64; directives.len()];
+        for &(i, j, total) in &lp.flows {
+            let sent = sol.value(total).max(0.0);
+            if sent <= TOL {
+                continue;
+            }
+            let loss = self.ic.loss(i, j);
+            let value = outlook.sites[j].expected_price * (1.0 - loss)
+                - self.ic.wheeling(i, j).dollars_per_mwh();
+            directives[i].export_quota += Energy::from_mwh(sent);
+            directives[i].export_value = directives[i].export_value.max(value);
+            directives[j].import_expectation += Energy::from_mwh(sent * (1.0 - loss));
+            sent_totals[i] += sent;
+        }
+        // Same top-off rule as the dense path: a donor directed to buy
+        // must also fill its battery or the planned curtailment (and
+        // hence the export) never materializes.
+        for (s, d) in directives.iter_mut().enumerate() {
+            let bought = sent_totals[s] - outlook.sites[s].expected_surplus.mwh().max(0.0);
+            if bought > TOL {
+                d.procure_for_export +=
+                    Energy::from_mwh(bought) + outlook.sites[s].battery_headroom;
+            }
+        }
+    }
+
     /// Settles already-computed per-site reports through the planner:
     /// [`MultiSiteEngine::couple_with`] with [`plan`](Self::plan) as the
     /// per-frame settlement. The planner's topology must equal the
@@ -446,12 +706,17 @@ impl FleetPlanner {
 
     /// Warm-start diagnostics of the prospective-dispatch workspace:
     /// `(warm, cold)` solve counts so far (zeros until the first
-    /// coordinated frame is planned).
+    /// coordinated frame is planned), summed over whichever solver
+    /// paths have been exercised.
     #[must_use]
     pub fn prospective_solve_counts(&self) -> (u64, u64) {
-        self.prospective.as_ref().map_or((0, 0), |lp| {
+        let dense = self.prospective.as_ref().map_or((0, 0), |lp| {
             (lp.workspace.warm_solves(), lp.workspace.cold_solves())
-        })
+        });
+        let net = self.prospective_net.as_ref().map_or((0, 0), |lp| {
+            (lp.workspace.warm_solves(), lp.workspace.cold_solves())
+        });
+        (dense.0 + net.0, dense.1 + net.1)
     }
 }
 
@@ -545,6 +810,82 @@ impl ProspectiveLp {
             link_rows,
             free_rows,
             buy_rows,
+            need_rows,
+            workspace: LpWorkspace::new(),
+        }
+    }
+}
+
+impl ProspectiveNetLp {
+    /// Builds the aggregated template for a topology. Bounds and
+    /// right-hand sides are placeholders; every
+    /// [`FleetPlanner::plan_prospective`] call on the network path edits
+    /// them to the frame's caps and budgets before re-solving.
+    fn for_topology(ic: &Interconnect) -> Self {
+        let n = ic.sites();
+        let mut problem = Problem::new(Sense::Minimize);
+        let flows: Vec<(usize, usize, Variable)> = ic
+            .open_links()
+            .map(|(i, j)| {
+                let t = problem
+                    .add_var(format!("t{i}_{j}"), 0.0, ic.cap_ceiling(i, j).mwh(), 0.0)
+                    .expect("caps are validated finite");
+                (i, j, t)
+            })
+            .collect();
+        let mut bought = vec![None; n];
+        let mut free_rows = vec![None; n];
+        let mut total_rows = vec![None; n];
+        let mut need_rows = vec![None; n];
+        for s in 0..n {
+            let outgoing: Vec<(Variable, f64)> = flows
+                .iter()
+                .filter(|&&(i, _, _)| i == s)
+                .map(|&(_, _, t)| (t, 1.0))
+                .collect();
+            if !outgoing.is_empty() {
+                let z = problem
+                    .add_var(format!("z{s}"), 0.0, 0.0, 0.0)
+                    .expect("placeholder bounds are valid");
+                bought[s] = Some(z);
+                let mut free: Vec<(Variable, f64)> = outgoing.clone();
+                free.push((z, -1.0));
+                free_rows[s] = Some(
+                    problem
+                        .add_constraint(&free, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+                total_rows[s] = Some(
+                    problem
+                        .add_constraint(&outgoing, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+            }
+            let incoming: Vec<(Variable, f64)> = flows
+                .iter()
+                .filter(|&&(_, j, _)| j == s)
+                .map(|&(i, _, t)| (t, 1.0 - ic.loss(i, s)))
+                .collect();
+            if !incoming.is_empty() {
+                need_rows[s] = Some(
+                    problem
+                        .add_constraint(&incoming, Relation::Le, 0.0)
+                        .expect("template rows are well-formed"),
+                );
+            }
+        }
+        if let Some(pool) = ic.pool_cap() {
+            let all: Vec<(Variable, f64)> = flows.iter().map(|&(_, _, t)| (t, 1.0)).collect();
+            problem
+                .add_constraint(&all, Relation::Le, pool.mwh())
+                .expect("template rows are well-formed");
+        }
+        ProspectiveNetLp {
+            problem,
+            flows,
+            bought,
+            free_rows,
+            total_rows,
             need_rows,
             workspace: LpWorkspace::new(),
         }
@@ -757,6 +1098,130 @@ mod tests {
         // Frame-to-frame re-solves stay on the warm path.
         let (warm, cold) = p.prospective_solve_counts();
         assert_eq!((warm + cold, cold), (2, 1));
+    }
+
+    #[test]
+    fn solver_path_parses_and_resolves() {
+        assert_eq!(SolverPath::parse("auto").unwrap(), SolverPath::Auto);
+        assert_eq!(SolverPath::parse("dense").unwrap(), SolverPath::Dense);
+        assert_eq!(SolverPath::parse("network").unwrap(), SolverPath::Network);
+        let err = SolverPath::parse("bogus").unwrap_err();
+        assert!(err.contains("unknown solver path: bogus"), "{err}");
+        assert!(err.contains("auto|dense|network"), "{err}");
+        assert_eq!(SolverPath::Network.to_string(), "network");
+        // Auto resolves by fleet size; explicit paths are sticky.
+        assert_eq!(SolverPath::Auto.resolve(3), SolverPath::Dense);
+        assert_eq!(
+            SolverPath::Auto.resolve(NETWORK_AUTO_SITE_THRESHOLD),
+            SolverPath::Dense
+        );
+        assert_eq!(
+            SolverPath::Auto.resolve(NETWORK_AUTO_SITE_THRESHOLD + 1),
+            SolverPath::Network
+        );
+        assert_eq!(SolverPath::Dense.resolve(100), SolverPath::Dense);
+        assert_eq!(SolverPath::Network.resolve(2), SolverPath::Network);
+        let p = FleetPlanner::new(Interconnect::decoupled(2).unwrap());
+        assert_eq!(p.solver_path(), SolverPath::Auto);
+        assert_eq!(p.resolved_solver_path(), SolverPath::Dense);
+        let p = p.with_solver_path(SolverPath::Network);
+        assert_eq!(p.resolved_solver_path(), SolverPath::Network);
+    }
+
+    #[test]
+    fn network_settlement_matches_dense_net_value() {
+        // A lossy, wheeled 4-site mesh: both paths must settle every
+        // frame to the same net value (savings − wheeling is the LP
+        // objective; the sent/savings split of a degenerate tie may
+        // differ by vertex, the optimum may not).
+        let ic = Interconnect::mesh(4, Energy::from_mwh(2.0))
+            .unwrap()
+            .with_uniform_loss(0.05)
+            .unwrap()
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+            .unwrap();
+        let mut dense = FleetPlanner::new(ic.clone()).with_solver_path(SolverPath::Dense);
+        let mut net = FleetPlanner::new(ic).with_solver_path(SolverPath::Network);
+        for k in 0..6 {
+            let bump = 0.3 * f64::from(k);
+            let ex = exchange(
+                &[2.0 + bump, 0.3, 0.0, 0.4],
+                &[0.0, 1.0, 1.5 + bump, 0.2],
+                &[0.0, 55.0 + bump, 70.0, 61.0],
+            );
+            let d = dense.plan(&ex);
+            let n = net.plan(&ex);
+            let d_net = d.savings - d.wheeling;
+            let n_net = n.savings - n.wheeling;
+            assert!(
+                (d_net.dollars() - n_net.dollars()).abs() < 1e-9,
+                "frame {k}: dense {} vs network {}",
+                d_net.dollars(),
+                n_net.dollars()
+            );
+        }
+        // Both paths share the warm-start counters of one workspace.
+        let (warm, cold) = net.solve_counts();
+        assert_eq!(warm + cold, 6);
+        assert!(warm >= 2, "{warm} warm / {cold} cold");
+    }
+
+    #[test]
+    fn network_prospective_matches_dense_directives() {
+        // Non-degenerate buy-to-export case: the aggregated template
+        // must reproduce the split form's directives exactly.
+        let ic = Interconnect::decoupled(2)
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(5.0))
+            .unwrap();
+        let mut dense = FleetPlanner::new(ic.clone()).with_solver_path(SolverPath::Dense);
+        let mut net = FleetPlanner::new(ic).with_solver_path(SolverPath::Network);
+        let looks = [
+            outlook(
+                3,
+                &[
+                    (1.0, 0.0, 0.0, 3.0, 0.5, 31.0),
+                    (0.0, 2.0, 80.0, 0.0, 0.0, 31.0),
+                ],
+            ),
+            outlook(
+                4,
+                &[
+                    (1.0, 0.0, 0.0, 3.0, 0.5, 31.0),
+                    (0.0, 2.0, 40.0, 0.0, 0.0, 31.0),
+                ],
+            ),
+            outlook(
+                5,
+                &[
+                    (0.0, 0.0, 0.0, 4.0, 0.25, 30.0),
+                    (0.0, 3.0, 90.0, 0.0, 0.0, 31.0),
+                ],
+            ),
+        ];
+        for look in &looks {
+            let d = dense.plan_prospective(look);
+            let n = net.plan_prospective(look);
+            assert_eq!(d, n, "frame {}", look.frame);
+        }
+        let (warm, cold) = net.prospective_solve_counts();
+        assert_eq!(warm + cold, 3);
+        assert!(warm >= 1, "{warm} warm / {cold} cold");
+    }
+
+    #[test]
+    fn clear_basis_forces_cold_but_keeps_counters() {
+        let ic = Interconnect::uniform(3, Energy::from_mwh(2.0)).unwrap();
+        let mut p = FleetPlanner::new(ic);
+        let ex = exchange(&[2.0, 0.3, 0.0], &[0.0, 1.0, 1.5], &[0.0, 55.0, 70.0]);
+        let _ = p.plan(&ex);
+        let _ = p.plan(&ex);
+        let (w1, c1) = p.solve_counts();
+        assert_eq!((w1, c1), (1, 1));
+        p.clear_basis();
+        let _ = p.plan(&ex);
+        let (w2, c2) = p.solve_counts();
+        assert_eq!((w2, c2), (1, 2), "cleared basis must force a cold solve");
     }
 
     #[test]

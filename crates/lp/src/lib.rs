@@ -48,6 +48,7 @@
 
 mod error;
 mod model;
+mod network;
 mod simplex;
 mod solution;
 mod standard;

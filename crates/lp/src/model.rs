@@ -345,6 +345,38 @@ impl Problem {
         crate::standard::solve(self, ws)
     }
 
+    /// Solves the problem on the sparse revised-simplex **network path**
+    /// when it is in packing form (every constraint `≤` with
+    /// non-negative rhs, every variable bounded `[0, u]` with `u`
+    /// finite — see [`is_network_form`](Self::is_network_form)), and
+    /// transparently falls back to the dense path
+    /// ([`solve_with`](Self::solve_with)) otherwise.
+    ///
+    /// Semantically identical to [`solve`](Self::solve) on the problems
+    /// it accepts: the optimal objective agrees with the dense solver to
+    /// [`TOLERANCE`](crate::TOLERANCE) (the optimal *vertex* may differ
+    /// on degenerate problems, exactly as warm and cold dense solves
+    /// may). The workspace caches the final basis and its inverse, so
+    /// re-solves after [`set_objective`](Self::set_objective) /
+    /// [`set_bounds`](Self::set_bounds) / [`set_rhs`](Self::set_rhs)
+    /// edits resume from the previous optimum.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`solve`](Self::solve).
+    pub fn solve_network_with(&self, ws: &mut crate::LpWorkspace) -> Result<Solution, LpError> {
+        crate::network::solve(self, ws)
+    }
+
+    /// Whether this problem is in the packing form the network path
+    /// ([`solve_network_with`](Self::solve_network_with)) handles
+    /// natively: every constraint `≤` with non-negative right-hand side
+    /// and every variable bounded `[0, u]` with `u` finite.
+    #[must_use]
+    pub fn is_network_form(&self) -> bool {
+        crate::network::is_network_form(self)
+    }
+
     /// Evaluates the objective at an arbitrary assignment (useful in tests
     /// and for verifying candidate points).
     ///

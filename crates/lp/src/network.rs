@@ -1,0 +1,615 @@
+//! Sparse revised simplex for network-structured ("packing-form") LPs.
+//!
+//! The fleet flow problems — per-frame export settlement and the
+//! prospective directive LP — share one shape: every constraint is
+//! `Σ aᵢⱼ·xⱼ ≤ bᵢ` with `bᵢ ≥ 0`, and every variable is box-bounded
+//! `0 ≤ xⱼ ≤ uⱼ` with `uⱼ` finite. That shape has two consequences the
+//! dense two-phase tableau cannot exploit:
+//!
+//! * **the all-slack basis is feasible** (`x = 0`, `s = b ≥ 0`), so
+//!   phase 1 never runs — the solver starts pricing immediately;
+//! * **columns are sparse** (a flow variable touches its donor row, its
+//!   need row and maybe a pool row), so the revised method — a dense
+//!   `m × m` basis inverse plus column-wise sparse pricing — does
+//!   `O(m²)` work per pivot instead of the tableau's `O(m·(n+m))`,
+//!   and never materializes the `m × (n+m)` matrix at all. For an
+//!   `n`-site mesh (`O(n²)` flow variables over `O(n)` rows) that is
+//!   the difference between quadratic and linear memory.
+//!
+//! Bounded variables are handled natively (nonbasic-at-upper status and
+//! bound-flip ratio tests) rather than through the standard-form split,
+//! so the system never grows beyond `m` rows. Pricing is Dantzig's rule
+//! with the same degenerate-streak fallback to Bland's rule as the dense
+//! kernel.
+//!
+//! Warm re-solves: [`Problem::set_objective`] / [`set_bounds`] /
+//! [`set_rhs`] leave the coefficient matrix untouched, so the previous
+//! optimal basis *and its inverse* are still exact. A re-solve checks
+//! the saved basis for primal feasibility under the new data and, when
+//! it holds (the common frame-to-frame case), resumes pricing from
+//! there — typically zero or a handful of pivots. A basis that went
+//! primal-infeasible is discarded for the cold all-slack start, so the
+//! objective and feasibility verdict never depend on workspace history.
+//!
+//! Entry point: [`Problem::solve_network_with`], which transparently
+//! falls back to the dense path ([`Problem::solve_with`]) for problems
+//! outside packing form. Results agree with the dense solver's
+//! objective to [`TOLERANCE`] — property-tested over randomized flow
+//! instances in `tests/network_equivalence.rs`.
+//!
+//! [`Problem::set_objective`]: crate::Problem::set_objective
+//! [`set_bounds`]: crate::Problem::set_bounds
+//! [`set_rhs`]: crate::Problem::set_rhs
+//! [`Problem::solve_network_with`]: crate::Problem::solve_network_with
+//! [`Problem::solve_with`]: crate::Problem::solve_with
+
+// Revised-simplex kernel: every index is a row below `m` or a column
+// below `n + m`, minted in one construction pass (columns from the
+// problem's validated terms, rows from its constraint count) and
+// preserved by every pivot. Runtime bound checks in the `O(m²)` inner
+// loops would be pure overhead, exactly as in the dense kernel.
+// audit:allow-file(slice-index): kernel indices are bounded by the n/m the buffers were sized with; see module note
+#![allow(clippy::indexing_slicing)]
+
+use crate::model::{Problem, Relation, Sense};
+use crate::simplex::DEGENERATE_STREAK_LIMIT;
+use crate::solution::Solution;
+use crate::workspace::LpWorkspace;
+use crate::{LpError, TOLERANCE};
+
+/// Feasibility slack allowed when deciding whether a saved basis is
+/// still primal-feasible for re-solved data (looser than the pricing
+/// tolerance: a basic value overshooting its bound by rounding noise is
+/// repaired by the ratio test, not worth a cold restart).
+const WARM_FEAS_TOL: f64 = 1e-7;
+
+/// Whether `p` is in packing form: every constraint `≤` with a
+/// non-negative right-hand side and every variable bounded `[0, u]`
+/// with `u` finite. Exactly the problems [`solve`] handles natively.
+pub(crate) fn is_network_form(p: &Problem) -> bool {
+    p.vars.iter().all(|v| v.lo == 0.0 && v.up.is_finite())
+        && p.constraints
+            .iter()
+            .all(|c| c.relation == Relation::Le && c.rhs >= 0.0)
+}
+
+/// The saved state of a successful network solve: the optimal basis,
+/// the nonbasic bound statuses, and the basis inverse (still exact
+/// after `set_objective`/`set_bounds`/`set_rhs` edits, which never
+/// touch the coefficient matrix).
+#[derive(Debug, Clone)]
+pub(crate) struct NetworkBasis {
+    /// Structural variable count the basis was built for.
+    pub(crate) n: usize,
+    /// Constraint row count the basis was built for.
+    pub(crate) m: usize,
+    /// Basic column per row, each `< n + m`.
+    pub(crate) basis: Vec<usize>,
+    /// Nonbasic-at-upper-bound flags, one per column (`n + m`).
+    pub(crate) at_upper: Vec<bool>,
+    /// Row-major `m × m` basis inverse.
+    pub(crate) binv: Vec<f64>,
+}
+
+/// Solver state for one packing-form solve.
+struct Net {
+    n: usize,
+    m: usize,
+    /// Column-wise sparse structural matrix: `cols[j]` holds the
+    /// `(row, coeff)` entries of variable `j`. Slack columns (`n + i`)
+    /// are the implicit identity.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Minimization-sense costs of the structural columns.
+    cost: Vec<f64>,
+    /// Upper bounds of the structural columns (slacks are unbounded).
+    upper: Vec<f64>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    at_upper: Vec<bool>,
+    in_basis: Vec<bool>,
+    /// Row-major `m × m` basis inverse.
+    binv: Vec<f64>,
+    /// Values of the basic variables, row-aligned with `basis`.
+    xb: Vec<f64>,
+}
+
+impl Net {
+    fn from_problem(p: &Problem) -> Self {
+        let n = p.vars.len();
+        let m = p.constraints.len();
+        let sign = match p.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for (i, c) in p.constraints.iter().enumerate() {
+            for &(j, a) in &c.terms {
+                if a != 0.0 {
+                    cols[j].push((i, a));
+                }
+            }
+        }
+        Net {
+            n,
+            m,
+            cols,
+            cost: p.vars.iter().map(|v| sign * v.obj).collect(),
+            upper: p.vars.iter().map(|v| v.up).collect(),
+            rhs: p.constraints.iter().map(|c| c.rhs).collect(),
+            basis: Vec::new(),
+            at_upper: vec![false; n + m],
+            in_basis: vec![false; n + m],
+            binv: Vec::new(),
+            xb: vec![0.0; m],
+        }
+    }
+
+    fn col_upper(&self, j: usize) -> f64 {
+        if j < self.n {
+            self.upper[j]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn col_cost(&self, j: usize) -> f64 {
+        if j < self.n {
+            self.cost[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Installs the cold all-slack basis (`x = 0`, `s = b`), feasible by
+    /// packing form (`b ≥ 0`).
+    fn install_slack_basis(&mut self) {
+        let m = self.m;
+        self.basis.clear();
+        self.basis.extend(self.n..self.n + m);
+        self.at_upper.iter_mut().for_each(|f| *f = false);
+        self.in_basis.iter_mut().for_each(|f| *f = false);
+        for i in 0..m {
+            self.in_basis[self.n + i] = true;
+        }
+        self.binv.clear();
+        self.binv.resize(m * m, 0.0);
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+        self.compute_xb();
+    }
+
+    /// Installs a saved basis; returns whether it is primal-feasible for
+    /// the current bounds and right-hand sides.
+    fn install_saved(&mut self, saved: NetworkBasis) -> bool {
+        self.basis = saved.basis;
+        self.at_upper = saved.at_upper;
+        self.binv = saved.binv;
+        self.in_basis.iter_mut().for_each(|f| *f = false);
+        for &j in &self.basis {
+            self.in_basis[j] = true;
+            self.at_upper[j] = false;
+        }
+        // A nonbasic structural pinned at its (possibly re-bounded)
+        // upper must still have one; zero-width boxes are fine either
+        // way.
+        for j in 0..self.n {
+            if self.at_upper[j] && !self.upper[j].is_finite() {
+                return false;
+            }
+        }
+        self.compute_xb();
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .all(|(&j, &x)| x >= -WARM_FEAS_TOL && x <= self.col_upper(j) + WARM_FEAS_TOL)
+    }
+
+    /// Recomputes the basic values `x_B = B⁻¹·(b − Σ_{j at upper} Aⱼuⱼ)`
+    /// from the current inverse (fresh product, not the incremental
+    /// pivot updates — also the accuracy refresh before extraction).
+    fn compute_xb(&mut self) {
+        let m = self.m;
+        let mut reduced = self.rhs.clone();
+        for j in 0..self.n {
+            if self.at_upper[j] && !self.in_basis[j] {
+                let u = self.upper[j];
+                if u != 0.0 {
+                    for &(r, a) in &self.cols[j] {
+                        reduced[r] -= a * u;
+                    }
+                }
+            }
+        }
+        for i in 0..m {
+            let row = &self.binv[i * m..(i + 1) * m];
+            self.xb[i] = row.iter().zip(&reduced).map(|(&b, &r)| b * r).sum();
+        }
+    }
+
+    /// `y = c_Bᵀ B⁻¹`, the simplex multipliers.
+    fn multipliers(&self, y: &mut Vec<f64>) {
+        let m = self.m;
+        y.clear();
+        y.resize(m, 0.0);
+        for (k, &j) in self.basis.iter().enumerate() {
+            let cb = self.col_cost(j);
+            if cb != 0.0 {
+                let row = &self.binv[k * m..(k + 1) * m];
+                for (yi, &b) in y.iter_mut().zip(row) {
+                    *yi += cb * b;
+                }
+            }
+        }
+    }
+
+    /// Reduced cost of column `j` given multipliers `y`.
+    fn reduced_cost(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            let dot: f64 = self.cols[j].iter().map(|&(r, a)| y[r] * a).sum();
+            self.cost[j] - dot
+        } else {
+            -y[j - self.n]
+        }
+    }
+
+    /// `w = B⁻¹ Aⱼ`, the entering column in the basis frame.
+    fn direction(&self, j: usize, w: &mut Vec<f64>) {
+        let m = self.m;
+        w.clear();
+        w.resize(m, 0.0);
+        if j < self.n {
+            for &(r, a) in &self.cols[j] {
+                for (i, wi) in w.iter_mut().enumerate() {
+                    *wi += self.binv[i * m + r] * a;
+                }
+            }
+        } else {
+            let r = j - self.n;
+            for (i, wi) in w.iter_mut().enumerate() {
+                *wi = self.binv[i * m + r];
+            }
+        }
+    }
+
+    /// Runs primal simplex from the installed feasible basis to
+    /// optimality. Returns the pivot count.
+    fn optimize(&mut self, budget: usize) -> Result<usize, LpError> {
+        let m = self.m;
+        let mut y: Vec<f64> = Vec::new();
+        let mut w: Vec<f64> = Vec::new();
+        let mut pivots = 0usize;
+        let mut bland = false;
+        let mut degenerate_streak = 0usize;
+        loop {
+            self.multipliers(&mut y);
+            // Pricing: an at-lower column improves when its reduced cost
+            // is negative, an at-upper column when it is positive.
+            let mut enter: Option<usize> = None;
+            let mut best = TOLERANCE;
+            for j in 0..self.n + m {
+                if self.in_basis[j] {
+                    continue;
+                }
+                let d = self.reduced_cost(j, &y);
+                let violation = if self.at_upper[j] { d } else { -d };
+                if violation > TOLERANCE {
+                    if bland {
+                        enter = Some(j);
+                        break;
+                    }
+                    if violation > best {
+                        best = violation;
+                        enter = Some(j);
+                    }
+                }
+            }
+            let Some(j) = enter else {
+                return Ok(pivots);
+            };
+            if pivots >= budget {
+                return Err(LpError::IterationLimit { pivots });
+            }
+            pivots += 1;
+
+            self.direction(j, &mut w);
+            // The entering variable moves away from its current bound by
+            // `t ≥ 0`: up from lower (σ = +1) or down from upper (σ = −1);
+            // basic values respond as `x_B −= σ·t·w`.
+            let sigma = if self.at_upper[j] { -1.0 } else { 1.0 };
+            let mut t = self.col_upper(j); // bound-flip limit: box width
+            let mut leave: Option<(usize, bool)> = None;
+            for (r, &wr0) in w.iter().enumerate() {
+                let wr = sigma * wr0;
+                if wr > TOLERANCE {
+                    let ratio = (self.xb[r] / wr).max(0.0);
+                    if ratio < t {
+                        t = ratio;
+                        leave = Some((r, false));
+                    }
+                } else if wr < -TOLERANCE {
+                    let ub = self.col_upper(self.basis[r]);
+                    if ub.is_finite() {
+                        let ratio = ((ub - self.xb[r]) / -wr).max(0.0);
+                        if ratio < t {
+                            t = ratio;
+                            leave = Some((r, true));
+                        }
+                    }
+                }
+            }
+            if t.is_infinite() {
+                return Err(LpError::Unbounded);
+            }
+
+            if t <= TOLERANCE {
+                degenerate_streak += 1;
+                if degenerate_streak >= DEGENERATE_STREAK_LIMIT {
+                    bland = true;
+                }
+            } else {
+                degenerate_streak = 0;
+                bland = false;
+            }
+
+            for (xb, &wr) in self.xb.iter_mut().zip(&w) {
+                *xb -= sigma * t * wr;
+            }
+            match leave {
+                None => {
+                    // The entering variable crossed its box without any
+                    // basic variable blocking: a bound flip, no basis
+                    // change and no inverse update.
+                    self.at_upper[j] = !self.at_upper[j];
+                }
+                Some((r, leaves_at_upper)) => {
+                    let out = self.basis[r];
+                    self.in_basis[out] = false;
+                    self.at_upper[out] = leaves_at_upper;
+                    self.basis[r] = j;
+                    self.in_basis[j] = true;
+                    self.at_upper[j] = false;
+                    self.xb[r] = if sigma > 0.0 {
+                        t
+                    } else {
+                        self.col_upper(j) - t
+                    };
+                    // Rank-one inverse update: pivot the r-th row on w_r.
+                    let piv = w[r];
+                    for k in 0..m {
+                        self.binv[r * m + k] /= piv;
+                    }
+                    for (i, &f) in w.iter().enumerate() {
+                        if i == r || f == 0.0 {
+                            continue;
+                        }
+                        for k in 0..m {
+                            self.binv[i * m + k] -= f * self.binv[r * m + k];
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Maps the optimal basis back to model space, snapping values onto
+    /// their box within [`TOLERANCE`].
+    fn extract(&mut self, p: &Problem, pivots: usize) -> Solution {
+        self.compute_xb();
+        let mut x = vec![0.0; self.n];
+        for (j, xj) in x.iter_mut().enumerate() {
+            if !self.in_basis[j] && self.at_upper[j] {
+                *xj = self.upper[j];
+            }
+        }
+        for (r, &j) in self.basis.iter().enumerate() {
+            if j < self.n {
+                x[j] = self.xb[r];
+            }
+        }
+        for (j, v) in x.iter_mut().enumerate() {
+            if v.abs() < TOLERANCE {
+                *v = 0.0;
+            } else if (*v - self.upper[j]).abs() < TOLERANCE {
+                *v = self.upper[j];
+            }
+        }
+        let objective = p.objective_at(&x);
+        Solution::new(x, objective, pivots)
+    }
+
+    /// Packages the final basis for the workspace's next warm start.
+    fn into_saved(self) -> NetworkBasis {
+        NetworkBasis {
+            n: self.n,
+            m: self.m,
+            basis: self.basis,
+            at_upper: self.at_upper,
+            binv: self.binv,
+        }
+    }
+}
+
+/// Solves `p` on the sparse revised-simplex path when it is in packing
+/// form, otherwise via the dense two-phase solver. See the module docs.
+pub(crate) fn solve(p: &Problem, ws: &mut LpWorkspace) -> Result<Solution, LpError> {
+    if !is_network_form(p) {
+        return crate::standard::solve(p, ws);
+    }
+    let mut net = Net::from_problem(p);
+    let warm = match ws.take_matching_network_basis(net.n, net.m) {
+        Some(saved) => {
+            if net.install_saved(saved) {
+                true
+            } else {
+                ws.note_warm_reject();
+                net.install_slack_basis();
+                false
+            }
+        }
+        None => {
+            net.install_slack_basis();
+            false
+        }
+    };
+    let budget = p.pivot_budget(net.m, net.n + net.m);
+    let outcome = net.optimize(budget);
+    if warm {
+        ws.note_warm();
+    } else {
+        ws.note_cold();
+    }
+    let pivots = outcome?;
+    let sol = net.extract(p, pivots);
+    ws.save_network_basis(net.into_saved());
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Problem, Relation};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn detects_packing_form() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 2.0, 3.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Le, 1.5).unwrap();
+        assert!(p.is_network_form());
+        // A Ge row breaks the form.
+        let mut q = p.clone();
+        q.add_constraint(&[(x, 1.0)], Relation::Ge, 0.5).unwrap();
+        assert!(!q.is_network_form());
+        // A negative rhs breaks the form.
+        let mut r = p.clone();
+        r.add_constraint(&[(x, -1.0)], Relation::Le, -0.5).unwrap();
+        assert!(!r.is_network_form());
+        // An unbounded or shifted variable breaks the form.
+        let mut s = p.clone();
+        s.add_var("free", 0.0, f64::INFINITY, 1.0).unwrap();
+        assert!(!s.is_network_form());
+        let mut t = p.clone();
+        t.add_var("lo", 1.0, 2.0, 1.0).unwrap();
+        assert!(!t.is_network_form());
+    }
+
+    #[test]
+    fn solves_a_small_packing_lp() {
+        // max 3x + 2y  s.t.  x + y ≤ 4, x + 3y ≤ 6, x ≤ 3, y ≤ 5.
+        // Optimum at x = 3, y = 1: objective 11.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 3.0, 3.0).unwrap();
+        let y = p.add_var("y", 0.0, 5.0, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let mut ws = LpWorkspace::new();
+        let sol = p.solve_network_with(&mut ws).unwrap();
+        assert_close(sol.objective(), 11.0);
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 1.0);
+        assert_eq!(ws.cold_solves(), 1);
+        // The dense path agrees.
+        assert_close(p.solve().unwrap().objective(), 11.0);
+    }
+
+    #[test]
+    fn bound_flips_handle_unconstrained_columns() {
+        // No rows at all: profitable variables flip straight to their
+        // upper bound, costly ones stay at zero.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 2.0, -1.5).unwrap();
+        let y = p.add_var("y", 0.0, 3.0, 2.0).unwrap();
+        let sol = p.solve_network_with(&mut LpWorkspace::new()).unwrap();
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 0.0);
+        assert_close(sol.objective(), -3.0);
+    }
+
+    #[test]
+    fn warm_resolve_reuses_the_basis() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 3.0, 3.0).unwrap();
+        let y = p.add_var("y", 0.0, 5.0, 2.0).unwrap();
+        let cap = p
+            .add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let mut ws = LpWorkspace::new();
+        let first = p.solve_network_with(&mut ws).unwrap();
+        assert_close(first.objective(), 11.0);
+        // Re-price: the old vertex stays feasible, the warm path resumes
+        // from it and pivots to the new optimum (y = 2 now dominates).
+        p.set_objective(y, 10.0).unwrap();
+        let second = p.solve_network_with(&mut ws).unwrap();
+        assert_close(second.objective(), 20.0);
+        assert_eq!(ws.cold_solves(), 1);
+        assert_eq!(ws.warm_solves(), 1);
+        assert!(ws.last_was_warm());
+        // Tighten it below the warm vertex: the saved basis goes primal-
+        // infeasible and the solver falls back cold, same answer as a
+        // fresh workspace.
+        p.set_rhs(cap, 1.0).unwrap();
+        let third = p.solve_network_with(&mut ws).unwrap();
+        let cold = p.solve_network_with(&mut LpWorkspace::new()).unwrap();
+        assert_close(third.objective(), cold.objective());
+        assert_eq!(ws.warm_rejects(), 1);
+        assert_eq!(ws.cold_solves(), 2);
+    }
+
+    #[test]
+    fn falls_back_to_dense_outside_packing_form() {
+        // A Ge row forces the dense path; the answer still comes back.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0, 2.0).unwrap();
+        p.add_constraint(&[(x, 1.0)], Relation::Ge, 4.0).unwrap();
+        let mut ws = LpWorkspace::new();
+        let sol = p.solve_network_with(&mut ws).unwrap();
+        assert_close(sol.value(x), 4.0);
+        assert_eq!(ws.cold_solves(), 1);
+    }
+
+    #[test]
+    fn degenerate_rows_terminate() {
+        // Several zero-rhs rows force degenerate pivots; the Bland
+        // fallback guarantees termination.
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 1.0, 1.0).unwrap();
+        let y = p.add_var("y", 0.0, 1.0, 1.0).unwrap();
+        let z = p.add_var("z", 0.0, 1.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, -1.0)], Relation::Le, 0.0)
+            .unwrap();
+        p.add_constraint(&[(y, 1.0), (z, -1.0)], Relation::Le, 0.0)
+            .unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0), (z, 1.0)], Relation::Le, 2.0)
+            .unwrap();
+        let sol = p.solve_network_with(&mut LpWorkspace::new()).unwrap();
+        assert_close(sol.objective(), p.solve().unwrap().objective());
+    }
+
+    #[test]
+    fn zero_width_boxes_stay_pinned() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 0.0, 5.0).unwrap();
+        let y = p.add_var("y", 0.0, 2.0, 1.0).unwrap();
+        p.add_constraint(&[(x, 1.0), (y, 1.0)], Relation::Le, 3.0)
+            .unwrap();
+        let sol = p.solve_network_with(&mut LpWorkspace::new()).unwrap();
+        assert_close(sol.value(x), 0.0);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn infeasibility_is_impossible_but_bounds_still_validate() {
+        // Packing form is always feasible (x = 0); a malformed box is
+        // caught at model build time, not here.
+        let mut p = Problem::minimize();
+        assert!(p.add_var("x", 2.0, 1.0, 0.0).is_err());
+    }
+}

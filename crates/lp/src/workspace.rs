@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+use crate::network::NetworkBasis;
 use crate::simplex::Tableau;
 
 /// The basis of the last successful solve, keyed by standard-form shape.
@@ -68,6 +69,12 @@ pub struct LpWorkspace {
     pub(crate) allowed: Vec<bool>,
     /// Basis of the previous successful solve, if any.
     pub(crate) saved: Option<SavedBasis>,
+    /// Basis + inverse of the previous successful *network-path* solve
+    /// ([`Problem::solve_network_with`]), if any. Kept separately from
+    /// `saved` because the two paths key on different shapes.
+    ///
+    /// [`Problem::solve_network_with`]: crate::Problem::solve_network_with
+    pub(crate) net_saved: Option<NetworkBasis>,
     warm_solves: u64,
     cold_solves: u64,
     warm_rejects: u64,
@@ -107,10 +114,11 @@ impl LpWorkspace {
         self.last_was_warm
     }
 
-    /// Drops the saved basis so the next solve is forced cold (the
-    /// buffers remain allocated).
+    /// Drops the saved bases (dense and network path) so the next solve
+    /// is forced cold (the buffers remain allocated).
     pub fn clear_basis(&mut self) {
         self.saved = None;
+        self.net_saved = None;
     }
 
     /// Takes the saved basis if it matches the given phase-2 shape.
@@ -144,6 +152,23 @@ impl LpWorkspace {
                 });
             }
         }
+    }
+
+    /// Takes the saved network-path basis if it matches shape `n × m`.
+    pub(crate) fn take_matching_network_basis(
+        &mut self,
+        n: usize,
+        m: usize,
+    ) -> Option<NetworkBasis> {
+        match &self.net_saved {
+            Some(s) if s.n == n && s.m == m => self.net_saved.take(),
+            _ => None,
+        }
+    }
+
+    /// Records the final basis of a successful network-path solve.
+    pub(crate) fn save_network_basis(&mut self, basis: NetworkBasis) {
+        self.net_saved = Some(basis);
     }
 
     pub(crate) fn note_warm(&mut self) {

@@ -101,7 +101,14 @@ pub struct SlotDecision {
 ///
 /// Implementations must be deterministic given their construction inputs
 /// for experiments to be reproducible; all built-in controllers are.
-pub trait Controller {
+///
+/// Controllers must be [`Send`] so fleet harnesses can step sites on
+/// worker threads ([`MultiSiteEngine::with_threads`]): each controller is
+/// owned by exactly one site and only ever borrowed by one thread at a
+/// time, so `Send` (not `Sync`) is the whole requirement.
+///
+/// [`MultiSiteEngine::with_threads`]: crate::MultiSiteEngine::with_threads
+pub trait Controller: Send {
     /// Short machine-friendly policy name used in reports (e.g.
     /// `"smart-dpss"`, `"offline"`, `"impatient"`).
     fn name(&self) -> &str;

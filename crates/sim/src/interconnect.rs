@@ -42,6 +42,12 @@ use dpss_units::{Energy, Money, Price};
 
 use crate::SimError;
 
+/// Above this many open links, [`Interconnect::describe`] switches from
+/// the link-by-link spell-out to a compact fleet-scale summary (counts
+/// plus min..max ranges). Every published small-topology title has at
+/// most this many links, so their wording is unaffected.
+pub const DESCRIBE_LINK_LIMIT: usize = 12;
+
 /// Directed inter-site transmission topology for a fleet of `sites`
 /// datacenters: per-pair frame caps, losses and wheeling prices, plus an
 /// optional fleet-pooled per-frame cap.
@@ -448,6 +454,14 @@ impl Interconnect {
                 pool_suffix,
             );
         }
+        // Fleet-scale topologies (a 100-site ring has 200 open links)
+        // summarize instead of spelling every link out: link-by-link
+        // titles stop being reviewable long before that, and table titles
+        // should stay one line. Small topologies keep the exact per-link
+        // wording below, byte for byte.
+        if links.len() > DESCRIBE_LINK_LIMIT {
+            return self.describe_summary(&links, &pool_suffix);
+        }
         let per_link: Vec<String> = links
             .iter()
             .map(|&(i, j)| {
@@ -475,6 +489,59 @@ impl Interconnect {
             })
             .collect();
         format!("links {}{}", per_link.join("; "), pool_suffix)
+    }
+
+    /// The compact fleet-scale description: counts and min..max ranges
+    /// over the open links instead of one clause per link. Deterministic
+    /// (ranges fold over the row-major roster) and always one short line
+    /// regardless of fleet size.
+    fn describe_summary(&self, links: &[(usize, usize)], pool_suffix: &str) -> String {
+        let range = |vals: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for v in vals {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        };
+        let fmt_range = |(lo, hi): (f64, f64)| {
+            if lo == hi {
+                format!("{lo}")
+            } else {
+                format!("{lo}..{hi}")
+            }
+        };
+        let k_of = |&(i, j): &(usize, usize)| i * self.sites + j;
+        let caps = fmt_range(range(
+            &mut links.iter().map(|l| self.ceiling_of(k_of(l)).mwh()),
+        ));
+        let scheduled = links
+            .iter()
+            .filter(|l| self.schedule[k_of(l)].is_some())
+            .count();
+        let sched_note = match scheduled {
+            0 => String::new(),
+            s => format!(" ({s} scheduled)"),
+        };
+        let (loss_lo, loss_hi) = range(&mut links.iter().map(|l| self.loss[k_of(l)]));
+        let loss = if loss_hi == 0.0 {
+            String::new()
+        } else {
+            format!(" loss {}", fmt_range((loss_lo, loss_hi)))
+        };
+        let (wheel_lo, wheel_hi) =
+            range(&mut links.iter().map(|l| self.wheel[k_of(l)].dollars_per_mwh()));
+        let wheel = if wheel_hi == 0.0 {
+            String::new()
+        } else {
+            format!(" wheel ${}/MWh", fmt_range((wheel_lo, wheel_hi)))
+        };
+        format!(
+            "{} sites, {} links, cap {caps} MWh/frame{sched_note}{loss}{wheel}{pool_suffix}",
+            self.sites,
+            links.len(),
+        )
     }
 
     /// The post-hoc greedy settlement of one frame's exchange: donated
@@ -745,6 +812,52 @@ mod tests {
             .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
             .unwrap();
         assert_eq!(mesh.describe(), "mesh cap 1 MWh/frame wheel $2/MWh");
+    }
+
+    #[test]
+    fn describe_summarizes_fleet_scale_topologies() {
+        // Above DESCRIBE_LINK_LIMIT open links the title compacts to
+        // counts and ranges — a 100-site ring stays one reviewable line.
+        let ring = Interconnect::ring(100, Energy::from_mwh(1.0))
+            .unwrap()
+            .with_uniform_loss(0.05)
+            .unwrap()
+            .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
+            .unwrap();
+        assert_eq!(
+            ring.describe(),
+            "100 sites, 200 links, cap 1 MWh/frame loss 0.05 wheel $2/MWh"
+        );
+        // Mixed caps, schedules and losses render as min..max ranges and
+        // a scheduled-link count.
+        let mixed = Interconnect::ring(7, Energy::from_mwh(1.0))
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(2.5))
+            .unwrap()
+            .with_loss(1, 2, 0.1)
+            .unwrap()
+            .with_cap_schedule(2, 3, vec![Energy::from_mwh(0.5), Energy::from_mwh(4.0)])
+            .unwrap();
+        assert_eq!(
+            mixed.describe(),
+            "7 sites, 14 links, cap 1..4 MWh/frame (1 scheduled) loss 0..0.1"
+        );
+    }
+
+    #[test]
+    fn describe_keeps_link_by_link_wording_at_the_limit() {
+        // A 4-site ring with one perturbed cap has 8 open links — at or
+        // below the limit the exact per-link wording is preserved.
+        let ic = Interconnect::ring(4, Energy::from_mwh(1.0))
+            .unwrap()
+            .with_link(0, 1, Energy::from_mwh(2.0))
+            .unwrap();
+        let d = ic.describe();
+        assert!(
+            d.starts_with("links 0->1 cap 2 MWh/frame; 0->3 cap 1 MWh/frame;"),
+            "{d}"
+        );
+        assert_eq!(ic.open_links().count(), 8);
     }
 
     #[test]

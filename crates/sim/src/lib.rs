@@ -99,7 +99,7 @@ pub use dispatch::{FleetDispatcher, FrameDirective, FrameOutlook, SiteOutlook};
 pub use engine::{Engine, EngineRun};
 pub use error::SimError;
 pub use forecast::ForecastPolicy;
-pub use interconnect::{FrameExchange, FrameSettlement, Interconnect};
+pub use interconnect::{FrameExchange, FrameSettlement, Interconnect, DESCRIBE_LINK_LIMIT};
 pub use metrics::{RunReport, SlotCost, SlotOutcome};
 pub use multisite::{MultiSiteEngine, MultiSiteReport};
 pub use params::SimParams;

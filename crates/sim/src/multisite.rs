@@ -25,6 +25,9 @@
 // sized.
 // audit:allow-file(slice-index): roster is non-empty and calendars match by construction; slot ranges derive from the shared validated clock
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use dpss_units::{Energy, Money};
 
 use crate::{
@@ -77,6 +80,7 @@ use crate::{
 pub struct MultiSiteEngine {
     sites: Vec<Engine>,
     interconnect: Interconnect,
+    threads: usize,
 }
 
 impl MultiSiteEngine {
@@ -110,7 +114,33 @@ impl MultiSiteEngine {
                 .map(|s| s.with_slot_recording(true))
                 .collect(),
             interconnect,
+            threads: 1,
         })
+    }
+
+    /// Sets the worker-thread budget for stepping sites within a coarse
+    /// frame. `1` (the default) steps sites inline on the caller's
+    /// thread; `0` resolves to the machine's available parallelism.
+    ///
+    /// Thread count never changes results: sites do not interact within
+    /// a frame, directives are delivered and exchanges settled serially
+    /// at the frame barrier, and per-site state lives with its site — so
+    /// every aggregate is byte-identical to the serial run at any thread
+    /// count (the determinism suite pins this at fleet scale).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The configured worker-thread budget (≥ 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Replaces the interconnect topology.
@@ -192,9 +222,12 @@ impl MultiSiteEngine {
     ///    frame `k − 1`'s realization plus current battery state) and
     ///    returns directives — one per site, or none at all;
     /// 2. each site's controller receives its directive
-    ///    ([`Controller::receive_directive`]), then the site steps the
-    ///    frame ([`EngineRun::step_frame`]), in site-index order (the
-    ///    order is immaterial: sites do not interact within a frame);
+    ///    ([`Controller::receive_directive`]), then every site steps the
+    ///    frame ([`EngineRun::step_frame`]) — inline in site-index order
+    ///    by default, or fanned out over the
+    ///    [`with_threads`](Self::with_threads) worker budget (the order
+    ///    is immaterial: sites do not interact within a frame, so the
+    ///    aggregates are byte-identical at any thread count);
     /// 3. the realized [`FrameExchange`] is extracted and settled
     ///    ([`FleetDispatcher::settle`]).
     ///
@@ -255,9 +288,7 @@ impl MultiSiteEngine {
                     }
                 }
             }
-            for (run, ctl) in runs.iter_mut().zip(controllers.iter_mut()) {
-                run.step_frame(ctl.as_mut())?;
-            }
+            step_sites(&mut runs, controllers, self.threads)?;
             if !silent {
                 let ex = self.exchange_at(frame, &runs)?;
                 let s = dispatcher.settle(&ex);
@@ -467,6 +498,60 @@ impl MultiSiteEngine {
 
         Ok(self.assemble(reports, total))
     }
+}
+
+/// Steps every site through one coarse frame, fanning the sites out over
+/// `threads` scoped workers claiming site indices from a shared atomic
+/// counter (the `ExperimentRunner` pattern). Each `(run, controller)`
+/// pair is owned by exactly one worker at a time, sites share no mutable
+/// state, and errors are collected per site and propagated in site-index
+/// order — so the outcome (including which error surfaces) is
+/// byte-identical to the inline serial loop at any thread count.
+fn step_sites(
+    runs: &mut [EngineRun<'_>],
+    controllers: &mut [Box<dyn Controller>],
+    threads: usize,
+) -> Result<(), SimError> {
+    let n = runs.len();
+    let workers = threads.min(n).max(1);
+    if workers == 1 {
+        for (run, ctl) in runs.iter_mut().zip(controllers.iter_mut()) {
+            run.step_frame(ctl.as_mut())?;
+        }
+        return Ok(());
+    }
+    let next = AtomicUsize::new(0);
+    let cells: Vec<Mutex<(&mut EngineRun<'_>, &mut Box<dyn Controller>)>> = runs
+        .iter_mut()
+        .zip(controllers.iter_mut())
+        .map(Mutex::new)
+        .collect();
+    let slots: Vec<Mutex<Option<Result<(), SimError>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // audit:allow(panic-unwrap): a poisoned cell means a sibling worker already panicked
+                let mut cell = cells[i].lock().expect("site cell poisoned");
+                let (run, ctl) = &mut *cell;
+                let out = run.step_frame(ctl.as_mut());
+                // audit:allow(panic-unwrap): a poisoned slot means a sibling worker already panicked
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    for (i, slot) in slots.into_iter().enumerate() {
+        slot.into_inner()
+            // audit:allow(panic-unwrap): a poisoned slot means a worker already panicked
+            .expect("result slot poisoned")
+            // audit:allow(panic-explicit): the claim loop covers 0..n, so an empty slot is a scheduler bug
+            .unwrap_or_else(|| panic!("site {i} was not stepped"))?;
+    }
+    Ok(())
 }
 
 /// Realized real-time totals of one frame's outcomes: energy purchased
@@ -763,6 +848,20 @@ mod tests {
         let via_couple = multi.couple(reversed).unwrap();
         let serial = multi.run(&mut eager_boxes(3)).unwrap();
         assert_eq!(via_couple, serial);
+    }
+
+    #[test]
+    fn threaded_stepping_is_byte_identical_to_serial() {
+        let serial = fleet(3, 1.5).run(&mut eager_boxes(3)).unwrap();
+        // 2 < sites, 4 > sites, 0 = available parallelism: every budget
+        // must reproduce the serial run exactly (PartialEq covers every
+        // slot outcome via the recorded reports).
+        for threads in [2, 4, 0] {
+            let multi = fleet(3, 1.5).with_threads(threads);
+            assert!(multi.threads() >= 1);
+            let threaded = multi.run(&mut eager_boxes(3)).unwrap();
+            assert_eq!(threaded, serial, "threads = {threads}");
+        }
     }
 
     #[test]

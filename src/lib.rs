@@ -56,14 +56,14 @@ pub use dpss_sim as sim;
 pub use dpss_traces as traces;
 pub use dpss_units as units;
 
-pub use dpss_bench::{Axis, ExperimentRunner, FigureTable, SweepSpec};
+pub use dpss_bench::{Axis, ExperimentRunner, FigureTable, SweepCache, SweepSpec};
 pub use dpss_lp::LpWorkspace;
 
 pub use dpss_bench::{DispatchMode, InterconnectMode};
 pub use dpss_core::{
     cheapest_window_bound, FleetPlanner, GreedyBattery, Impatient, MarketMode, OfflineConfig,
     OfflineOptimal, P4Variant, P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig,
-    TheoremBounds,
+    SolverPath, TheoremBounds,
 };
 pub use dpss_sim::{
     Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, EngineRun,
