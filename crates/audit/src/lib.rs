@@ -56,7 +56,7 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources feed published results: the determinism lints
 /// apply to them, bins included (perf bins pragma their timer reads).
-const DETERMINISM_CRATES: &[&str] = &["lp", "traces", "sim", "core", "bench", "audit"];
+const DETERMINISM_CRATES: &[&str] = &["lp", "traces", "sim", "core", "serve", "bench", "audit"];
 
 /// Classifies a workspace-relative, `/`-separated path, or `None` when
 /// the file is out of audit scope (tests, benches, examples, vendor).

@@ -24,6 +24,10 @@
 //! 7. **Sweep cache**: a cold pass over a scratch `SweepCache` vs the
 //!    warm rerun; the binary exits nonzero unless warm is ≥5× faster
 //!    with byte-identical results.
+//! 8. **Serve replay throughput**: one recorded month driven tick by
+//!    tick through the `dpss-serve` request loop (parse → engine resume
+//!    → step → respond), asserted byte-equal to the batch golden, plus
+//!    the snapshot write/restore round-trip.
 //!
 //! ```text
 //! bench_sweep [--out PATH] [--threads N] [--iters K]
@@ -113,6 +117,18 @@ struct BenchSweepReport {
     /// results are byte-identical.
     sweep_cache_warm_ms: f64,
     sweep_cache_speedup: f64,
+    /// Frames of the recorded month replayed through the serve loop.
+    serve_replay_ticks: usize,
+    /// Wall time of one full replay: NDJSON parse, engine resume, frame
+    /// step and response serialization per tick. The final report is
+    /// asserted byte-equal to the batch golden before this is recorded.
+    serve_replay_ms: f64,
+    /// Streaming throughput of the serve loop, in ticks (frames) per
+    /// second.
+    serve_replay_ticks_per_sec: f64,
+    /// One mid-month snapshot write (serialize, checksum, tmp+rename)
+    /// plus a full `--resume` restore (scan, verify, reconstruct).
+    serve_snapshot_roundtrip_ms: f64,
 }
 
 fn best_of<F: FnMut()>(iters: usize, mut f: F) -> f64 {
@@ -402,6 +418,110 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // ---- 8. Serve replay: the streaming loop's price tag. ---------------
+    // Record one month of stream ticks from the paper scenario, replay
+    // it through the serve request loop, and assert the streamed final
+    // report is byte-identical to the batch golden before timing it.
+    let serve_clock = SlotClock::icdcs13_month();
+    let serve_truth = dpss_traces::Scenario::icdcs13()
+        .generate(&serve_clock, PAPER_SEED)
+        .expect("paper scenario generates");
+    let t = serve_clock.slots_per_frame();
+    let mut serve_log = String::new();
+    serve_log.push_str("{\"cmd\":\"init\",\"mode\":\"stream\"}\n");
+    for frame in 0..serve_clock.frames() {
+        let lo = frame * t;
+        let hi = lo + t;
+        let tick = dpss_serve::RawRequest {
+            cmd: Some("tick".to_owned()),
+            frame: Some(frame),
+            price_lt: Some(serve_truth.price_lt[frame].dollars_per_mwh()),
+            price_rt: Some(
+                serve_truth.price_rt[lo..hi]
+                    .iter()
+                    .map(|p| p.dollars_per_mwh())
+                    .collect(),
+            ),
+            demand_ds: Some(
+                serve_truth.demand_ds[lo..hi]
+                    .iter()
+                    .map(|e| e.mwh())
+                    .collect(),
+            ),
+            demand_dt: Some(
+                serve_truth.demand_dt[lo..hi]
+                    .iter()
+                    .map(|e| e.mwh())
+                    .collect(),
+            ),
+            renewable: Some(
+                serve_truth.renewable[lo..hi]
+                    .iter()
+                    .map(|e| e.mwh())
+                    .collect(),
+            ),
+            ..dpss_serve::RawRequest::default()
+        };
+        serve_log.push_str(&serde_json::to_string(&tick).expect("tick serializes"));
+        serve_log.push('\n');
+    }
+    serve_log.push_str("{\"cmd\":\"finish\"}\n{\"cmd\":\"shutdown\"}\n");
+    let serve_month = || -> dpss_sim::RunReport {
+        let mut input = std::io::BufReader::new(serve_log.as_bytes());
+        let mut transcript = Vec::new();
+        let outcome = dpss_serve::serve(
+            &mut input,
+            &mut transcript,
+            &dpss_serve::ServeOptions::default(),
+        )
+        .expect("serve loop succeeds");
+        outcome.final_report.expect("stream month finishes")
+    };
+    let serve_golden = {
+        let engine = Engine::new(params, serve_truth.clone()).expect("valid engine");
+        let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, serve_clock)
+            .expect("valid configuration");
+        engine.run(&mut ctl).expect("batch month succeeds")
+    };
+    let streamed = serve_month();
+    if serde_json::to_string(&streamed).expect("report serializes")
+        != serde_json::to_string(&serve_golden).expect("report serializes")
+    {
+        eprintln!("bench_sweep: error: streamed month diverged from the batch golden");
+        return ExitCode::FAILURE;
+    }
+    let serve_replay_s = best_of(timed_iters, || {
+        let _ = serve_month();
+    });
+    let snapshot_roundtrip_s = {
+        let state_dir = std::path::Path::new("target/serve_snapshot_bench");
+        let _ = std::fs::remove_dir_all(state_dir);
+        let mut server = dpss_serve::SessionServer::new(Some(state_dir))
+            .expect("scratch state dir under target/ is writable");
+        let (resp, _) = server.handle_line("{\"cmd\":\"init\",\"mode\":\"scenario\"}");
+        assert!(
+            !matches!(resp, dpss_serve::Response::Error { .. }),
+            "scenario init succeeds"
+        );
+        for _ in 0..16 {
+            let (resp, _) = server.handle_line("{\"cmd\":\"step\"}");
+            assert!(
+                !matches!(resp, dpss_serve::Response::Error { .. }),
+                "mid-month step succeeds"
+            );
+        }
+        best_of(timed_iters, || {
+            let (resp, _) = server.handle_line("{\"cmd\":\"snapshot\"}");
+            assert!(
+                !matches!(resp, dpss_serve::Response::Error { .. }),
+                "snapshot write succeeds"
+            );
+            let mut restored = dpss_serve::SessionServer::new(Some(state_dir))
+                .expect("scratch state dir under target/ is writable");
+            restored.resume_latest().expect("mid-month resume succeeds");
+        })
+    };
+
     let report = BenchSweepReport {
         generated_by: "dpss-bench/bench_sweep",
         threads,
@@ -437,6 +557,10 @@ fn main() -> ExitCode {
         sweep_cache_cold_ms: cache_cold_s * 1e3,
         sweep_cache_warm_ms: cache_warm_s * 1e3,
         sweep_cache_speedup: cache_speedup,
+        serve_replay_ticks: serve_clock.frames(),
+        serve_replay_ms: serve_replay_s * 1e3,
+        serve_replay_ticks_per_sec: serve_clock.frames() as f64 / serve_replay_s,
+        serve_snapshot_roundtrip_ms: snapshot_roundtrip_s * 1e3,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");

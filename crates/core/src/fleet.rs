@@ -64,12 +64,31 @@
 // audit:allow-file(panic-unwrap): expects assert invariants of the LP template this module itself builds; solver errors propagate as CoreError
 // audit:allow-file(slice-index): variable/constraint ids are minted by the same template build pass; rosters are sized from the engine fleet
 
-use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
+use dpss_lp::{BasisSnapshot, ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
 use dpss_sim::{
     FleetDispatcher, FrameDirective, FrameExchange, FrameOutlook, FrameSettlement, Interconnect,
     MultiSiteEngine, MultiSiteReport, RunReport, SimError,
 };
 use dpss_units::{Energy, Money};
+use serde::{Deserialize, Serialize};
+
+/// The checkpointable state of a [`FleetPlanner`]: the warm-start bases
+/// of its settlement and prospective workspaces. The LP *templates* are
+/// pure functions of the topology and are rebuilt deterministically on
+/// [`import_state`](FleetPlanner::import_state); only the bases — which
+/// steer a warm solve to the same optimal vertex the uninterrupted run
+/// would have reached — must survive a restart.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetPlannerState {
+    /// Settlement-LP workspace basis.
+    pub settlement: BasisSnapshot,
+    /// Dense-path prospective workspace basis (present iff the template
+    /// had been built).
+    pub prospective: Option<BasisSnapshot>,
+    /// Network-path prospective workspace basis (present iff the
+    /// template had been built).
+    pub prospective_net: Option<BasisSnapshot>,
+}
 
 /// Fleet size above which [`SolverPath::Auto`] switches the planner from
 /// the dense tableau to the sparse network path. Small fleets keep the
@@ -342,6 +361,56 @@ impl FleetPlanner {
         if let Some(lp) = &mut self.prospective_net {
             lp.workspace.clear_basis();
         }
+    }
+
+    /// Captures the planner's warm-start bases for checkpointing.
+    #[must_use]
+    pub fn export_state(&self) -> FleetPlannerState {
+        FleetPlannerState {
+            settlement: self.workspace.export_basis(),
+            prospective: self
+                .prospective
+                .as_ref()
+                .map(|lp| lp.workspace.export_basis()),
+            prospective_net: self
+                .prospective_net
+                .as_ref()
+                .map(|lp| lp.workspace.export_basis()),
+        }
+    }
+
+    /// Reinstates checkpointed warm-start bases on a freshly built
+    /// planner for the *same* topology. Prospective templates recorded
+    /// in the state are built eagerly (they are pure functions of the
+    /// topology), so the first planned frame after a restart warm-starts
+    /// exactly like the uninterrupted run. Warm/cold counters restart at
+    /// zero — they are diagnostics, not state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidState`] if a basis snapshot fails validation.
+    pub fn import_state(&mut self, state: &FleetPlannerState) -> Result<(), SimError> {
+        let invalid = |_| SimError::InvalidState {
+            what: "fleet planner basis snapshot failed validation",
+        };
+        self.workspace
+            .import_basis(&state.settlement)
+            .map_err(invalid)?;
+        if let Some(basis) = &state.prospective {
+            self.prospective
+                .get_or_insert_with(|| ProspectiveLp::for_topology(&self.ic))
+                .workspace
+                .import_basis(basis)
+                .map_err(invalid)?;
+        }
+        if let Some(basis) = &state.prospective_net {
+            self.prospective_net
+                .get_or_insert_with(|| ProspectiveNetLp::for_topology(&self.ic))
+                .workspace
+                .import_basis(basis)
+                .map_err(invalid)?;
+        }
+        Ok(())
     }
 
     /// Enables (or disables) coordinated dispatch: when on, the planner's
@@ -1222,6 +1291,42 @@ mod tests {
         let _ = p.plan(&ex);
         let (w2, c2) = p.solve_counts();
         assert_eq!((w2, c2), (1, 2), "cleared basis must force a cold solve");
+    }
+
+    #[test]
+    fn export_import_state_carries_the_warm_path_across_planners() {
+        let ic = Interconnect::uniform(3, Energy::from_mwh(2.0)).unwrap();
+        let mut donor = FleetPlanner::new(ic.clone());
+        let ex = exchange(&[2.0, 0.3, 0.0], &[0.0, 1.0, 1.5], &[0.0, 55.0, 70.0]);
+        let _ = donor.plan(&ex);
+        let state = donor.export_state();
+
+        // A fresh planner with the imported state continues warm and
+        // settles the next frame exactly like the donor.
+        let mut restored = FleetPlanner::new(ic);
+        restored.import_state(&state).unwrap();
+        let ex2 = exchange(&[1.8, 0.4, 0.0], &[0.0, 1.2, 1.3], &[0.0, 58.0, 66.0]);
+        let a = donor.plan(&ex2);
+        let b = restored.plan(&ex2);
+        assert_eq!(a, b);
+        let (warm, cold) = restored.solve_counts();
+        assert_eq!((warm, cold), (1, 0), "restored planner must solve warm");
+
+        // Roundtrip through JSON (what a snapshot file carries).
+        let json = serde_json::to_string(&state).unwrap();
+        let back: FleetPlannerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, state);
+
+        // A corrupted basis is rejected with a typed error.
+        let mut bad = state;
+        if let Some(d) = bad.settlement.dense.as_mut() {
+            d.basis.push(0);
+        }
+        assert!(matches!(
+            FleetPlanner::new(Interconnect::uniform(3, Energy::from_mwh(2.0)).unwrap())
+                .import_state(&bad),
+            Err(SimError::InvalidState { .. })
+        ));
     }
 
     #[test]

@@ -1,8 +1,9 @@
 use dpss_sim::{
-    Controller, FrameDecision, FrameDirective, FrameObservation, SimParams, SlotDecision,
-    SlotObservation, SlotOutcome, SystemView,
+    Controller, ControllerState, FrameDecision, FrameDirective, FrameObservation, SimError,
+    SimParams, SlotDecision, SlotObservation, SlotOutcome, SystemView,
 };
 use dpss_units::{Energy, SlotClock};
+use serde::{Deserialize, Serialize};
 
 use crate::{p4, p5, CoreError, MarketMode, P4Variant, SmartDpssConfig, TheoremBounds};
 
@@ -169,9 +170,55 @@ impl SmartDpss {
     }
 }
 
+/// The checkpointable internals of [`SmartDpss`], carried as the
+/// [`ControllerState`] payload (JSON).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SmartDpssPayload {
+    y: f64,
+    planned_backlog: f64,
+    y_max_seen: f64,
+    directive: Option<FrameDirective>,
+}
+
 impl Controller for SmartDpss {
     fn name(&self) -> &str {
         "smart-dpss"
+    }
+
+    fn save_state(&self) -> ControllerState {
+        let payload = SmartDpssPayload {
+            y: self.y,
+            planned_backlog: self.planned_backlog,
+            y_max_seen: self.y_max_seen,
+            directive: self.directive,
+        };
+        ControllerState {
+            payload: serde_json::to_string(&payload).ok(),
+            ..ControllerState::empty()
+        }
+    }
+
+    fn load_state(&mut self, state: &ControllerState) -> Result<(), SimError> {
+        let Some(json) = &state.payload else {
+            return Err(SimError::InvalidState {
+                what: "smart-dpss state must carry a payload",
+            });
+        };
+        let payload: SmartDpssPayload =
+            serde_json::from_str(json).map_err(|_| SimError::InvalidState {
+                what: "smart-dpss payload is not a valid state record",
+            })?;
+        let ok = |x: f64| x.is_finite() && x >= 0.0;
+        if !ok(payload.y) || !ok(payload.planned_backlog) || !ok(payload.y_max_seen) {
+            return Err(SimError::InvalidState {
+                what: "smart-dpss queue state must be finite and non-negative",
+            });
+        }
+        self.y = payload.y;
+        self.planned_backlog = payload.planned_backlog;
+        self.y_max_seen = payload.y_max_seen;
+        self.directive = payload.directive;
+        Ok(())
     }
 
     fn receive_directive(&mut self, directive: &FrameDirective) {
@@ -503,6 +550,60 @@ mod tests {
         let a = run_with(SmartDpssConfig::icdcs13(), 3);
         let b = run_with(SmartDpssConfig::icdcs13(), 3);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn save_load_state_resumes_byte_identically() {
+        let clock = SlotClock::new(6, 24, 1.0).unwrap();
+        let traces = Scenario::icdcs13().generate(&clock, 42).unwrap();
+        let params = SimParams::icdcs13();
+        let engine = Engine::new(params, traces).unwrap();
+        let mut full_ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let full = engine.run(&mut full_ctl).unwrap();
+
+        // Step 3 frames, checkpoint engine + controller, restore both
+        // into fresh instances, finish: the report must be identical.
+        let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        let mut run = engine.begin().unwrap();
+        for _ in 0..3 {
+            run.step_frame(&mut ctl).unwrap();
+        }
+        let engine_state = run.state();
+        let ctl_state = ctl.save_state();
+        assert!(!ctl_state.is_empty());
+
+        let mut restored = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        restored.load_state(&ctl_state).unwrap();
+        assert_eq!(restored.virtual_queue_y(), ctl.virtual_queue_y());
+        let mut resumed = engine.resume(engine_state).unwrap();
+        while !resumed.is_done() {
+            resumed.step_frame(&mut restored).unwrap();
+        }
+        assert_eq!(resumed.finish().unwrap(), full);
+    }
+
+    #[test]
+    fn load_state_rejects_garbage() {
+        let clock = SlotClock::new(2, 4, 1.0).unwrap();
+        let params = SimParams::icdcs13();
+        let mut ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock).unwrap();
+        // Missing payload.
+        assert!(ctl.load_state(&dpss_sim::ControllerState::empty()).is_err());
+        // Unparseable payload.
+        let bad = dpss_sim::ControllerState {
+            payload: Some("not json".to_owned()),
+            ..dpss_sim::ControllerState::empty()
+        };
+        assert!(ctl.load_state(&bad).is_err());
+        // Negative virtual queue.
+        let bad = dpss_sim::ControllerState {
+            payload: Some(
+                "{\"y\":-1.0,\"planned_backlog\":0.0,\"y_max_seen\":0.0,\"directive\":null}"
+                    .to_owned(),
+            ),
+            ..dpss_sim::ControllerState::empty()
+        };
+        assert!(ctl.load_state(&bad).is_err());
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub enum LpError {
         /// The out-of-range index carried by the handle.
         constraint: usize,
     },
+    /// A [`BasisSnapshot`](crate::BasisSnapshot) failed validation on
+    /// import (inconsistent shape, out-of-range index, non-finite value).
+    InvalidBasis {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -60,6 +66,9 @@ impl fmt::Display for LpError {
                     f,
                     "constraint handle {constraint} does not belong to this problem"
                 )
+            }
+            LpError::InvalidBasis { what } => {
+                write!(f, "invalid basis snapshot: {what}")
             }
         }
     }
@@ -88,6 +97,9 @@ mod tests {
         assert!(LpError::NotFinite { what: "rhs" }
             .to_string()
             .contains("rhs"));
+        assert!(LpError::InvalidBasis { what: "shape" }
+            .to_string()
+            .contains("shape"));
     }
 
     #[test]

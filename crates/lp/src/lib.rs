@@ -1,4 +1,5 @@
-//! A small, dependency-free linear-programming substrate.
+//! A small linear-programming substrate (serde is its only dependency,
+//! for checkpointable warm-start bases).
 //!
 //! The SmartDPSS paper solves all of its optimization problems — the offline
 //! benchmark `P2` and the online subproblems `P4`/`P5` — with "classical
@@ -46,6 +47,7 @@
 #![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod basis;
 mod error;
 mod model;
 mod network;
@@ -54,6 +56,7 @@ mod solution;
 mod standard;
 mod workspace;
 
+pub use basis::{BasisSnapshot, DenseBasisSnapshot, NetworkBasisSnapshot};
 pub use error::LpError;
 pub use model::{ConstraintId, Problem, Relation, Sense, Variable};
 pub use solution::Solution;

@@ -1,0 +1,169 @@
+//! The `dpss-serve` binary: the streaming control daemon over
+//! stdin/stdout or a Unix-domain socket, plus deterministic log replay.
+//!
+//! Exit contract: `0` on a clean session (EOF or `shutdown`), `1` on an
+//! execution failure (I/O, unusable snapshot state), `2` on a usage
+//! error. Diagnostics go to stderr prefixed `dpss-serve: error:`.
+
+use std::io::{BufReader, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dpss_serve::{replay_file, serve, ServeError, ServeOptions};
+
+const USAGE: &str = "\
+usage: dpss-serve [--state-dir DIR] [--resume] [--log FILE] [--socket PATH]
+       dpss-serve replay FILE [--state-dir DIR] [--log FILE]
+
+The daemon speaks newline-delimited JSON: one request per line on the
+way in, one response per line on the way out. See the crate docs for
+the request grammar.
+
+options:
+  --state-dir DIR   enable the snapshot command, writing into DIR
+  --resume          reconstruct the newest valid snapshot before serving
+                    (requires --state-dir)
+  --log FILE        append every request line to FILE (the replay log)
+  --socket PATH     serve connections on a Unix-domain socket instead of
+                    stdin/stdout; serving ends when a client sends
+                    shutdown
+  --help            print this help
+
+subcommands:
+  replay FILE       re-drive a recorded request log deterministically,
+                    writing the response transcript to stdout
+";
+
+#[derive(Debug, Default)]
+struct Args {
+    replay: Option<PathBuf>,
+    socket: Option<PathBuf>,
+    options: ServeOptions,
+    help: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    let mut positional: Vec<&String> = Vec::new();
+    let mut want_replay = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--help" | "-h" => args.help = true,
+            "--resume" => args.options.resume = true,
+            "--state-dir" => {
+                let value = it.next().ok_or("--state-dir needs a directory")?;
+                args.options.state_dir = Some(PathBuf::from(value));
+            }
+            "--log" => {
+                let value = it.next().ok_or("--log needs a file path")?;
+                args.options.log = Some(PathBuf::from(value));
+            }
+            "--socket" => {
+                let value = it.next().ok_or("--socket needs a path")?;
+                args.socket = Some(PathBuf::from(value));
+            }
+            "replay" if !want_replay && positional.is_empty() => want_replay = true,
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag: {other}"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if want_replay {
+        match positional.as_slice() {
+            [file] => args.replay = Some(PathBuf::from(*file)),
+            [] => return Err("replay needs a log file".to_owned()),
+            _ => return Err("replay takes exactly one log file".to_owned()),
+        }
+    } else if let Some(stray) = positional.first() {
+        return Err(format!("unexpected argument: {stray}"));
+    }
+    if args.options.resume && args.options.state_dir.is_none() {
+        return Err("--resume requires --state-dir".to_owned());
+    }
+    if args.replay.is_some() && args.socket.is_some() {
+        return Err("replay and --socket are mutually exclusive".to_owned());
+    }
+    if args.replay.is_some() && args.options.resume {
+        return Err("replay re-derives state from the log; drop --resume".to_owned());
+    }
+    Ok(args)
+}
+
+fn serve_stdio(options: &ServeOptions) -> Result<(), ServeError> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut input = stdin.lock();
+    let mut output = stdout.lock();
+    serve(&mut input, &mut output, options).map(|_| ())
+}
+
+fn serve_socket(path: &PathBuf, options: &ServeOptions) -> Result<(), ServeError> {
+    use std::os::unix::net::UnixListener;
+    // A previous run's socket file would make bind fail; it cannot be a
+    // live listener we care about, since each daemon owns its path.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path).map_err(|e| ServeError::Io {
+        context: format!("binding unix socket {}", path.display()),
+        message: e.to_string(),
+    })?;
+    loop {
+        let (stream, _) = listener.accept().map_err(|e| ServeError::Io {
+            context: "accepting a connection".to_owned(),
+            message: e.to_string(),
+        })?;
+        let writer = stream.try_clone().map_err(|e| ServeError::Io {
+            context: "cloning the connection stream".to_owned(),
+            message: e.to_string(),
+        })?;
+        let mut input = BufReader::new(stream);
+        let mut output = writer;
+        let outcome = serve(&mut input, &mut output, options)?;
+        if outcome.shutdown {
+            let _ = std::fs::remove_file(path);
+            return Ok(());
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), ServeError> {
+    if let Some(log) = &args.replay {
+        let stdout = std::io::stdout();
+        let mut output = stdout.lock();
+        replay_file(log, &mut output, &args.options).map(|_| ())
+    } else if let Some(socket) = &args.socket {
+        serve_socket(socket, &args.options)
+    } else {
+        serve_stdio(&args.options)
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("dpss-serve: error: {message}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(ServeError::Usage(message)) => {
+            eprintln!("dpss-serve: error: {message}");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+        Err(err) => {
+            eprintln!("dpss-serve: error: {err}");
+            let _ = std::io::stderr().flush();
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Hard failures of the serve layer.
+//!
+//! Protocol-level problems (malformed lines, out-of-order ticks, commands
+//! sent in the wrong session state) never surface here — they become
+//! [`Response::Error`](crate::protocol::Response::Error) lines on the wire
+//! and the session keeps running. [`ServeError`] is reserved for conditions
+//! that end (or refuse to start) a serve process: bad invocation, broken
+//! I/O, and unusable snapshot state under `--resume`.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure that terminates (or refuses to start) a serve process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The caller's invocation was malformed (maps to exit code 2).
+    Usage(String),
+    /// An operating-system I/O operation failed (maps to exit code 1).
+    Io {
+        /// What the process was doing when the I/O failed.
+        context: String,
+        /// The operating system's description of the failure.
+        message: String,
+    },
+    /// `--resume` was requested but the state directory holds no
+    /// snapshot files at all.
+    NoSnapshot {
+        /// The state directory that was scanned.
+        dir: String,
+    },
+    /// Every snapshot candidate in the state directory failed integrity
+    /// checks (truncated writes, checksum mismatches, unparseable JSON).
+    CorruptSnapshot {
+        /// What was scanned and why nothing survived.
+        message: String,
+    },
+    /// A snapshot passed its integrity check but was written by a
+    /// different crate version or schema revision. Stale state is never
+    /// silently reinterpreted; delete the state directory (or rerun with
+    /// the matching binary) to proceed.
+    StaleSnapshot {
+        /// Schema revision recorded in the snapshot.
+        found_schema: u32,
+        /// Version salt recorded in the snapshot (hex).
+        found_salt: String,
+        /// Schema revision this binary writes.
+        expected_schema: u32,
+        /// Version salt this binary writes (hex).
+        expected_salt: String,
+    },
+    /// A snapshot was intact on disk but its payload no longer describes
+    /// a session this binary can reconstruct.
+    InvalidSnapshot {
+        /// Why reconstruction was refused.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Usage(message) => write!(f, "{message}"),
+            ServeError::Io { context, message } => {
+                write!(f, "i/o failure while {context}: {message}")
+            }
+            ServeError::NoSnapshot { dir } => {
+                write!(f, "no snapshot found in state dir {dir}")
+            }
+            ServeError::CorruptSnapshot { message } => {
+                write!(f, "corrupt snapshot state: {message}")
+            }
+            ServeError::StaleSnapshot {
+                found_schema,
+                found_salt,
+                expected_schema,
+                expected_salt,
+            } => write!(
+                f,
+                "stale snapshot: written by schema v{found_schema} (salt {found_salt}) but this \
+                 binary expects schema v{expected_schema} (salt {expected_salt}); delete the \
+                 state directory or resume with the binary version that wrote it"
+            ),
+            ServeError::InvalidSnapshot { message } => {
+                write!(f, "snapshot cannot be restored: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ServeError {}

@@ -1,0 +1,1050 @@
+//! Resumable control sessions.
+//!
+//! A session wraps the batch engines in a *transient-resume* loop: the
+//! durable state is a plain-data [`EngineRunState`] (plus controller and
+//! dispatcher state), and every step rehydrates an
+//! [`EngineRun`] from it, advances one coarse frame,
+//! and stores the state back. Because `Engine::resume` reconstructs the
+//! exact mid-month state, a session that is snapshotted, killed and
+//! resumed finishes with a report byte-identical to an uninterrupted
+//! [`Engine::run`](dpss_sim::Engine::run) — the property the
+//! `resume_equivalence` suite pins for every built-in pack variant.
+//!
+//! Two shapes exist: [`SingleSession`] (one datacenter; `scenario`,
+//! `pack` or tick-driven `stream` traces) and [`FleetSession`] (several
+//! sites stepped in lockstep over an interconnect, replicating
+//! [`dpss_sim::MultiSiteEngine::run_with`] frame by frame with the dispatcher in
+//! the loop).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use dpss_core::{FleetPlanner, FleetPlannerState, RecedingHorizon, SmartDpss, SmartDpssConfig};
+use dpss_sim::{
+    Controller, ControllerState, Engine, EngineRun, EngineRunState, FleetDispatcher,
+    FrameDirective, FrameSettlement, Interconnect, MultiSiteReport, RunReport, SimParams,
+};
+use dpss_traces::{Scenario, ScenarioPack, TraceSet};
+use dpss_units::{Energy, Money, Price, SlotClock};
+
+use crate::protocol::{Fault, RawRequest};
+
+/// Interconnect capacity per pooled link in the default fleet topology,
+/// MWh per frame (mirrors the bench sweep's default).
+const DEFAULT_LINK_CAP_MWH: f64 = 2.0;
+
+/// Everything needed to rebuild a session's engines from scratch:
+/// the deterministic trace recipe, the plant, and the control roster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Trace source: `scenario`, `pack` or `stream`.
+    pub mode: String,
+    /// Controller kind: `smart` or `receding`.
+    pub controller: String,
+    /// Master seed for trace generation.
+    pub seed: u64,
+    /// Coarse frames in the horizon (daily frames in the paper).
+    pub days: usize,
+    /// Fine slots per coarse frame.
+    pub slots_per_frame: usize,
+    /// Duration of a fine slot, hours.
+    pub slot_hours: f64,
+    /// Battery capacity in minutes of peak demand.
+    pub battery_min: f64,
+    /// Built-in scenario pack (`pack` mode only).
+    pub pack: Option<String>,
+    /// Variant index within the pack.
+    pub variant: usize,
+    /// Number of datacenter sites; `>1` selects fleet mode.
+    pub sites: usize,
+    /// Fleet dispatch mode: `post-hoc`, `planned` or `coordinated`.
+    pub dispatch: String,
+}
+
+impl SessionConfig {
+    /// Builds a config from an `init` request, applying the documented
+    /// defaults and validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `protocol` [`Fault`] for unknown modes, controllers,
+    /// packs, dispatch modes, or out-of-range numeric fields.
+    pub fn from_request(req: &RawRequest) -> Result<Self, Fault> {
+        let mode = match &req.mode {
+            Some(m) => m.clone(),
+            None => {
+                if req.pack.is_some() {
+                    "pack".to_owned()
+                } else {
+                    "scenario".to_owned()
+                }
+            }
+        };
+        let config = SessionConfig {
+            mode,
+            controller: req.controller.clone().unwrap_or_else(|| "smart".to_owned()),
+            seed: req.seed.unwrap_or(42),
+            days: req.days.unwrap_or(31),
+            slots_per_frame: req.slots_per_frame.unwrap_or(24),
+            slot_hours: req.slot_hours.unwrap_or(1.0),
+            battery_min: req.battery_min.unwrap_or(15.0),
+            pack: req.pack.clone(),
+            variant: req.variant.unwrap_or(0),
+            sites: req.sites.unwrap_or(1),
+            dispatch: req.dispatch.clone().unwrap_or_else(|| "planned".to_owned()),
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Checks every field against the protocol's documented domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `protocol` [`Fault`] naming the offending field.
+    pub fn validate(&self) -> Result<(), Fault> {
+        match self.mode.as_str() {
+            "scenario" | "pack" | "stream" => {}
+            other => {
+                return Err(Fault::new(
+                    "protocol",
+                    format!("unknown mode: {other} (expected scenario|pack|stream)"),
+                ))
+            }
+        }
+        match self.controller.as_str() {
+            "smart" | "receding" => {}
+            other => {
+                return Err(Fault::new(
+                    "protocol",
+                    format!("unknown controller: {other} (expected smart|receding)"),
+                ))
+            }
+        }
+        match self.dispatch.as_str() {
+            "post-hoc" | "planned" | "coordinated" => {}
+            other => {
+                return Err(Fault::new(
+                    "protocol",
+                    format!(
+                        "unknown dispatch mode: {other} (expected post-hoc|planned|coordinated)"
+                    ),
+                ))
+            }
+        }
+        if self.mode == "pack" {
+            let Some(name) = &self.pack else {
+                return Err(Fault::new("protocol", "pack mode requires a pack name"));
+            };
+            let Some(pack) = ScenarioPack::builtin(name) else {
+                return Err(Fault::new(
+                    "protocol",
+                    format!(
+                        "unknown scenario pack: {name} (expected {})",
+                        ScenarioPack::builtin_names().join("|")
+                    ),
+                ));
+            };
+            if self.variant >= pack.len() {
+                return Err(Fault::new(
+                    "protocol",
+                    format!(
+                        "variant {} out of range for pack {name} ({} variants)",
+                        self.variant,
+                        pack.len()
+                    ),
+                ));
+            }
+        }
+        if self.sites == 0 {
+            return Err(Fault::new("protocol", "sites must be at least 1"));
+        }
+        if self.sites > 1 && self.mode != "pack" {
+            return Err(Fault::new(
+                "protocol",
+                "fleet sessions (sites > 1) are pack-sourced; set mode=pack",
+            ));
+        }
+        if self.sites > 512 {
+            return Err(Fault::new(
+                "protocol",
+                format!("sites {} exceeds the protocol cap of 512", self.sites),
+            ));
+        }
+        self.clock().map(|_| ())
+    }
+
+    /// The session's calendar.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `protocol` [`Fault`] for a degenerate calendar.
+    pub fn clock(&self) -> Result<SlotClock, Fault> {
+        SlotClock::new(self.days, self.slots_per_frame, self.slot_hours)
+            .map_err(|e| Fault::new("protocol", format!("invalid calendar: {e}")))
+    }
+
+    /// The session's plant parameters.
+    #[must_use]
+    pub fn params(&self) -> SimParams {
+        SimParams::icdcs13_with_battery(self.battery_min)
+    }
+}
+
+/// Builds the controller roster entry named by `kind`.
+fn build_controller(
+    kind: &str,
+    params: SimParams,
+    clock: SlotClock,
+) -> Result<Box<dyn Controller>, Fault> {
+    match kind {
+        "smart" => {
+            let ctl = SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                .map_err(|e| Fault::new("protocol", format!("controller rejected: {e}")))?;
+            Ok(Box::new(ctl))
+        }
+        "receding" => {
+            let ctl = RecedingHorizon::new(params)
+                .map_err(|e| Fault::new("protocol", format!("controller rejected: {e}")))?
+                .with_warm_start(true);
+            Ok(Box::new(ctl))
+        }
+        other => Err(Fault::new(
+            "protocol",
+            format!("unknown controller: {other} (expected smart|receding)"),
+        )),
+    }
+}
+
+/// One frame's worth of tick data in a stream session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickData {
+    /// Long-term market price for the frame, $/MWh.
+    pub price_lt: f64,
+    /// Per-slot real-time prices, $/MWh.
+    pub price_rt: Vec<f64>,
+    /// Per-slot delay-sensitive demand, MWh.
+    pub demand_ds: Vec<f64>,
+    /// Per-slot delay-tolerant demand, MWh.
+    pub demand_dt: Vec<f64>,
+    /// Per-slot renewable generation, MWh.
+    pub renewable: Vec<f64>,
+}
+
+impl TickData {
+    /// Extracts and validates tick data from a `tick` request.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `protocol` [`Fault`] for missing fields, wrong series
+    /// lengths, or non-finite / negative values.
+    pub fn from_request(req: &RawRequest, slots_per_frame: usize) -> Result<Self, Fault> {
+        fn series(field: &str, values: &Option<Vec<f64>>, want: usize) -> Result<Vec<f64>, Fault> {
+            let Some(values) = values else {
+                return Err(Fault::new("protocol", format!("tick is missing {field}")));
+            };
+            if values.len() != want {
+                return Err(Fault::new(
+                    "protocol",
+                    format!("{field} has {} slots, expected {want}", values.len()),
+                ));
+            }
+            for v in values {
+                if !v.is_finite() || *v < 0.0 {
+                    return Err(Fault::new(
+                        "protocol",
+                        format!("{field} contains a non-finite or negative value"),
+                    ));
+                }
+            }
+            Ok(values.clone())
+        }
+        let Some(price_lt) = req.price_lt else {
+            return Err(Fault::new("protocol", "tick is missing price_lt"));
+        };
+        if !price_lt.is_finite() || price_lt < 0.0 {
+            return Err(Fault::new(
+                "protocol",
+                "price_lt must be finite and non-negative",
+            ));
+        }
+        Ok(TickData {
+            price_lt,
+            price_rt: series("price_rt", &req.price_rt, slots_per_frame)?,
+            demand_ds: series("demand_ds", &req.demand_ds, slots_per_frame)?,
+            demand_dt: series("demand_dt", &req.demand_dt, slots_per_frame)?,
+            renewable: series("renewable", &req.renewable, slots_per_frame)?,
+        })
+    }
+}
+
+/// What one stepped frame looked like, for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameStep {
+    /// The coarse frame that was stepped.
+    pub frame: usize,
+    /// Long-term energy purchased this frame, MWh.
+    pub purchased_lt_mwh: f64,
+    /// Real-time energy purchased this frame, MWh.
+    pub purchased_rt_mwh: f64,
+    /// Cumulative cost so far, dollars.
+    pub cost_dollars: f64,
+    /// Battery level after the frame, MWh.
+    pub battery_mwh: f64,
+    /// Delay-tolerant backlog after the frame, MWh.
+    pub backlog_mwh: f64,
+    /// Whether every frame of the horizon has now been stepped.
+    pub done: bool,
+}
+
+/// What one stepped fleet frame looked like, for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStep {
+    /// The coarse frame that was stepped.
+    pub frame: usize,
+    /// Cumulative fleet cost so far (pre-settlement), dollars.
+    pub cost_dollars: f64,
+    /// Cumulative energy sent over the interconnect, MWh.
+    pub transferred_mwh: f64,
+    /// Cumulative real-time cost displaced by transfers, dollars.
+    pub savings_dollars: f64,
+    /// Directives applied to the sites before this frame.
+    pub directives: Vec<FrameDirective>,
+    /// Whether every frame of the horizon has now been stepped.
+    pub done: bool,
+}
+
+/// Durable image of a single-site session (the snapshot payload body).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleSnapshot {
+    /// The engine-side mid-month state.
+    pub run_state: EngineRunState,
+    /// The controller's internal state.
+    pub controller: ControllerState,
+    /// Frames whose trace data has been supplied (stream mode).
+    pub filled: usize,
+    /// The accumulated truth traces — present iff the session streams.
+    pub truth: Option<TraceSet>,
+}
+
+/// Durable image of a fleet session (the snapshot payload body).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Per-site engine states, in site order.
+    pub run_states: Vec<EngineRunState>,
+    /// Per-site controller states, in site order.
+    pub controllers: Vec<ControllerState>,
+    /// The fleet planner's state (planned/coordinated dispatch only).
+    pub planner: Option<FleetPlannerState>,
+    /// Next coarse frame to step.
+    pub next_frame: usize,
+    /// Cumulative energy sent by donors, MWh.
+    pub sent_mwh: f64,
+    /// Cumulative energy delivered after losses, MWh.
+    pub delivered_mwh: f64,
+    /// Cumulative displaced real-time cost, dollars.
+    pub savings_dollars: f64,
+    /// Cumulative wheeling charges, dollars.
+    pub wheeling_dollars: f64,
+}
+
+/// The full snapshot payload: config plus exactly one session image.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// The session's rebuild recipe.
+    pub config: SessionConfig,
+    /// Single-site image (mutually exclusive with `fleet`).
+    pub single: Option<SingleSnapshot>,
+    /// Fleet image (mutually exclusive with `single`).
+    pub fleet: Option<FleetSnapshot>,
+}
+
+/// A live session of either shape.
+pub enum Session {
+    /// One datacenter.
+    Single(Box<SingleSession>),
+    /// Several sites in lockstep over an interconnect.
+    Fleet(Box<FleetSession>),
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Session::Single(s) => s.fmt(f),
+            Session::Fleet(s) => s.fmt(f),
+        }
+    }
+}
+
+impl Session {
+    /// Creates a fresh session from a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration faults from the underlying engines.
+    pub fn new(config: SessionConfig) -> Result<Self, Fault> {
+        if config.sites > 1 {
+            Ok(Session::Fleet(Box::new(FleetSession::new(config)?)))
+        } else {
+            Ok(Session::Single(Box::new(SingleSession::new(config)?)))
+        }
+    }
+
+    /// Reconstructs a session from a decoded snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a `snapshot` [`Fault`] when the payload does not describe
+    /// a state the engines accept.
+    pub fn restore(snapshot: SessionSnapshot) -> Result<Self, Fault> {
+        snapshot.config.validate()?;
+        match (snapshot.single, snapshot.fleet) {
+            (Some(single), None) => Ok(Session::Single(Box::new(SingleSession::restore(
+                snapshot.config,
+                single,
+            )?))),
+            (None, Some(fleet)) => Ok(Session::Fleet(Box::new(FleetSession::restore(
+                snapshot.config,
+                fleet,
+            )?))),
+            _ => Err(Fault::new(
+                "snapshot",
+                "snapshot must carry exactly one of single/fleet state",
+            )),
+        }
+    }
+
+    /// Captures the session as a snapshot payload.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        match self {
+            Session::Single(s) => s.snapshot(),
+            Session::Fleet(s) => s.snapshot(),
+        }
+    }
+
+    /// The session's config.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        match self {
+            Session::Single(s) => &s.config,
+            Session::Fleet(s) => &s.config,
+        }
+    }
+
+    /// Next coarse frame the session will step.
+    #[must_use]
+    pub fn next_frame(&self) -> usize {
+        match self {
+            Session::Single(s) => s.run_state.next_frame,
+            Session::Fleet(s) => s.next_frame,
+        }
+    }
+
+    /// Coarse frames in the horizon.
+    #[must_use]
+    pub fn frames(&self) -> usize {
+        match self {
+            Session::Single(s) => s.clock.frames(),
+            Session::Fleet(s) => s.clock.frames(),
+        }
+    }
+
+    /// Whether every frame has been stepped.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.next_frame() >= self.frames()
+    }
+}
+
+/// A single-datacenter session.
+pub struct SingleSession {
+    /// The rebuild recipe.
+    pub config: SessionConfig,
+    clock: SlotClock,
+    truth: TraceSet,
+    engine: Engine,
+    controller: Box<dyn Controller>,
+    run_state: EngineRunState,
+    /// Frames whose trace data has been supplied. Stream sessions grow
+    /// this one tick at a time; scenario/pack sessions start full.
+    filled: usize,
+}
+
+impl fmt::Debug for SingleSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SingleSession")
+            .field("config", &self.config)
+            .field("next_frame", &self.run_state.next_frame)
+            .field("filled", &self.filled)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds the zero-filled trace shell a stream session grows into.
+fn empty_traces(clock: SlotClock) -> Result<TraceSet, Fault> {
+    TraceSet::new(
+        clock,
+        vec![Energy::ZERO; clock.total_slots()],
+        vec![Energy::ZERO; clock.total_slots()],
+        vec![Energy::ZERO; clock.total_slots()],
+        vec![Price::ZERO; clock.frames()],
+        vec![Price::ZERO; clock.total_slots()],
+    )
+    .map_err(|e| Fault::new("protocol", format!("invalid calendar: {e}")))
+}
+
+/// Generates the session's truth traces per the config's mode.
+fn source_traces(config: &SessionConfig, clock: SlotClock) -> Result<TraceSet, Fault> {
+    match config.mode.as_str() {
+        "stream" => empty_traces(clock),
+        "scenario" => Scenario::icdcs13()
+            .generate(&clock, config.seed)
+            .map_err(|e| Fault::new("protocol", format!("trace generation failed: {e}"))),
+        _ => {
+            let name = config.pack.as_deref().unwrap_or_default();
+            let pack = ScenarioPack::builtin(name)
+                .ok_or_else(|| Fault::new("protocol", format!("unknown scenario pack: {name}")))?;
+            pack.generate(&clock, config.seed, config.variant)
+                .map_err(|e| Fault::new("protocol", format!("trace generation failed: {e}")))
+        }
+    }
+}
+
+impl SingleSession {
+    /// Creates a fresh single-site session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration faults from the engine and controller.
+    pub fn new(config: SessionConfig) -> Result<Self, Fault> {
+        let clock = config.clock()?;
+        let params = config.params();
+        let truth = source_traces(&config, clock)?;
+        let engine = Engine::new(params, truth.clone())
+            .map_err(|e| Fault::new("protocol", format!("engine rejected traces: {e}")))?;
+        let controller = build_controller(&config.controller, params, clock)?;
+        let run_state = engine
+            .begin()
+            .map_err(|e| Fault::new("protocol", format!("engine could not start: {e}")))?
+            .state();
+        let filled = if config.mode == "stream" {
+            0
+        } else {
+            clock.frames()
+        };
+        Ok(SingleSession {
+            config,
+            clock,
+            truth,
+            engine,
+            controller,
+            run_state,
+            filled,
+        })
+    }
+
+    /// Reconstructs a single-site session from its snapshot image.
+    fn restore(config: SessionConfig, image: SingleSnapshot) -> Result<Self, Fault> {
+        let mut session = SingleSession::new(config)?;
+        if session.config.mode == "stream" {
+            let Some(truth) = image.truth else {
+                return Err(Fault::new(
+                    "snapshot",
+                    "stream snapshot is missing its trace state",
+                ));
+            };
+            truth
+                .validate()
+                .map_err(|e| Fault::new("snapshot", format!("snapshot traces invalid: {e}")))?;
+            if truth.clock != session.clock {
+                return Err(Fault::new(
+                    "snapshot",
+                    "snapshot traces disagree with the session calendar",
+                ));
+            }
+            session.engine = Engine::new(session.config.params(), truth.clone())
+                .map_err(|e| Fault::new("snapshot", format!("snapshot traces invalid: {e}")))?;
+            session.truth = truth;
+            if image.filled != image.run_state.next_frame {
+                return Err(Fault::new(
+                    "snapshot",
+                    "stream snapshot filled/next_frame mismatch",
+                ));
+            }
+        } else if image.truth.is_some() {
+            return Err(Fault::new(
+                "snapshot",
+                "non-stream snapshot unexpectedly carries trace state",
+            ));
+        }
+        // Let the engine vet the run state before adopting it.
+        session
+            .engine
+            .resume(image.run_state.clone())
+            .map_err(|e| Fault::new("snapshot", format!("run state rejected: {e}")))?;
+        session.run_state = image.run_state;
+        session
+            .controller
+            .load_state(&image.controller)
+            .map_err(|e| Fault::new("snapshot", format!("controller state rejected: {e}")))?;
+        session.filled = image.filled.min(session.clock.frames());
+        Ok(session)
+    }
+
+    /// Captures the session as a snapshot image.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            config: self.config.clone(),
+            single: Some(SingleSnapshot {
+                run_state: self.run_state.clone(),
+                controller: self.controller.save_state(),
+                filled: self.filled,
+                truth: if self.config.mode == "stream" {
+                    Some(self.truth.clone())
+                } else {
+                    None
+                },
+            }),
+            fleet: None,
+        }
+    }
+
+    /// Absorbs one stream tick: records frame `frame`'s trace data and
+    /// steps that frame.
+    ///
+    /// # Errors
+    ///
+    /// `protocol` faults for non-stream sessions and malformed data;
+    /// `order` faults for out-of-order frames.
+    pub fn tick(&mut self, frame: usize, data: &TickData) -> Result<FrameStep, Fault> {
+        if self.config.mode != "stream" {
+            return Err(Fault::new(
+                "protocol",
+                "tick is only valid in stream sessions; use step",
+            ));
+        }
+        if frame != self.filled {
+            return Err(Fault::new(
+                "order",
+                format!(
+                    "out-of-order tick: expected frame {}, got {frame}",
+                    self.filled
+                ),
+            ));
+        }
+        if frame >= self.clock.frames() {
+            return Err(Fault::new(
+                "order",
+                format!("tick past the horizon ({} frames)", self.clock.frames()),
+            ));
+        }
+        let t = self.clock.slots_per_frame();
+        let start = frame * t;
+        let set = |dst: &mut Vec<Energy>, src: &[f64]| {
+            for (slot, v) in dst.iter_mut().skip(start).take(t).zip(src) {
+                *slot = Energy::from_mwh(*v);
+            }
+        };
+        set(&mut self.truth.demand_ds, &data.demand_ds);
+        set(&mut self.truth.demand_dt, &data.demand_dt);
+        set(&mut self.truth.renewable, &data.renewable);
+        for (slot, v) in self
+            .truth
+            .price_rt
+            .iter_mut()
+            .skip(start)
+            .take(t)
+            .zip(&data.price_rt)
+        {
+            *slot = Price::from_dollars_per_mwh(*v);
+        }
+        if let Some(slot) = self.truth.price_lt.get_mut(frame) {
+            *slot = Price::from_dollars_per_mwh(data.price_lt);
+        }
+        self.engine = Engine::new(self.config.params(), self.truth.clone())
+            .map_err(|e| Fault::new("protocol", format!("tick data rejected: {e}")))?;
+        self.filled += 1;
+        self.step()
+    }
+
+    /// Advances one coarse frame.
+    ///
+    /// # Errors
+    ///
+    /// `order` faults when the horizon is complete or (stream mode) the
+    /// frame's data has not been supplied; `state` faults when the
+    /// engine rejects the stored state.
+    pub fn step(&mut self) -> Result<FrameStep, Fault> {
+        if self.run_state.next_frame >= self.clock.frames() {
+            return Err(Fault::new(
+                "order",
+                "all frames already stepped; send finish",
+            ));
+        }
+        if self.config.mode == "stream" && self.filled <= self.run_state.next_frame {
+            return Err(Fault::new(
+                "order",
+                format!(
+                    "frame {} has no data yet; send its tick first",
+                    self.run_state.next_frame
+                ),
+            ));
+        }
+        let before_lt = self.run_state.report.energy_lt;
+        let before_rt = self.run_state.report.energy_rt;
+        let mut run = self
+            .engine
+            .resume(self.run_state.clone())
+            .map_err(|e| Fault::new("state", format!("run state rejected: {e}")))?;
+        let frame = run.frames_completed();
+        run.step_frame(self.controller.as_mut())
+            .map_err(|e| Fault::new("state", format!("frame step failed: {e}")))?;
+        self.run_state = run.state();
+        Ok(FrameStep {
+            frame,
+            purchased_lt_mwh: (self.run_state.report.energy_lt - before_lt).mwh(),
+            purchased_rt_mwh: (self.run_state.report.energy_rt - before_rt).mwh(),
+            cost_dollars: self.run_state.report.total_cost().dollars(),
+            battery_mwh: self.run_state.battery.level.mwh(),
+            backlog_mwh: self.run_state.queue.backlog.mwh(),
+            done: self.run_state.next_frame >= self.clock.frames(),
+        })
+    }
+
+    /// Closes the month and produces the final report.
+    ///
+    /// # Errors
+    ///
+    /// `order` faults when frames remain; `state` faults when the
+    /// engine rejects the stored state.
+    pub fn finish(&self) -> Result<RunReport, Fault> {
+        if self.run_state.next_frame < self.clock.frames() {
+            return Err(Fault::new(
+                "order",
+                format!(
+                    "cannot finish: {} of {} frames stepped",
+                    self.run_state.next_frame,
+                    self.clock.frames()
+                ),
+            ));
+        }
+        self.engine
+            .resume(self.run_state.clone())
+            .map_err(|e| Fault::new("state", format!("run state rejected: {e}")))?
+            .finish()
+            .map_err(|e| Fault::new("state", format!("finish failed: {e}")))
+    }
+}
+
+/// The fleet dispatcher roster: the post-hoc greedy settlement or the
+/// LP-backed planner (optionally coordinating).
+enum FleetDispatch {
+    /// Greedy per-frame settlement over the raw topology.
+    Greedy(Interconnect),
+    /// The warm-started flow-LP planner.
+    Planner(Box<FleetPlanner>),
+}
+
+impl FleetDispatch {
+    fn direct(&mut self, outlook: &dpss_sim::FrameOutlook) -> Vec<FrameDirective> {
+        match self {
+            FleetDispatch::Greedy(ic) => FleetDispatcher::direct(ic, outlook),
+            FleetDispatch::Planner(p) => FleetDispatcher::direct(p.as_mut(), outlook),
+        }
+    }
+
+    fn settle(&mut self, exchange: &dpss_sim::FrameExchange) -> FrameSettlement {
+        match self {
+            FleetDispatch::Greedy(ic) => FleetDispatcher::settle(ic, exchange),
+            FleetDispatch::Planner(p) => FleetDispatcher::settle(p.as_mut(), exchange),
+        }
+    }
+}
+
+/// A multi-site session stepping every site in lockstep, with the
+/// dispatcher in the loop exactly as [`MultiSiteEngine::run_with`]
+/// places it.
+///
+/// [`MultiSiteEngine::run_with`]: dpss_sim::MultiSiteEngine::run_with
+pub struct FleetSession {
+    /// The rebuild recipe.
+    pub config: SessionConfig,
+    clock: SlotClock,
+    fleet: dpss_sim::MultiSiteEngine,
+    controllers: Vec<Box<dyn Controller>>,
+    dispatcher: FleetDispatch,
+    run_states: Vec<EngineRunState>,
+    totals: FrameSettlement,
+    next_frame: usize,
+}
+
+impl fmt::Debug for FleetSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetSession")
+            .field("config", &self.config)
+            .field("next_frame", &self.next_frame)
+            .finish_non_exhaustive()
+    }
+}
+
+impl FleetSession {
+    /// Creates a fresh fleet session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration faults from the engines, interconnect
+    /// and controllers.
+    pub fn new(config: SessionConfig) -> Result<Self, Fault> {
+        let clock = config.clock()?;
+        let params = config.params();
+        let name = config.pack.as_deref().unwrap_or_default();
+        let pack = ScenarioPack::builtin(name)
+            .ok_or_else(|| Fault::new("protocol", format!("unknown scenario pack: {name}")))?;
+        let mut engines = Vec::with_capacity(config.sites);
+        for site in 0..config.sites {
+            let traces = pack
+                .generate_site(&clock, config.seed, config.variant, site)
+                .map_err(|e| Fault::new("protocol", format!("trace generation failed: {e}")))?;
+            let engine = Engine::new(params, traces)
+                .map_err(|e| Fault::new("protocol", format!("engine rejected traces: {e}")))?;
+            engines.push(engine);
+        }
+        let ic = Interconnect::pooled(config.sites, Energy::from_mwh(DEFAULT_LINK_CAP_MWH))
+            .map_err(|e| Fault::new("protocol", format!("interconnect rejected: {e}")))?;
+        let fleet = dpss_sim::MultiSiteEngine::new(engines)
+            .map_err(|e| Fault::new("protocol", format!("fleet rejected sites: {e}")))?
+            .with_interconnect(ic)
+            .map_err(|e| Fault::new("protocol", format!("interconnect rejected: {e}")))?;
+        let dispatcher = match config.dispatch.as_str() {
+            "post-hoc" => FleetDispatch::Greedy(fleet.interconnect().clone()),
+            "coordinated" => FleetDispatch::Planner(Box::new(
+                FleetPlanner::for_engine(&fleet).with_coordination(true),
+            )),
+            _ => FleetDispatch::Planner(Box::new(FleetPlanner::for_engine(&fleet))),
+        };
+        let mut controllers = Vec::with_capacity(config.sites);
+        for _ in 0..config.sites {
+            controllers.push(build_controller(&config.controller, params, clock)?);
+        }
+        let mut run_states = Vec::with_capacity(config.sites);
+        for engine in fleet.sites() {
+            let state = engine
+                .begin()
+                .map_err(|e| Fault::new("protocol", format!("engine could not start: {e}")))?
+                .state();
+            run_states.push(state);
+        }
+        Ok(FleetSession {
+            config,
+            clock,
+            fleet,
+            controllers,
+            dispatcher,
+            run_states,
+            totals: FrameSettlement::default(),
+            next_frame: 0,
+        })
+    }
+
+    /// Reconstructs a fleet session from its snapshot image.
+    fn restore(config: SessionConfig, image: FleetSnapshot) -> Result<Self, Fault> {
+        let mut session = FleetSession::new(config)?;
+        if image.run_states.len() != session.config.sites
+            || image.controllers.len() != session.config.sites
+        {
+            return Err(Fault::new(
+                "snapshot",
+                "snapshot site roster differs from the session config",
+            ));
+        }
+        for (engine, state) in session.fleet.sites().iter().zip(&image.run_states) {
+            engine
+                .resume(state.clone())
+                .map_err(|e| Fault::new("snapshot", format!("run state rejected: {e}")))?;
+            if state.next_frame != image.next_frame {
+                return Err(Fault::new(
+                    "snapshot",
+                    "snapshot sites disagree on the next frame",
+                ));
+            }
+        }
+        for (ctl, state) in session.controllers.iter_mut().zip(&image.controllers) {
+            ctl.load_state(state)
+                .map_err(|e| Fault::new("snapshot", format!("controller state rejected: {e}")))?;
+        }
+        match (&mut session.dispatcher, &image.planner) {
+            (FleetDispatch::Planner(p), Some(state)) => {
+                p.import_state(state)
+                    .map_err(|e| Fault::new("snapshot", format!("planner state rejected: {e}")))?;
+            }
+            (FleetDispatch::Planner(_), None) => {
+                return Err(Fault::new(
+                    "snapshot",
+                    "snapshot is missing the planner state its dispatch mode requires",
+                ));
+            }
+            (FleetDispatch::Greedy(_), Some(_)) => {
+                return Err(Fault::new(
+                    "snapshot",
+                    "snapshot carries planner state but the dispatch mode is post-hoc",
+                ));
+            }
+            (FleetDispatch::Greedy(_), None) => {}
+        }
+        for v in [
+            image.sent_mwh,
+            image.delivered_mwh,
+            image.savings_dollars,
+            image.wheeling_dollars,
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(Fault::new(
+                    "snapshot",
+                    "snapshot settlement totals are not finite non-negative numbers",
+                ));
+            }
+        }
+        session.run_states = image.run_states;
+        session.totals = FrameSettlement {
+            sent: Energy::from_mwh(image.sent_mwh),
+            delivered: Energy::from_mwh(image.delivered_mwh),
+            savings: Money::from_dollars(image.savings_dollars),
+            wheeling: Money::from_dollars(image.wheeling_dollars),
+        };
+        session.next_frame = image.next_frame;
+        Ok(session)
+    }
+
+    /// Captures the session as a snapshot image.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            config: self.config.clone(),
+            single: None,
+            fleet: Some(FleetSnapshot {
+                run_states: self.run_states.clone(),
+                controllers: self.controllers.iter().map(|c| c.save_state()).collect(),
+                planner: match &self.dispatcher {
+                    FleetDispatch::Planner(p) => Some(p.export_state()),
+                    FleetDispatch::Greedy(_) => None,
+                },
+                next_frame: self.next_frame,
+                sent_mwh: self.totals.sent.mwh(),
+                delivered_mwh: self.totals.delivered.mwh(),
+                savings_dollars: self.totals.savings.dollars(),
+                wheeling_dollars: self.totals.wheeling.dollars(),
+            }),
+        }
+    }
+
+    /// Advances every site one coarse frame in lockstep, with the
+    /// dispatcher directing before and settling after, exactly as the
+    /// batch fleet loop does.
+    ///
+    /// # Errors
+    ///
+    /// `order` faults when the horizon is complete; `state` faults when
+    /// an engine rejects its stored state or a step fails.
+    pub fn step(&mut self) -> Result<FleetStep, Fault> {
+        if self.next_frame >= self.clock.frames() {
+            return Err(Fault::new(
+                "order",
+                "all frames already stepped; send finish",
+            ));
+        }
+        let mut runs: Vec<EngineRun<'_>> = Vec::with_capacity(self.run_states.len());
+        for (engine, state) in self.fleet.sites().iter().zip(&self.run_states) {
+            let run = engine
+                .resume(state.clone())
+                .map_err(|e| Fault::new("state", format!("run state rejected: {e}")))?;
+            runs.push(run);
+        }
+        let silent = self.fleet.interconnect().is_silent();
+        let mut applied = Vec::new();
+        if !silent {
+            let outlook = self.fleet.outlook_at(self.next_frame, &runs);
+            let directives = self.dispatcher.direct(&outlook);
+            if !directives.is_empty() {
+                if directives.len() != self.run_states.len() {
+                    return Err(Fault::new(
+                        "state",
+                        "directive roster length differs from site roster",
+                    ));
+                }
+                for (ctl, directive) in self.controllers.iter_mut().zip(&directives) {
+                    ctl.receive_directive(directive);
+                }
+                applied = directives;
+            }
+        }
+        for (run, ctl) in runs.iter_mut().zip(self.controllers.iter_mut()) {
+            run.step_frame(ctl.as_mut())
+                .map_err(|e| Fault::new("state", format!("frame step failed: {e}")))?;
+        }
+        if !silent {
+            let ex = self
+                .fleet
+                .exchange_at(self.next_frame, &runs)
+                .map_err(|e| Fault::new("state", format!("exchange failed: {e}")))?;
+            let s = self.dispatcher.settle(&ex);
+            self.totals.sent += s.sent;
+            self.totals.delivered += s.delivered;
+            self.totals.savings += s.savings;
+            self.totals.wheeling += s.wheeling;
+        }
+        self.run_states = runs.iter().map(EngineRun::state).collect();
+        let frame = self.next_frame;
+        self.next_frame += 1;
+        let cost: Money = self.run_states.iter().map(|s| s.report.total_cost()).sum();
+        Ok(FleetStep {
+            frame,
+            cost_dollars: cost.dollars(),
+            transferred_mwh: self.totals.sent.mwh(),
+            savings_dollars: self.totals.savings.dollars(),
+            directives: applied,
+            done: self.next_frame >= self.clock.frames(),
+        })
+    }
+
+    /// Closes the month and assembles the fleet report — identical to
+    /// what the batch loop would have produced over the same frames.
+    ///
+    /// # Errors
+    ///
+    /// `order` faults when frames remain; `state` faults when an engine
+    /// rejects its stored state.
+    pub fn finish(&self) -> Result<MultiSiteReport, Fault> {
+        if self.next_frame < self.clock.frames() {
+            return Err(Fault::new(
+                "order",
+                format!(
+                    "cannot finish: {} of {} frames stepped",
+                    self.next_frame,
+                    self.clock.frames()
+                ),
+            ));
+        }
+        let mut reports = Vec::with_capacity(self.run_states.len());
+        for (engine, state) in self.fleet.sites().iter().zip(&self.run_states) {
+            let report = engine
+                .resume(state.clone())
+                .map_err(|e| Fault::new("state", format!("run state rejected: {e}")))?
+                .finish()
+                .map_err(|e| Fault::new("state", format!("finish failed: {e}")))?;
+            reports.push(report);
+        }
+        Ok(MultiSiteReport {
+            sites: reports,
+            frames: self.clock.frames(),
+            slots: self.clock.total_slots(),
+            interconnect: self.fleet.interconnect().clone(),
+            energy_transferred: self.totals.sent,
+            energy_delivered: self.totals.delivered,
+            transfer_savings: self.totals.savings,
+            wheeling_cost: self.totals.wheeling,
+        })
+    }
+}

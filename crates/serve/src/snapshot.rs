@@ -1,0 +1,413 @@
+//! Versioned, checksummed, atomically-written snapshots.
+//!
+//! # On-disk layout
+//!
+//! A state directory holds one JSON file per snapshot, named
+//! `snap-NNNNNN.json` where `NNNNNN` is the zero-padded next frame.
+//! Each file is a [`SnapshotFile`] envelope:
+//!
+//! ```json
+//! {"magic":"dpss-serve-snapshot","schema":1,"salt":"…16 hex…",
+//!  "frame":12,"payload":"<session JSON>","checksum":"…16 hex…"}
+//! ```
+//!
+//! * **Atomicity** — the envelope is written to `snap-NNNNNN.json.tmp`
+//!   and renamed into place, so a crash mid-write leaves either the old
+//!   file or a `.tmp` orphan the scan ignores — never a half-snapshot
+//!   under the real name.
+//! * **Integrity** — `checksum` is `splitmix64(fnv1a(payload) ^ salt)`.
+//!   A truncated or bit-flipped payload fails the check and the scan
+//!   falls back to the next-newest candidate.
+//! * **Versioning** — `salt` keys the checksum to
+//!   `splitmix64(schema ^ fnv1a(crate_version))`. A snapshot whose salt
+//!   or schema differs from the running binary is *stale*: it passes its
+//!   own integrity check (so it is not mistaken for corruption) but
+//!   resuming from it is refused with [`ServeError::StaleSnapshot`]
+//!   rather than silently reinterpreted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use dpss_traces::seed::{fnv1a, splitmix64};
+
+use crate::error::ServeError;
+use crate::protocol::SCHEMA_VERSION;
+
+/// Marker identifying snapshot files written by this daemon.
+pub const SNAPSHOT_MAGIC: &str = "dpss-serve-snapshot";
+
+/// The version salt the running binary stamps into (and expects from)
+/// every snapshot: schema revision crossed with the crate version.
+#[must_use]
+pub fn snapshot_salt() -> u64 {
+    splitmix64(u64::from(SCHEMA_VERSION) ^ fnv1a(env!("CARGO_PKG_VERSION")))
+}
+
+/// Keyed integrity checksum of a snapshot payload.
+#[must_use]
+pub fn payload_checksum(payload: &str, salt: u64) -> u64 {
+    splitmix64(fnv1a(payload) ^ salt)
+}
+
+/// Renders a 64-bit word as fixed-width lowercase hex. JSON numbers are
+/// `f64` on this wire, so 64-bit words always travel as strings.
+#[must_use]
+pub fn hex64(value: u64) -> String {
+    format!("{value:016x}")
+}
+
+fn parse_hex64(text: &str) -> Option<u64> {
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// The on-disk snapshot envelope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotFile {
+    /// Always [`SNAPSHOT_MAGIC`].
+    pub magic: String,
+    /// Schema revision of the writer.
+    pub schema: u32,
+    /// Version salt of the writer, hex.
+    pub salt: String,
+    /// Next coarse frame recorded in the payload.
+    pub frame: usize,
+    /// The serialized [`SessionSnapshot`](crate::session::SessionSnapshot).
+    pub payload: String,
+    /// `splitmix64(fnv1a(payload) ^ salt)`, hex.
+    pub checksum: String,
+}
+
+/// A snapshot that survived the resume scan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedSnapshot {
+    /// Next coarse frame recorded in the snapshot.
+    pub frame: usize,
+    /// The serialized session payload.
+    pub payload: String,
+    /// Newer candidates skipped as corrupt before this one.
+    pub discarded: usize,
+}
+
+/// A directory of snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapshotStore {
+    dir: PathBuf,
+}
+
+impl SnapshotStore {
+    /// Opens (creating if needed) a state directory.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the directory cannot be created.
+    pub fn open(dir: &Path) -> Result<Self, ServeError> {
+        fs::create_dir_all(dir).map_err(|e| ServeError::Io {
+            context: format!("creating state dir {}", dir.display()),
+            message: e.to_string(),
+        })?;
+        Ok(SnapshotStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The state directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The canonical path of frame `frame`'s snapshot.
+    #[must_use]
+    pub fn snapshot_path(&self, frame: usize) -> PathBuf {
+        self.dir.join(format!("snap-{frame:06}.json"))
+    }
+
+    /// Writes a snapshot atomically (tmp file + rename) and returns its
+    /// path and hex checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the write or rename fails.
+    pub fn write(&self, frame: usize, payload: &str) -> Result<(PathBuf, String), ServeError> {
+        let salt = snapshot_salt();
+        let checksum = hex64(payload_checksum(payload, salt));
+        let file = SnapshotFile {
+            magic: SNAPSHOT_MAGIC.to_owned(),
+            schema: SCHEMA_VERSION,
+            salt: hex64(salt),
+            frame,
+            payload: payload.to_owned(),
+            checksum: checksum.clone(),
+        };
+        let text = serde_json::to_string(&file).map_err(|e| ServeError::Io {
+            context: "serializing snapshot envelope".to_owned(),
+            message: e.to_string(),
+        })?;
+        let path = self.snapshot_path(frame);
+        let tmp = self.dir.join(format!("snap-{frame:06}.json.tmp"));
+        fs::write(&tmp, &text).map_err(|e| ServeError::Io {
+            context: format!("writing {}", tmp.display()),
+            message: e.to_string(),
+        })?;
+        fs::rename(&tmp, &path).map_err(|e| ServeError::Io {
+            context: format!("renaming {} into place", tmp.display()),
+            message: e.to_string(),
+        })?;
+        Ok((path, checksum))
+    }
+
+    /// Decodes and verifies one snapshot envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::CorruptSnapshot`] for unparseable, mislabeled or
+    /// checksum-failing envelopes; [`ServeError::StaleSnapshot`] for
+    /// intact envelopes written by a different version or schema.
+    pub fn decode(text: &str) -> Result<(usize, String), ServeError> {
+        let file: SnapshotFile =
+            serde_json::from_str(text).map_err(|e| ServeError::CorruptSnapshot {
+                message: format!("unparseable envelope: {e}"),
+            })?;
+        if file.magic != SNAPSHOT_MAGIC {
+            return Err(ServeError::CorruptSnapshot {
+                message: format!("unexpected magic {:?}", file.magic),
+            });
+        }
+        let Some(file_salt) = parse_hex64(&file.salt) else {
+            return Err(ServeError::CorruptSnapshot {
+                message: format!("malformed salt {:?}", file.salt),
+            });
+        };
+        // Integrity first, against the *writer's* salt, so a truncated
+        // stale file reads as corrupt while an intact one reads as stale.
+        if hex64(payload_checksum(&file.payload, file_salt)) != file.checksum {
+            return Err(ServeError::CorruptSnapshot {
+                message: "checksum mismatch (truncated or corrupted write)".to_owned(),
+            });
+        }
+        let expected_salt = snapshot_salt();
+        if file.schema != SCHEMA_VERSION || file_salt != expected_salt {
+            return Err(ServeError::StaleSnapshot {
+                found_schema: file.schema,
+                found_salt: file.salt,
+                expected_schema: SCHEMA_VERSION,
+                expected_salt: hex64(expected_salt),
+            });
+        }
+        Ok((file.frame, file.payload))
+    }
+
+    /// Loads the newest usable snapshot, skipping corrupt candidates.
+    ///
+    /// The scan walks `snap-*.json` newest-first. Corrupt candidates
+    /// (truncated writes, checksum mismatches) are counted and skipped;
+    /// a *stale* candidate stops the scan with a hard
+    /// [`ServeError::StaleSnapshot`] — mixing binary versions in one
+    /// state directory is an operator error this refuses to paper over.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::NoSnapshot`] for an empty directory,
+    /// [`ServeError::CorruptSnapshot`] when every candidate fails,
+    /// [`ServeError::StaleSnapshot`] as above, and [`ServeError::Io`]
+    /// if the directory cannot be read.
+    pub fn load_latest(&self) -> Result<LoadedSnapshot, ServeError> {
+        let entries = fs::read_dir(&self.dir).map_err(|e| ServeError::Io {
+            context: format!("scanning state dir {}", self.dir.display()),
+            message: e.to_string(),
+        })?;
+        let mut names: Vec<String> = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| ServeError::Io {
+                context: format!("scanning state dir {}", self.dir.display()),
+                message: e.to_string(),
+            })?;
+            if let Some(name) = entry.file_name().to_str() {
+                if name.starts_with("snap-") && name.ends_with(".json") {
+                    names.push(name.to_owned());
+                }
+            }
+        }
+        if names.is_empty() {
+            return Err(ServeError::NoSnapshot {
+                dir: self.dir.display().to_string(),
+            });
+        }
+        // Zero-padded frame numbers sort lexicographically; newest first.
+        names.sort();
+        names.reverse();
+        let candidates = names.len();
+        let mut discarded = 0;
+        for name in names {
+            let path = self.dir.join(&name);
+            let text = match fs::read_to_string(&path) {
+                Ok(text) => text,
+                Err(_) => {
+                    discarded += 1;
+                    continue;
+                }
+            };
+            match Self::decode(&text) {
+                Ok((frame, payload)) => {
+                    return Ok(LoadedSnapshot {
+                        frame,
+                        payload,
+                        discarded,
+                    })
+                }
+                Err(stale @ ServeError::StaleSnapshot { .. }) => return Err(stale),
+                Err(_) => discarded += 1,
+            }
+        }
+        Err(ServeError::CorruptSnapshot {
+            message: format!(
+                "no usable snapshot among {candidates} candidates in {} ({discarded} corrupt)",
+                self.dir.display()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dpss-serve-snap-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn roundtrip_write_load() {
+        let dir = temp_dir("roundtrip");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(3, "payload-three").unwrap();
+        store.write(7, "payload-seven").unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.frame, 7);
+        assert_eq!(loaded.payload, "payload-seven");
+        assert_eq!(loaded.discarded, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_older() {
+        let dir = temp_dir("fallback");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(2, "good-old").unwrap();
+        store.write(9, "good-new").unwrap();
+        // Simulate a crash mid-write: truncate the newest file.
+        let text = fs::read_to_string(store.snapshot_path(9)).unwrap();
+        fs::write(store.snapshot_path(9), &text[..text.len() / 2]).unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.frame, 2);
+        assert_eq!(loaded.payload, "good-old");
+        assert_eq!(loaded.discarded, 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphan_tmp_files_are_ignored() {
+        let dir = temp_dir("tmp-orphan");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(4, "real").unwrap();
+        fs::write(dir.join("snap-000008.json.tmp"), "half-written garbage").unwrap();
+        let loaded = store.load_latest().unwrap();
+        assert_eq!(loaded.frame, 4);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checksum_mismatch_is_corrupt() {
+        let dir = temp_dir("checksum");
+        let store = SnapshotStore::open(&dir).unwrap();
+        store.write(5, "authentic payload").unwrap();
+        let text = fs::read_to_string(store.snapshot_path(5)).unwrap();
+        let tampered = text.replace("authentic", "tampered!!");
+        assert!(matches!(
+            SnapshotStore::decode(&tampered),
+            Err(ServeError::CorruptSnapshot { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_salt_is_rejected_not_skipped() {
+        let dir = temp_dir("stale");
+        let store = SnapshotStore::open(&dir).unwrap();
+        // Forge an internally-consistent envelope from a "different
+        // version": its checksum verifies under its own salt, so it is
+        // intact — but the salt is not ours.
+        let foreign_salt = snapshot_salt() ^ 0xdead_beef;
+        let file = SnapshotFile {
+            magic: SNAPSHOT_MAGIC.to_owned(),
+            schema: SCHEMA_VERSION,
+            salt: hex64(foreign_salt),
+            frame: 6,
+            payload: "from another version".to_owned(),
+            checksum: hex64(payload_checksum("from another version", foreign_salt)),
+        };
+        fs::write(
+            store.snapshot_path(6),
+            serde_json::to_string(&file).unwrap(),
+        )
+        .unwrap();
+        let err = store.load_latest().unwrap_err();
+        match &err {
+            ServeError::StaleSnapshot { expected_salt, .. } => {
+                assert_eq!(*expected_salt, hex64(snapshot_salt()));
+            }
+            other => panic!("expected StaleSnapshot, got {other:?}"),
+        }
+        // The message names both versions so the operator knows what to do.
+        assert!(err.to_string().contains("stale snapshot"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_schema_is_rejected() {
+        let salt = snapshot_salt();
+        let file = SnapshotFile {
+            magic: SNAPSHOT_MAGIC.to_owned(),
+            schema: SCHEMA_VERSION + 1,
+            salt: hex64(salt),
+            frame: 0,
+            payload: "future schema".to_owned(),
+            checksum: hex64(payload_checksum("future schema", salt)),
+        };
+        assert!(matches!(
+            SnapshotStore::decode(&serde_json::to_string(&file).unwrap()),
+            Err(ServeError::StaleSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_dir_reports_no_snapshot() {
+        let dir = temp_dir("empty");
+        let store = SnapshotStore::open(&dir).unwrap();
+        assert!(matches!(
+            store.load_latest(),
+            Err(ServeError::NoSnapshot { .. })
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salt_depends_on_schema_and_version() {
+        // The salt must move if either input moves.
+        let here = snapshot_salt();
+        let other_schema =
+            splitmix64(u64::from(SCHEMA_VERSION + 1) ^ fnv1a(env!("CARGO_PKG_VERSION")));
+        let other_version = splitmix64(u64::from(SCHEMA_VERSION) ^ fnv1a("99.99.99"));
+        assert_ne!(here, other_schema);
+        assert_ne!(here, other_version);
+    }
+}

@@ -343,6 +343,68 @@ impl Battery {
     pub fn max_level_seen(&self) -> Energy {
         self.max_seen
     }
+
+    /// Captures the battery's full mutable state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> crate::BatteryState {
+        crate::BatteryState {
+            level: self.level,
+            operations: self.operations,
+            total_charged: self.total_charged,
+            total_discharged: self.total_discharged,
+            min_seen: self.min_seen,
+            max_seen: self.max_seen,
+        }
+    }
+
+    /// Rebuilds a battery mid-run from a checkpointed state. The restored
+    /// battery behaves exactly like the one that was captured.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BatteryParams::validate`];
+    /// [`SimError::InvalidState`](crate::SimError::InvalidState) if the
+    /// state's level lies outside the `[Bmin, Bmax]` window, its counters
+    /// are not finite and non-negative, or the observed-level window is
+    /// inconsistent.
+    pub fn from_state(
+        params: BatteryParams,
+        state: &crate::BatteryState,
+    ) -> Result<Self, SimError> {
+        params.validate()?;
+        let tol = Energy::from_mwh(1e-9);
+        let finite_nonneg = |e: Energy| e.is_finite() && e.mwh() >= 0.0;
+        if !state.level.is_finite()
+            || state.level < params.min_level - tol
+            || state.level > params.capacity + tol
+        {
+            return Err(SimError::InvalidState {
+                what: "battery level outside the [min_level, capacity] window",
+            });
+        }
+        if !finite_nonneg(state.total_charged) || !finite_nonneg(state.total_discharged) {
+            return Err(SimError::InvalidState {
+                what: "battery throughput totals must be finite and non-negative",
+            });
+        }
+        if !state.min_seen.is_finite()
+            || !state.max_seen.is_finite()
+            || state.min_seen > state.max_seen + tol
+        {
+            return Err(SimError::InvalidState {
+                what: "battery observed-level window is inconsistent",
+            });
+        }
+        Ok(Battery {
+            params,
+            level: state.level,
+            operations: state.operations,
+            total_charged: state.total_charged,
+            total_discharged: state.total_discharged,
+            min_seen: state.min_seen,
+            max_seen: state.max_seen,
+        })
+    }
 }
 
 #[cfg(test)]

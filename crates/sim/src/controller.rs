@@ -136,6 +136,35 @@ pub trait Controller: Send {
     fn end_slot(&mut self, outcome: &SlotOutcome, view: &SystemView) {
         let _ = (outcome, view);
     }
+
+    /// Captures the controller's internal state for checkpointing
+    /// (default: empty — correct for stateless policies). Stateful
+    /// controllers must save everything their future decisions depend on,
+    /// so that a [`load_state`](Self::load_state)d twin continues the
+    /// run byte-for-byte.
+    fn save_state(&self) -> crate::ControllerState {
+        crate::ControllerState::empty()
+    }
+
+    /// Reinstates a state captured by [`save_state`](Self::save_state) on
+    /// a freshly constructed controller of the same configuration. The
+    /// default accepts only the empty state: a non-empty state landing on
+    /// a controller that did not opt in is a checkpoint/controller
+    /// mismatch and must fail loudly rather than silently fork the run.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`](crate::SimError)`::InvalidState` if the state does
+    /// not belong to this controller type or fails validation.
+    fn load_state(&mut self, state: &crate::ControllerState) -> Result<(), crate::SimError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::SimError::InvalidState {
+                what: "controller does not support non-empty state restore",
+            })
+        }
+    }
 }
 
 #[cfg(test)]

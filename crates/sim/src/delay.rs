@@ -118,6 +118,57 @@ impl DelayLedger {
     pub fn oldest_pending_age(&self, now: usize) -> Option<usize> {
         self.pending.front().map(|(a, _)| now.saturating_sub(*a))
     }
+
+    /// Captures the ledger's full state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> crate::LedgerState {
+        crate::LedgerState {
+            pending: self.pending.iter().copied().collect(),
+            weighted_delay_mwh_slots: self.weighted_delay_mwh_slots,
+            served_mwh: self.served_mwh,
+            max_delay: self.max_delay,
+        }
+    }
+
+    /// Rebuilds a ledger mid-run from a checkpointed state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`](crate::SimError)`::InvalidState` if a pending amount
+    /// is not finite and positive, arrival slots are not FIFO-ordered
+    /// (non-decreasing), or the served-delay accumulators are not finite
+    /// and non-negative.
+    pub fn from_state(state: &crate::LedgerState) -> Result<Self, crate::SimError> {
+        let mut prev_slot = 0usize;
+        for &(slot, mwh) in &state.pending {
+            if !mwh.is_finite() || mwh <= 0.0 {
+                return Err(crate::SimError::InvalidState {
+                    what: "ledger pending amounts must be finite and positive",
+                });
+            }
+            if slot < prev_slot {
+                return Err(crate::SimError::InvalidState {
+                    what: "ledger pending arrivals must be in FIFO order",
+                });
+            }
+            prev_slot = slot;
+        }
+        if !state.weighted_delay_mwh_slots.is_finite()
+            || state.weighted_delay_mwh_slots < 0.0
+            || !state.served_mwh.is_finite()
+            || state.served_mwh < 0.0
+        {
+            return Err(crate::SimError::InvalidState {
+                what: "ledger served-delay accumulators must be finite and non-negative",
+            });
+        }
+        Ok(DelayLedger {
+            pending: state.pending.iter().copied().collect(),
+            weighted_delay_mwh_slots: state.weighted_delay_mwh_slots,
+            served_mwh: state.served_mwh,
+            max_delay: state.max_delay,
+        })
+    }
 }
 
 #[cfg(test)]

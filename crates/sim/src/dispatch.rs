@@ -22,6 +22,7 @@
 //! [`MultiSiteEngine::run`](crate::MultiSiteEngine::run) uses.
 
 use dpss_units::{Energy, Price};
+use serde::{Deserialize, Serialize};
 
 use crate::{FrameExchange, FrameSettlement, Interconnect};
 
@@ -30,7 +31,7 @@ use crate::{FrameExchange, FrameSettlement, Interconnect};
 /// All quantities are totals over the coming frame. A default directive
 /// is inert: controllers that receive it behave exactly as if no
 /// directive had arrived.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FrameDirective {
     /// Which coarse frame the directive covers. Controllers must ignore
     /// a directive whose frame does not match the observation they are

@@ -174,6 +174,58 @@ impl Engine {
     pub(crate) fn observed_traces(&self) -> &TraceSet {
         self.observed.as_ref().unwrap_or(&self.truth)
     }
+
+    /// Reinstates a checkpointed run on this engine. The engine must be
+    /// configured exactly as the one the state was captured from (same
+    /// parameters, traces, forecast policy and slot-recording flag);
+    /// continuing the resumed run is then byte-for-byte identical to
+    /// continuing the original.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidState`] if the state's progress or recorded
+    /// outcomes disagree with this engine's calendar and recording
+    /// configuration; plus the per-component validation of
+    /// [`Battery::from_state`] and [`DemandQueue::from_state`].
+    pub fn resume(&self, state: crate::EngineRunState) -> Result<EngineRun<'_>, SimError> {
+        let clock = self.truth.clock;
+        if state.next_frame > clock.frames() {
+            return Err(SimError::InvalidState {
+                what: "resume frame is beyond the calendar",
+            });
+        }
+        if state.recorded.is_some() != self.record_slots {
+            return Err(SimError::InvalidState {
+                what: "recorded outcomes do not match the engine's slot-recording flag",
+            });
+        }
+        if let Some(rec) = &state.recorded {
+            if rec.len() != state.next_frame * clock.slots_per_frame() {
+                return Err(SimError::InvalidState {
+                    what: "recorded outcome count disagrees with the resume frame",
+                });
+            }
+        }
+        if state.report.slots != clock.total_slots() {
+            return Err(SimError::InvalidState {
+                what: "report slot count disagrees with the calendar",
+            });
+        }
+        if !state.lt_alloc.is_finite() || state.lt_alloc.mwh() < 0.0 {
+            return Err(SimError::InvalidState {
+                what: "long-term allocation must be finite and non-negative",
+            });
+        }
+        Ok(EngineRun {
+            engine: self,
+            battery: Battery::from_state(self.params.battery, &state.battery)?,
+            queue: DemandQueue::from_state(&state.queue)?,
+            lt_alloc: state.lt_alloc,
+            report: state.report,
+            recorded: state.recorded,
+            next_frame: state.next_frame,
+        })
+    }
 }
 
 /// An in-flight [`Engine`] run: plant state plus the partially aggregated
@@ -227,6 +279,22 @@ impl EngineRun<'_> {
     #[must_use]
     pub fn battery_headroom(&self) -> Energy {
         self.battery.headroom()
+    }
+
+    /// Captures the run's full mutable state (plant + partial report) for
+    /// checkpointing; reinstated with [`Engine::resume`]. Only meaningful
+    /// at a frame boundary — which is the only time a caller can observe
+    /// the run anyway.
+    #[must_use]
+    pub fn state(&self) -> crate::EngineRunState {
+        crate::EngineRunState {
+            next_frame: self.next_frame,
+            lt_alloc: self.lt_alloc,
+            battery: self.battery.state(),
+            queue: self.queue.state(),
+            report: self.report.clone(),
+            recorded: self.recorded.clone(),
+        }
     }
 
     /// Advances the run by one coarse frame: one `plan_frame` decision,
@@ -726,6 +794,76 @@ mod tests {
         // Default configuration charges nothing.
         let free = Engine::new(SimParams::icdcs13(), paper_month_traces(15).unwrap()).unwrap();
         assert_eq!(free.run(&mut Eager).unwrap().cost_peak.dollars(), 0.0);
+    }
+
+    #[test]
+    fn state_resume_matches_uninterrupted_run() {
+        let traces = paper_month_traces(42).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces)
+            .unwrap()
+            .with_slot_recording(true);
+        let full = engine.run(&mut Eager).unwrap();
+        let frames = engine.truth().clock.frames();
+        for cut in [1usize, frames / 2, frames - 1] {
+            let mut run = engine.begin().unwrap();
+            for _ in 0..cut {
+                run.step_frame(&mut Eager).unwrap();
+            }
+            // Serialize the state across a simulated process boundary.
+            let json = serde_json::to_string(&run.state()).unwrap();
+            drop(run);
+            let state: crate::EngineRunState = serde_json::from_str(&json).unwrap();
+            let mut resumed = engine.resume(state).unwrap();
+            assert_eq!(resumed.frames_completed(), cut);
+            while !resumed.is_done() {
+                resumed.step_frame(&mut Eager).unwrap();
+            }
+            let report = resumed.finish().unwrap();
+            assert_eq!(
+                serde_json::to_string(&report).unwrap(),
+                serde_json::to_string(&full).unwrap(),
+                "resume at frame {cut} must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_state() {
+        let traces = paper_month_traces(42).unwrap();
+        let engine = Engine::new(SimParams::icdcs13(), traces).unwrap();
+        let mut run = engine.begin().unwrap();
+        run.step_frame(&mut Eager).unwrap();
+        let good = run.state();
+
+        let mut bad = good.clone();
+        bad.next_frame = engine.truth().clock.frames() + 1;
+        assert!(matches!(
+            engine.resume(bad),
+            Err(SimError::InvalidState { .. })
+        ));
+
+        // Recording flag mismatch: state has no outcomes, engine wants them.
+        let recording = engine.clone().with_slot_recording(true);
+        assert!(matches!(
+            recording.resume(good.clone()),
+            Err(SimError::InvalidState { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.lt_alloc = Energy::from_mwh(f64::NAN);
+        assert!(engine.resume(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.battery.level = Energy::from_mwh(1e9);
+        assert!(engine.resume(bad).is_err());
+
+        let mut bad = good.clone();
+        bad.queue.backlog += Energy::from_mwh(1.0);
+        assert!(engine.resume(bad).is_err());
+
+        let mut bad = good;
+        bad.report.slots = 3;
+        assert!(engine.resume(bad).is_err());
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub enum SimError {
         /// Coarse frames in the calendar.
         frames_total: usize,
     },
+    /// A checkpointed state record failed validation on restore
+    /// ([`Engine::resume`](crate::Engine::resume) and the per-component
+    /// `from_state` constructors).
+    InvalidState {
+        /// Description of the inconsistency.
+        what: &'static str,
+    },
     /// An underlying trace error.
     Trace(TraceError),
     /// An underlying units/calendar error.
@@ -87,6 +94,9 @@ impl fmt::Display for SimError {
                 f,
                 "run finished after only {frames_done} of {frames_total} frames"
             ),
+            SimError::InvalidState { what } => {
+                write!(f, "invalid resume state: {what}")
+            }
             SimError::Trace(e) => write!(f, "trace error: {e}"),
             SimError::Units(e) => write!(f, "units error: {e}"),
         }

@@ -89,6 +89,7 @@ mod multisite;
 mod params;
 mod plant;
 mod queue;
+mod state;
 
 pub use battery::{Battery, BatteryParams};
 pub use controller::{
@@ -104,3 +105,4 @@ pub use metrics::{RunReport, SlotCost, SlotOutcome};
 pub use multisite::{MultiSiteEngine, MultiSiteReport};
 pub use params::SimParams;
 pub use queue::DemandQueue;
+pub use state::{BatteryState, ControllerState, EngineRunState, LedgerState, QueueState};

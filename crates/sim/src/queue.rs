@@ -73,6 +73,47 @@ impl DemandQueue {
     pub fn ledger(&self) -> &DelayLedger {
         &self.ledger
     }
+
+    /// Captures the queue's full state for checkpointing.
+    #[must_use]
+    pub fn state(&self) -> crate::QueueState {
+        crate::QueueState {
+            backlog: self.backlog,
+            max_backlog: self.max_backlog,
+            ledger: self.ledger.state(),
+        }
+    }
+
+    /// Rebuilds a queue mid-run from a checkpointed state.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`](crate::SimError)`::InvalidState` if the backlog is
+    /// not finite and non-negative, disagrees with the embedded ledger's
+    /// unserved total, or the ledger state itself is invalid.
+    pub fn from_state(state: &crate::QueueState) -> Result<Self, crate::SimError> {
+        if !state.backlog.is_finite() || state.backlog.mwh() < 0.0 {
+            return Err(crate::SimError::InvalidState {
+                what: "queue backlog must be finite and non-negative",
+            });
+        }
+        if !state.max_backlog.is_finite() || state.max_backlog < state.backlog {
+            return Err(crate::SimError::InvalidState {
+                what: "queue max backlog must be finite and at least the backlog",
+            });
+        }
+        let ledger = DelayLedger::from_state(&state.ledger)?;
+        if (state.backlog.mwh() - ledger.unserved().mwh()).abs() > 1e-6 {
+            return Err(crate::SimError::InvalidState {
+                what: "queue backlog disagrees with the ledger's unserved total",
+            });
+        }
+        Ok(DemandQueue {
+            backlog: state.backlog,
+            max_backlog: state.max_backlog,
+            ledger,
+        })
+    }
 }
 
 #[cfg(test)]

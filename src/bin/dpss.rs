@@ -12,6 +12,8 @@
 //!             [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! dpss audit  [--json]
+//! dpss serve  [--state-dir DIR] [--resume] [--log FILE]
+//! dpss replay FILE [--state-dir DIR] [--json]
 //! ```
 //!
 //! Everything is deterministic in `--seed` (and independent of
@@ -49,6 +51,10 @@ struct Cli {
     pack: String,
     sites: usize,
     dispatch: packs::DispatchMode,
+    state_dir: Option<String>,
+    resume: bool,
+    log: Option<String>,
+    replay_log: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +65,8 @@ enum Command {
     Sweep,
     Bounds,
     Audit,
+    Serve,
+    Replay,
     Help,
 }
 
@@ -83,6 +91,10 @@ impl Default for Cli {
             pack: String::new(),
             sites: 1,
             dispatch: packs::DispatchMode::PostHoc,
+            state_dir: None,
+            resume: false,
+            log: None,
+            replay_log: None,
         }
     }
 }
@@ -97,6 +109,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
         Some("sweep") => Command::Sweep,
         Some("bounds") => Command::Bounds,
         Some("audit") => Command::Audit,
+        Some("serve") => Command::Serve,
+        Some("replay") => Command::Replay,
         Some("help" | "--help" | "-h") | None => Command::Help,
         Some(other) => return Err(format!("unknown command: {other}")),
     };
@@ -158,6 +172,16 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--dispatch" | "--interconnect" => {
                 cli.dispatch = packs::DispatchMode::parse(&value(&flag)?)?;
             }
+            "--state-dir" => cli.state_dir = Some(value("--state-dir")?),
+            "--resume" => cli.resume = true,
+            "--log" => cli.log = Some(value("--log")?),
+            other
+                if cli.command == Command::Replay
+                    && !other.starts_with('-')
+                    && cli.replay_log.is_none() =>
+            {
+                cli.replay_log = Some(other.to_owned());
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -166,6 +190,12 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
     }
     if cli.sites == 0 {
         return Err("--sites must be at least 1".into());
+    }
+    if cli.resume && cli.state_dir.is_none() {
+        return Err("--resume requires --state-dir".into());
+    }
+    if cli.command == Command::Replay && cli.replay_log.is_none() {
+        return Err("replay needs a request-log file".into());
     }
     if cli.command == Command::Sweep {
         match (cli.figure.is_empty(), cli.pack.is_empty()) {
@@ -219,10 +249,26 @@ USAGE:
   dpss audit   [--json]   run the workspace source lints (determinism,
                panic-safety, hygiene); --json also writes target/audit.json.
                Exit 0 clean, 1 findings. Same pass as `cargo run -p dpss-audit`.
+  dpss serve   [--state-dir DIR] [--resume] [--log FILE]
+               stream a control session over stdin/stdout as newline-
+               delimited JSON (see `dpss-serve --help` for the protocol;
+               the standalone binary also serves Unix sockets)
+  dpss replay  FILE [--state-dir DIR] [--json]
+               re-drive a recorded request log deterministically;
+               --json prints only the final report (same bytes as
+               `dpss run --json` for an equivalent session)
 
 Sweeps fan their cells out over --threads workers (0 = all cores) and
 are deterministic: any thread count produces identical tables.
 All defaults reproduce the paper's one-month setup (seed 42)."
+}
+
+fn serve_options(cli: &Cli) -> smartdpss::ServeOptions {
+    smartdpss::ServeOptions {
+        state_dir: cli.state_dir.as_ref().map(std::path::PathBuf::from),
+        resume: cli.resume,
+        log: cli.log.as_ref().map(std::path::PathBuf::from),
+    }
 }
 
 fn build_world(cli: &Cli) -> Result<(Engine, SimParams, SlotClock), String> {
@@ -446,6 +492,38 @@ fn execute(cli: &Cli) -> Result<String, String> {
                 Err(report.render())
             }
         }
+        Command::Serve => {
+            let options = serve_options(cli);
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut input = stdin.lock();
+            let mut output = stdout.lock();
+            smartdpss::serve::serve(&mut input, &mut output, &options)
+                .map_err(|e| e.to_string())?;
+            // The transcript already went to stdout line by line.
+            Ok(String::new())
+        }
+        Command::Replay => {
+            // Presence is enforced at parse time.
+            let file = cli.replay_log.clone().unwrap_or_default();
+            let options = serve_options(cli);
+            let mut transcript = Vec::new();
+            let outcome = smartdpss::serve::replay_file(
+                std::path::Path::new(&file),
+                &mut transcript,
+                &options,
+            )
+            .map_err(|e| e.to_string())?;
+            if cli.json {
+                let report = outcome
+                    .final_report
+                    .ok_or("replay log did not finish a single-site session")?;
+                serde_json::to_string_pretty(&report).map_err(|e| e.to_string())
+            } else {
+                let text = String::from_utf8(transcript).map_err(|e| e.to_string())?;
+                Ok(text.trim_end_matches('\n').to_owned())
+            }
+        }
         Command::Bounds => {
             let params = SimParams::icdcs13_with_battery(cli.battery_min);
             let clock = SlotClock::new(cli.days, cli.t, 1.0).map_err(|e| e.to_string())?;
@@ -526,7 +604,10 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_cli(args) {
         Ok(output) => {
-            println!("{output}");
+            // serve streams its transcript itself and returns nothing.
+            if !output.is_empty() {
+                println!("{output}");
+            }
             ExitCode::SUCCESS
         }
         Err(failure) => {
@@ -633,6 +714,44 @@ mod tests {
         let mut cli = parse_args(args("run --days 1")).unwrap();
         cli.controller = "quantum".into();
         assert!(execute(&cli).is_err());
+    }
+
+    #[test]
+    fn parses_serve_and_replay_flags() {
+        let cli = parse_args(args(
+            "serve --state-dir /tmp/dpss --resume --log /tmp/req.log",
+        ))
+        .unwrap();
+        assert_eq!(cli.command, Command::Serve);
+        assert_eq!(cli.state_dir.as_deref(), Some("/tmp/dpss"));
+        assert!(cli.resume);
+        assert_eq!(cli.log.as_deref(), Some("/tmp/req.log"));
+
+        let cli = parse_args(args("replay session.ndjson --json")).unwrap();
+        assert_eq!(cli.command, Command::Replay);
+        assert_eq!(cli.replay_log.as_deref(), Some("session.ndjson"));
+        assert!(cli.json);
+
+        // Resume needs somewhere to resume from; replay needs its log.
+        assert!(parse_args(args("serve --resume")).is_err());
+        assert!(parse_args(args("replay")).is_err());
+    }
+
+    #[test]
+    fn replay_reproduces_the_batch_run_byte_for_byte() {
+        let dir = std::env::temp_dir().join("dpss-cli-replay-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = dir.join("session.ndjson");
+        let mut text = String::from("{\"cmd\":\"init\",\"mode\":\"scenario\",\"days\":2}\n");
+        text.push_str("{\"cmd\":\"step\"}\n{\"cmd\":\"step\"}\n{\"cmd\":\"finish\"}\n");
+        std::fs::write(&log, text).unwrap();
+
+        let mut cli = parse_args(args("replay placeholder.ndjson --json")).unwrap();
+        cli.replay_log = Some(log.display().to_string());
+        let replayed = execute(&cli).unwrap();
+        let batch = execute(&parse_args(args("run --days 2 --json")).unwrap()).unwrap();
+        assert_eq!(replayed, batch);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! (Deng, Liu, Jin & Wu, IEEE ICDCS 2013) as a production-quality Rust
 //! workspace.
 //!
-//! This crate is the façade: it re-exports the workspace's six libraries
+//! This crate is the façade: it re-exports the workspace's seven libraries
 //! so applications can depend on a single crate. See the individual crates
 //! for full documentation:
 //!
@@ -21,6 +21,9 @@
 //! * [`core`] (`dpss-core`) — the [`SmartDpss`] controller itself plus the
 //!   [`OfflineOptimal`] benchmark, the [`Impatient`] baseline and the
 //!   Theorem 2 bound calculators;
+//! * [`serve`] (`dpss-serve`) — the crash-resumable streaming control
+//!   daemon: NDJSON sessions over stdio or a Unix socket, versioned
+//!   checksummed snapshots, and deterministic replay;
 //! * [`mod@bench`] (`dpss-bench`) — the experiment-runner subsystem: declarative
 //!   [`SweepSpec`]s executed across threads by an [`ExperimentRunner`], one
 //!   computation function per paper figure.
@@ -52,6 +55,7 @@
 pub use dpss_bench as bench;
 pub use dpss_core as core;
 pub use dpss_lp as lp;
+pub use dpss_serve as serve;
 pub use dpss_sim as sim;
 pub use dpss_traces as traces;
 pub use dpss_units as units;
@@ -65,6 +69,7 @@ pub use dpss_core::{
     OfflineOptimal, P4Variant, P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig,
     SolverPath, TheoremBounds,
 };
+pub use dpss_serve::{ServeError, ServeOptions, ServeOutcome, SessionConfig, SessionServer};
 pub use dpss_sim::{
     Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, EngineRun,
     FleetDispatcher, ForecastPolicy, FrameDecision, FrameDirective, FrameObservation, FrameOutlook,
