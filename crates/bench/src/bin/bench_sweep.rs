@@ -94,6 +94,19 @@ struct BenchSweepReport {
     /// Fleet dollars the coordinated run saved against the planned
     /// settlement on that month (positive = coordination won).
     dispatch_coordinated_saving: f64,
+    /// Wall time of one 3-site flash-crowd month (traffic-wave pack,
+    /// lossy ring) with routing off: the coordinated fleet run plus the
+    /// serve-on-arrival workload bill.
+    routing_off_ms: f64,
+    /// The same month with routing co-optimized: the coordinated run
+    /// wrapped by the workload router (absorption/migration LP per frame
+    /// plus the deferral scan). The premium over `routing_off_ms` is the
+    /// request layer's price tag.
+    routing_coopt_ms: f64,
+    /// Fleet dollars co-optimized routing saved against serve-on-arrival
+    /// on that month. The deferral rule is structurally dominant, so the
+    /// binary exits nonzero if this ever goes negative.
+    routing_coopt_saving: f64,
     /// Site counts of the fleet-scaling curve: one coordinated
     /// price-spike/stressed month on the lossy ring per count, in three
     /// configurations (the three `fleet_scaling_*_ms` series below).
@@ -319,6 +332,90 @@ fn main() -> ExitCode {
             .expect("fleet run succeeds")
             .total_cost()
     };
+
+    // ---- 5b. Workload routing: the request layer's price tag. -----------
+    // One 3-site flash-crowd month (traffic-wave pack, lossy ring) with
+    // routing off (coordinated dispatch + serve-on-arrival billing) vs
+    // co-optimized (the same dispatch wrapped by the workload router).
+    // The energy settlement is byte-identical by construction, so the
+    // saving isolates the request layer — and the deferral rule only
+    // ever moves work to strictly cheaper frames, so a negative saving
+    // is a bug, not an outcome.
+    use dpss_core::RoutingPlanner;
+    use dpss_sim::RoutingConfig;
+    let routing_config = RoutingConfig::icdcs13();
+    let tw_pack = dpss_traces::ScenarioPack::builtin("traffic-wave").expect("built-in pack");
+    let flash = 2usize; // variant index of "flash-crowd"
+    let tw_engines: Vec<Engine> = (0..3)
+        .map(|s| {
+            Engine::new(
+                params,
+                tw_pack
+                    .generate_site(&clock, PAPER_SEED, flash, s)
+                    .expect("built-in pack generates valid traces"),
+            )
+            .expect("valid engine")
+        })
+        .collect();
+    let tw_fleet = MultiSiteEngine::new(tw_engines)
+        .expect("sites share the calendar")
+        .with_interconnect(dpss_bench::routing_interconnect(3))
+        .expect("ring spans the roster");
+    let routing_off_s = best_of(timed_iters, || {
+        let mut planner = FleetPlanner::for_engine(&tw_fleet).with_coordination(true);
+        let _ = tw_fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds");
+        let _ = tw_fleet
+            .workload_ledger(routing_config)
+            .expect("built-in traces shape a valid ledger")
+            .serve_on_arrival();
+    });
+    let routing_coopt_s = best_of(timed_iters, || {
+        let mut routed = RoutingPlanner::new(
+            FleetPlanner::for_engine(&tw_fleet).with_coordination(true),
+            routing_config,
+        )
+        .expect("validated routing config");
+        let _ = tw_fleet
+            .run_routed(&mut smart_boxes(), &mut routed, routing_config)
+            .expect("routed fleet run succeeds");
+    });
+    let routing_off_cost = {
+        let mut planner = FleetPlanner::for_engine(&tw_fleet).with_coordination(true);
+        tw_fleet
+            .run_with(&mut smart_boxes(), &mut planner)
+            .expect("fleet run succeeds")
+            .total_cost()
+            + tw_fleet
+                .workload_ledger(routing_config)
+                .expect("built-in traces shape a valid ledger")
+                .serve_on_arrival()
+                .cost
+    };
+    let routing_coopt_cost = {
+        let mut routed = RoutingPlanner::new(
+            FleetPlanner::for_engine(&tw_fleet).with_coordination(true),
+            routing_config,
+        )
+        .expect("validated routing config");
+        tw_fleet
+            .run_routed(&mut smart_boxes(), &mut routed, routing_config)
+            .expect("routed fleet run succeeds")
+            .total_cost()
+    };
+    let routing_saving = (routing_off_cost - routing_coopt_cost).dollars();
+    if routing_saving < -1e-9 {
+        eprintln!(
+            "bench_sweep: error: co-optimized routing cost ${:.3} more than serve-on-arrival \
+             (off ${:.3}, coopt ${:.3}) — the deferral rule is structurally dominant, so this \
+             is a bug",
+            -routing_saving,
+            routing_off_cost.dollars(),
+            routing_coopt_cost.dollars()
+        );
+        return ExitCode::FAILURE;
+    }
 
     // ---- 6. Fleet scaling: sites vs wall-clock. -------------------------
     // The same contention month as §5, scaled along the site axis on the
@@ -549,6 +646,9 @@ fn main() -> ExitCode {
         dispatch_planned_ms: dispatch_planned_s * 1e3,
         dispatch_coordinated_ms: dispatch_coordinated_s * 1e3,
         dispatch_coordinated_saving: (planned_cost - coordinated_cost).dollars(),
+        routing_off_ms: routing_off_s * 1e3,
+        routing_coopt_ms: routing_coopt_s * 1e3,
+        routing_coopt_saving: routing_saving,
         fleet_scaling_sites,
         fleet_scaling_serial_ms,
         fleet_scaling_network_lp_ms,

@@ -1,0 +1,58 @@
+//! Regenerates the workload-routing artifact: the off vs co-optimized
+//! comparison table for one pack (default `traffic-wave` — the pack
+//! whose traces carry request-arrival streams) over the lossy wheeled
+//! ring, the acceptance topology. CI uploads the persisted JSON and
+//! checks the flash-crowd saving stays non-negative.
+//!
+//! ```text
+//! routing_sweep [--pack NAME] [--sites N] [--threads N]
+//! ```
+
+use std::process::ExitCode;
+
+use dpss_bench::{packs, persist, routing, PAPER_SEED};
+use dpss_sim::RoutingConfig;
+
+fn main() -> ExitCode {
+    let mut pack_name = "traffic-wave".to_owned();
+    let mut sites = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--pack" => pack_name = args.next().unwrap_or_default(),
+            "--sites" => {
+                let v = args.next().unwrap_or_default();
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 2 => sites = n,
+                    _ => {
+                        eprintln!(
+                            "routing_sweep: --sites needs an integer >= 2 (a ring), got {v:?}"
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            _ => {} // --threads is consumed by runner_from_env_args
+        }
+    }
+    let pack = match packs::lookup_builtin(&pack_name) {
+        Ok(pack) => pack,
+        Err(message) => {
+            eprintln!("routing_sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let runner = dpss_bench::runner_from_env_args();
+    let table = routing::routing_sweep_with(
+        &runner,
+        PAPER_SEED,
+        &pack,
+        sites,
+        &routing::routing_interconnect(sites),
+        RoutingConfig::icdcs13(),
+    );
+    table.print();
+    persist(&table, "routing_sweep");
+    ExitCode::SUCCESS
+}

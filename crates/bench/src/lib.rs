@@ -20,6 +20,7 @@
 mod cache;
 pub mod figures;
 pub mod packs;
+pub mod routing;
 mod runner;
 mod spec;
 mod table;
@@ -30,6 +31,7 @@ pub use packs::{
     topology_roster, topology_sweep_with, DispatchMode, FleetLpCounts, InterconnectMode,
     LP_COUNTS_COLUMNS,
 };
+pub use routing::{routing_interconnect, routing_outcomes, routing_sweep_with, RoutingOutcome};
 pub use runner::ExperimentRunner;
 pub use spec::{Axis, Cell, SweepSpec};
 pub use table::FigureTable;

@@ -78,8 +78,8 @@ fn network_settlement_matches_dense_on_all_builtin_pack_variants() {
         }
     }
     assert_eq!(
-        variants_checked, 16,
-        "the builtin roster is the 16-variant acceptance matrix"
+        variants_checked, 20,
+        "the builtin roster is the 20-variant acceptance matrix"
     );
     assert!(
         transferred > Energy::ZERO,

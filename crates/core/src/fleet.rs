@@ -475,14 +475,31 @@ impl FleetPlanner {
     /// (a programming error — `couple` validates rosters up front).
     #[must_use]
     pub fn plan(&mut self, ex: &FrameExchange) -> FrameSettlement {
+        self.plan_with_exports(ex).0
+    }
+
+    /// [`plan`](Self::plan), additionally reporting how much of each
+    /// donor's curtailment the settlement consumed (energy *sent* per
+    /// site, in site-index order, before line losses). One LP solve
+    /// serves both answers, so a routed caller — `RoutingPlanner` feeds
+    /// residual curtailment (`curtailed − sent`) to the workload
+    /// absorption step — observes exactly the settlement sequence (and
+    /// warm-start history) a [`plan`](Self::plan) caller would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exchange's site rosters do not match the topology.
+    #[must_use]
+    pub fn plan_with_exports(&mut self, ex: &FrameExchange) -> (FrameSettlement, Vec<Energy>) {
         let n = self.ic.sites();
         assert!(
             ex.curtailed.len() == n && ex.rt_energy.len() == n && ex.rt_price.len() == n,
             "exchange covers a different site roster than the topology"
         );
         let mut out = FrameSettlement::default();
+        let mut exports = vec![Energy::ZERO; n];
         if self.flows.is_empty() || self.ic.is_silent() {
-            return out;
+            return (out, exports);
         }
         for &(i, j, var) in &self.flows {
             let loss = self.ic.loss(i, j);
@@ -531,8 +548,9 @@ impl FleetPlanner {
             out.delivered += Energy::from_mwh(delivered);
             out.savings += Money::from_dollars(delivered * ex.rt_price[j]);
             out.wheeling += Money::from_dollars(sent * self.ic.wheeling(i, j).dollars_per_mwh());
+            exports[i] += Energy::from_mwh(sent);
         }
-        out
+        (out, exports)
     }
 
     /// Plans the coming frame's *prospective* export flows from the
@@ -1103,6 +1121,8 @@ mod tests {
                         export_headroom: Energy::from_mwh(headroom),
                         battery_headroom: Energy::from_mwh(battery),
                         procure_cost: cost,
+                        load_backlog: Energy::ZERO,
+                        load_due: Energy::ZERO,
                     },
                 )
                 .collect(),

@@ -80,6 +80,7 @@ mod offline;
 mod p4;
 mod p5;
 mod receding;
+mod routing;
 mod smart_dpss;
 
 pub use bounds::TheoremBounds;
@@ -91,4 +92,5 @@ pub use impatient::Impatient;
 pub use lower_bound::cheapest_window_bound;
 pub use offline::{OfflineConfig, OfflineOptimal};
 pub use receding::RecedingHorizon;
+pub use routing::RoutingPlanner;
 pub use smart_dpss::SmartDpss;

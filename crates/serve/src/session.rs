@@ -1045,6 +1045,7 @@ impl FleetSession {
             energy_delivered: self.totals.delivered,
             transfer_savings: self.totals.savings,
             wheeling_cost: self.totals.wheeling,
+            load: dpss_sim::LoadTotals::default(),
         })
     }
 }

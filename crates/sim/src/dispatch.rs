@@ -124,6 +124,15 @@ pub struct SiteOutlook {
     /// penalty, $/MWh: what one MWh of deliberately curtailed export
     /// energy costs this site to procure.
     pub procure_cost: f64,
+    /// Deferrable workload queued at the site entering this frame (IT
+    /// energy). Zero everywhere outside routed runs
+    /// ([`MultiSiteEngine::run_routed`](crate::MultiSiteEngine::run_routed)):
+    /// energy-only dispatchers can ignore it.
+    pub load_backlog: Energy,
+    /// The share of [`load_backlog`](Self::load_backlog) whose queue-age
+    /// bound expires this frame — it will be served at spot if the plan
+    /// does not absorb or migrate it. Zero outside routed runs.
+    pub load_due: Energy,
 }
 
 /// The fleet-wide outlook a [`FleetDispatcher`] plans a coarse frame

@@ -32,6 +32,12 @@
 //!   frame, and in coordinated mode it hands every site a
 //!   [`FrameDirective`] between frames (buy-to-export); per-site plus
 //!   fleet-aggregate metrics land in a [`MultiSiteReport`];
+//! * [`FleetWorkload`] — the request layer (workload-routing extension):
+//!   per-site bounded-age queues of deferrable work stepped in lockstep
+//!   with the fleet loop, settled against a [`RoutedDispatcher`]'s
+//!   absorption/migration [`LoadPlan`] each frame and summarized in
+//!   [`LoadTotals`] (inert — all zeros — unless
+//!   [`MultiSiteEngine::run_routed`] is used);
 //! * [`SimParams`] — the paper's §VI-A parameter set via
 //!   [`SimParams::icdcs13`].
 //!
@@ -90,6 +96,7 @@ mod params;
 mod plant;
 mod queue;
 mod state;
+mod workload;
 
 pub use battery::{Battery, BatteryParams};
 pub use controller::{
@@ -106,3 +113,7 @@ pub use multisite::{MultiSiteEngine, MultiSiteReport};
 pub use params::SimParams;
 pub use queue::DemandQueue;
 pub use state::{BatteryState, ControllerState, EngineRunState, LedgerState, QueueState};
+pub use workload::{
+    FleetWorkload, LoadFlow, LoadFrame, LoadFrameRecord, LoadPlan, LoadTotals, RoutedDispatcher,
+    RoutingConfig, RoutingMode, UnroutedDispatcher,
+};

@@ -31,8 +31,9 @@ use std::sync::Mutex;
 use dpss_units::{Energy, Money};
 
 use crate::{
-    Controller, Engine, EngineRun, FleetDispatcher, FrameExchange, FrameOutlook, FrameSettlement,
-    Interconnect, RunReport, SimError, SiteOutlook, SlotOutcome,
+    Controller, Engine, EngineRun, FleetDispatcher, FleetWorkload, FrameExchange, FrameOutlook,
+    FrameSettlement, Interconnect, LoadTotals, RoutedDispatcher, RoutingConfig, RunReport,
+    SimError, SiteOutlook, SlotOutcome,
 };
 
 /// N per-site [`Engine`]s plus the interconnect topology they settle over.
@@ -305,6 +306,157 @@ impl MultiSiteEngine {
         Ok(self.assemble(reports, total))
     }
 
+    /// The co-optimized dispatch loop: [`run_with`](Self::run_with) plus
+    /// the request layer. A [`FleetWorkload`] ledger (built from each
+    /// site's truth arrival stream — zeros for sites without one — and
+    /// frame-mean real-time prices) steps in lockstep with the energy
+    /// loop; per coarse frame `k`:
+    ///
+    /// 1. the ledger admits frame `k`'s arrivals
+    ///    ([`FleetWorkload::frame_load`]) and its per-site availability
+    ///    and due totals are annotated onto the [`FrameOutlook`]
+    ///    ([`SiteOutlook::load_backlog`]/[`SiteOutlook::load_due`])
+    ///    before the dispatcher directs — energy-only dispatchers ignore
+    ///    the annotation, so the energy half of the run is byte-identical
+    ///    to [`run_with`](Self::run_with) with the same inner dispatcher;
+    /// 2. sites step the frame exactly as in `run_with`;
+    /// 3. the dispatcher settles the realized exchange *and* plans
+    ///    workload flows ([`RoutedDispatcher::settle_routed`]); the
+    ///    ledger applies the (clamped) plan, force-serves due work and
+    ///    runs the deferral rule ([`FleetWorkload::settle`]).
+    ///
+    /// On a silent topology the directive and energy-settlement steps
+    /// are skipped exactly as in `run_with` (no transfers exist), but
+    /// the workload ledger still steps every frame: local absorption of
+    /// a site's own curtailment needs no interconnect.
+    ///
+    /// The returned report carries the workload totals in
+    /// [`MultiSiteReport::load`]; every other field is produced by the
+    /// same code paths as `run_with`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`run_with`](Self::run_with) rejects, plus invalid
+    /// [`RoutingConfig`]s.
+    pub fn run_routed(
+        &self,
+        controllers: &mut [Box<dyn Controller>],
+        dispatcher: &mut dyn RoutedDispatcher,
+        config: RoutingConfig,
+    ) -> Result<MultiSiteReport, SimError> {
+        if controllers.len() != self.sites.len() {
+            return Err(SimError::SiteMismatch {
+                site: controllers.len(),
+                what: "controller roster length differs from site roster",
+            });
+        }
+        if let Some(topology) = dispatcher.topology() {
+            if topology != &self.interconnect {
+                return Err(SimError::SiteMismatch {
+                    site: topology.sites(),
+                    what: "dispatcher topology differs from the fleet's interconnect",
+                });
+            }
+        }
+        let clock = self.sites[0].truth().clock;
+        let silent = self.interconnect.is_silent();
+        let mut workload = self.workload_ledger(config)?;
+        let mut runs = self
+            .sites
+            .iter()
+            .map(Engine::begin)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut total = FrameSettlement::default();
+        for frame in 0..clock.frames() {
+            let load = workload.frame_load(frame);
+            if !silent {
+                let mut outlook = self.outlook_at(frame, &runs);
+                for (site, (avail, due)) in outlook
+                    .sites
+                    .iter_mut()
+                    .zip(load.available.iter().zip(&load.due))
+                {
+                    site.load_backlog = *avail;
+                    site.load_due = *due;
+                }
+                let directives = dispatcher.direct(&outlook);
+                if !directives.is_empty() {
+                    if directives.len() != self.sites.len() {
+                        return Err(SimError::SiteMismatch {
+                            site: directives.len(),
+                            what: "directive roster length differs from site roster",
+                        });
+                    }
+                    for (ctl, directive) in controllers.iter_mut().zip(&directives) {
+                        ctl.receive_directive(directive);
+                    }
+                }
+            }
+            step_sites(&mut runs, controllers, self.threads)?;
+            let ex = self.exchange_at(frame, &runs)?;
+            let (s, plan) = dispatcher.settle_routed(&ex, &load);
+            if !silent {
+                total.sent += s.sent;
+                total.delivered += s.delivered;
+                total.savings += s.savings;
+                total.wheeling += s.wheeling;
+            }
+            workload.settle(frame, &ex, &plan, &self.interconnect);
+        }
+        let reports = runs
+            .into_iter()
+            .map(EngineRun::finish)
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut report = self.assemble(reports, total);
+        report.load = workload.finish();
+        Ok(report)
+    }
+
+    /// The fleet's workload ledger, built from each site's truth traces:
+    /// per-frame arrival totals (summed over the frame's fine slots;
+    /// zeros for sites whose traces carry no arrival stream) and
+    /// frame-mean real-time prices. This is exactly the ledger
+    /// [`run_routed`](Self::run_routed) steps — exposed so harnesses can
+    /// compute the serve-on-arrival baseline
+    /// ([`FleetWorkload::serve_on_arrival`]) a routing-off run would be
+    /// billed for, over identical inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RoutingConfig::validate`] errors.
+    pub fn workload_ledger(&self, config: RoutingConfig) -> Result<FleetWorkload, SimError> {
+        let clock = self.sites[0].truth().clock;
+        let t = clock.slots_per_frame();
+        let arrivals: Vec<Vec<Energy>> = self
+            .sites
+            .iter()
+            .map(|site| {
+                (0..clock.frames())
+                    .map(|k| match &site.truth().arrivals {
+                        Some(a) => a[k * t..(k + 1) * t].iter().copied().sum(),
+                        None => Energy::ZERO,
+                    })
+                    .collect()
+            })
+            .collect();
+        let spot: Vec<Vec<f64>> = self
+            .sites
+            .iter()
+            .map(|site| {
+                (0..clock.frames())
+                    .map(|k| {
+                        site.truth().price_rt[k * t..(k + 1) * t]
+                            .iter()
+                            .map(|p| p.dollars_per_mwh())
+                            .sum::<f64>()
+                            / t as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        FleetWorkload::new(config, arrivals, spot)
+    }
+
     /// The fleet's causal outlook for coarse frame `frame`, built from
     /// the sites' in-flight runs: frame `frame − 1`'s realization
     /// (curtailment, real-time need and average price, grid draw) plus
@@ -344,6 +496,8 @@ impl MultiSiteEngine {
                         export_headroom: Energy::ZERO,
                         battery_headroom: run.battery_headroom(),
                         procure_cost,
+                        load_backlog: Energy::ZERO,
+                        load_due: Energy::ZERO,
                     };
                 }
                 let prev = &run.outcomes()[(frame - 1) * t..frame * t];
@@ -363,6 +517,8 @@ impl MultiSiteEngine {
                     export_headroom: (frame_budget - draw).positive_part(),
                     battery_headroom: run.battery_headroom(),
                     procure_cost,
+                    load_backlog: Energy::ZERO,
+                    load_due: Energy::ZERO,
                 }
             })
             .collect();
@@ -408,6 +564,7 @@ impl MultiSiteEngine {
             energy_delivered: total.delivered,
             transfer_savings: total.savings,
             wheeling_cost: total.wheeling,
+            load: LoadTotals::default(),
             sites: reports,
         }
     }
@@ -611,6 +768,11 @@ pub struct MultiSiteReport {
     pub transfer_savings: Money,
     /// Wheeling charges on the energy sent, billed to the fleet row.
     pub wheeling_cost: Money,
+    /// Workload-routing totals. [`LoadTotals::default`] (all zeros, and
+    /// [`LoadTotals::is_inert`]) for every run that did not go through
+    /// [`MultiSiteEngine::run_routed`] — the request layer adds nothing
+    /// to non-routed reports.
+    pub load: LoadTotals,
 }
 
 impl MultiSiteReport {
@@ -633,10 +795,11 @@ impl MultiSiteReport {
     }
 
     /// Fleet cost after the interconnect settlement: the decoupled sum,
-    /// minus the displaced real-time cost, plus the wheeling bill.
+    /// minus the displaced real-time cost, plus the wheeling bill, plus
+    /// the workload bill (zero for non-routed runs).
     #[must_use]
     pub fn total_cost(&self) -> Money {
-        self.cost_before_transfers() - self.transfer_savings + self.wheeling_cost
+        self.cost_before_transfers() - self.transfer_savings + self.wheeling_cost + self.load.cost
     }
 
     /// Fleet cost per fine slot of the shared calendar.
@@ -796,6 +959,80 @@ mod tests {
         // The fleet's own topology passes the guard.
         let mut right = multi.interconnect().clone();
         assert!(multi.run_with(&mut eager_boxes(2), &mut right).is_ok());
+    }
+
+    /// Two sites on the flash-crowd variant of the traffic-wave pack —
+    /// traces that carry a request-arrival stream.
+    fn routed_fleet(sites: usize, cap: f64) -> MultiSiteEngine {
+        let clock = SlotClock::new(3, 24, 1.0).unwrap();
+        let pack = ScenarioPack::builtin("traffic-wave").unwrap();
+        let engines: Vec<Engine> = (0..sites)
+            .map(|s| {
+                Engine::new(
+                    SimParams::icdcs13(),
+                    pack.generate_site(&clock, 42, 2, s).unwrap(),
+                )
+                .unwrap()
+            })
+            .collect();
+        MultiSiteEngine::new(engines)
+            .unwrap()
+            .with_transfer_cap(Energy::from_mwh(cap))
+            .unwrap()
+    }
+
+    #[test]
+    fn run_routed_conserves_load_and_leaves_the_energy_side_untouched() {
+        let multi = routed_fleet(2, 1.0);
+        let baseline = multi.run(&mut eager_boxes(2)).unwrap();
+        assert!(baseline.load.is_inert(), "non-routed runs carry no load");
+        let mut routed = crate::UnroutedDispatcher(multi.interconnect().clone());
+        let report = multi
+            .run_routed(&mut eager_boxes(2), &mut routed, RoutingConfig::icdcs13())
+            .unwrap();
+        // Energy side: the adapter settles greedily exactly like run(),
+        // and the request layer must not perturb it.
+        assert_eq!(report.sites, baseline.sites);
+        assert_eq!(report.energy_transferred, baseline.energy_transferred);
+        assert_eq!(report.transfer_savings, baseline.transfer_savings);
+        // Load side: work arrived, conserved, bounded and fully drained.
+        let load = &report.load;
+        assert!(load.arrived > Energy::ZERO, "traffic-wave traces arrive");
+        let settled = load.served_spot + load.absorbed + load.migrated + load.final_backlog;
+        assert!((load.arrived - settled).mwh().abs() < 1e-9);
+        assert_eq!(load.final_backlog, Energy::ZERO);
+        assert!(load.max_wait_frames <= RoutingConfig::icdcs13().max_queue_age);
+        assert_eq!(load.frames.len(), 3);
+        // The workload bill lands in the fleet total.
+        assert_eq!(
+            report.total_cost(),
+            baseline.total_cost() + load.cost,
+            "total cost = energy total + workload bill"
+        );
+    }
+
+    #[test]
+    fn run_routed_validates_rosters_and_config() {
+        let multi = routed_fleet(2, 1.0);
+        let mut d = crate::UnroutedDispatcher(multi.interconnect().clone());
+        assert!(matches!(
+            multi.run_routed(&mut eager_boxes(3), &mut d, RoutingConfig::icdcs13()),
+            Err(SimError::SiteMismatch { site: 3, .. })
+        ));
+        assert!(matches!(
+            multi.run_routed(
+                &mut eager_boxes(2),
+                &mut d,
+                RoutingConfig::icdcs13().with_interactive_fraction(7.0),
+            ),
+            Err(SimError::InvalidParameter { .. })
+        ));
+        // A mismatched dispatcher topology is rejected like run_with's.
+        let mut wrong = crate::UnroutedDispatcher(Interconnect::pooled(3, Energy::ZERO).unwrap());
+        assert!(matches!(
+            multi.run_routed(&mut eager_boxes(2), &mut wrong, RoutingConfig::icdcs13()),
+            Err(SimError::SiteMismatch { site: 3, .. })
+        ));
     }
 
     #[test]

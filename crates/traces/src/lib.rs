@@ -18,6 +18,9 @@
 //! * [`DemandModel`] — delay-sensitive interactive load (diurnal) plus
 //!   delay-tolerant batch arrivals (compound Poisson), peaks clipped at the
 //!   grid interconnect `Pgrid` exactly as the paper scales its traces;
+//! * [`WorkloadModel`] — per-region request arrivals (diurnal bell with a
+//!   seeded regional phase offset, AR(1) noise, Poisson flash crowds and
+//!   a linear traffic surge) for the workload-routing extension;
 //! * [`Scenario`] — one-stop generation of a consistent [`TraceSet`];
 //! * [`ScenarioPack`] — named bundles of scenario variants (seasonal
 //!   calendars, price-spike regimes, renewable droughts) with a
@@ -64,6 +67,7 @@ mod solar;
 mod stats;
 mod trace;
 mod wind;
+mod workload;
 
 pub use demand::{DemandModel, DemandTraces};
 pub use error::TraceError;
@@ -75,3 +79,4 @@ pub use solar::SolarModel;
 pub use stats::{lag1_autocorrelation, SeriesStats};
 pub use trace::TraceSet;
 pub use wind::WindModel;
+pub use workload::WorkloadModel;

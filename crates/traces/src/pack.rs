@@ -9,7 +9,7 @@
 //! with different names never share a stream even at the same master
 //! seed.
 //!
-//! Four packs ship built in (see [`ScenarioPack::builtin`]):
+//! Five packs ship built in (see [`ScenarioPack::builtin`]):
 //!
 //! | pack | regime stressed |
 //! |------|-----------------|
@@ -17,11 +17,14 @@
 //! | `price-spike` | real-time market spike frequency and size |
 //! | `renewable-drought` | shrinking and darkening on-site generation |
 //! | `flat-baseline` | structure removed — flat demand and/or flat prices |
+//! | `traffic-wave` | request-arrival regimes — regional diurnal offsets, flash crowds, traffic surges |
 
 use dpss_units::{Power, SlotClock};
 
 use crate::seed::{fnv1a, splitmix64};
-use crate::{DemandModel, PriceModel, Scenario, SolarModel, TraceError, TraceSet, WindModel};
+use crate::{
+    DemandModel, PriceModel, Scenario, SolarModel, TraceError, TraceSet, WindModel, WorkloadModel,
+};
 
 /// An ordered, named roster of labelled [`Scenario`] variants with a
 /// deterministic per-variant (and per-site) seed schedule.
@@ -185,6 +188,7 @@ impl ScenarioPack {
             "price-spike",
             "renewable-drought",
             "flat-baseline",
+            "traffic-wave",
         ]
     }
 
@@ -196,6 +200,7 @@ impl ScenarioPack {
             "price-spike" => Some(Self::price_spike()),
             "renewable-drought" => Some(Self::renewable_drought()),
             "flat-baseline" => Some(Self::flat_baseline()),
+            "traffic-wave" => Some(Self::traffic_wave()),
             _ => None,
         }
     }
@@ -324,6 +329,47 @@ impl ScenarioPack {
                     .with_price(flat_price),
             )
     }
+
+    /// `traffic-wave`: the paper's energy-side inputs with a request
+    /// stream layered on top, swept through arrival regimes — a steady
+    /// diurnal baseline, region-offset diurnals (sites peak at different
+    /// wall-clock hours, so one region's trough can host another's peak),
+    /// flash crowds (short multiplicative bursts) and a month-long
+    /// traffic surge. The regimes where workload routing earns its keep:
+    /// deferrable work migrates toward sites with forecast curtailment
+    /// instead of shipping energy through lossy links.
+    #[must_use]
+    pub fn traffic_wave() -> Self {
+        ScenarioPack::new("traffic-wave")
+            .with_variant(
+                "steady",
+                Scenario::icdcs13().with_workload(WorkloadModel::icdcs13()),
+            )
+            .with_variant(
+                "offset-diurnal",
+                Scenario::icdcs13().with_workload(
+                    WorkloadModel::icdcs13()
+                        .with_diurnal_amplitude(0.6)
+                        .with_offset_spread(24.0),
+                ),
+            )
+            .with_variant(
+                "flash-crowd",
+                Scenario::icdcs13().with_workload(
+                    WorkloadModel::icdcs13()
+                        .with_offset_spread(12.0)
+                        .with_flash_crowds(0.6, 5.0, 3),
+                ),
+            )
+            .with_variant(
+                "surge",
+                Scenario::icdcs13().with_workload(
+                    WorkloadModel::icdcs13()
+                        .with_surge_ramp(1.0)
+                        .with_flash_crowds(0.2, 3.0, 3),
+                ),
+            )
+    }
 }
 
 #[cfg(test)]
@@ -374,12 +420,51 @@ mod tests {
 
     #[test]
     fn variant_seeds_are_stable_under_extension() {
-        let base = ScenarioPack::price_spike();
-        let grown = ScenarioPack::price_spike().with_variant("extra", Scenario::icdcs13());
-        for i in 0..base.len() {
-            assert_eq!(base.variant_seed(42, i), grown.variant_seed(42, i));
-            assert_eq!(base.site_seed(42, i, 3), grown.site_seed(42, i, 3));
+        // Appending variants — including the traffic regimes that carry a
+        // workload stream — must never shift the seeds of the variants
+        // already in the roster, for every builtin pack.
+        for &name in ScenarioPack::builtin_names() {
+            let base = ScenarioPack::builtin(name).unwrap();
+            let grown = ScenarioPack::builtin(name)
+                .unwrap()
+                .with_variant("extra", Scenario::icdcs13())
+                .with_variant(
+                    "extra-traffic",
+                    Scenario::icdcs13().with_workload(WorkloadModel::icdcs13()),
+                );
+            for i in 0..base.len() {
+                assert_eq!(
+                    base.variant_seed(42, i),
+                    grown.variant_seed(42, i),
+                    "{name}"
+                );
+                assert_eq!(
+                    base.site_seed(42, i, 3),
+                    grown.site_seed(42, i, 3),
+                    "{name}"
+                );
+            }
         }
+    }
+
+    #[test]
+    fn traffic_wave_variants_carry_arrivals_and_leave_energy_side_alone() {
+        let clock = SlotClock::new(3, 24, 1.0).unwrap();
+        let pack = ScenarioPack::traffic_wave();
+        assert_eq!(
+            pack.labels(),
+            ["steady", "offset-diurnal", "flash-crowd", "surge"]
+        );
+        for i in 0..pack.len() {
+            let t = pack.generate_site(&clock, 42, i, 1).unwrap();
+            let arrivals = t.arrivals.as_ref().expect("traffic variant has arrivals");
+            assert!(arrivals.iter().any(|a| a.mwh() > 0.0), "variant {i}");
+        }
+        // Packs without a workload stay arrival-free.
+        let plain = ScenarioPack::price_spike()
+            .generate_site(&clock, 42, 0, 1)
+            .unwrap();
+        assert_eq!(plain.arrivals, None);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 use dpss_units::{Energy, SlotClock};
 
 use crate::randutil::subseed;
-use crate::{DemandModel, PriceModel, SolarModel, TraceError, TraceSet, WindModel};
+use crate::{DemandModel, PriceModel, SolarModel, TraceError, TraceSet, WindModel, WorkloadModel};
 
 /// One-stop generator for a consistent [`TraceSet`]: demand, renewables and
 /// the two market price series.
@@ -35,6 +35,7 @@ pub struct Scenario {
     wind: Option<WindModel>,
     price: PriceModel,
     demand: DemandModel,
+    workload: Option<WorkloadModel>,
 }
 
 impl Scenario {
@@ -46,6 +47,7 @@ impl Scenario {
             wind: None,
             price: PriceModel::icdcs13(),
             demand: DemandModel::icdcs13(),
+            workload: None,
         }
     }
 
@@ -59,6 +61,7 @@ impl Scenario {
             wind: Some(crate::WindModel::icdcs13().with_capacity(dpss_units::Power::from_mw(2.0))),
             price: PriceModel::icdcs13(),
             demand: DemandModel::icdcs13(),
+            workload: None,
         }
     }
 
@@ -95,6 +98,27 @@ impl Scenario {
     pub fn with_demand(mut self, demand: DemandModel) -> Self {
         self.demand = demand;
         self
+    }
+
+    /// Adds (or replaces) a request-arrival workload stream. Scenarios
+    /// with a workload generate [`TraceSet::arrivals`].
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadModel) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Removes the workload stream.
+    #[must_use]
+    pub fn without_workload(mut self) -> Self {
+        self.workload = None;
+        self
+    }
+
+    /// The workload model, if one is attached (read access for harnesses).
+    #[must_use]
+    pub fn workload(&self) -> Option<&WorkloadModel> {
+        self.workload.as_ref()
     }
 
     /// The demand model (read access for experiment harnesses).
@@ -148,14 +172,21 @@ impl Scenario {
             }
         }
         let prices = self.price.generate(clock, subseed(market_seed, 4))?;
-        TraceSet::new(
+        let ts = TraceSet::new(
             *clock,
             demand.delay_sensitive,
             demand.delay_tolerant,
             renewable,
             prices.long_term,
             prices.real_time,
-        )
+        )?;
+        // The workload stream rides its own sub-seed link (5), appended
+        // after the existing chain: attaching or detaching a workload
+        // never shifts the demand/renewable/price realizations.
+        match &self.workload {
+            Some(w) => ts.with_arrivals(w.generate(clock, subseed(seed, 5))?),
+            None => Ok(ts),
+        }
     }
 }
 
@@ -234,6 +265,32 @@ mod tests {
         let back = Scenario::icdcs13()
             .with_wind(WindModel::icdcs13())
             .without_wind()
+            .generate(&clock, 7)
+            .unwrap();
+        assert_eq!(back, base);
+    }
+
+    #[test]
+    fn workload_adds_arrivals_without_perturbing_existing_series() {
+        let clock = SlotClock::new(3, 24, 1.0).unwrap();
+        let base = Scenario::icdcs13().generate(&clock, 7).unwrap();
+        assert_eq!(base.arrivals, None);
+        let routed = Scenario::icdcs13()
+            .with_workload(crate::WorkloadModel::icdcs13())
+            .generate(&clock, 7)
+            .unwrap();
+        let arrivals = routed.arrivals.clone().expect("workload attached");
+        assert_eq!(arrivals.len(), clock.total_slots());
+        // Attaching a workload must not shift any pre-existing stream.
+        assert_eq!(routed.demand_ds, base.demand_ds);
+        assert_eq!(routed.demand_dt, base.demand_dt);
+        assert_eq!(routed.renewable, base.renewable);
+        assert_eq!(routed.price_lt, base.price_lt);
+        assert_eq!(routed.price_rt, base.price_rt);
+        // And detaching restores full equality.
+        let back = Scenario::icdcs13()
+            .with_workload(crate::WorkloadModel::icdcs13())
+            .without_workload()
             .generate(&clock, 7)
             .unwrap();
         assert_eq!(back, base);

@@ -49,6 +49,13 @@ pub struct TraceSet {
     pub price_lt: Vec<Price>,
     /// Real-time market price `p_rt(τ)` per fine slot.
     pub price_rt: Vec<Price>,
+    /// Request arrivals `w(τ)` per fine slot (IT energy required to serve
+    /// the arriving work), when the scenario models a workload stream.
+    /// `None` for pure supply-side runs; absent from the CSV round-trip
+    /// (which predates the request layer), so [`TraceSet::from_csv`]
+    /// always yields `None`.
+    #[serde(default)]
+    pub arrivals: Option<Vec<Energy>>,
 }
 
 impl TraceSet {
@@ -75,9 +82,22 @@ impl TraceSet {
             renewable,
             price_lt,
             price_rt,
+            arrivals: None,
         };
         ts.validate()?;
         Ok(ts)
+    }
+
+    /// Attaches a per-slot request-arrival series (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TraceSet::validate`] errors if the series has the
+    /// wrong length or non-finite/negative values.
+    pub fn with_arrivals(mut self, arrivals: Vec<Energy>) -> Result<Self, TraceError> {
+        self.arrivals = Some(arrivals);
+        self.validate()?;
+        Ok(self)
     }
 
     /// Re-checks all invariants (used by transforms in [`crate::scaling`]).
@@ -109,9 +129,15 @@ impl TraceSet {
             }
             Ok(())
         };
+        if let Some(arrivals) = &self.arrivals {
+            check_len("arrivals", arrivals.len(), slots)?;
+        }
         check_energy("demand_ds", &self.demand_ds)?;
         check_energy("demand_dt", &self.demand_dt)?;
         check_energy("renewable", &self.renewable)?;
+        if let Some(arrivals) = &self.arrivals {
+            check_energy("arrivals", arrivals)?;
+        }
         let check_price = |series: &'static str, xs: &[Price]| {
             for (i, x) in xs.iter().enumerate() {
                 if !x.is_finite() || x.dollars_per_mwh() < 0.0 {
@@ -205,6 +231,25 @@ impl TraceSet {
     #[must_use]
     pub fn rt_price_stats(&self) -> SeriesStats {
         SeriesStats::from_values(self.price_rt.iter().map(|p| p.dollars_per_mwh()))
+    }
+
+    /// Sum of all request arrivals over the horizon (zero when the
+    /// scenario carries no workload stream).
+    #[must_use]
+    pub fn total_arrivals(&self) -> Energy {
+        self.arrivals
+            .as_deref()
+            .map(|xs| xs.iter().sum())
+            .unwrap_or(Energy::ZERO)
+    }
+
+    /// Statistics of the request-arrival series; `None` when the scenario
+    /// carries no workload stream.
+    #[must_use]
+    pub fn arrival_stats(&self) -> Option<SeriesStats> {
+        self.arrivals
+            .as_deref()
+            .map(|xs| SeriesStats::from_values(xs.iter().map(|e| e.mwh())))
     }
 
     /// Serializes all series to a CSV document (header + one row per fine
@@ -430,6 +475,45 @@ mod tests {
             TraceSet::from_csv(t.clock, &csv),
             Err(TraceError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn arrivals_are_validated_and_aggregated() {
+        let t = tiny();
+        assert_eq!(t.arrivals, None);
+        assert_eq!(t.total_arrivals(), Energy::ZERO);
+        assert!(t.arrival_stats().is_none());
+
+        let with = tiny()
+            .with_arrivals(vec![Energy::from_mwh(0.5); 4])
+            .unwrap();
+        assert_eq!(with.total_arrivals(), Energy::from_mwh(2.0));
+        assert_eq!(with.arrival_stats().unwrap().mean, 0.5);
+
+        assert!(matches!(
+            tiny().with_arrivals(vec![Energy::ZERO; 3]),
+            Err(TraceError::LengthMismatch {
+                series: "arrivals",
+                ..
+            })
+        ));
+        assert!(matches!(
+            tiny().with_arrivals(vec![Energy::from_mwh(-1.0); 4]),
+            Err(TraceError::InvalidValue {
+                series: "arrivals",
+                slot: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn csv_round_trip_drops_arrivals() {
+        let t = tiny()
+            .with_arrivals(vec![Energy::from_mwh(0.5); 4])
+            .unwrap();
+        let back = TraceSet::from_csv(t.clock, &t.to_csv()).unwrap();
+        assert_eq!(back.arrivals, None);
+        assert_eq!(back.demand_ds, t.demand_ds);
     }
 
     #[test]

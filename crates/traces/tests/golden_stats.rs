@@ -275,6 +275,46 @@ const SNAPSHOT: &[(&str, [&str; 5])] = &[
         ],
     ),
     (
+        "pack/traffic-wave/steady",
+        [
+            "0.702072543 0.143722119 0.419475728 1.141247919 0.916296729",
+            "0.506365628 0.313968969 0.000000000 0.800000000 0.007149700",
+            "0.386448868 0.697093122 0.000000000 3.368774647 0.851650094",
+            "35.262922218 3.890260923 27.017433690 46.299726414 0.566313359",
+            "49.355301174 10.412311635 29.810873661 100.000000000 0.344568031",
+        ],
+    ),
+    (
+        "pack/traffic-wave/offset-diurnal",
+        [
+            "0.712383333 0.142889193 0.416579177 1.255060925 0.915773008",
+            "0.486952817 0.318912478 0.000000000 0.800000000 0.040900450",
+            "0.345579041 0.627221381 0.000000000 3.329619197 0.854444202",
+            "34.644957156 3.088565215 28.696368910 40.209465801 0.346060378",
+            "47.264804696 9.914176988 28.280023120 100.000000000 0.410990977",
+        ],
+    ),
+    (
+        "pack/traffic-wave/flash-crowd",
+        [
+            "0.702672070 0.142254340 0.435429735 1.165074944 0.914416824",
+            "0.476095681 0.322391305 0.000000000 0.800000000 0.093886776",
+            "0.345436534 0.622419754 0.000000000 3.667895179 0.823770633",
+            "36.139174065 4.123677182 27.400007013 44.497083807 0.763860748",
+            "47.633529238 9.774479509 26.203185414 100.000000000 0.472561109",
+        ],
+    ),
+    (
+        "pack/traffic-wave/surge",
+        [
+            "0.701433369 0.147037536 0.395206026 1.166589054 0.923465743",
+            "0.504036473 0.318201797 0.000000000 0.800000000 0.011889120",
+            "0.308237391 0.574102867 0.000000000 3.260376192 0.834113213",
+            "33.995773390 3.857968122 25.285523238 40.441700542 0.678342496",
+            "47.550230090 9.772194491 26.678408481 100.000000000 0.498243503",
+        ],
+    ),
+    (
         "pack/seasonal-calendar/winter/site0",
         [
             "0.704584424 0.152141432 0.429987765 1.168667194 0.920680530",
@@ -354,6 +394,75 @@ fn write_golden_stats_artifact() {
     assert!(json.contains("pack/seasonal-calendar/winter"));
 }
 
+/// The pinned request-arrival streams: every `traffic-wave` variant at
+/// its derived seed, plus the first two *sites* of the flash-crowd
+/// variant (pinning the per-site regional-offset draw). Kept in a table
+/// separate from `SNAPSHOT` because the other entries carry no arrivals.
+fn arrival_entries() -> Vec<(String, Vec<f64>)> {
+    let clock = SlotClock::icdcs13_month();
+    let pack = ScenarioPack::builtin("traffic-wave").unwrap();
+    let series = |t: TraceSet| -> Vec<f64> {
+        t.arrivals
+            .expect("traffic-wave variants carry arrivals")
+            .iter()
+            .map(|e| e.mwh())
+            .collect()
+    };
+    let mut out = Vec::new();
+    for (i, (label, _)) in pack.variants().iter().enumerate() {
+        out.push((
+            format!("arrivals/traffic-wave/{label}"),
+            series(pack.generate(&clock, SEED, i).unwrap()),
+        ));
+    }
+    for site in 0..2 {
+        out.push((
+            format!("arrivals/traffic-wave/flash-crowd/site{site}"),
+            series(pack.generate_site(&clock, SEED, 2, site).unwrap()),
+        ));
+    }
+    out
+}
+
+// ARRIVALS-SNAPSHOT-BEGIN
+#[rustfmt::skip]
+const ARRIVALS_SNAPSHOT: &[(&str, &str)] = &[
+    ("arrivals/traffic-wave/steady", "0.296615511 0.075218485 0.186082175 0.468125597 0.945716297"),
+    ("arrivals/traffic-wave/offset-diurnal", "0.300143312 0.096330316 0.162568291 0.534640512 0.953121291"),
+    ("arrivals/traffic-wave/flash-crowd", "0.336405544 0.206285461 0.186959150 1.500000000 0.637106853"),
+    ("arrivals/traffic-wave/surge", "0.461471115 0.180292556 0.206226316 1.500000000 0.874963489"),
+    ("arrivals/traffic-wave/flash-crowd/site0", "0.381636821 0.285099103 0.181681956 1.500000000 0.637087382"),
+    ("arrivals/traffic-wave/flash-crowd/site1", "0.346590571 0.229992667 0.192366318 1.500000000 0.642924706"),
+];
+// ARRIVALS-SNAPSHOT-END
+
+#[test]
+fn every_arrival_stream_matches_its_golden_fingerprint() {
+    let entries = arrival_entries();
+    assert_eq!(
+        entries.len(),
+        ARRIVALS_SNAPSHOT.len(),
+        "pinned arrival roster changed (regenerate with print_arrivals_snapshot)"
+    );
+    let mut failures = Vec::new();
+    for ((key, values), (want_key, want)) in entries.iter().zip(ARRIVALS_SNAPSHOT) {
+        assert_eq!(
+            key, want_key,
+            "pinned arrival entry order changed (regenerate with print_arrivals_snapshot)"
+        );
+        let got = fingerprint(values);
+        if got != *want {
+            failures.push(format!("{key}:\n  pinned   {want}\n  computed {got}"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden arrival fingerprint(s) drifted:\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
 /// Regeneration helper: prints the `SNAPSHOT` rows in source form.
 #[test]
 #[ignore = "snapshot generator, run with --ignored --nocapture"]
@@ -368,5 +477,14 @@ fn print_snapshot() {
         }
         println!("        ],");
         println!("    ),");
+    }
+}
+
+/// Regeneration helper for the arrivals table.
+#[test]
+#[ignore = "snapshot generator, run with --ignored --nocapture"]
+fn print_arrivals_snapshot() {
+    for (key, values) in arrival_entries() {
+        println!("    (\"{key}\", \"{}\"),", fingerprint(&values));
     }
 }

@@ -23,11 +23,11 @@
 
 use std::process::ExitCode;
 
-use smartdpss::bench::{figures, packs};
+use smartdpss::bench::{figures, packs, routing};
 use smartdpss::{
     Engine, ExperimentRunner, FigureTable, GreedyBattery, Impatient, MarketMode, OfflineOptimal,
-    Price, RunReport, Scenario, SimParams, SlotClock, SmartDpss, SmartDpssConfig, TheoremBounds,
-    UniformError,
+    Price, RoutingConfig, RoutingMode, RunReport, Scenario, SimParams, SlotClock, SmartDpss,
+    SmartDpssConfig, TheoremBounds, UniformError,
 };
 
 /// Parsed command line.
@@ -51,6 +51,7 @@ struct Cli {
     pack: String,
     sites: usize,
     dispatch: packs::DispatchMode,
+    routing: RoutingMode,
     state_dir: Option<String>,
     resume: bool,
     log: Option<String>,
@@ -91,6 +92,7 @@ impl Default for Cli {
             pack: String::new(),
             sites: 1,
             dispatch: packs::DispatchMode::PostHoc,
+            routing: RoutingMode::Off,
             state_dir: None,
             resume: false,
             log: None,
@@ -172,6 +174,10 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--dispatch" | "--interconnect" => {
                 cli.dispatch = packs::DispatchMode::parse(&value(&flag)?)?;
             }
+            // Same closed-roster contract as --dispatch: a typo exits 2.
+            "--routing" => {
+                cli.routing = RoutingMode::parse(&value("--routing")?)?;
+            }
             "--state-dir" => cli.state_dir = Some(value("--state-dir")?),
             "--resume" => cli.resume = true,
             "--log" => cli.log = Some(value("--log")?),
@@ -239,12 +245,17 @@ USAGE:
                      ablations|forecast|baselines
   dpss sweep   --pack NAME [--sites N]
                [--dispatch post-hoc|planned|coordinated]
+               [--routing off|co-optimized]
                [--seed N] [--threads N] [--json]
                NAME: seasonal-calendar|price-spike|renewable-drought|
-                     flat-baseline (multi-site cross-aggregation table;
-                     planned mode routes exports with per-frame flow LPs,
-                     coordinated mode feeds the plan back into the sites'
-                     dispatch as buy-to-export directives)
+                     flat-baseline|traffic-wave (multi-site cross-
+                     aggregation table; planned mode routes exports with
+                     per-frame flow LPs, coordinated mode feeds the plan
+                     back into the sites' dispatch as buy-to-export
+                     directives; --routing co-optimized implies
+                     coordinated dispatch and adds the workload router:
+                     deferrable requests absorb residual curtailment,
+                     migrate toward it, or wait for cheaper frames)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
   dpss audit   [--json]   run the workspace source lints (determinism,
                panic-safety, hygiene); --json also writes target/audit.json.
@@ -396,6 +407,24 @@ fn execute(cli: &Cli) -> Result<String, String> {
             if !cli.pack.is_empty() {
                 // Validated at parse time; unknown packs never get here.
                 let pack = packs::lookup_builtin(&cli.pack)?;
+                // Co-optimized routing wraps the coordinated fleet
+                // dispatch; off leaves the pack sweep bit-for-bit as if
+                // the flag never existed.
+                if cli.routing == RoutingMode::CoOptimized {
+                    let table = routing::routing_sweep_with(
+                        &runner,
+                        seed,
+                        &pack,
+                        cli.sites,
+                        &packs::default_interconnect(cli.sites),
+                        RoutingConfig::icdcs13(),
+                    );
+                    return if cli.json {
+                        serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
+                    } else {
+                        Ok(table.render())
+                    };
+                }
                 let table = packs::pack_sweep_with(
                     &runner,
                     seed,
@@ -824,6 +853,35 @@ mod tests {
         assert!(err
             .render()
             .starts_with("dpss: error: unknown dispatch mode: bogus"));
+    }
+
+    #[test]
+    fn parses_routing_mode() {
+        let cli = parse_args(args(
+            "sweep --pack traffic-wave --sites 2 --routing co-optimized",
+        ))
+        .unwrap();
+        assert_eq!(cli.routing, RoutingMode::CoOptimized);
+        // `--routing off` is the default spelled out: the parsed command
+        // is identical to not passing the flag at all, which is how the
+        // CLI keeps the off tables byte-for-bit those of the pre-routing
+        // sweep path.
+        let spelled = parse_args(args("sweep --pack price-spike --sites 2 --routing off")).unwrap();
+        let silent = parse_args(args("sweep --pack price-spike --sites 2")).unwrap();
+        assert_eq!(spelled, silent);
+    }
+
+    #[test]
+    fn unknown_routing_mode_is_a_usage_error() {
+        let err = run_cli(args("sweep --pack traffic-wave --routing bogus")).unwrap_err();
+        assert!(err.usage_error, "closed mode roster → usage error, exit 2");
+        assert_eq!(err.exit_code(), ExitCode::from(2));
+        let shown = err.render();
+        assert!(
+            shown.starts_with("dpss: error: unknown routing mode: bogus"),
+            "{shown}"
+        );
+        assert!(shown.contains("off|co-optimized"), "{shown}");
     }
 
     #[test]

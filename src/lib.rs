@@ -66,15 +66,16 @@ pub use dpss_lp::LpWorkspace;
 pub use dpss_bench::{DispatchMode, InterconnectMode};
 pub use dpss_core::{
     cheapest_window_bound, FleetPlanner, GreedyBattery, Impatient, MarketMode, OfflineConfig,
-    OfflineOptimal, P4Variant, P5Objective, RecedingHorizon, SmartDpss, SmartDpssConfig,
-    SolverPath, TheoremBounds,
+    OfflineOptimal, P4Variant, P5Objective, RecedingHorizon, RoutingPlanner, SmartDpss,
+    SmartDpssConfig, SolverPath, TheoremBounds,
 };
 pub use dpss_serve::{ServeError, ServeOptions, ServeOutcome, SessionConfig, SessionServer};
 pub use dpss_sim::{
     Battery, BatteryParams, Controller, DelayLedger, DemandQueue, Engine, EngineRun,
-    FleetDispatcher, ForecastPolicy, FrameDecision, FrameDirective, FrameObservation, FrameOutlook,
-    Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams, SiteOutlook,
-    SlotDecision, SlotObservation, SystemView,
+    FleetDispatcher, FleetWorkload, ForecastPolicy, FrameDecision, FrameDirective,
+    FrameObservation, FrameOutlook, Interconnect, LoadTotals, MultiSiteEngine, MultiSiteReport,
+    RoutedDispatcher, RoutingConfig, RoutingMode, RunReport, SimParams, SiteOutlook, SlotDecision,
+    SlotObservation, SystemView, UnroutedDispatcher,
 };
 pub use dpss_traces::{Scenario, ScenarioPack, TraceSet, UniformError};
 pub use dpss_units::{Energy, Money, Power, Price, SlotClock};
