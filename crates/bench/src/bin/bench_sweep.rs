@@ -20,7 +20,12 @@
 //! 6. **Fleet scaling curve**: the coordinated month at 8–100 ring
 //!    sites in three configurations — dense simplex + serial stepping,
 //!    network simplex + serial, network simplex + threaded — the
-//!    sites-vs-wall-clock evidence behind the fleet-scale work.
+//!    sites-vs-wall-clock evidence behind the fleet-scale work. The
+//!    large-fleet axis (256 and 512 ring sites) runs on the factorized
+//!    network kernel only — the dense baseline is exactly what those
+//!    sizes retire — and the kernel's telemetry (pivots, eta lengths,
+//!    refactorizations, scratch peaks, ns/solve) is emitted per point
+//!    as the `solver_stats.json` artifact next to `--out`.
 //! 7. **Sweep cache**: a cold pass over a scratch `SweepCache` vs the
 //!    warm rerun; the binary exits nonzero unless warm is ≥5× faster
 //!    with byte-identical results.
@@ -120,6 +125,21 @@ struct BenchSweepReport {
     /// Network simplex + `--threads N` within-frame stepping — the full
     /// fleet-scale path.
     fleet_scaling_parallel_ms: Vec<f64>,
+    /// One coordinated 256-site ring month on the factorized network
+    /// kernel, serial stepping.
+    fleet_scaling_256_network_ms: f64,
+    /// The same 256-site month with threaded within-frame stepping.
+    fleet_scaling_256_parallel_ms: f64,
+    /// One coordinated 512-site ring month, network kernel, serial.
+    fleet_scaling_512_network_ms: f64,
+    /// The same 512-site month with threaded stepping — the headline
+    /// large-fleet number (also gated by the release smoke test).
+    fleet_scaling_512_parallel_ms: f64,
+    /// Eta-file rebuilds per kernel solve on the 100-site network month
+    /// — the drift-control telemetry. Near zero means warm bases resume
+    /// without pivoting; large values mean the eta cap or the
+    /// small-pivot guard is doing heavy lifting.
+    solver_refactor_rate: f64,
     /// Cells of the sweep-cache measurement (full month runs each).
     sweep_cache_cells: usize,
     /// First pass over an empty `target/sweep_cache_bench`: every cell
@@ -425,11 +445,23 @@ fn main() -> ExitCode {
     // path). One timed run per point — the curve's shape is the
     // artifact, not its microsecond precision.
     use dpss_core::SolverPath;
+    use dpss_lp::SolverStats;
     let fleet_scaling_sites: Vec<usize> = vec![8, 16, 32, 64, 100];
     let mut fleet_scaling_serial_ms = Vec::new();
     let mut fleet_scaling_network_lp_ms = Vec::new();
     let mut fleet_scaling_parallel_ms = Vec::new();
-    for &n in &fleet_scaling_sites {
+    // Per-point kernel telemetry, keyed `ring<N>_<config>`, written out
+    // as the solver_stats.json artifact.
+    #[derive(Debug, Serialize)]
+    struct SolverStatsPoint {
+        point: String,
+        sites: usize,
+        stats: SolverStats,
+        refactor_rate: f64,
+    }
+    let mut solver_stats_points: Vec<SolverStatsPoint> = Vec::new();
+    let mut solver_refactor_rate = 0.0f64;
+    let ring_month = |n: usize| -> MultiSiteEngine {
         let engines: Vec<Engine> = (0..n)
             .map(|s| {
                 Engine::new(
@@ -446,35 +478,78 @@ fn main() -> ExitCode {
             .expect("valid loss")
             .with_uniform_wheeling(Price::from_dollars_per_mwh(2.0))
             .expect("valid wheeling");
-        let fleet_n = MultiSiteEngine::new(engines)
+        MultiSiteEngine::new(engines)
             .expect("sites share the calendar")
             .with_interconnect(ring_n)
-            .expect("ring spans the roster");
-        let ctls_n = || -> Vec<Box<dyn Controller>> {
-            (0..n)
-                .map(|_| {
-                    Box::new(
-                        SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
-                            .expect("valid configuration"),
-                    ) as Box<dyn Controller>
-                })
-                .collect()
-        };
-        let timed_month = |fleet: &MultiSiteEngine, path: SolverPath| -> f64 {
-            let mut planner = FleetPlanner::for_engine(fleet)
-                .with_coordination(true)
-                .with_solver_path(path);
-            let start = Instant::now();
-            let _ = fleet
-                .run_with(&mut ctls_n(), &mut planner)
-                .expect("fleet run succeeds");
-            start.elapsed().as_secs_f64()
-        };
-        fleet_scaling_serial_ms.push(timed_month(&fleet_n, SolverPath::Dense) * 1e3);
-        fleet_scaling_network_lp_ms.push(timed_month(&fleet_n, SolverPath::Network) * 1e3);
-        let parallel_fleet = fleet_n.clone().with_threads(threads);
-        fleet_scaling_parallel_ms.push(timed_month(&parallel_fleet, SolverPath::Network) * 1e3);
+            .expect("ring spans the roster")
+    };
+    let smart_fleet = |n: usize| -> Vec<Box<dyn Controller>> {
+        (0..n)
+            .map(|_| {
+                Box::new(
+                    SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                        .expect("valid configuration"),
+                ) as Box<dyn Controller>
+            })
+            .collect()
+    };
+    let timed_month = |fleet: &MultiSiteEngine, n: usize, path: SolverPath| -> (f64, SolverStats) {
+        let mut planner = FleetPlanner::for_engine(fleet)
+            .with_coordination(true)
+            .with_solver_path(path);
+        let start = Instant::now();
+        let _ = fleet
+            .run_with(&mut smart_fleet(n), &mut planner)
+            .expect("fleet run succeeds");
+        (start.elapsed().as_secs_f64(), planner.solver_stats())
+    };
+    for &n in &fleet_scaling_sites {
+        let fleet_n = ring_month(n);
+        let (dense_s, _) = timed_month(&fleet_n, n, SolverPath::Dense);
+        fleet_scaling_serial_ms.push(dense_s * 1e3);
+        let (net_s, net_stats) = timed_month(&fleet_n, n, SolverPath::Network);
+        fleet_scaling_network_lp_ms.push(net_s * 1e3);
+        solver_stats_points.push(SolverStatsPoint {
+            point: format!("ring{n}_network"),
+            sites: n,
+            stats: net_stats,
+            refactor_rate: net_stats.refactor_rate(),
+        });
+        if n == 100 {
+            solver_refactor_rate = net_stats.refactor_rate();
+        }
+        let parallel_fleet = fleet_n.with_threads(threads);
+        let (par_s, par_stats) = timed_month(&parallel_fleet, n, SolverPath::Network);
+        fleet_scaling_parallel_ms.push(par_s * 1e3);
+        solver_stats_points.push(SolverStatsPoint {
+            point: format!("ring{n}_parallel"),
+            sites: n,
+            stats: par_stats,
+            refactor_rate: par_stats.refactor_rate(),
+        });
     }
+    // The large-fleet axis: factorized network kernel only.
+    let mut large_ms = |n: usize| -> (f64, f64) {
+        let fleet_n = ring_month(n);
+        let (net_s, net_stats) = timed_month(&fleet_n, n, SolverPath::Network);
+        solver_stats_points.push(SolverStatsPoint {
+            point: format!("ring{n}_network"),
+            sites: n,
+            stats: net_stats,
+            refactor_rate: net_stats.refactor_rate(),
+        });
+        let parallel_fleet = fleet_n.with_threads(threads);
+        let (par_s, par_stats) = timed_month(&parallel_fleet, n, SolverPath::Network);
+        solver_stats_points.push(SolverStatsPoint {
+            point: format!("ring{n}_parallel"),
+            sites: n,
+            stats: par_stats,
+            refactor_rate: par_stats.refactor_rate(),
+        });
+        (net_s * 1e3, par_s * 1e3)
+    };
+    let (fleet_scaling_256_network_ms, fleet_scaling_256_parallel_ms) = large_ms(256);
+    let (fleet_scaling_512_network_ms, fleet_scaling_512_parallel_ms) = large_ms(512);
 
     // ---- 7. Sweep cache: cold first pass vs warm rerun. -----------------
     // Eight full-month cells through `run_cells_cached` on a scratch
@@ -653,6 +728,11 @@ fn main() -> ExitCode {
         fleet_scaling_serial_ms,
         fleet_scaling_network_lp_ms,
         fleet_scaling_parallel_ms,
+        fleet_scaling_256_network_ms,
+        fleet_scaling_256_parallel_ms,
+        fleet_scaling_512_network_ms,
+        fleet_scaling_512_parallel_ms,
+        solver_refactor_rate,
         sweep_cache_cells: cache_spec.cells(),
         sweep_cache_cold_ms: cache_cold_s * 1e3,
         sweep_cache_warm_ms: cache_warm_s * 1e3,
@@ -664,6 +744,17 @@ fn main() -> ExitCode {
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     println!("{json}");
+    // The per-point kernel telemetry rides as a sibling artifact.
+    let stats_path = std::path::Path::new(&out).with_file_name("solver_stats.json");
+    let stats_json = serde_json::to_string_pretty(&solver_stats_points).expect("stats serialize");
+    if let Err(e) = std::fs::write(&stats_path, format!("{stats_json}\n")) {
+        eprintln!(
+            "bench_sweep: error: cannot write {}: {e}",
+            stats_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", stats_path.display());
     match std::fs::write(&out, format!("{json}\n")) {
         Ok(()) => {
             eprintln!("wrote {out}");

@@ -16,13 +16,14 @@
 use std::fmt;
 
 use dpss_sim::{
-    Controller, Engine, Interconnect, MultiSiteEngine, MultiSiteReport, RunReport, SimParams,
+    Controller, Engine, Interconnect, MultiSiteEngine, MultiSiteReport, RoutingConfig, RunReport,
+    SimParams,
 };
 use dpss_traces::ScenarioPack;
 use dpss_units::{Energy, Price, SlotClock};
 
 use crate::{run_smart, Axis, ExperimentRunner, FigureTable, SweepSpec};
-use dpss_core::{FleetPlanner, SmartDpss, SmartDpssConfig};
+use dpss_core::{FleetPlanner, RoutingPlanner, SmartDpss, SmartDpssConfig};
 
 /// How a pack sweep dispatches and settles inter-site transfers over
 /// its [`Interconnect`].
@@ -626,6 +627,104 @@ pub fn pack_overview_with(runner: &ExperimentRunner, seed: u64) -> FigureTable {
             ]]
         },
     )
+}
+
+/// A serial LP-kernel telemetry probe behind `dpss sweep --solver-stats`:
+/// runs the pack's *first* variant through one coordinated fleet month —
+/// wrapped by the workload router when `routed` is set — and renders the
+/// planner's [`SolverStats`](dpss_lp::SolverStats) counters as a
+/// metric/value table. Deliberately single-threaded and single-variant so
+/// the counters describe one reproducible month rather than a
+/// thread-dependent interleaving of planners.
+///
+/// # Panics
+///
+/// Same harness contract as [`pack_sweep_with`], plus a validated
+/// `routed` config when one is supplied.
+#[must_use]
+pub fn solver_stats_table(
+    seed: u64,
+    pack: &ScenarioPack,
+    sites: usize,
+    interconnect: &Interconnect,
+    routed: Option<RoutingConfig>,
+) -> FigureTable {
+    assert!(sites >= 1, "a stats probe needs at least one site");
+    assert!(!pack.is_empty(), "a stats probe needs at least one variant");
+    assert_eq!(
+        interconnect.sites(),
+        sites,
+        "the interconnect must span the probe's site roster"
+    );
+    let clock = SlotClock::icdcs13_month();
+    let params = SimParams::icdcs13();
+    let label = pack.variant(0).expect("non-empty pack").0.to_owned();
+    let engines: Vec<Engine> = (0..sites)
+        .map(|s| {
+            let traces = pack
+                .generate_site(&clock, seed, 0, s)
+                .expect("built-in pack generates valid traces");
+            Engine::new(params, traces).expect("valid engine")
+        })
+        .collect();
+    let fleet = MultiSiteEngine::new(engines)
+        .expect("sites share the calendar")
+        .with_interconnect(interconnect.clone())
+        .expect("topology spans the roster");
+    let mut controllers: Vec<Box<dyn Controller>> = (0..sites)
+        .map(|_| {
+            Box::new(
+                SmartDpss::new(SmartDpssConfig::icdcs13(), params, clock)
+                    .expect("valid configuration"),
+            ) as Box<dyn Controller>
+        })
+        .collect();
+
+    let stats = match routed {
+        Some(config) => {
+            let mut planner = RoutingPlanner::new(
+                FleetPlanner::for_engine(&fleet).with_coordination(true),
+                config,
+            )
+            .expect("validated routing config");
+            fleet
+                .run_routed(&mut controllers, &mut planner, config)
+                .expect("routed fleet run succeeds");
+            planner.solver_stats()
+        }
+        None => {
+            let mut planner = FleetPlanner::for_engine(&fleet).with_coordination(true);
+            fleet
+                .run_with(&mut controllers, &mut planner)
+                .expect("fleet run succeeds");
+            planner.solver_stats()
+        }
+    };
+
+    let mut table = FigureTable::new(
+        &format!(
+            "LP kernel stats: pack {} variant {label}, one coordinated month ({sites} site{})",
+            pack.name(),
+            if sites == 1 { "" } else { "s" },
+        ),
+        &["metric", "value"],
+    );
+    let rows: [(&str, String); 10] = [
+        ("lp solves", stats.solves.to_string()),
+        ("warm starts", stats.warm_solves.to_string()),
+        ("cold starts", stats.cold_solves.to_string()),
+        ("warm rejects", stats.warm_rejects.to_string()),
+        ("kernel solves", stats.kernel_solves.to_string()),
+        ("simplex pivots", stats.pivots.to_string()),
+        ("refactorizations", stats.refactorizations.to_string()),
+        ("refactor rate", format!("{:.4}", stats.refactor_rate())),
+        ("eta entries peak", stats.eta_len_peak.to_string()),
+        ("peak scratch bytes", stats.peak_scratch_bytes.to_string()),
+    ];
+    for (metric, value) in rows {
+        table.push_owned(vec![metric.to_owned(), value]);
+    }
+    table
 }
 
 #[cfg(test)]

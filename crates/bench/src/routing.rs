@@ -180,7 +180,8 @@ pub fn routing_outcomes(
 
 /// The off vs co-optimized comparison table for one scenario pack:
 /// one row per variant with both fleet totals, the saving, and the
-/// co-optimized ledger's absorbed/migrated energy and worst queue wait.
+/// co-optimized ledger's absorbed/migrated energy plus its mean and
+/// worst realized queue delays (in coarse frames).
 ///
 /// # Panics
 ///
@@ -210,6 +211,7 @@ pub fn routing_sweep_with(
             "saved $",
             "absorbed MWh",
             "migrated MWh",
+            "mean wait",
             "max wait",
         ],
     );
@@ -221,6 +223,7 @@ pub fn routing_sweep_with(
             format!("{:.3}", o.saving().dollars()),
             format!("{:.2}", o.load.absorbed.mwh()),
             format!("{:.2}", o.load.migrated.mwh()),
+            format!("{:.2}", o.load.mean_wait_frames()),
             o.load.max_wait_frames.to_string(),
         ]);
     }
@@ -292,6 +295,6 @@ mod tests {
             RoutingConfig::icdcs13(),
         );
         assert_eq!(table.rows.len(), pack.len());
-        assert_eq!(table.columns.len(), 7);
+        assert_eq!(table.columns.len(), 8);
     }
 }

@@ -64,7 +64,9 @@
 // audit:allow-file(panic-unwrap): expects assert invariants of the LP template this module itself builds; solver errors propagate as CoreError
 // audit:allow-file(slice-index): variable/constraint ids are minted by the same template build pass; rosters are sized from the engine fleet
 
-use dpss_lp::{BasisSnapshot, ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
+use dpss_lp::{
+    BasisSnapshot, ConstraintId, LpWorkspace, Problem, Relation, Sense, SolverStats, Variable,
+};
 use dpss_sim::{
     FleetDispatcher, FrameDirective, FrameExchange, FrameOutlook, FrameSettlement, Interconnect,
     MultiSiteEngine, MultiSiteReport, RunReport, SimError,
@@ -550,6 +552,9 @@ impl FleetPlanner {
             out.wheeling += Money::from_dollars(sent * self.ic.wheeling(i, j).dollars_per_mwh());
             exports[i] += Energy::from_mwh(sent);
         }
+        // Hand the value buffer back: the next frame's solve reuses it,
+        // keeping the steady-state settlement loop allocation-free.
+        self.workspace.recycle(sol);
         (out, exports)
     }
 
@@ -748,6 +753,7 @@ impl FleetPlanner {
             directives[j].import_expectation += Energy::from_mwh(sent * (1.0 - loss));
             sent_totals[i] += sent;
         }
+        lp.workspace.recycle(sol);
         // Same top-off rule as the dense path: a donor directed to buy
         // must also fill its battery or the planned curtailment (and
         // hence the export) never materializes.
@@ -804,6 +810,22 @@ impl FleetPlanner {
             (lp.workspace.warm_solves(), lp.workspace.cold_solves())
         });
         (dense.0 + net.0, dense.1 + net.1)
+    }
+
+    /// Cumulative solver telemetry across every workspace the planner
+    /// owns — settlement plus whichever prospective templates have been
+    /// built. Counter fields sum; peak fields take the maximum over the
+    /// workspaces. See [`SolverStats`].
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut stats = self.workspace.stats();
+        if let Some(lp) = &self.prospective {
+            stats.merge(&lp.workspace.stats());
+        }
+        if let Some(lp) = &self.prospective_net {
+            stats.merge(&lp.workspace.stats());
+        }
+        stats
     }
 }
 

@@ -39,7 +39,7 @@
 // audit:allow-file(panic-unwrap): expects assert invariants of the LP template this module itself builds
 // audit:allow-file(slice-index): variable/row ids are minted by the same template build pass; rosters sized from the topology
 
-use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, Variable};
+use dpss_lp::{ConstraintId, LpWorkspace, Problem, Relation, Sense, SolverStats, Variable};
 use dpss_sim::{
     FrameDirective, FrameExchange, FrameOutlook, FrameSettlement, Interconnect, LoadFlow,
     LoadFrame, LoadPlan, RoutedDispatcher, RoutingConfig, SimError,
@@ -231,7 +231,17 @@ impl RoutingPlanner {
                 })
             })
             .collect();
+        self.workspace.recycle(sol);
         LoadPlan { absorb }
+    }
+
+    /// Cumulative solver telemetry across the wrapped energy planner's
+    /// workspaces and the migration LP's own. See [`SolverStats`].
+    #[must_use]
+    pub fn solver_stats(&self) -> SolverStats {
+        let mut stats = self.inner.solver_stats();
+        stats.merge(&self.workspace.stats());
+        stats
     }
 }
 

@@ -35,7 +35,6 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::LpError;
-use crate::network::NetworkBasis;
 use crate::workspace::{LpWorkspace, SavedBasis};
 
 /// Serializable image of the dense-path saved basis (see
@@ -53,6 +52,12 @@ pub struct DenseBasisSnapshot {
 }
 
 /// Serializable image of the network-path saved basis.
+///
+/// Only the combinatorial state travels — the basis columns and the
+/// nonbasic bound statuses. The factorization is deliberately absent:
+/// the kernel rebuilds it deterministically from the problem columns on
+/// the next warm install, so snapshots stay small and a restored
+/// workspace continues bit-identically to its donor.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetworkBasisSnapshot {
     /// Structural variable count the basis was built for.
@@ -63,8 +68,6 @@ pub struct NetworkBasisSnapshot {
     pub basis: Vec<usize>,
     /// Nonbasic-at-upper-bound flags, one per column (`n + m`).
     pub at_upper: Vec<bool>,
-    /// Row-major `m × m` basis inverse.
-    pub binv: Vec<f64>,
 }
 
 /// Both saved bases of one workspace, either of which may be absent
@@ -90,12 +93,11 @@ impl LpWorkspace {
                 basis: s.basis.clone(),
                 costs: s.costs.clone(),
             }),
-            network: self.net_saved.as_ref().map(|s| NetworkBasisSnapshot {
-                n: s.n,
-                m: s.m,
-                basis: s.basis.clone(),
-                at_upper: s.at_upper.clone(),
-                binv: s.binv.clone(),
+            network: self.net_saved.live.then(|| NetworkBasisSnapshot {
+                n: self.net_saved.n,
+                m: self.net_saved.m,
+                basis: self.net_saved.basis.clone(),
+                at_upper: self.net_saved.at_upper.clone(),
             }),
         }
     }
@@ -123,13 +125,19 @@ impl LpWorkspace {
             basis: d.basis.clone(),
             costs: d.costs.clone(),
         });
-        self.net_saved = snapshot.network.as_ref().map(|n| NetworkBasis {
-            n: n.n,
-            m: n.m,
-            basis: n.basis.clone(),
-            at_upper: n.at_upper.clone(),
-            binv: n.binv.clone(),
-        });
+        match &snapshot.network {
+            Some(n) => {
+                let saved = &mut self.net_saved;
+                saved.live = true;
+                saved.n = n.n;
+                saved.m = n.m;
+                saved.basis.clear();
+                saved.basis.extend_from_slice(&n.basis);
+                saved.at_upper.clear();
+                saved.at_upper.extend_from_slice(&n.at_upper);
+            }
+            None => self.net_saved.live = false,
+        }
         Ok(())
     }
 }
@@ -173,16 +181,6 @@ fn validate_network(n: &NetworkBasisSnapshot) -> Result<(), LpError> {
     if n.basis.iter().any(|&b| b >= cols) {
         return Err(LpError::InvalidBasis {
             what: "network basis entry out of column range",
-        });
-    }
-    if n.binv.len() != n.m * n.m {
-        return Err(LpError::InvalidBasis {
-            what: "network basis inverse must be m-by-m",
-        });
-    }
-    if n.binv.iter().any(|x| !x.is_finite()) {
-        return Err(LpError::InvalidBasis {
-            what: "network basis inverse must be finite",
         });
     }
     Ok(())
@@ -313,7 +311,7 @@ mod tests {
 
         let mut bad = good.clone();
         if let Some(n) = bad.network.as_mut() {
-            n.binv[0] = f64::INFINITY;
+            n.basis.push(0);
         }
         assert!(ws.import_basis(&bad).is_err());
 

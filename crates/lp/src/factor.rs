@@ -1,0 +1,220 @@
+//! Product-form basis factorization for the network simplex kernel.
+//!
+//! The revised simplex method needs two linear solves per pivot —
+//! `w = B⁻¹·Aⱼ` (FTRAN, the entering column in the basis frame) and
+//! `y = c_Bᵀ·B⁻¹` (BTRAN, the simplex multipliers) — plus one basis
+//! update when a column enters. Carrying an explicit dense `m × m`
+//! inverse makes each of those `O(m²)`; this module replaces it with the
+//! **product form of the inverse**: the basis inverse is held as a
+//! product of elementary *eta* matrices,
+//!
+//! ```text
+//! B⁻¹ = Eₖ · Eₖ₋₁ · … · E₁
+//! ```
+//!
+//! where each `Eᵢ` differs from the identity in a single column (its
+//! *pivot column*). A pivot appends one eta built from the entering
+//! direction `w` — `O(nnz(w))` work — and FTRAN/BTRAN apply the file in
+//! `O(Σ nnz(η))`, which for the sparse fleet flow bases is far below
+//! `m²`. The file is periodically rebuilt from the basis columns
+//! (*refactorization*, owned by the caller in `network.rs`) to bound
+//! both its length and accumulated rounding drift.
+//!
+//! Storage is flat — one header per eta plus two parallel arrays of
+//! off-pivot `(row, value)` entries — so a [`Factorization`] owned by a
+//! workspace is reused across solves without allocating once its
+//! capacity has grown to the working-set size.
+
+// Kernel storage: every row index is below the `m` the file was reset
+// with, minted by the caller from in-range pivot rows; runtime bound
+// checks in the FTRAN/BTRAN inner loops would be pure overhead.
+// audit:allow-file(slice-index): eta entries are bounded by the m the file was reset with; see module note
+#![allow(clippy::indexing_slicing)]
+
+/// One elementary matrix of the product file: identity except in column
+/// `pivot_row`, where the diagonal holds `pivot_val` and the rows listed
+/// in `entries[start..end]` hold the off-pivot values.
+#[derive(Debug, Clone, Copy)]
+struct EtaHead {
+    pivot_row: u32,
+    pivot_val: f64,
+    start: u32,
+    end: u32,
+}
+
+/// A basis inverse in product (eta-file) form. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Factorization {
+    m: usize,
+    heads: Vec<EtaHead>,
+    /// Off-pivot entry rows, flat across all etas (`heads[i]` owns
+    /// `rows[start..end]` / `vals[start..end]`).
+    rows: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl Factorization {
+    /// Resets the file to the identity on `m` rows, keeping capacity.
+    pub(crate) fn reset(&mut self, m: usize) {
+        self.m = m;
+        self.heads.clear();
+        self.rows.clear();
+        self.vals.clear();
+    }
+
+    /// Number of etas in the file (the refactorization trigger input).
+    pub(crate) fn eta_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Total off-pivot entries across the file (the eta-length telemetry).
+    pub(crate) fn entry_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Bytes of heap capacity currently pinned by the file.
+    pub(crate) fn capacity_bytes(&self) -> usize {
+        self.heads.capacity() * std::mem::size_of::<EtaHead>()
+            + self.rows.capacity() * std::mem::size_of::<u32>()
+            + self.vals.capacity() * std::mem::size_of::<f64>()
+    }
+
+    /// Appends the eta matrix that maps the entering direction
+    /// `w = B⁻¹·Aⱼ` onto `e_r`, i.e. performs the basis exchange at pivot
+    /// row `r`. Returns `false` (file unchanged) if the pivot element
+    /// `w[r]` is too small to divide by safely — the caller must then
+    /// refactorize or fall back.
+    pub(crate) fn push_eta(&mut self, r: usize, w: &[f64]) -> bool {
+        debug_assert_eq!(w.len(), self.m);
+        let piv = w[r];
+        if piv.abs() < 1e-12 || !piv.is_finite() {
+            return false;
+        }
+        let pivot_val = 1.0 / piv;
+        let start = self.rows.len() as u32;
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                self.rows.push(i as u32);
+                self.vals.push(-wi * pivot_val);
+            }
+        }
+        self.heads.push(EtaHead {
+            pivot_row: r as u32,
+            pivot_val,
+            start,
+            end: self.rows.len() as u32,
+        });
+        true
+    }
+
+    /// `x ← B⁻¹·x`: applies the etas in append order (`E₁` first).
+    pub(crate) fn ftran(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        for h in &self.heads {
+            let r = h.pivot_row as usize;
+            let t = x[r];
+            if t == 0.0 {
+                continue;
+            }
+            x[r] = h.pivot_val * t;
+            for k in h.start as usize..h.end as usize {
+                x[self.rows[k] as usize] += self.vals[k] * t;
+            }
+        }
+    }
+
+    /// `yᵀ ← yᵀ·B⁻¹`: applies the etas in reverse order (`Eₖ` first).
+    /// Each eta touches only its pivot component:
+    /// `y[r] ← η_r·y[r] + Σᵢ ηᵢ·y[i]`.
+    pub(crate) fn btran(&self, y: &mut [f64]) {
+        debug_assert_eq!(y.len(), self.m);
+        for h in self.heads.iter().rev() {
+            let r = h.pivot_row as usize;
+            let mut acc = h.pivot_val * y[r];
+            for k in h.start as usize..h.end as usize {
+                acc += self.vals[k] * y[self.rows[k] as usize];
+            }
+            y[r] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference: multiply the eta file out against a vector.
+    fn ftran_ref(f: &Factorization, x: &[f64]) -> Vec<f64> {
+        let mut out = x.to_vec();
+        f.ftran(&mut out);
+        out
+    }
+
+    #[test]
+    fn empty_file_is_the_identity() {
+        let mut f = Factorization::default();
+        f.reset(3);
+        let mut x = vec![1.0, -2.0, 3.0];
+        f.ftran(&mut x);
+        assert_eq!(x, vec![1.0, -2.0, 3.0]);
+        let mut y = vec![4.0, 5.0, 6.0];
+        f.btran(&mut y);
+        assert_eq!(y, vec![4.0, 5.0, 6.0]);
+        assert_eq!(f.eta_count(), 0);
+        assert_eq!(f.entry_count(), 0);
+    }
+
+    #[test]
+    fn push_eta_rejects_tiny_pivots() {
+        let mut f = Factorization::default();
+        f.reset(2);
+        assert!(!f.push_eta(0, &[1e-13, 1.0]));
+        assert_eq!(f.eta_count(), 0);
+        assert!(f.push_eta(0, &[2.0, 1.0]));
+        assert_eq!(f.eta_count(), 1);
+    }
+
+    #[test]
+    fn ftran_btran_agree_with_the_explicit_inverse() {
+        // Build B⁻¹ for B = [[2, 1], [1, 3]] by pivoting its columns in:
+        // start from I, enter column (2,1) at row 0, then (1,3) at row 1.
+        let mut f = Factorization::default();
+        f.reset(2);
+        // w = B⁻¹_current · A_0 = I·(2,1) = (2,1); pivot row 0.
+        assert!(f.push_eta(0, &[2.0, 1.0]));
+        // w = E₁·(1,3): t = 1, w0 = 0.5, w1 = 3 - 0.5 = 2.5; pivot row 1.
+        let mut w = vec![1.0, 3.0];
+        f.ftran(&mut w);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 2.5).abs() < 1e-12);
+        assert!(f.push_eta(1, &w));
+
+        // det B = 5; B⁻¹ = [[0.6, -0.2], [-0.2, 0.4]].
+        let binv = [[0.6, -0.2], [-0.2, 0.4]];
+        for probe in [[1.0, 0.0], [0.0, 1.0], [3.0, -2.0]] {
+            let got = ftran_ref(&f, &probe);
+            for i in 0..2 {
+                let want: f64 = (0..2).map(|k| binv[i][k] * probe[k]).sum();
+                assert!((got[i] - want).abs() < 1e-12, "ftran {probe:?} row {i}");
+            }
+            let mut y = probe.to_vec();
+            f.btran(&mut y);
+            for k in 0..2 {
+                let want: f64 = (0..2).map(|i| probe[i] * binv[i][k]).sum();
+                assert!((y[k] - want).abs() < 1e-12, "btran {probe:?} col {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_capacity() {
+        let mut f = Factorization::default();
+        f.reset(2);
+        assert!(f.push_eta(0, &[1.0, 0.5]));
+        let bytes = f.capacity_bytes();
+        assert!(bytes > 0);
+        f.reset(2);
+        assert_eq!(f.eta_count(), 0);
+        assert_eq!(f.capacity_bytes(), bytes);
+    }
+}

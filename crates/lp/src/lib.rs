@@ -49,6 +49,7 @@
 
 mod basis;
 mod error;
+mod factor;
 mod model;
 mod network;
 mod simplex;
@@ -60,7 +61,7 @@ pub use basis::{BasisSnapshot, DenseBasisSnapshot, NetworkBasisSnapshot};
 pub use error::LpError;
 pub use model::{ConstraintId, Problem, Relation, Sense, Variable};
 pub use solution::Solution;
-pub use workspace::LpWorkspace;
+pub use workspace::{LpWorkspace, SolverStats};
 
 /// Absolute feasibility/optimality tolerance used throughout the solver.
 pub const TOLERANCE: f64 = 1e-9;

@@ -57,6 +57,14 @@ impl Solution {
         &self.values
     }
 
+    /// Consumes the solution, handing its value buffer back (the
+    /// recycling path behind [`LpWorkspace::recycle`]).
+    ///
+    /// [`LpWorkspace::recycle`]: crate::LpWorkspace::recycle
+    pub(crate) fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
     /// Optimal objective value in the problem's original sense.
     #[must_use]
     pub fn objective(&self) -> f64 {

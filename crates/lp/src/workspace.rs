@@ -36,8 +36,72 @@
 //! # }
 //! ```
 
-use crate::network::NetworkBasis;
+use serde::Serialize;
+
+use crate::network::{NetState, NetworkBasis};
 use crate::simplex::Tableau;
+use crate::solution::Solution;
+
+/// Cumulative solver telemetry for one workspace (one solve template).
+///
+/// The warm/cold/reject counters cover every solve through the
+/// workspace, dense or network path; the kernel counters (`pivots`,
+/// `refactorizations`, eta length, scratch bytes, nanoseconds) cover the
+/// factorized network kernel only — `kernel_solves` says how many solves
+/// they aggregate over. Obtained from [`LpWorkspace::stats`], merged
+/// across a fleet's workspaces by the planner layers, and serialized
+/// into the `solver_stats.json` bench artifact.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct SolverStats {
+    /// Total solves through the workspace (warm + cold).
+    pub solves: u64,
+    /// Solves that resumed from a saved basis.
+    pub warm_solves: u64,
+    /// Solves that ran the cold path from scratch.
+    pub cold_solves: u64,
+    /// Warm attempts abandoned (each also counted in `cold_solves`).
+    pub warm_rejects: u64,
+    /// Solves that went through the factorized network kernel.
+    pub kernel_solves: u64,
+    /// Simplex pivots performed by the network kernel.
+    pub pivots: u64,
+    /// Eta-file rebuilds triggered by the cap or drift guard.
+    pub refactorizations: u64,
+    /// Peak off-pivot eta entries held in any one solve's file.
+    pub eta_len_peak: usize,
+    /// Peak bytes of heap capacity pinned by the kernel arenas.
+    pub peak_scratch_bytes: usize,
+    /// Wall-clock nanoseconds spent inside the network kernel.
+    pub solve_ns: u64,
+}
+
+impl SolverStats {
+    /// Folds another workspace's counters into this one (sums for the
+    /// tallies, maxima for the peaks).
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.solves += other.solves;
+        self.warm_solves += other.warm_solves;
+        self.cold_solves += other.cold_solves;
+        self.warm_rejects += other.warm_rejects;
+        self.kernel_solves += other.kernel_solves;
+        self.pivots += other.pivots;
+        self.refactorizations += other.refactorizations;
+        self.eta_len_peak = self.eta_len_peak.max(other.eta_len_peak);
+        self.peak_scratch_bytes = self.peak_scratch_bytes.max(other.peak_scratch_bytes);
+        self.solve_ns += other.solve_ns;
+    }
+
+    /// Refactorizations per kernel solve — the headline drift-control
+    /// telemetry (`solver_refactor_rate` in `BENCH_sweep.json`).
+    #[must_use]
+    pub fn refactor_rate(&self) -> f64 {
+        if self.kernel_solves == 0 {
+            0.0
+        } else {
+            self.refactorizations as f64 / self.kernel_solves as f64
+        }
+    }
+}
 
 /// The basis of the last successful solve, keyed by standard-form shape.
 #[derive(Debug, Clone)]
@@ -69,16 +133,28 @@ pub struct LpWorkspace {
     pub(crate) allowed: Vec<bool>,
     /// Basis of the previous successful solve, if any.
     pub(crate) saved: Option<SavedBasis>,
-    /// Basis + inverse of the previous successful *network-path* solve
-    /// ([`Problem::solve_network_with`]), if any. Kept separately from
-    /// `saved` because the two paths key on different shapes.
+    /// Basis of the previous successful *network-path* solve
+    /// ([`Problem::solve_network_with`]) — `live` when reusable. Kept
+    /// separately from `saved` because the two paths key on different
+    /// shapes, and in place (not an `Option`) so warm chains rewrite it
+    /// without allocating.
     ///
     /// [`Problem::solve_network_with`]: crate::Problem::solve_network_with
-    pub(crate) net_saved: Option<NetworkBasis>,
+    pub(crate) net_saved: NetworkBasis,
+    /// Arenas and persistent state of the factorized network kernel.
+    pub(crate) net: NetState,
+    /// Recycled [`Solution`] value buffer (see [`recycle`](Self::recycle)).
+    pub(crate) sol_pool: Vec<f64>,
     warm_solves: u64,
     cold_solves: u64,
     warm_rejects: u64,
     last_was_warm: bool,
+    kernel_solves: u64,
+    kernel_pivots: u64,
+    kernel_refactorizations: u64,
+    kernel_eta_len_peak: usize,
+    kernel_scratch_peak: usize,
+    kernel_solve_ns: u64,
 }
 
 impl LpWorkspace {
@@ -114,11 +190,50 @@ impl LpWorkspace {
         self.last_was_warm
     }
 
+    /// Cumulative solver telemetry for this workspace — warm/cold
+    /// counters plus the factorized network kernel's pivot,
+    /// refactorization, eta-length, scratch and timing counters.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            solves: self.warm_solves + self.cold_solves,
+            warm_solves: self.warm_solves,
+            cold_solves: self.cold_solves,
+            warm_rejects: self.warm_rejects,
+            kernel_solves: self.kernel_solves,
+            pivots: self.kernel_pivots,
+            refactorizations: self.kernel_refactorizations,
+            eta_len_peak: self.kernel_eta_len_peak,
+            peak_scratch_bytes: self.kernel_scratch_peak,
+            solve_ns: self.kernel_solve_ns,
+        }
+    }
+
+    /// Sets the network kernel's eta-file cap: the file is refactorized
+    /// once it holds `cap` etas (clamped to ≥ 1; the default is
+    /// restored by passing `0`). `cap = 1` forces a refactorization
+    /// after every basis exchange — useful for stress tests; production
+    /// callers should leave the default.
+    pub fn set_network_refactor_cap(&mut self, cap: usize) {
+        self.net.refactor_eta_cap = cap;
+    }
+
+    /// Returns a finished [`Solution`]'s value buffer to the workspace
+    /// pool. The next network-path solve reuses it for its own values,
+    /// which makes steady-state warm re-solve chains allocation-free
+    /// (asserted by a counting-allocator gate in the bench harness).
+    pub fn recycle(&mut self, sol: Solution) {
+        let values = sol.into_values();
+        if values.capacity() > self.sol_pool.capacity() {
+            self.sol_pool = values;
+        }
+    }
+
     /// Drops the saved bases (dense and network path) so the next solve
     /// is forced cold (the buffers remain allocated).
     pub fn clear_basis(&mut self) {
         self.saved = None;
-        self.net_saved = None;
+        self.net_saved.live = false;
     }
 
     /// Takes the saved basis if it matches the given phase-2 shape.
@@ -154,21 +269,21 @@ impl LpWorkspace {
         }
     }
 
-    /// Takes the saved network-path basis if it matches shape `n × m`.
-    pub(crate) fn take_matching_network_basis(
+    /// Accumulates one network-kernel solve's telemetry.
+    pub(crate) fn note_kernel_solve(
         &mut self,
-        n: usize,
-        m: usize,
-    ) -> Option<NetworkBasis> {
-        match &self.net_saved {
-            Some(s) if s.n == n && s.m == m => self.net_saved.take(),
-            _ => None,
-        }
-    }
-
-    /// Records the final basis of a successful network-path solve.
-    pub(crate) fn save_network_basis(&mut self, basis: NetworkBasis) {
-        self.net_saved = Some(basis);
+        pivots: u64,
+        refactorizations: u64,
+        eta_entry_peak: usize,
+        scratch_bytes: usize,
+        ns: u64,
+    ) {
+        self.kernel_solves += 1;
+        self.kernel_pivots += pivots;
+        self.kernel_refactorizations += refactorizations;
+        self.kernel_eta_len_peak = self.kernel_eta_len_peak.max(eta_entry_peak);
+        self.kernel_scratch_peak = self.kernel_scratch_peak.max(scratch_bytes);
+        self.kernel_solve_ns += ns;
     }
 
     pub(crate) fn note_warm(&mut self) {

@@ -243,6 +243,12 @@ pub struct LoadTotals {
     pub final_backlog: Energy,
     /// Longest realized wait of any served work, in coarse frames.
     pub max_wait_frames: usize,
+    /// MWh·frames of realized wait summed over all queue-served work —
+    /// the numerator of [`mean_wait_frames`](Self::mean_wait_frames).
+    pub wait_frames_mwh: f64,
+    /// Total MWh drained from the deferrable queues (absorbed, migrated
+    /// or released to spot) — the matching denominator.
+    pub queue_served_mwh: f64,
     /// Total workload bill.
     pub cost: Money,
     /// Per-frame accounting, in frame order.
@@ -255,6 +261,17 @@ impl LoadTotals {
     #[must_use]
     pub fn is_inert(&self) -> bool {
         self == &LoadTotals::default()
+    }
+
+    /// MWh-weighted mean queueing delay of deferrable work, in coarse
+    /// frames (zero when nothing was queued — e.g. serve-on-arrival).
+    #[must_use]
+    pub fn mean_wait_frames(&self) -> f64 {
+        if self.queue_served_mwh > 0.0 {
+            self.wait_frames_mwh / self.queue_served_mwh
+        } else {
+            0.0
+        }
     }
 }
 
@@ -467,7 +484,11 @@ impl FleetWorkload {
         let mut record = self.totals.frames[frame];
         let mut host_budget: Vec<Energy> = ex.curtailed.clone();
         let mut link_budget: Vec<Energy> = vec![self.config.migration_cap; sites * sites];
-        let mut max_wait = self.totals.max_wait_frames;
+        let mut waits = WaitStats {
+            max_wait: self.totals.max_wait_frames,
+            wait_frames_mwh: 0.0,
+            drained_mwh: 0.0,
+        };
 
         // 1. Planned absorption/migration, in plan order (the dispatcher
         //    emits flows in a deterministic roster order).
@@ -489,7 +510,7 @@ impl FleetWorkload {
             }
             // audit:allow(slice-index): j < sites checked above
             amount = amount.min(host_budget[j]);
-            let taken = drain_queue(&mut self.queues[i], amount, frame, &mut max_wait);
+            let taken = drain_queue(&mut self.queues[i], amount, frame, &mut waits);
             host_budget[j] -= taken;
             if i == j {
                 record.absorbed += taken;
@@ -507,7 +528,7 @@ impl FleetWorkload {
                 .filter(|c| c.due <= frame)
                 .map(|c| c.amount)
                 .sum();
-            let mut serve = drain_queue(&mut self.queues[i], due, frame, &mut max_wait);
+            let mut serve = drain_queue(&mut self.queues[i], due, frame, &mut waits);
             let release: Energy = self.queues[i]
                 .iter()
                 .filter(|c| {
@@ -516,7 +537,7 @@ impl FleetWorkload {
                 })
                 .map(|c| c.amount)
                 .sum();
-            serve += drain_queue(&mut self.queues[i], release, frame, &mut max_wait);
+            serve += drain_queue(&mut self.queues[i], release, frame, &mut waits);
             record.served_spot += serve;
             record.cost += dpss_units::Price::from_dollars_per_mwh(price) * serve;
         }
@@ -529,7 +550,9 @@ impl FleetWorkload {
         self.totals.absorbed += record.absorbed;
         self.totals.migrated += record.migrated;
         self.totals.cost += record.cost;
-        self.totals.max_wait_frames = max_wait;
+        self.totals.max_wait_frames = waits.max_wait;
+        self.totals.wait_frames_mwh += waits.wait_frames_mwh;
+        self.totals.queue_served_mwh += waits.drained_mwh;
     }
 
     /// Finishes the run and returns the totals.
@@ -571,15 +594,24 @@ impl FleetWorkload {
     }
 }
 
+/// Realized-wait accounting folded out of [`drain_queue`]: the running
+/// maximum plus the MWh-weighted wait mass and drained volume behind
+/// [`LoadTotals::mean_wait_frames`].
+struct WaitStats {
+    max_wait: usize,
+    wait_frames_mwh: f64,
+    drained_mwh: f64,
+}
+
 /// Removes up to `amount` of work from `queue`, oldest due-date first
 /// (ties broken by arrival order — the push order, which is frame
 /// order). Returns what was actually taken and folds realized waits
-/// into `max_wait`.
+/// into `waits`.
 fn drain_queue(
     queue: &mut Vec<Cohort>,
     amount: Energy,
     frame: usize,
-    max_wait: &mut usize,
+    waits: &mut WaitStats,
 ) -> Energy {
     if amount <= Energy::ZERO {
         return Energy::ZERO;
@@ -596,7 +628,13 @@ fn drain_queue(
             c.amount -= take;
             left -= take;
             taken += take;
-            *max_wait = (*max_wait).max(frame.saturating_sub(c.arrived));
+            let waited = frame.saturating_sub(c.arrived);
+            waits.max_wait = waits.max_wait.max(waited);
+            // Coarse-frame counts stay tiny (a month is ~31), so the
+            // integer→float conversion is exact.
+            let frames = waited as f64;
+            waits.wait_frames_mwh += (take * frames).mwh();
+            waits.drained_mwh += take.mwh();
         }
     }
     queue.retain(|c| c.amount > Energy::ZERO);

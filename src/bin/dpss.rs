@@ -9,7 +9,9 @@
 //! dpss sweep  --figure NAME [--seed N] [--threads N] [--json]
 //! dpss sweep  --pack NAME [--sites N]
 //!             [--dispatch post-hoc|planned|coordinated]
-//!             [--seed N] [--threads N] [--json]
+//!             [--routing off|co-optimized]
+//!             [--interactive-fraction F] [--max-queue-age N]
+//!             [--solver-stats] [--seed N] [--threads N] [--json]
 //! dpss bounds [--v F] [--epsilon F] [--battery-min F] [--t N]
 //! dpss audit  [--json]
 //! dpss serve  [--state-dir DIR] [--resume] [--log FILE]
@@ -52,6 +54,9 @@ struct Cli {
     sites: usize,
     dispatch: packs::DispatchMode,
     routing: RoutingMode,
+    interactive_fraction: Option<f64>,
+    max_queue_age: Option<usize>,
+    solver_stats: bool,
     state_dir: Option<String>,
     resume: bool,
     log: Option<String>,
@@ -93,6 +98,9 @@ impl Default for Cli {
             sites: 1,
             dispatch: packs::DispatchMode::PostHoc,
             routing: RoutingMode::Off,
+            interactive_fraction: None,
+            max_queue_age: None,
+            solver_stats: false,
             state_dir: None,
             resume: false,
             log: None,
@@ -178,6 +186,21 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             "--routing" => {
                 cli.routing = RoutingMode::parse(&value("--routing")?)?;
             }
+            "--interactive-fraction" => {
+                let f = parse_f64(&value("--interactive-fraction")?, "--interactive-fraction")?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err("--interactive-fraction must be within [0, 1]".into());
+                }
+                cli.interactive_fraction = Some(f);
+            }
+            "--max-queue-age" => {
+                cli.max_queue_age = Some(
+                    value("--max-queue-age")?
+                        .parse()
+                        .map_err(|e| format!("--max-queue-age: {e}"))?,
+                );
+            }
+            "--solver-stats" => cli.solver_stats = true,
             "--state-dir" => cli.state_dir = Some(value("--state-dir")?),
             "--resume" => cli.resume = true,
             "--log" => cli.log = Some(value("--log")?),
@@ -219,6 +242,20 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Cli, String> {
             packs::lookup_builtin(&cli.pack)?;
         }
     }
+    // The routing knobs configure the workload router, which only runs
+    // under --routing co-optimized; a silent no-op would misreport what
+    // the table measured, so a stray knob is a usage error.
+    if cli.routing != RoutingMode::CoOptimized {
+        if cli.interactive_fraction.is_some() {
+            return Err("--interactive-fraction requires --routing co-optimized".into());
+        }
+        if cli.max_queue_age.is_some() {
+            return Err("--max-queue-age requires --routing co-optimized".into());
+        }
+    }
+    if cli.solver_stats && (cli.command != Command::Sweep || cli.pack.is_empty()) {
+        return Err("--solver-stats requires a pack sweep (sweep --pack NAME)".into());
+    }
     Ok(cli)
 }
 
@@ -246,7 +283,8 @@ USAGE:
   dpss sweep   --pack NAME [--sites N]
                [--dispatch post-hoc|planned|coordinated]
                [--routing off|co-optimized]
-               [--seed N] [--threads N] [--json]
+               [--interactive-fraction F] [--max-queue-age N]
+               [--solver-stats] [--seed N] [--threads N] [--json]
                NAME: seasonal-calendar|price-spike|renewable-drought|
                      flat-baseline|traffic-wave (multi-site cross-
                      aggregation table; planned mode routes exports with
@@ -255,7 +293,12 @@ USAGE:
                      directives; --routing co-optimized implies
                      coordinated dispatch and adds the workload router:
                      deferrable requests absorb residual curtailment,
-                     migrate toward it, or wait for cheaper frames)
+                     migrate toward it, or wait for cheaper frames.
+                     --interactive-fraction F in [0,1] and
+                     --max-queue-age N tune the router's admission
+                     split and queue-age bound; --solver-stats appends
+                     the LP kernel's telemetry for one coordinated
+                     month of the pack's first variant)
   dpss bounds  [--v F] [--epsilon F] [--battery-min F] [--t N]
   dpss audit   [--json]   run the workspace source lints (determinism,
                panic-safety, hygiene); --json also writes target/audit.json.
@@ -407,36 +450,61 @@ fn execute(cli: &Cli) -> Result<String, String> {
             if !cli.pack.is_empty() {
                 // Validated at parse time; unknown packs never get here.
                 let pack = packs::lookup_builtin(&cli.pack)?;
+                let interconnect = packs::default_interconnect(cli.sites);
                 // Co-optimized routing wraps the coordinated fleet
                 // dispatch; off leaves the pack sweep bit-for-bit as if
-                // the flag never existed.
-                if cli.routing == RoutingMode::CoOptimized {
-                    let table = routing::routing_sweep_with(
+                // the flag never existed. The CLI knobs override the
+                // paper defaults only when spelled out.
+                let mut routing_config = RoutingConfig::icdcs13();
+                if let Some(f) = cli.interactive_fraction {
+                    routing_config = routing_config.with_interactive_fraction(f);
+                }
+                if let Some(a) = cli.max_queue_age {
+                    routing_config = routing_config.with_max_queue_age(a);
+                }
+                let routed = cli.routing == RoutingMode::CoOptimized;
+                let mut tables = vec![if routed {
+                    routing::routing_sweep_with(
                         &runner,
                         seed,
                         &pack,
                         cli.sites,
-                        &packs::default_interconnect(cli.sites),
-                        RoutingConfig::icdcs13(),
-                    );
-                    return if cli.json {
-                        serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
-                    } else {
-                        Ok(table.render())
-                    };
-                }
-                let table = packs::pack_sweep_with(
-                    &runner,
-                    seed,
-                    &pack,
-                    cli.sites,
-                    &packs::default_interconnect(cli.sites),
-                    cli.dispatch,
-                );
-                return if cli.json {
-                    serde_json::to_string_pretty(&table).map_err(|e| e.to_string())
+                        &interconnect,
+                        routing_config,
+                    )
                 } else {
-                    Ok(table.render())
+                    packs::pack_sweep_with(
+                        &runner,
+                        seed,
+                        &pack,
+                        cli.sites,
+                        &interconnect,
+                        cli.dispatch,
+                    )
+                }];
+                if cli.solver_stats {
+                    tables.push(packs::solver_stats_table(
+                        seed,
+                        &pack,
+                        cli.sites,
+                        &interconnect,
+                        routed.then_some(routing_config),
+                    ));
+                }
+                return if cli.json {
+                    // One bare table keeps the pre---solver-stats JSON
+                    // shape; the stats probe appends a second document.
+                    if let [table] = tables.as_slice() {
+                        serde_json::to_string_pretty(table).map_err(|e| e.to_string())
+                    } else {
+                        serde_json::to_string_pretty(&tables).map_err(|e| e.to_string())
+                    }
+                } else {
+                    Ok(tables
+                        .iter()
+                        .map(FigureTable::render)
+                        .collect::<Vec<_>>()
+                        .join("\n"))
                 };
             }
             let tables: Vec<FigureTable> = match cli.figure.as_str() {
@@ -882,6 +950,52 @@ mod tests {
             "{shown}"
         );
         assert!(shown.contains("off|co-optimized"), "{shown}");
+    }
+
+    #[test]
+    fn parses_routing_knobs_and_solver_stats() {
+        let cli = parse_args(args(
+            "sweep --pack traffic-wave --sites 2 --routing co-optimized \
+             --interactive-fraction 0.4 --max-queue-age 3 --solver-stats",
+        ))
+        .unwrap();
+        assert_eq!(cli.interactive_fraction, Some(0.4));
+        assert_eq!(cli.max_queue_age, Some(3));
+        assert!(cli.solver_stats);
+        // Out-of-range admission splits are usage errors, not runtime
+        // panics inside the sweep.
+        let err = run_cli(args(
+            "sweep --pack traffic-wave --routing co-optimized --interactive-fraction 1.5",
+        ))
+        .unwrap_err();
+        assert!(err.usage_error, "range check at parse time, exit 2");
+        assert!(err.render().contains("within [0, 1]"), "{}", err.render());
+    }
+
+    #[test]
+    fn routing_knobs_without_the_router_are_usage_errors() {
+        // The knobs tune the workload router; accepted without it they
+        // would silently change nothing.
+        for bad in [
+            "sweep --pack traffic-wave --interactive-fraction 0.4",
+            "sweep --pack traffic-wave --routing off --max-queue-age 3",
+        ] {
+            let err = run_cli(args(bad)).unwrap_err();
+            assert!(err.usage_error, "{bad}");
+            assert!(
+                err.render().contains("requires --routing co-optimized"),
+                "{}",
+                err.render()
+            );
+        }
+        // --solver-stats probes a pack's fleet month: pack sweeps only.
+        let err = run_cli(args("sweep --figure fig5 --solver-stats")).unwrap_err();
+        assert!(err.usage_error);
+        assert!(
+            err.render().contains("requires a pack sweep"),
+            "{}",
+            err.render()
+        );
     }
 
     #[test]
